@@ -1,0 +1,34 @@
+"""Ablations of this implementation's design choices (DESIGN.md §4).
+
+Not paper figures: these justify (a) the Binomial fast path in the IC RR
+sampler and (b) offering both exact and lazy max-coverage greedy variants.
+Each ablation embeds its own semantics check so a speed-up can never hide a
+behaviour change.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablation_coverage, ablation_ic_fast_path
+
+
+def test_ic_sampler_fast_path(benchmark, record_experiment):
+    result = run_once(benchmark, ablation_ic_fast_path)
+    record_experiment(result)
+
+    for row in result.rows:
+        dataset, slow_s, fast_s, speedup, mean_w_slow, mean_w_fast = row
+        # Semantics: mean widths agree within MC noise.
+        assert abs(mean_w_fast - mean_w_slow) / max(mean_w_slow, 1.0) < 0.1, dataset
+    # The fast path pays off on the high-degree stand-in (twitter, avg ~70).
+    by_dataset = {row[0]: row for row in result.rows}
+    assert by_dataset["twitter"][3] > 1.0
+
+
+def test_coverage_greedy_variants(benchmark, record_experiment):
+    result = run_once(benchmark, ablation_coverage)
+    record_experiment(result)
+
+    for row in result.rows:
+        k, exact_s, lazy_s, exact_covered, lazy_covered = row
+        # Both are exact greedy: achieved coverage must be identical.
+        assert exact_covered == lazy_covered, f"k={k}"

@@ -1,0 +1,27 @@
+"""Figure 10 — TIM+ (ε = ℓ = 1) vs SIMPATH runtime under LT.
+
+Paper shape: TIM+ consistently faster, by orders of magnitude at k = 50 on
+the largest dataset.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, record_experiment):
+    result = run_once(benchmark, figure10)
+    record_experiment(result)
+
+    per_dataset: dict[str, list] = defaultdict(list)
+    for row in result.rows:
+        per_dataset[row[0]].append(row)
+
+    for dataset, rows in per_dataset.items():
+        by_k = {row[1]: row for row in rows}
+        # At k = 50 TIM+ beats SIMPATH on every dataset.
+        assert by_k[50][2] < by_k[50][3], dataset
+        # SIMPATH cost grows with k.
+        assert by_k[50][3] > by_k[1][3], dataset

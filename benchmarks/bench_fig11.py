@@ -1,0 +1,24 @@
+"""Figure 11 — TIM+ (ε = ℓ = 1) vs SIMPATH expected spread under LT.
+
+Paper shape: TIM+ no worse anywhere, clearly higher on LiveJournal.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, record_experiment):
+    result = run_once(benchmark, figure11)
+    record_experiment(result)
+
+    worse = 0
+    for row in result.rows:
+        _, _, tim_spread, simpath_spread = row
+        if tim_spread < 0.9 * simpath_spread:
+            worse += 1
+    assert worse == 0, f"TIM+ lost clearly on {worse} configurations"
+
+    total_tim = sum(row[2] for row in result.rows)
+    total_simpath = sum(row[3] for row in result.rows)
+    assert total_tim >= 0.95 * total_simpath

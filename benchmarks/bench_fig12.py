@@ -1,0 +1,26 @@
+"""Figure 12 — TIM+ memory consumption vs k (IC and LT, all five stand-ins).
+
+Paper shape: the footprint is the RR collection |R| = λ/KPT⁺; IC costs more
+than LT per dataset (LT's KPT⁺ is larger); footprints are modest and grow
+with dataset size — with the NetHEPT-vs-Epinions inversion the paper
+highlights (smaller KPT⁺ on NetHEPT inflates |R|).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, record_experiment):
+    result = run_once(benchmark, figure12)
+    record_experiment(result)
+
+    ic_beats_lt = 0
+    for row in result.rows:
+        _, _, ic_mib, lt_mib, ic_theta, lt_theta = row
+        assert ic_mib > 0 and lt_mib > 0
+        assert ic_theta > 0 and lt_theta > 0
+        if ic_mib >= lt_mib:
+            ic_beats_lt += 1
+    # IC >= LT memory on the clear majority of configurations.
+    assert ic_beats_lt >= 0.7 * len(result.rows)

@@ -1,0 +1,30 @@
+"""Figure 3 — runtime vs k on NetHEPT: TIM, TIM+, RIS, CELF++ (IC and LT).
+
+Paper shape: TIM+ < TIM, both orders of magnitude below CELF++ and RIS at
+moderate k; TIM/TIM+ runtimes *decrease* with k while RIS/CELF++ grow.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+@pytest.mark.parametrize("model", ["IC", "LT"])
+def test_figure3(benchmark, record_experiment, model):
+    result = run_once(benchmark, figure3, model=model)
+    record_experiment(result)
+
+    tim_times = result.column("TIM")
+    timp_times = result.column("TIM+")
+    ris_times = result.column("RIS")
+    celf_times = result.column("CELF++")
+
+    # TIM+ no slower than TIM overall (the headline optimisation).
+    assert sum(timp_times) < sum(tim_times)
+    # At k = 50 the guaranteed baselines are far slower than TIM+.
+    assert ris_times[-1] > 2 * timp_times[-1]
+    assert celf_times[-1] > 2 * timp_times[-1]
+    # RIS and CELF++ grow with k; TIM's cost does not explode with k.
+    assert ris_times[-1] > ris_times[0]
+    assert celf_times[-1] > celf_times[0]

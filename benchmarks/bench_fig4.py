@@ -1,0 +1,38 @@
+"""Figure 4 — per-phase breakdown of TIM (4a) and TIM+ (4b) on NetHEPT.
+
+Paper shape: Algorithm 1 (node selection) dominates the total; Algorithm 3
+costs almost nothing yet cuts TIM+'s node-selection bill to <= 1/3 of TIM's.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+@pytest.mark.parametrize("refine", [False, True], ids=["fig4a-TIM", "fig4b-TIM+"])
+def test_figure4(benchmark, record_experiment, refine):
+    result = run_once(benchmark, figure4, refine=refine)
+    record_experiment(result)
+
+    node_selection = result.column("alg1_node_sel")
+    totals = result.column("total")
+    refinement = result.column("alg3_refine")
+
+    # Node selection dominates the overall cost.
+    assert sum(node_selection) > 0.5 * sum(totals)
+    if refine:
+        # Refinement is cheap relative to the whole pipeline.
+        assert sum(refinement) < 0.25 * sum(totals)
+    else:
+        assert sum(refinement) == 0.0
+
+
+def test_figure4_refinement_pays_for_itself(benchmark, record_experiment):
+    """TIM+ total should beat TIM total on the same configurations."""
+
+    def both():
+        return figure4(refine=False), figure4(refine=True)
+
+    tim_result, timp_result = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert sum(timp_result.column("total")) < sum(tim_result.column("total"))

@@ -1,0 +1,34 @@
+"""Figure 6 — runtime vs k on the four large stand-ins (IC and LT).
+
+Paper shape: TIM+ outperforms TIM everywhere (up to ~2 orders); TIM is
+omitted on Twitter for excessive cost; both run faster under LT than IC.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, record_experiment):
+    result = run_once(benchmark, figure6)
+    record_experiment(result)
+
+    per_dataset: dict[str, list] = defaultdict(list)
+    for row in result.rows:
+        per_dataset[row[0]].append(row)
+
+    for dataset, rows in per_dataset.items():
+        tim_ic = [r[2] for r in rows]
+        timp_ic = [r[3] for r in rows]
+        tim_lt = [r[4] for r in rows]
+        timp_lt = [r[5] for r in rows]
+        if dataset == "twitter":
+            assert all(v is None for v in tim_ic + tim_lt)
+        else:
+            # TIM+ beats TIM in aggregate under both models.
+            assert sum(timp_ic) < sum(tim_ic), dataset
+            assert sum(timp_lt) < sum(tim_lt), dataset
+        # LT cheaper than IC for TIM+ (one random number per node, not edge).
+        assert sum(timp_lt) < sum(timp_ic) * 1.1, dataset

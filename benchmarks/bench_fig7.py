@@ -1,0 +1,31 @@
+"""Figure 7 — runtime vs ε on the large stand-ins.
+
+Paper shape: cost falls steeply as ε grows (θ ∝ ε⁻²); at the loosest ε even
+the largest stand-in finishes quickly.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, record_experiment):
+    result = run_once(benchmark, figure7)
+    record_experiment(result)
+
+    per_dataset: dict[str, list] = defaultdict(list)
+    for row in result.rows:
+        per_dataset[row[0]].append(row)
+
+    for dataset, rows in per_dataset.items():
+        ordered = sorted(rows, key=lambda r: r[1])  # by epsilon
+        tightest = ordered[0]
+        loosest = ordered[-1]
+        # TIM+ at the tightest epsilon costs more than at the loosest,
+        # under both models (theta ~ 1/eps^2 => ~4x between 0.25 and 0.5).
+        assert tightest[3] > loosest[3], dataset  # TIM+(IC)
+        assert tightest[5] > loosest[5], dataset  # TIM+(LT)
+        if tightest[2] is not None:
+            assert tightest[2] > loosest[2], dataset  # TIM(IC)

@@ -1,0 +1,30 @@
+"""Figure 8 — TIM+ (ε = ℓ = 1) vs IRIE runtime under IC.
+
+Paper shape: IRIE wins at small k; TIM+ overtakes for k > 20 because its
+cost *falls* with k while IRIE's grows linearly.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, record_experiment):
+    result = run_once(benchmark, figure8)
+    record_experiment(result)
+
+    per_dataset: dict[str, list] = defaultdict(list)
+    for row in result.rows:
+        per_dataset[row[0]].append(row)
+
+    winners_at_50 = 0
+    for dataset, rows in per_dataset.items():
+        by_k = {row[1]: row for row in rows}
+        # IRIE's cost grows with k.
+        assert by_k[50][3] > by_k[1][3], dataset
+        if by_k[50][2] <= by_k[50][3]:
+            winners_at_50 += 1
+    # TIM+ wins at k=50 on at least half the datasets (the paper's crossover).
+    assert winners_at_50 >= len(per_dataset) / 2

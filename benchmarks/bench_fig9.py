@@ -1,0 +1,27 @@
+"""Figure 9 — TIM+ (ε = ℓ = 1) vs IRIE expected spread under IC.
+
+Paper shape: TIM+'s spreads are no worse anywhere and noticeably higher on
+some datasets — the guaranteed method does not trade quality for its speed.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, record_experiment):
+    result = run_once(benchmark, figure9)
+    record_experiment(result)
+
+    worse = 0
+    for row in result.rows:
+        _, k, tim_spread, irie_spread = row
+        # Allow 10% MC slack per point; count real losses.
+        if tim_spread < 0.9 * irie_spread:
+            worse += 1
+    assert worse == 0, f"TIM+ lost clearly on {worse} configurations"
+
+    # Aggregate: TIM+ at least matches IRIE overall.
+    total_tim = sum(row[2] for row in result.rows)
+    total_irie = sum(row[3] for row in result.rows)
+    assert total_tim >= 0.95 * total_irie

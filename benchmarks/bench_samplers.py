@@ -1,0 +1,54 @@
+"""Micro-benchmarks: raw RR-set generation throughput (IC vs LT).
+
+These are the per-operation numbers behind every figure: Section 7.2's
+observation that LT sampling is cheaper than IC (one random number per node
+versus per edge) shows up directly here.
+"""
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.rrset import make_rr_sampler
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def livejournal_ic():
+    return build_dataset("livejournal", scale=0.5).weighted_for("IC")
+
+
+@pytest.fixture(scope="module")
+def livejournal_lt():
+    return build_dataset("livejournal", scale=0.5).weighted_for("LT")
+
+
+def test_ic_rr_generation(benchmark, livejournal_ic):
+    sampler = make_rr_sampler(livejournal_ic, "IC")
+    rng = RandomSource(1)
+    benchmark(sampler.sample_many, 2000, rng)
+
+
+def test_lt_rr_generation(benchmark, livejournal_lt):
+    sampler = make_rr_sampler(livejournal_lt, "LT")
+    rng = RandomSource(2)
+    benchmark(sampler.sample_many, 2000, rng)
+
+
+def test_ic_forward_simulation(benchmark, livejournal_ic):
+    from repro.diffusion import simulate_ic
+
+    rng = RandomSource(3)
+
+    def run_batch():
+        for seed_node in range(0, 200):
+            simulate_ic(livejournal_ic, [seed_node], rng)
+
+    benchmark(run_batch)
+
+
+def test_greedy_coverage_throughput(benchmark, livejournal_ic):
+    from repro.rrset import greedy_max_coverage
+
+    sampler = make_rr_sampler(livejournal_ic, "IC")
+    rr_sets = [rr.nodes for rr in sampler.sample_many(30_000, RandomSource(4))]
+    benchmark(greedy_max_coverage, rr_sets, livejournal_ic.n, 50)

@@ -1,0 +1,25 @@
+"""Table 2 — dataset characteristics (paper vs stand-ins)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, record_experiment):
+    result = run_once(benchmark, table2, scale=1.0)
+    record_experiment(result)
+
+    # Types must match the paper exactly.
+    assert result.column("type") == [
+        "undirected",
+        "directed",
+        "undirected",
+        "directed",
+        "directed",
+    ]
+    # Average degrees within 15% of Table 2's values.
+    for paper, ours in zip(result.column("paper_avg_deg"), result.column("ours_avg_deg")):
+        assert abs(ours - paper) / paper < 0.15
+    # Relative size ordering preserved.
+    sizes = result.column("ours_n")
+    assert sizes == sorted(sizes)

@@ -1,0 +1,89 @@
+"""Extensions: time-critical campaigns and VIP-weighted objectives.
+
+Two formulations from the paper's related/future work, both supported by the
+same RR-set machinery:
+
+* **Time-critical influence maximization** (Chen et al. [4] in the paper's
+  bibliography): the campaign only counts adoptions within T propagation
+  rounds.  Model: `BoundedIndependentCascade(T)`; the RR sampler truncates
+  its reverse BFS at depth T.
+* **Node-weighted influence maximization** (Kempe et al.'s general
+  objective): nodes carry unequal benefits; RR roots are drawn proportional
+  to weight.  Driver: `weighted_tim_plus`.
+
+Run:  python examples/extensions.py
+"""
+
+import numpy as np
+
+from repro import build_dataset, tim_plus
+from repro.core import weighted_tim_plus
+from repro.diffusion import BoundedIndependentCascade, estimate_spread
+
+
+def time_critical_demo(graph) -> None:
+    print("=" * 64)
+    print("time-critical campaign: only T propagation rounds count")
+    print("=" * 64)
+    unbounded = tim_plus(graph, k=10, epsilon=0.5, model="IC", rng=1)
+    for horizon in (1, 2, 4):
+        model = BoundedIndependentCascade(horizon)
+        result = tim_plus(graph, k=10, epsilon=0.5, model=model, rng=1)
+        spread = estimate_spread(graph, result.seeds, model=model, num_samples=2000, rng=2)
+        # How would the *unbounded* winner's seeds do under this deadline?
+        lazy_spread = estimate_spread(
+            graph, unbounded.seeds, model=model, num_samples=2000, rng=2
+        )
+        overlap = len(set(result.seeds) & set(unbounded.seeds))
+        print(
+            f"  T={horizon}: spread {spread.mean:7.1f} within deadline | "
+            f"unbounded-optimised seeds achieve {lazy_spread.mean:7.1f} | "
+            f"seed overlap with unbounded: {overlap}/10"
+        )
+    print(
+        "  -> tight deadlines favour seeds with *fast* local reach;"
+        " optimising for the wrong horizon leaves spread on the table.\n"
+    )
+
+
+def weighted_demo(graph) -> None:
+    print("=" * 64)
+    print("VIP-weighted campaign: converting some users is worth more")
+    print("=" * 64)
+    rng = np.random.default_rng(7)
+    weights = np.ones(graph.n)
+    vips = rng.choice(graph.n, size=graph.n // 20, replace=False)
+    weights[vips] = 25.0  # 5% of users are 25x more valuable
+
+    plain = tim_plus(graph, k=10, epsilon=0.5, model="IC", rng=3)
+    weighted = weighted_tim_plus(graph, 10, weights, epsilon=0.5, rng=3)
+
+    def weighted_spread(seeds) -> float:
+        # MC estimate of E[sum of weights of activated nodes].
+        from repro.diffusion import simulate_ic
+        from repro.utils.rng import RandomSource
+
+        source = RandomSource(11)
+        runs = 2000
+        total = 0.0
+        for _ in range(runs):
+            total += float(weights[list(simulate_ic(graph, seeds, source))].sum())
+        return total / runs
+
+    print(f"  plain TIM+ seeds    : weighted value {weighted_spread(plain.seeds):9.1f}")
+    print(f"  weighted TIM+ seeds : weighted value {weighted_spread(weighted.seeds):9.1f}")
+    overlap = len(set(plain.seeds) & set(weighted.seeds))
+    print(f"  seed overlap: {overlap}/10")
+    print("  -> when value is concentrated, the weighted objective re-targets seeds.\n")
+
+
+def main() -> None:
+    dataset = build_dataset("epinions", scale=0.5)
+    graph = dataset.weighted_for("IC")
+    print(f"network: {dataset.name} stand-in (n={graph.n}, m={graph.m})\n")
+    time_critical_demo(graph)
+    weighted_demo(graph)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Diffusion models side by side: IC, LT, and a custom triggering model.
+
+TIM supports the full triggering model (paper Section 4.2), of which IC and
+LT are special cases.  This example runs all three on one network and shows:
+
+* how much the *model choice* changes who the influencers are,
+* that the triggering-model machinery reproduces IC when instantiated with
+  IC's distribution, and
+* how to define a custom triggering distribution (here: "stubborn minority"
+  — each node listens to at most two random in-neighbours).
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro import build_dataset, estimate_spread, tim_plus
+from repro.diffusion import ICTriggering, TriggeringDistribution, TriggeringModel
+
+
+class AtMostTwoListeners(TriggeringDistribution):
+    """Custom triggering distribution: each node's triggering set is at most
+    two of its in-neighbours, each kept with the edge probability scaled up
+    2x (capped at 1) — a crude 'limited attention' model."""
+
+    def sample(self, node, rng):
+        neighbors = self._in_adj[node]
+        probs = self._in_probs[node]
+        chosen = []
+        order = list(range(len(neighbors)))
+        rng.py.shuffle(order)
+        for index in order:
+            if len(chosen) == 2:
+                break
+            if rng.py.random() < min(1.0, 2.0 * probs[index]):
+                chosen.append(neighbors[index])
+        return chosen
+
+
+def main() -> None:
+    dataset = build_dataset("epinions", scale=0.6)
+    ic_graph = dataset.weighted_for("IC")
+    lt_graph = dataset.weighted_for("LT")
+    print(f"network: {dataset.name} stand-in (n={ic_graph.n}, m={ic_graph.m})")
+
+    k = 15
+    runs = {}
+
+    # Independent cascade (weighted cascade probabilities).
+    runs["IC"] = tim_plus(ic_graph, k, epsilon=0.5, model="IC", rng=1)
+
+    # Linear threshold (normalised random weights).
+    runs["LT"] = tim_plus(lt_graph, k, epsilon=0.5, model="LT", rng=2)
+
+    # Triggering model instantiated to IC — must behave like IC.
+    ic_as_triggering = TriggeringModel(ICTriggering(ic_graph))
+    runs["triggering(IC)"] = tim_plus(ic_graph, k, epsilon=0.5, model=ic_as_triggering, rng=1)
+
+    # A custom distribution, only expressible through the triggering API.
+    limited = TriggeringModel(AtMostTwoListeners(ic_graph))
+    runs["limited-attention"] = tim_plus(ic_graph, k, epsilon=0.5, model=limited, rng=3)
+
+    print(f"\n{'model':>18}  {'time':>6}  {'theta':>7}  {'spread (model-matched MC)':>26}")
+    for label, result in runs.items():
+        if label == "LT":
+            graph, score_model = lt_graph, "LT"
+        elif label in ("IC", "triggering(IC)"):
+            graph, score_model = ic_graph, "IC"
+        else:
+            graph, score_model = ic_graph, limited
+        spread = estimate_spread(
+            graph, result.seeds, model=score_model, num_samples=1500, rng=50
+        ).mean
+        print(
+            f"{label:>18}  {result.runtime_seconds:>5.1f}s  {result.theta:>7}  {spread:>26.1f}"
+        )
+
+    # Seed-set agreement between models.
+    def overlap(a, b) -> float:
+        return len(set(runs[a].seeds) & set(runs[b].seeds)) / k
+
+    print("\nseed overlap between models:")
+    print(f"  IC vs triggering(IC)   : {overlap('IC', 'triggering(IC)'):.0%}  (same distribution)")
+    print(f"  IC vs LT               : {overlap('IC', 'LT'):.0%}")
+    print(f"  IC vs limited-attention: {overlap('IC', 'limited-attention'):.0%}")
+    print(
+        "\ntakeaway: the algorithm is model-agnostic, but the *answer* is not —"
+        "\nvalidate the diffusion model before trusting a seed set."
+    )
+
+
+if __name__ == "__main__":
+    main()

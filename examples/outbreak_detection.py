@@ -1,0 +1,78 @@
+"""Outbreak containment: vaccinating super-spreaders.
+
+The paper frames IC propagation as "the spread of an infectious disease"
+(Section 2.1).  Flip the marketing story: on a contact network with
+community structure, which k individuals would — if infected — cause the
+largest expected outbreak?  Those are the ones to vaccinate or monitor.
+
+This example also demonstrates using your *own* graph (built edge by edge
+from a generator) rather than a bundled stand-in, and inspecting how seeds
+distribute across communities.
+
+Run:  python examples/outbreak_detection.py
+"""
+
+from collections import Counter
+
+from repro import estimate_spread, tim_plus
+from repro.graphs import constant_probability, planted_partition_digraph
+
+NUM_PEOPLE = 400
+NUM_COMMUNITIES = 4
+TRANSMISSION_PROBABILITY = 0.06
+
+
+def main() -> None:
+    # A contact network: dense within households/workplaces (communities),
+    # sparse across them; every contact transmits with fixed probability.
+    contacts = planted_partition_digraph(
+        NUM_PEOPLE, NUM_COMMUNITIES, p_in=0.08, p_out=0.004, rng=42
+    )
+    network = constant_probability(contacts, TRANSMISSION_PROBABILITY)
+    print(
+        f"contact network: {network.n} people, {network.m} directed contacts, "
+        f"{NUM_COMMUNITIES} communities, transmission p={TRANSMISSION_PROBABILITY}"
+    )
+
+    # The k most dangerous potential patient-zeros = the influence-maximal
+    # seed set under IC.
+    k = 12
+    result = tim_plus(network, k=k, epsilon=0.4, model="IC", rng=7)
+    outbreak = estimate_spread(network, result.seeds, num_samples=4000, rng=8)
+    print(f"\ntop {k} super-spreaders: {sorted(result.seeds)}")
+    print(f"expected outbreak if all infected: {outbreak.mean:.1f} people")
+
+    # Community coverage: maximizing spread should diversify across
+    # communities rather than stacking one (overlapping audiences waste
+    # marginal gain — submodularity at work).
+    communities = Counter(node % NUM_COMMUNITIES for node in result.seeds)
+    print("\nsuper-spreaders per community:")
+    for community in range(NUM_COMMUNITIES):
+        bar = "#" * communities.get(community, 0)
+        print(f"  community {community}: {communities.get(community, 0):2d} {bar}")
+    assert len(communities) == NUM_COMMUNITIES, "expected spread across all communities"
+
+    # Vaccination what-if: remove the super-spreaders' outgoing contacts and
+    # measure how much a random outbreak shrinks.
+    import numpy as np
+
+    vaccinated = set(result.seeds)
+    keep = np.array([u not in vaccinated for u in network.src.tolist()])
+    from repro.graphs import DiGraph
+
+    protected = DiGraph(network.n, network.src[keep], network.dst[keep], network.prob[keep])
+
+    rng_seed = 9
+    random_patients = [5, 77, 201]  # arbitrary patient zeros, unvaccinated
+    before = estimate_spread(network, random_patients, num_samples=4000, rng=rng_seed)
+    after = estimate_spread(protected, random_patients, num_samples=4000, rng=rng_seed)
+    reduction = (1 - after.mean / before.mean) * 100
+    print(
+        f"\noutbreak from patients {random_patients}: "
+        f"{before.mean:.1f} -> {after.mean:.1f} people after vaccinating "
+        f"{k} super-spreaders ({reduction:.0f}% smaller)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Viral marketing: choosing influencers under a budget.
+
+The paper's motivating application (Section 1): a company gives free samples
+to k influencers on a follower network and wants the cascade of adoptions
+maximised.  This example runs on the Twitter stand-in and answers the two
+questions a marketing team actually asks:
+
+1. *Who* should get the samples, and how does the answer change with budget?
+2. *Is the fancy algorithm worth it* versus just picking celebrities
+   (max-degree) or random users?
+
+It also shows the diminishing returns (submodularity) that justify small
+budgets.
+
+Run:  python examples/viral_marketing.py
+"""
+
+from repro import build_dataset, estimate_spread, maximize_influence
+
+
+BUDGETS = (1, 5, 10, 25, 50)
+
+
+def main() -> None:
+    dataset = build_dataset("twitter", scale=0.4)
+    graph = dataset.weighted_for("IC")
+    print(
+        f"follower network: {dataset.name} stand-in "
+        f"(n={graph.n}, m={graph.m}, avg followees={graph.m / graph.n:.1f})"
+    )
+
+    print(f"\n{'budget k':>8}  {'TIM+':>10}  {'celebrities':>11}  {'random':>8}  {'TIM+ vs celeb':>13}")
+    tim_spreads: list[float] = []
+    for k in BUDGETS:
+        tim_result = maximize_influence(
+            graph, k, algorithm="tim+", model="IC", epsilon=0.5, rng=10 + k
+        )
+        celeb_result = maximize_influence(graph, k, algorithm="degree", model="IC")
+        random_result = maximize_influence(graph, k, algorithm="random", model="IC", rng=k)
+
+        def score(seeds):
+            return estimate_spread(graph, seeds, model="IC", num_samples=2000, rng=99).mean
+
+        tim_spread = score(tim_result.seeds)
+        celeb_spread = score(celeb_result.seeds)
+        random_spread = score(random_result.seeds)
+        tim_spreads.append(tim_spread)
+        print(
+            f"{k:>8}  {tim_spread:>10.1f}  {celeb_spread:>11.1f}  {random_spread:>8.1f}"
+            f"  {(tim_spread / celeb_spread - 1) * 100:>+12.1f}%"
+        )
+
+    # Diminishing returns: the marginal value of budget shrinks — the
+    # submodularity that underpins the (1 - 1/e - eps) guarantee.
+    print("\nmarginal value of additional budget (TIM+):")
+    for i in range(1, len(BUDGETS)):
+        extra_seeds = BUDGETS[i] - BUDGETS[i - 1]
+        extra_spread = tim_spreads[i] - tim_spreads[i - 1]
+        print(
+            f"  seeds {BUDGETS[i - 1]:>2} -> {BUDGETS[i]:>2}: "
+            f"+{extra_spread:6.1f} adopters ({extra_spread / extra_seeds:5.1f} per extra seed)"
+        )
+
+    print(
+        "\ntakeaway: influence maximization beats celebrity-picking because it"
+        "\naccounts for audience overlap — and returns diminish, so small seed"
+        "\nbudgets capture most of the value."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — TIM/TIM+ influence maximization (SIGMOD 2014), reproduced in full.
+
+A production-quality Python implementation of Tang, Xiao & Shi,
+*Influence Maximization: Near-Optimal Time Complexity Meets Practical
+Efficiency* (SIGMOD 2014), together with every substrate and baseline its
+evaluation depends on.
+
+Quickstart::
+
+    from repro import build_dataset, tim_plus, estimate_spread
+
+    graph = build_dataset("nethept").weighted_for("IC")
+    result = tim_plus(graph, k=50, epsilon=0.2, rng=0)
+    print(result.seeds, estimate_spread(graph, result.seeds, rng=1).mean)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graphs` — CSR digraph, builders, generators, weights, I/O;
+* :mod:`repro.diffusion` — IC, LT and general triggering propagation;
+* :mod:`repro.rrset` — reverse-reachable set sampling and max coverage;
+* :mod:`repro.core` — Algorithms 1-3, TIM and TIM+;
+* :mod:`repro.algorithms` — Greedy, CELF, CELF++, RIS, IRIE, SIMPATH, ...;
+* :mod:`repro.analysis` — Chernoff bounds, exact oracles, cost models;
+* :mod:`repro.datasets` — scaled stand-ins for the paper's five datasets;
+* :mod:`repro.experiments` — regeneration of every evaluation table/figure.
+"""
+
+from repro.algorithms import (
+    algorithm_names,
+    celf,
+    celf_plus_plus,
+    greedy,
+    irie,
+    maximize_influence,
+    ris,
+    simpath,
+)
+from repro.core import TIMResult, tim, tim_plus, weighted_tim_plus
+from repro.datasets import build_dataset, dataset_names
+from repro.diffusion import (
+    BoundedIndependentCascade,
+    IndependentCascade,
+    LinearThreshold,
+    TriggeringModel,
+    estimate_spread,
+    simulate_ic,
+    simulate_lt,
+)
+from repro.graphs import (
+    DiGraph,
+    GraphBuilder,
+    from_edges,
+    load_edge_list,
+    uniform_random_lt,
+    weighted_cascade,
+)
+from repro.rrset import RRCollection, RRSet, greedy_max_coverage, make_rr_sampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "algorithm_names",
+    "celf",
+    "celf_plus_plus",
+    "greedy",
+    "irie",
+    "maximize_influence",
+    "ris",
+    "simpath",
+    "TIMResult",
+    "tim",
+    "tim_plus",
+    "weighted_tim_plus",
+    "build_dataset",
+    "dataset_names",
+    "BoundedIndependentCascade",
+    "IndependentCascade",
+    "LinearThreshold",
+    "TriggeringModel",
+    "estimate_spread",
+    "simulate_ic",
+    "simulate_lt",
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "load_edge_list",
+    "uniform_random_lt",
+    "weighted_cascade",
+    "RRCollection",
+    "RRSet",
+    "greedy_max_coverage",
+    "make_rr_sampler",
+]

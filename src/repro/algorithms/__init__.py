@@ -1,0 +1,58 @@
+"""Influence-maximization algorithms: TIM-family plus every paper baseline.
+
+Importing this package populates the algorithm registry; use
+:func:`maximize_influence` (or the CLI) to run any of them by name:
+
+``tim``, ``tim+``, ``greedy``, ``celf``, ``celf++``, ``ris``, ``irie``,
+``simpath``, ``degree``, ``degree-discount``, ``pagerank``, ``random``.
+"""
+
+from repro.algorithms.base import (
+    algorithm_names,
+    get_algorithm,
+    maximize_influence,
+    register_algorithm,
+)
+from repro.algorithms.celf import celf
+from repro.algorithms.celfpp import celf_plus_plus
+from repro.algorithms.degree import degree_discount, max_degree
+from repro.algorithms.greedy import greedy, monte_carlo_spread, recommended_monte_carlo_runs
+from repro.algorithms.irie import influence_rank, irie
+from repro.algorithms.pagerank import pagerank_scores, pagerank_seeds
+from repro.algorithms.random_seed import random_seeds
+from repro.algorithms.ris import ris, ris_threshold
+from repro.algorithms.simpath import greedy_vertex_cover, sigma_within, simpath, simpath_spread
+from repro.core.tim import tim, tim_plus
+
+# TIM and TIM+ live in repro.core (they are the paper's contribution, not a
+# baseline) but register here so the uniform front door can dispatch to them.
+register_algorithm("tim", tim)
+register_algorithm("tim+", tim_plus)
+register_algorithm("timplus", tim_plus)
+
+__all__ = [
+    "algorithm_names",
+    "get_algorithm",
+    "maximize_influence",
+    "register_algorithm",
+    "celf",
+    "celf_plus_plus",
+    "degree_discount",
+    "max_degree",
+    "greedy",
+    "monte_carlo_spread",
+    "recommended_monte_carlo_runs",
+    "influence_rank",
+    "irie",
+    "pagerank_scores",
+    "pagerank_seeds",
+    "random_seeds",
+    "ris",
+    "ris_threshold",
+    "greedy_vertex_cover",
+    "sigma_within",
+    "simpath",
+    "simpath_spread",
+    "tim",
+    "tim_plus",
+]

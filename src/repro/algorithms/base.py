@@ -1,0 +1,56 @@
+"""Algorithm registry and the uniform :func:`maximize_influence` front door.
+
+Every influence-maximization algorithm in the library is a callable
+``fn(graph, k, *, model, rng, **kwargs) -> InfluenceMaxResult`` registered
+under one or more names.  The registry powers the CLI, the experiment
+harness, and keeps the comparison benches honest (same call shape for every
+contender).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.results import InfluenceMaxResult
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["register_algorithm", "algorithm_names", "get_algorithm", "maximize_influence"]
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_algorithm(name: str, fn: Callable) -> None:
+    """Register ``fn`` under ``name`` (case-insensitive, unique)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} already registered")
+    _REGISTRY[key] = fn
+
+
+def algorithm_names() -> list[str]:
+    """Sorted registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> Callable:
+    """Look up a registered algorithm by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown algorithm {name!r}; known: {algorithm_names()}")
+    return _REGISTRY[key]
+
+
+def maximize_influence(
+    graph: DiGraph, k: int, algorithm: str = "tim+", model="IC", rng=None, **kwargs
+) -> InfluenceMaxResult:
+    """Run any registered algorithm; wall-clock is measured if it doesn't.
+
+    ``kwargs`` are forwarded verbatim (ε, ℓ, r, heuristic tunables, ...).
+    """
+    fn = get_algorithm(algorithm)
+    started = time.perf_counter()
+    result = fn(graph, k, model=model, rng=rng, **kwargs)
+    if result.runtime_seconds == 0.0:
+        result.runtime_seconds = time.perf_counter() - started
+    return result

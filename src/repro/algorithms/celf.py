@@ -1,0 +1,81 @@
+"""CELF — Cost-Effective Lazy Forward selection (Leskovec et al. [21]).
+
+Same output quality as Greedy (it is Greedy, with stale marginal gains
+re-evaluated lazily); submodularity of the spread guarantees a fresh top
+entry of the queue is the true argmax.  The paper credits CELF with up to
+700× fewer spread evaluations, which our ``spread_evaluations`` counter
+makes visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.base import register_algorithm
+from repro.algorithms.greedy import monte_carlo_spread
+from repro.core.results import InfluenceMaxResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.utils.lazy_heap import LazyMaxHeap
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_k, check_positive_int, require
+
+__all__ = ["celf"]
+
+
+def celf(
+    graph: DiGraph,
+    k: int,
+    model="IC",
+    rng=None,
+    num_runs: int = 10000,
+    candidates=None,
+) -> InfluenceMaxResult:
+    """CELF lazy-forward greedy with Monte-Carlo spread estimates."""
+    check_k(k, graph.n)
+    check_positive_int(num_runs, "num_runs")
+    resolved = resolve_model(model)
+    resolved.validate_graph(graph)
+    source = resolve_rng(rng)
+    pool = list(range(graph.n)) if candidates is None else [int(c) for c in candidates]
+    require(len(pool) >= k, "candidate pool smaller than k")
+
+    started = time.perf_counter()
+    heap = LazyMaxHeap()
+    evaluations = 0
+    for candidate in pool:
+        gain = monte_carlo_spread(graph, [candidate], resolved, num_runs, source)
+        evaluations += 1
+        heap.push(candidate, gain, 0)
+
+    seeds: list[int] = []
+    time_at_k: list[float] = []  # cumulative seconds when each seed commits
+    current_spread = 0.0
+    current_round = 1
+    while len(seeds) < k:
+        candidate, gain, round_tag = heap.pop()
+        if round_tag == current_round:
+            seeds.append(candidate)
+            time_at_k.append(time.perf_counter() - started)
+            current_spread += gain
+            current_round += 1
+        else:
+            fresh_total = monte_carlo_spread(graph, seeds + [candidate], resolved, num_runs, source)
+            evaluations += 1
+            heap.push(candidate, fresh_total - current_spread, current_round)
+    return InfluenceMaxResult(
+        algorithm="CELF",
+        model=resolved.name,
+        seeds=seeds,
+        k=k,
+        runtime_seconds=time.perf_counter() - started,
+        estimated_spread=current_spread,
+        extras={
+            "num_runs": num_runs,
+            "spread_evaluations": evaluations,
+            "time_at_k": time_at_k,
+        },
+    )
+
+
+register_algorithm("celf", celf)

@@ -1,0 +1,114 @@
+"""Kempe et al.'s Greedy (Section 2.2) and the Lemma 10 sample-size bound.
+
+Greedy adds, k times, the node with the largest Monte-Carlo-estimated
+marginal gain.  Its ``O(kmnr)`` cost is the paper's motivating pain point;
+we implement it faithfully (every candidate re-estimated every iteration)
+so the Figure 3 bench shows the gap honestly — use CELF/CELF++ for the
+runtime-optimised equivalents.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.algorithms.base import register_algorithm
+from repro.core.parameters import log_binomial
+from repro.core.results import InfluenceMaxResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_ell, check_epsilon, check_k, check_positive_int, require
+
+__all__ = ["greedy", "recommended_monte_carlo_runs", "monte_carlo_spread"]
+
+
+def recommended_monte_carlo_runs(n: int, k: int, epsilon: float, ell: float, opt: float) -> int:
+    """Lemma 10's lower bound on ``r`` for a (1−1/e−ε) guarantee.
+
+    ``r ≥ (8k² + 2kε) n (ℓ+1) ln n + ln k over ε² OPT``.  Needs OPT (or a
+    lower bound of it; plugging a lower bound only increases r, keeping the
+    guarantee).  The paper notes this always exceeds the folklore r = 10000
+    in their settings.
+    """
+    require(n >= 2, "need n >= 2")
+    check_k(k, n)
+    check_epsilon(epsilon)
+    check_ell(ell)
+    require(opt > 0, "opt must be positive")
+    numerator = (8.0 * k * k + 2.0 * k * epsilon) * n * ((ell + 1.0) * math.log(n) + math.log(k))
+    return max(1, math.ceil(numerator / (epsilon * epsilon * opt)))
+
+
+def monte_carlo_spread(graph: DiGraph, seeds, model, num_runs: int, rng) -> float:
+    """Mean activation count over ``num_runs`` simulations (internal helper)."""
+    total = 0
+    seed_list = [int(s) for s in seeds]
+    for _ in range(num_runs):
+        total += len(model.simulate(graph, seed_list, rng))
+    return total / num_runs
+
+
+def greedy(
+    graph: DiGraph,
+    k: int,
+    model="IC",
+    rng=None,
+    num_runs: int = 10000,
+    candidates=None,
+) -> InfluenceMaxResult:
+    """Kempe et al.'s greedy hill climbing with MC spread estimates.
+
+    Parameters
+    ----------
+    num_runs:
+        Monte-Carlo runs per spread estimate (the paper's ``r``; default is
+        the folklore 10000 — see :func:`recommended_monte_carlo_runs` for
+        what the guarantee actually needs).
+    candidates:
+        Optional candidate pool (defaults to all nodes); the experiment
+        harness shrinks it to keep the honest-but-slow baseline feasible.
+    """
+    check_k(k, graph.n)
+    check_positive_int(num_runs, "num_runs")
+    resolved = resolve_model(model)
+    resolved.validate_graph(graph)
+    source = resolve_rng(rng)
+    pool = list(range(graph.n)) if candidates is None else [int(c) for c in candidates]
+    require(len(pool) >= k, "candidate pool smaller than k")
+
+    started = time.perf_counter()
+    seeds: list[int] = []
+    time_at_k: list[float] = []  # cumulative seconds when each seed commits
+    current_spread = 0.0
+    evaluations = 0
+    for _ in range(k):
+        best_node = -1
+        best_spread = -1.0
+        for candidate in pool:
+            if candidate in seeds:
+                continue
+            estimate = monte_carlo_spread(graph, seeds + [candidate], resolved, num_runs, source)
+            evaluations += 1
+            if estimate > best_spread:
+                best_spread = estimate
+                best_node = candidate
+        seeds.append(best_node)
+        time_at_k.append(time.perf_counter() - started)
+        current_spread = best_spread
+    return InfluenceMaxResult(
+        algorithm="Greedy",
+        model=resolved.name,
+        seeds=seeds,
+        k=k,
+        runtime_seconds=time.perf_counter() - started,
+        estimated_spread=current_spread,
+        extras={
+            "num_runs": num_runs,
+            "spread_evaluations": evaluations,
+            "time_at_k": time_at_k,
+        },
+    )
+
+
+register_algorithm("greedy", greedy)

@@ -1,0 +1,78 @@
+"""PageRank-based seed heuristic.
+
+Influence flows along out-edges, so we rank nodes by PageRank on the
+*transpose* (a node pointed at by influential followers of followers scores
+high in reverse PageRank — the standard trick in the IM literature).  Power
+iteration on the CSR arrays, no external dependencies.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.algorithms.base import register_algorithm
+from repro.core.results import InfluenceMaxResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.utils.validation import check_k, require
+
+__all__ = ["pagerank_scores", "pagerank_seeds"]
+
+
+def pagerank_scores(
+    graph: DiGraph,
+    damping: float = 0.85,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+    reverse: bool = True,
+) -> np.ndarray:
+    """PageRank by power iteration; ``reverse=True`` ranks on ``G^T``."""
+    require(0.0 < damping < 1.0, "damping must be in (0, 1)")
+    n = graph.n
+    if n == 0:
+        return np.zeros(0)
+    # Walking G^T's out-edges == walking G's in-edges.
+    if reverse:
+        walk_src, walk_dst = graph.dst, graph.src
+        walk_out_degree = graph.in_degrees().astype(np.float64)
+    else:
+        walk_src, walk_dst = graph.src, graph.dst
+        walk_out_degree = graph.out_degrees().astype(np.float64)
+    scores = np.full(n, 1.0 / n)
+    safe_degree = np.where(walk_out_degree == 0.0, 1.0, walk_out_degree)
+    for _ in range(max_iterations):
+        share = scores / safe_degree
+        incoming = np.zeros(n)
+        np.add.at(incoming, walk_dst, share[walk_src])
+        dangling_mass = scores[walk_out_degree == 0.0].sum()
+        updated = (1.0 - damping) / n + damping * (incoming + dangling_mass / n)
+        if float(np.abs(updated - scores).sum()) < tolerance:
+            scores = updated
+            break
+        scores = updated
+    return scores
+
+
+def pagerank_seeds(
+    graph: DiGraph, k: int, model="IC", rng=None, damping: float = 0.85
+) -> InfluenceMaxResult:
+    """Top-k nodes by reverse PageRank."""
+    check_k(k, graph.n)
+    resolved = resolve_model(model)
+    started = time.perf_counter()
+    scores = pagerank_scores(graph, damping=damping)
+    order = np.lexsort((np.arange(graph.n), -scores))
+    seeds = [int(v) for v in order[:k]]
+    return InfluenceMaxResult(
+        algorithm="PageRank",
+        model=resolved.name,
+        seeds=seeds,
+        k=k,
+        runtime_seconds=time.perf_counter() - started,
+        extras={"damping": damping},
+    )
+
+
+register_algorithm("pagerank", pagerank_seeds)

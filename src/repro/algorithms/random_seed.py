@@ -1,0 +1,34 @@
+"""Uniform-random seed selection — the sanity-check floor every real
+algorithm must clear."""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.base import register_algorithm
+from repro.core.results import InfluenceMaxResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_k
+
+__all__ = ["random_seeds"]
+
+
+def random_seeds(graph: DiGraph, k: int, model="IC", rng=None) -> InfluenceMaxResult:
+    """k distinct nodes chosen uniformly at random."""
+    check_k(k, graph.n)
+    resolved = resolve_model(model)
+    source = resolve_rng(rng)
+    started = time.perf_counter()
+    seeds = source.sample_indices(graph.n, k)
+    return InfluenceMaxResult(
+        algorithm="Random",
+        model=resolved.name,
+        seeds=[int(s) for s in seeds],
+        k=k,
+        runtime_seconds=time.perf_counter() - started,
+    )
+
+
+register_algorithm("random", random_seeds)

@@ -1,0 +1,92 @@
+"""RIS — Borgs et al.'s threshold-based reverse influence sampling [3].
+
+RIS keeps generating random RR sets until the *total work* (nodes plus edges
+examined) reaches a threshold τ = Θ(k (m + n) log n / ε³), then solves
+maximum coverage over whatever was collected (Section 2.3).  Coupling the
+sample count to accumulated cost is precisely what correlates the samples —
+the paper's Bernoulli-stopping footnote — and why RIS needs both the ε⁻³
+budget and a large hidden constant.  TIM's Section 3 exists to remove that
+coupling; this implementation is the paper's experimental strawman, faithful
+including the flaw.
+
+``tau_constant`` scales the hidden constant.  Borgs et al. leave it
+unspecified (and huge); the default of 1.0 is deliberately charitable so the
+bench comparison is conservative — RIS already loses at that setting.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.algorithms.base import register_algorithm
+from repro.core.results import InfluenceMaxResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.rrset.base import make_rr_sampler
+from repro.rrset.collection import RRCollection
+from repro.rrset.coverage import greedy_max_coverage
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_ell, check_epsilon, check_k, require
+
+__all__ = ["ris", "ris_threshold"]
+
+
+def ris_threshold(
+    n: int, m: int, k: int, epsilon: float, ell: float, tau_constant: float = 1.0
+) -> float:
+    """τ = c · k ℓ (m + n) log n / ε³, the Step-1 stopping budget."""
+    require(n >= 2, "need n >= 2")
+    check_epsilon(epsilon)
+    check_ell(ell)
+    require(tau_constant > 0, "tau_constant must be positive")
+    return tau_constant * k * ell * (m + n) * math.log(n) / (epsilon**3)
+
+
+def ris(
+    graph: DiGraph,
+    k: int,
+    model="IC",
+    rng=None,
+    epsilon: float = 0.2,
+    ell: float = 1.0,
+    tau_constant: float = 1.0,
+    max_rr_sets: int | None = None,
+) -> InfluenceMaxResult:
+    """Borgs et al.'s RIS with a cost-threshold stopping rule.
+
+    ``max_rr_sets`` is a safety valve for pathological inputs (e.g. an
+    edgeless graph where per-set cost is 1 and τ is large); it is never hit
+    in the benches.
+    """
+    check_k(k, graph.n)
+    resolved = resolve_model(model)
+    resolved.validate_graph(graph)
+    source = resolve_rng(rng)
+    sampler = make_rr_sampler(graph, resolved)
+    tau = ris_threshold(graph.n, graph.m, k, epsilon, ell, tau_constant)
+
+    started = time.perf_counter()
+    collection = RRCollection(graph.n, graph.m)
+    randrange = source.py.randrange
+    while collection.total_cost < tau:
+        collection.append(sampler.sample_rooted(randrange(graph.n), source))
+        if max_rr_sets is not None and len(collection) >= max_rr_sets:
+            break
+    coverage = greedy_max_coverage(collection.sets, graph.n, k)
+    return InfluenceMaxResult(
+        algorithm="RIS",
+        model=resolved.name,
+        seeds=coverage.seeds,
+        k=k,
+        runtime_seconds=time.perf_counter() - started,
+        estimated_spread=graph.n * coverage.fraction,
+        extras={
+            "tau": tau,
+            "num_rr_sets": len(collection),
+            "total_cost": collection.total_cost,
+        },
+    )
+
+
+register_algorithm("ris", ris)

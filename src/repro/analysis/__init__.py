@@ -1,0 +1,51 @@
+"""Theory utilities: Chernoff bounds, exact oracles, estimators, cost models."""
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    recommended_monte_carlo_runs,
+    required_theta_failure_probability,
+    theta_lower_bound,
+)
+from repro.analysis.complexity import (
+    borgs_lower_bound,
+    greedy_time_bound,
+    ris_time_bound,
+    tim_time_bound,
+)
+from repro.analysis.estimators import (
+    estimate_ept,
+    estimate_kpt_by_definition,
+    estimate_kpt_by_kappa,
+    sample_indegree_weighted_node,
+    sample_indegree_weighted_set,
+)
+from repro.analysis.exact import (
+    brute_force_opt,
+    enumerate_ic_worlds,
+    exact_activation_probability_ic,
+    exact_spread_ic,
+    exact_spread_lt,
+)
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "recommended_monte_carlo_runs",
+    "required_theta_failure_probability",
+    "theta_lower_bound",
+    "borgs_lower_bound",
+    "greedy_time_bound",
+    "ris_time_bound",
+    "tim_time_bound",
+    "estimate_ept",
+    "estimate_kpt_by_definition",
+    "estimate_kpt_by_kappa",
+    "sample_indegree_weighted_node",
+    "sample_indegree_weighted_set",
+    "brute_force_opt",
+    "enumerate_ic_worlds",
+    "exact_activation_probability_ic",
+    "exact_spread_ic",
+    "exact_spread_lt",
+]

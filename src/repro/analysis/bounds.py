@@ -1,0 +1,68 @@
+"""Concentration bounds and sample-size requirements from the paper.
+
+Lemma 1's Chernoff bounds drive every guarantee in the paper; the helpers
+here evaluate them numerically so tests (and curious users) can check that
+the prescribed sample counts indeed push failure probabilities below
+``n^{-ℓ}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.greedy import recommended_monte_carlo_runs
+from repro.core.parameters import lambda_param
+from repro.utils.validation import require
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "theta_lower_bound",
+    "required_theta_failure_probability",
+    "recommended_monte_carlo_runs",
+]
+
+
+def chernoff_upper_tail(count: int, mean: float, delta: float) -> float:
+    """Lemma 1 upper tail: ``Pr[X - cμ ≥ δcμ] ≤ exp(−δ²cμ / (2 + δ))``."""
+    require(count > 0, "count must be positive")
+    require(0.0 <= mean <= 1.0, "mean must be in [0, 1]")
+    require(delta > 0.0, "delta must be positive")
+    exponent = -(delta * delta) / (2.0 + delta) * count * mean
+    return math.exp(exponent)
+
+
+def chernoff_lower_tail(count: int, mean: float, delta: float) -> float:
+    """Lemma 1 lower tail: ``Pr[X - cμ ≤ −δcμ] ≤ exp(−δ²cμ / 2)``."""
+    require(count > 0, "count must be positive")
+    require(0.0 <= mean <= 1.0, "mean must be in [0, 1]")
+    require(delta > 0.0, "delta must be positive")
+    exponent = -(delta * delta) / 2.0 * count * mean
+    return math.exp(exponent)
+
+
+def theta_lower_bound(n: int, k: int, epsilon: float, ell: float, opt: float) -> float:
+    """Equation 2's requirement: θ ≥ λ / OPT.
+
+    The true OPT is unknown at runtime — Algorithms 2 and 3 exist to supply
+    a lower bound for it — but the exact oracles in tests *can* evaluate
+    this and confirm TIM's θ clears it.
+    """
+    require(opt > 0.0, "opt must be positive")
+    return lambda_param(n, k, epsilon, ell) / opt
+
+
+def required_theta_failure_probability(
+    theta: int, n: int, k: int, epsilon: float, opt: float, spread: float
+) -> float:
+    """Evaluate Lemma 3's per-set failure bound for a concrete θ.
+
+    Probability that ``|n·F_R(S) − E[I(S)]| ≥ (ε/2)·OPT`` for one fixed set
+    with expected spread ``spread``, using the same Chernoff split as the
+    proof (ρ = spread / n, δ = ε·OPT / (2·n·ρ)).
+    """
+    require(theta > 0, "theta must be positive")
+    require(0.0 < spread <= n, "spread must be in (0, n]")
+    rho = spread / n
+    delta = epsilon * opt / (2.0 * n * rho)
+    return chernoff_upper_tail(theta, rho, delta) + chernoff_lower_tail(theta, rho, delta)

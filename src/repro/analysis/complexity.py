@@ -1,0 +1,51 @@
+"""Asymptotic cost models from Section 5 ("Theoretical Comparisons").
+
+Evaluating the big-O expressions (constants dropped) lets the theory bench
+plot the *predicted* cost ratios between TIM/TIM+, RIS and Greedy alongside
+the measured ones — who wins and by how many orders of magnitude is the
+paper's Section 5 takeaway.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require
+
+__all__ = [
+    "tim_time_bound",
+    "ris_time_bound",
+    "greedy_time_bound",
+    "borgs_lower_bound",
+]
+
+
+def _check(n: int, m: int, k: int) -> None:
+    require(n >= 2, "need n >= 2")
+    require(m >= 0, "need m >= 0")
+    require(1 <= k <= n, "need 1 <= k <= n")
+
+
+def tim_time_bound(n: int, m: int, k: int, ell: float, epsilon: float) -> float:
+    """TIM/TIM+: ``(k + ℓ)(m + n) ln n / ε²`` (Theorems 1–3)."""
+    _check(n, m, k)
+    return (k + ell) * (m + n) * math.log(n) / (epsilon**2)
+
+
+def ris_time_bound(n: int, m: int, k: int, ell: float, epsilon: float) -> float:
+    """RIS: ``k ℓ² (m + n) ln² n / ε³`` (Borgs et al., as corrected in §1)."""
+    _check(n, m, k)
+    return k * ell * ell * (m + n) * (math.log(n) ** 2) / (epsilon**3)
+
+
+def greedy_time_bound(n: int, m: int, k: int, num_runs: int) -> float:
+    """Greedy: ``k m n r`` (Section 2.2)."""
+    _check(n, m, k)
+    require(num_runs >= 1, "num_runs must be >= 1")
+    return float(k) * m * n * num_runs
+
+
+def borgs_lower_bound(n: int, m: int) -> float:
+    """The Ω(m + n) lower bound any constant-approximation algorithm obeys."""
+    require(n >= 0 and m >= 0, "n, m must be non-negative")
+    return float(m + n)

@@ -1,0 +1,159 @@
+"""Exact influence computations by world enumeration — test oracles.
+
+Both IC and LT admit a *live-edge* representation: a random world ``g`` is
+drawn (per-edge coins for IC, per-node parent choices for LT) and the spread
+of ``S`` is the expected number of nodes reachable from ``S`` in ``g``.
+For tiny graphs we can enumerate every world with its probability and
+compute ``E[I(S)]`` *exactly* — the ground truth behind the statistical
+tests of Lemma 2, Corollary 1 and the approximation-ratio checks.
+
+Costs are exponential by design; the guards keep accidental misuse loud.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations, product
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.validation import require
+
+__all__ = [
+    "exact_spread_ic",
+    "exact_spread_lt",
+    "exact_activation_probability_ic",
+    "brute_force_opt",
+    "enumerate_ic_worlds",
+]
+
+_MAX_RANDOM_EDGES = 18
+_MAX_LT_WORLDS = 300_000
+
+
+def _reachable(live_out: list[list[int]], seeds, max_steps: int | None = None) -> set[int]:
+    visited = set(seeds)
+    queue = deque((node, 0) for node in visited)
+    while queue:
+        current, depth = queue.popleft()
+        if max_steps is not None and depth >= max_steps:
+            continue
+        for target in live_out[current]:
+            if target not in visited:
+                visited.add(target)
+                queue.append((target, depth + 1))
+    return visited
+
+
+def enumerate_ic_worlds(graph: DiGraph):
+    """Yield ``(probability, live_out_adjacency)`` over all IC worlds.
+
+    Edges with ``p = 1`` are always live and ``p = 0`` never, so only the
+    strictly-random edges are enumerated (capped at 2^18 worlds).
+    """
+    certain: list[tuple[int, int]] = []
+    random_edges: list[tuple[int, int, float]] = []
+    for u, v, p in graph.edges():
+        if p >= 1.0:
+            certain.append((u, v))
+        elif p > 0.0:
+            random_edges.append((u, v, p))
+    require(
+        len(random_edges) <= _MAX_RANDOM_EDGES,
+        f"too many random edges for exact enumeration ({len(random_edges)} > {_MAX_RANDOM_EDGES})",
+    )
+    count = len(random_edges)
+    for mask in range(2**count):
+        probability = 1.0
+        live_out: list[list[int]] = [[] for _ in range(graph.n)]
+        for u, v in certain:
+            live_out[u].append(v)
+        for index, (u, v, p) in enumerate(random_edges):
+            if mask >> index & 1:
+                probability *= p
+                live_out[u].append(v)
+            else:
+                probability *= 1.0 - p
+        yield probability, live_out
+
+
+def exact_spread_ic(graph: DiGraph, seeds, max_steps: int | None = None) -> float:
+    """Exact ``E[I(S)]`` under IC by enumerating live-edge worlds.
+
+    ``max_steps`` computes the time-critical variant: only nodes within
+    ``max_steps`` live-path hops of the seeds count (Chen et al. [4]).
+    """
+    seed_list = [int(s) for s in seeds]
+    total = 0.0
+    for probability, live_out in enumerate_ic_worlds(graph):
+        if probability == 0.0:
+            continue
+        total += probability * len(_reachable(live_out, seed_list, max_steps))
+    return total
+
+
+def exact_activation_probability_ic(
+    graph: DiGraph, seeds, target: int, max_steps: int | None = None
+) -> float:
+    """Exact probability that ``seeds`` activate ``target`` under IC.
+
+    Lemma 2's ρ₂; tests compare it with the RR-side ρ₁ (the probability a
+    random RR set rooted at ``target`` intersects the seeds).  ``max_steps``
+    gives the bounded-horizon variant.
+    """
+    seed_list = [int(s) for s in seeds]
+    target = int(target)
+    total = 0.0
+    for probability, live_out in enumerate_ic_worlds(graph):
+        if probability == 0.0:
+            continue
+        if target in _reachable(live_out, seed_list, max_steps):
+            total += probability
+    return total
+
+
+def exact_spread_lt(graph: DiGraph, seeds) -> float:
+    """Exact ``E[I(S)]`` under LT by enumerating per-node parent choices.
+
+    Each node independently keeps one in-edge (probability = its weight) or
+    none (the leftover mass); the spread is the reachability expectation
+    over the product distribution.
+    """
+    in_adj, in_weights = graph.in_adjacency()
+    world_count = 1
+    for v in range(graph.n):
+        world_count *= len(in_adj[v]) + 1
+        require(
+            world_count <= _MAX_LT_WORLDS,
+            f"too many LT worlds for exact enumeration (> {_MAX_LT_WORLDS})",
+        )
+    seed_list = [int(s) for s in seeds]
+    choice_space = [range(len(in_adj[v]) + 1) for v in range(graph.n)]
+    total = 0.0
+    for choices in product(*choice_space):
+        probability = 1.0
+        live_out: list[list[int]] = [[] for _ in range(graph.n)]
+        for v, choice in enumerate(choices):
+            weights = in_weights[v]
+            if choice < len(weights):
+                probability *= weights[choice]
+                live_out[in_adj[v][choice]].append(v)
+            else:
+                probability *= max(0.0, 1.0 - sum(weights))
+        if probability == 0.0:
+            continue
+        total += probability * len(_reachable(live_out, seed_list))
+    return total
+
+
+def brute_force_opt(graph: DiGraph, k: int, model: str = "IC") -> tuple[list[int], float]:
+    """Exact OPT: the best size-k seed set and its exact expected spread."""
+    require(1 <= k <= graph.n, "need 1 <= k <= n")
+    exact = exact_spread_ic if model.upper() == "IC" else exact_spread_lt
+    best_seeds: tuple[int, ...] = tuple(range(k))
+    best_spread = -1.0
+    for candidate in combinations(range(graph.n), k):
+        spread = exact(graph, candidate)
+        if spread > best_spread:
+            best_spread = spread
+            best_seeds = candidate
+    return list(best_seeds), best_spread

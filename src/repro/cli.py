@@ -1,0 +1,156 @@
+"""Command-line interface: ``repro-im`` / ``python -m repro``.
+
+Subcommands:
+
+* ``datasets`` — list the stand-in datasets with their Table 2 stats.
+* ``run`` — run any registered algorithm on a stand-in or edge-list file.
+* ``spread`` — Monte-Carlo spread of a given seed set.
+* ``experiment`` — regenerate a paper table/figure and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms import algorithm_names, maximize_influence
+from repro.datasets import build_dataset, dataset_names, dataset_spec
+from repro.diffusion import estimate_spread
+from repro.experiments import EXPERIMENTS, render
+from repro.graphs import load_edge_list, summarize, uniform_random_lt, weighted_cascade
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-im`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-im",
+        description="TIM/TIM+ influence maximization (SIGMOD 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list stand-in datasets")
+
+    run = sub.add_parser("run", help="run an influence-maximization algorithm")
+    run.add_argument("--algorithm", default="tim+", choices=algorithm_names())
+    run.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--model", default="IC", choices=["IC", "LT"])
+    run.add_argument("-k", type=int, default=10)
+    run.add_argument("--epsilon", type=float, default=None, help="TIM-family / RIS accuracy")
+    run.add_argument("--ell", type=float, default=None, help="TIM-family failure exponent")
+    run.add_argument("--num-runs", type=int, default=None, help="Greedy-family MC runs")
+    run.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        help="time-critical IC: only count activations within this many rounds",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--score-samples", type=int, default=0, help="MC re-score of result (0=off)")
+
+    spread = sub.add_parser("spread", help="estimate spread of a seed set")
+    spread.add_argument("--dataset", default="nethept")
+    spread.add_argument("--scale", type=float, default=1.0)
+    spread.add_argument("--model", default="IC", choices=["IC", "LT"])
+    spread.add_argument("--seeds", required=True, help="comma-separated node ids")
+    spread.add_argument("--samples", type=int, default=10000)
+    spread.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def _load_graph(dataset: str, scale: float, model: str):
+    """Resolve --dataset: a registry name, or @path for an edge-list file."""
+    if dataset.startswith("@"):
+        graph, _ = load_edge_list(dataset[1:])
+        if model == "IC":
+            return weighted_cascade(graph)
+        return uniform_random_lt(graph, rng=0)
+    return build_dataset(dataset, scale).weighted_for(model)
+
+
+def _command_datasets() -> int:
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        summary = summarize(
+            build_dataset(name).graph, name, undirected=spec.undirected
+        )
+        print(
+            f"{name:12s} paper: n={spec.paper_nodes:>6s} m={spec.paper_edges:>6s} "
+            f"| stand-in: n={summary.num_nodes} m={summary.num_edges} "
+            f"avg_deg={summary.average_degree:.1f} ({summary.graph_type})"
+        )
+    return 0
+
+
+def _command_run(args) -> int:
+    graph = _load_graph(args.dataset, args.scale, args.model)
+    kwargs = {}
+    if args.epsilon is not None:
+        kwargs["epsilon"] = args.epsilon
+    if args.ell is not None:
+        kwargs["ell"] = args.ell
+    if args.num_runs is not None:
+        kwargs["num_runs"] = args.num_runs
+    model = args.model
+    if args.horizon is not None:
+        if args.model != "IC":
+            raise SystemExit("--horizon is only defined for the IC model")
+        from repro.diffusion import BoundedIndependentCascade
+
+        model = BoundedIndependentCascade(args.horizon)
+    result = maximize_influence(
+        graph, args.k, algorithm=args.algorithm, model=model, rng=args.seed, **kwargs
+    )
+    print(f"algorithm : {result.algorithm} ({result.model} model)")
+    print(f"seeds     : {result.seeds}")
+    print(f"runtime   : {result.runtime_seconds:.3f}s")
+    if result.estimated_spread is not None:
+        print(f"internal spread estimate: {result.estimated_spread:.2f}")
+    if args.score_samples > 0:
+        estimate = estimate_spread(
+            graph, result.seeds, model=model, num_samples=args.score_samples, rng=args.seed + 1
+        )
+        low, high = estimate.confidence_interval()
+        print(f"MC spread : {estimate.mean:.2f} (95% CI [{low:.2f}, {high:.2f}])")
+    return 0
+
+
+def _command_spread(args) -> int:
+    graph = _load_graph(args.dataset, args.scale, args.model)
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    estimate = estimate_spread(
+        graph, seeds, model=args.model, num_samples=args.samples, rng=args.seed
+    )
+    low, high = estimate.confidence_interval()
+    print(f"E[I(S)] ~= {estimate.mean:.2f} (95% CI [{low:.2f}, {high:.2f}], {args.samples} runs)")
+    return 0
+
+
+def _command_experiment(args) -> int:
+    result = EXPERIMENTS[args.name]()
+    print(render(result))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "spread":
+        return _command_spread(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

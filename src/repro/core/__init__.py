@@ -1,0 +1,44 @@
+"""The paper's contribution: Algorithms 1-3 and the TIM / TIM+ drivers."""
+
+from repro.core.kpt_estimation import KptEstimationResult, estimate_kpt
+from repro.core.node_selection import NodeSelectionResult, node_selection
+from repro.core.parameters import (
+    adjusted_ell_tim,
+    adjusted_ell_tim_plus,
+    epsilon_prime_default,
+    kpt_max_iterations,
+    kpt_samples_per_iteration,
+    lambda_param,
+    lambda_prime,
+    log_binomial,
+    theta_from_kpt,
+)
+from repro.core.refine_kpt import RefineKptResult, refine_kpt
+from repro.core.results import InfluenceMaxResult, TIMResult
+from repro.core.tim import tim, tim_plus
+from repro.core.weighted import WeightedRootSampler, weighted_lambda, weighted_tim_plus
+
+__all__ = [
+    "KptEstimationResult",
+    "estimate_kpt",
+    "NodeSelectionResult",
+    "node_selection",
+    "adjusted_ell_tim",
+    "adjusted_ell_tim_plus",
+    "epsilon_prime_default",
+    "kpt_max_iterations",
+    "kpt_samples_per_iteration",
+    "lambda_param",
+    "lambda_prime",
+    "log_binomial",
+    "theta_from_kpt",
+    "RefineKptResult",
+    "refine_kpt",
+    "InfluenceMaxResult",
+    "TIMResult",
+    "tim",
+    "tim_plus",
+    "WeightedRootSampler",
+    "weighted_lambda",
+    "weighted_tim_plus",
+]

@@ -1,0 +1,93 @@
+"""Algorithm 2 — KptEstimation.
+
+Estimates ``KPT``, the expected spread of a seed set formed by ``k``
+in-degree-weighted node draws: a lower bound on OPT that *grows with k*
+(Equation 7), which is what makes θ = λ/KPT* small enough to be practical.
+
+The estimator relies on Lemma 5: ``KPT = n · E[κ(R)]`` where
+``κ(R) = 1 − (1 − w(R)/m)^k`` over random RR sets.  The adaptive loop doubles
+the sample budget per iteration and stops the first time the running mean
+clears the ``2^{−i}`` threshold, which (Lemmas 6–7) pins KPT* within
+``[KPT/4, OPT]`` with probability ``1 − n^{−ℓ}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parameters import kpt_max_iterations, kpt_samples_per_iteration
+from repro.rrset.base import RRSampler, RRSet
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_ell, check_k, require
+
+__all__ = ["KptEstimationResult", "estimate_kpt"]
+
+
+@dataclass
+class KptEstimationResult:
+    """Outcome of Algorithm 2."""
+
+    kpt_star: float
+    iterations_run: int
+    num_rr_sets: int
+    #: RR sets generated in the *last* iteration — Algorithm 3's R′.
+    last_iteration_sets: list[RRSet] = field(repr=False, default_factory=list)
+    #: Σ generation cost over every RR set sampled (for complexity accounting).
+    total_cost: int = 0
+
+    @property
+    def terminated_early(self) -> bool:
+        """True when the threshold test fired before the iteration cap."""
+        return self.kpt_star > 1.0
+
+
+def estimate_kpt(graph, k: int, sampler: RRSampler, ell: float = 1.0, rng=None) -> KptEstimationResult:
+    """Run Algorithm 2 and return KPT* with its sampling by-products.
+
+    Parameters mirror the paper: the graph, seed-set size ``k``, the failure
+    exponent ``ℓ``, plus the model-specific RR ``sampler`` and an ``rng``.
+    """
+    n = graph.n
+    require(n >= 2, "KPT estimation needs at least two nodes")
+    check_k(k, n)
+    check_ell(ell)
+    m = graph.m
+    if m == 0:
+        # Edgeless graph: every RR set is a singleton with width 0, so the
+        # loop could never clear its threshold; the paper's fallback applies.
+        return KptEstimationResult(kpt_star=1.0, iterations_run=0, num_rr_sets=0)
+
+    source = resolve_rng(rng)
+    max_iterations = kpt_max_iterations(n)
+    total_sets = 0
+    total_cost = 0
+    last_sets: list[RRSet] = []
+    for iteration in range(1, max_iterations + 1):
+        count = kpt_samples_per_iteration(n, ell, iteration)
+        kappa_sum = 0.0
+        current_sets: list[RRSet] = []
+        for _ in range(count):
+            rr = sampler.sample(source)
+            current_sets.append(rr)
+            total_cost += rr.cost
+            kappa_sum += 1.0 - (1.0 - rr.width / m) ** k
+        total_sets += count
+        last_sets = current_sets
+        if kappa_sum / count > 1.0 / (2.0**iteration):
+            kpt_star = n * kappa_sum / (2.0 * count)
+            return KptEstimationResult(
+                kpt_star=kpt_star,
+                iterations_run=iteration,
+                num_rr_sets=total_sets,
+                last_iteration_sets=last_sets,
+                total_cost=total_cost,
+            )
+    # All iterations fell below threshold: return the smallest possible KPT
+    # (a seed always activates itself, so KPT >= 1).
+    return KptEstimationResult(
+        kpt_star=1.0,
+        iterations_run=max_iterations,
+        num_rr_sets=total_sets,
+        last_iteration_sets=last_sets,
+        total_cost=total_cost,
+    )

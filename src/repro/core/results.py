@@ -1,0 +1,59 @@
+"""Result records returned by the influence-maximization drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InfluenceMaxResult", "TIMResult"]
+
+
+@dataclass
+class InfluenceMaxResult:
+    """Common result shape shared by every algorithm in the library.
+
+    ``estimated_spread`` is whatever internal estimator the algorithm used
+    while selecting (RR coverage for TIM-family, Monte-Carlo means for
+    Greedy-family, heuristic scores may leave it ``None``); for
+    apples-to-apples spread comparisons re-estimate with
+    :func:`repro.diffusion.estimate_spread`, as the paper does with 10^5
+    Monte-Carlo runs.
+    """
+
+    algorithm: str
+    model: str
+    seeds: list[int]
+    k: int
+    runtime_seconds: float = 0.0
+    estimated_spread: float | None = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if len(self.seeds) != self.k:
+            raise ValueError(
+                f"{self.algorithm} returned {len(self.seeds)} seeds but k={self.k}"
+            )
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"{self.algorithm} returned duplicate seeds")
+
+
+@dataclass
+class TIMResult(InfluenceMaxResult):
+    """Result of TIM or TIM+ with the paper's diagnostic quantities."""
+
+    epsilon: float = 0.0
+    ell: float = 0.0
+    ell_adjusted: float = 0.0
+    kpt_star: float = 0.0
+    #: KPT⁺ from Algorithm 3; equals ``kpt_star`` when refinement is off.
+    kpt_plus: float = 0.0
+    lambda_value: float = 0.0
+    theta: int = 0
+    #: RR sets generated per phase: estimation / refinement / selection.
+    rr_sets_per_phase: dict[str, int] = field(default_factory=dict)
+    #: Approximate bytes held by the node-selection RR collection (Fig. 12).
+    rr_collection_bytes: int = 0
+
+    @property
+    def total_rr_sets(self) -> int:
+        return sum(self.rr_sets_per_phase.values())

@@ -1,0 +1,191 @@
+"""TIM and TIM+ drivers (Sections 3.3 and 4.1).
+
+``tim`` wires the two phases together:
+
+1. **Parameter estimation** — Algorithm 2 yields KPT*; with ``refine=True``
+   (TIM+) Algorithm 3 tightens it to KPT⁺.
+2. **Node selection** — θ = ⌈λ / KPT⌉ random RR sets (Equations 4–5), then
+   greedy maximum coverage.
+
+Guarantee (Theorems 1–3): a ``(1 − 1/e − ε)``-approximation with probability
+at least ``1 − n^{−ℓ}`` (the internal ℓ is scaled per Section 3.3 / 4.1 so
+the union-bounded failure events still sum below ``n^{−ℓ}``), under any
+triggering model, in ``O((k + ℓ)(m + n) log n / ε²)`` expected time.
+"""
+
+from __future__ import annotations
+
+from repro.core.kpt_estimation import estimate_kpt
+from repro.core.node_selection import node_selection
+from repro.core.parameters import (
+    adjusted_ell_tim,
+    adjusted_ell_tim_plus,
+    epsilon_prime_default,
+    lambda_param,
+    theta_from_kpt,
+)
+from repro.core.refine_kpt import refine_kpt
+from repro.core.results import TIMResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.rrset.base import make_rr_sampler
+from repro.utils.rng import resolve_rng
+from repro.utils.timer import PhaseTimer
+from repro.utils.validation import check_ell, check_epsilon, check_k, require
+
+__all__ = ["tim", "tim_plus"]
+
+
+def tim(
+    graph: DiGraph,
+    k: int,
+    epsilon: float = 0.1,
+    ell: float = 1.0,
+    model="IC",
+    rng=None,
+    refine: bool = False,
+    epsilon_prime: float | None = None,
+    coverage: str = "exact",
+    max_theta: int | None = None,
+) -> TIMResult:
+    """Two-phase Influence Maximization.
+
+    Parameters
+    ----------
+    graph:
+        The social network with model-appropriate edge weights.
+    k:
+        Seed-set size.
+    epsilon:
+        Approximation slack; the result is ``(1 − 1/e − ε)``-approximate.
+    ell:
+        Failure exponent: success probability at least ``1 − n^{−ℓ}``.
+        Theorem 2 assumes ``ℓ ≥ 1/2``.
+    model:
+        ``"IC"``, ``"LT"``, or a :class:`~repro.diffusion.base.DiffusionModel`
+        instance (e.g. a configured TriggeringModel).
+    refine:
+        Run Algorithm 3 between the phases — i.e. TIM+ (Section 4.1).
+    epsilon_prime:
+        Refinement accuracy; defaults to the paper's ``5·∛(ℓε²/(k+ℓ))``.
+    coverage:
+        Max-coverage implementation: ``"exact"`` or ``"lazy"``.
+    max_theta:
+        Optional hard cap on θ.  **Voids the approximation guarantee**; it
+        exists so exploratory runs on tiny budgets cannot run away.  The
+        result records whether the cap bit via ``extras["theta_capped"]``.
+
+    Returns
+    -------
+    TIMResult
+        Seeds plus every diagnostic the paper plots: KPT*, KPT⁺, θ,
+        per-phase RR-set counts, per-phase wall-clock, RR-collection bytes.
+    """
+    require(graph.n >= 2, "influence maximization needs at least two nodes")
+    check_k(k, graph.n)
+    check_epsilon(epsilon)
+    check_ell(ell)
+    resolved_model = resolve_model(model)
+    resolved_model.validate_graph(graph)
+    source = resolve_rng(rng)
+    sampler = make_rr_sampler(graph, resolved_model)
+
+    # Success-probability bookkeeping (Sections 3.3 / 4.1): the internal
+    # ell absorbs the union bound over 2 (TIM) or 3 (TIM+) failure events.
+    if refine:
+        ell_adjusted = adjusted_ell_tim_plus(ell, graph.n)
+    else:
+        ell_adjusted = adjusted_ell_tim(ell, graph.n)
+
+    timer = PhaseTimer()
+    rr_counts: dict[str, int] = {}
+
+    with timer.phase("parameter_estimation"):
+        kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted, rng=source)
+    rr_counts["parameter_estimation"] = kpt_result.num_rr_sets
+
+    kpt = kpt_result.kpt_star
+    kpt_plus = kpt_result.kpt_star
+    interim_seeds: list[int] = []
+    if refine:
+        if epsilon_prime is None:
+            epsilon_prime = epsilon_prime_default(epsilon, k, ell)
+        with timer.phase("refinement"):
+            refined = refine_kpt(
+                graph,
+                k,
+                kpt_result.kpt_star,
+                kpt_result.last_iteration_sets,
+                sampler,
+                epsilon_prime=epsilon_prime,
+                ell=ell_adjusted,
+                rng=source,
+            )
+        kpt_plus = refined.kpt_plus
+        kpt = refined.kpt_plus
+        interim_seeds = refined.interim_seeds
+        rr_counts["refinement"] = refined.num_rr_sets
+
+    lambda_value = lambda_param(graph.n, k, epsilon, ell_adjusted)
+    theta = theta_from_kpt(lambda_value, kpt)
+    theta_capped = False
+    if max_theta is not None and theta > max_theta:
+        theta = max_theta
+        theta_capped = True
+
+    with timer.phase("node_selection"):
+        selection = node_selection(
+            graph, k, theta, sampler, rng=source, coverage=coverage
+        )
+    rr_counts["node_selection"] = selection.num_rr_sets
+
+    algorithm = "TIM+" if refine else "TIM"
+    return TIMResult(
+        algorithm=algorithm,
+        model=resolved_model.name,
+        seeds=selection.seeds,
+        k=k,
+        runtime_seconds=timer.total,
+        estimated_spread=selection.estimated_spread,
+        phase_seconds=timer.as_dict(),
+        extras={
+            "interim_seeds": interim_seeds,
+            "theta_capped": theta_capped,
+            "kpt_iterations": kpt_result.iterations_run,
+        },
+        epsilon=epsilon,
+        ell=ell,
+        ell_adjusted=ell_adjusted,
+        kpt_star=kpt_result.kpt_star,
+        kpt_plus=kpt_plus,
+        lambda_value=lambda_value,
+        theta=theta,
+        rr_sets_per_phase=rr_counts,
+        rr_collection_bytes=selection.collection.nbytes(),
+    )
+
+
+def tim_plus(
+    graph: DiGraph,
+    k: int,
+    epsilon: float = 0.1,
+    ell: float = 1.0,
+    model="IC",
+    rng=None,
+    epsilon_prime: float | None = None,
+    coverage: str = "exact",
+    max_theta: int | None = None,
+) -> TIMResult:
+    """TIM+ — TIM with the Algorithm 3 refinement step (Section 4.1)."""
+    return tim(
+        graph,
+        k,
+        epsilon=epsilon,
+        ell=ell,
+        model=model,
+        rng=rng,
+        refine=True,
+        epsilon_prime=epsilon_prime,
+        coverage=coverage,
+        max_theta=max_theta,
+    )

@@ -1,0 +1,194 @@
+"""Node-weighted influence maximization (extension).
+
+Kempe et al.'s general formulation lets each node ``v`` carry a benefit
+``w(v) >= 0`` and maximises the expected *total benefit* of activated nodes.
+The RR-set machinery extends cleanly (a standard observation in the TIM
+follow-on literature): sample each RR root ``v`` with probability
+``w(v) / W`` (``W = Σ w``) instead of uniformly, and then
+
+    E[W · F_R(S)] = Σ_v w(v) · Pr[S activates v] = weighted spread of S,
+
+i.e. Corollary 1 holds verbatim with ``n`` replaced by ``W``.  The Chernoff
+argument of Lemma 3 / Theorem 1 never inspects the RR sets' contents, so
+greedy max coverage over θ ≥ λ_w / OPT_w weighted-root RR sets keeps the
+``(1 − 1/e − ε)`` guarantee, where λ_w is Equation 4 with ``n → W`` in the
+numerator's scale factor (the ``log C(n, k)`` union bound still counts seed
+*sets*, hence keeps ``n``).
+
+Parameter estimation differs: Algorithm 2's κ(R) identity (Lemma 5) is
+specific to uniform roots, so the driver below lower-bounds OPT_w the way
+Algorithm 3 does — greedy on a pilot batch, unbiased re-estimate on a fresh
+batch, deflated by ``1 + ε′`` — floored by the always-valid bound
+``OPT_w ≥ sum of the k largest node weights`` (seeds activate themselves).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.parameters import (
+    epsilon_prime_default,
+    log_binomial,
+    theta_from_kpt,
+)
+from repro.core.results import TIMResult
+from repro.diffusion.base import resolve_model
+from repro.graphs.digraph import DiGraph
+from repro.rrset.base import RRSampler, RRSet, make_rr_sampler
+from repro.rrset.collection import RRCollection
+from repro.rrset.coverage import greedy_max_coverage
+from repro.utils.rng import RandomSource, resolve_rng
+from repro.utils.timer import PhaseTimer
+from repro.utils.validation import check_ell, check_epsilon, check_k, require
+
+__all__ = ["WeightedRootSampler", "weighted_lambda", "weighted_tim_plus"]
+
+
+class WeightedRootSampler(RRSampler):
+    """Wrap any RR sampler so roots are drawn ∝ node weight."""
+
+    def __init__(self, inner: RRSampler, node_weights: np.ndarray):
+        super().__init__(inner.graph)
+        weights = np.ascontiguousarray(node_weights, dtype=np.float64)
+        require(weights.size == inner.graph.n, "one weight per node required")
+        if weights.min(initial=0.0) < 0.0:
+            raise ValueError("node weights must be non-negative")
+        total = float(weights.sum())
+        require(total > 0.0, "at least one node weight must be positive")
+        self.inner = inner
+        self.node_weights = weights
+        self.total_weight = total
+        self._cumulative = np.cumsum(weights)
+        self.model_name = f"weighted-{inner.model_name}"
+
+    def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
+        return self.inner.sample_rooted(root, rng)
+
+    def sample(self, rng) -> RRSet:
+        source = resolve_rng(rng)
+        draw = source.random() * self.total_weight
+        root = int(np.searchsorted(self._cumulative, draw, side="right"))
+        root = min(root, self.graph.n - 1)  # guard the draw == total edge case
+        return self.inner.sample_rooted(root, source)
+
+
+def weighted_lambda(
+    graph_n: int, total_weight: float, k: int, epsilon: float, ell: float
+) -> float:
+    """Equation 4 with the spread scale ``n`` replaced by ``W``.
+
+    The union-bound term still counts size-k node sets out of n nodes.
+    """
+    require(graph_n >= 2, "need n >= 2")
+    require(total_weight > 0, "total weight must be positive")
+    check_epsilon(epsilon)
+    check_ell(ell)
+    return (
+        (8.0 + 2.0 * epsilon)
+        * total_weight
+        * (ell * math.log(graph_n) + log_binomial(graph_n, k) + math.log(2.0))
+        / (epsilon * epsilon)
+    )
+
+
+def weighted_tim_plus(
+    graph: DiGraph,
+    k: int,
+    node_weights,
+    epsilon: float = 0.2,
+    ell: float = 1.0,
+    model="IC",
+    rng=None,
+    epsilon_prime: float | None = None,
+    pilot_rr_sets: int = 2000,
+    max_theta: int | None = None,
+) -> TIMResult:
+    """TIM+ for the node-weighted objective ``E[Σ_{v activated} w(v)]``.
+
+    Parameters follow :func:`repro.core.tim.tim_plus`;  ``node_weights`` is
+    one non-negative benefit per node.  ``pilot_rr_sets`` sizes the pilot
+    batch used (like Algorithm 3) to lower-bound the weighted OPT.
+
+    Returns a :class:`TIMResult` whose spread figures are in *weight* units;
+    ``kpt_plus`` holds the OPT_w lower bound used to derive θ.
+    """
+    require(graph.n >= 2, "influence maximization needs at least two nodes")
+    check_k(k, graph.n)
+    check_epsilon(epsilon)
+    check_ell(ell)
+    require(pilot_rr_sets >= 1, "pilot_rr_sets must be positive")
+    resolved = resolve_model(model)
+    resolved.validate_graph(graph)
+    source = resolve_rng(rng)
+    sampler = WeightedRootSampler(make_rr_sampler(graph, resolved), np.asarray(node_weights))
+    total_weight = sampler.total_weight
+
+    if epsilon_prime is None:
+        epsilon_prime = epsilon_prime_default(epsilon, k, ell)
+
+    timer = PhaseTimer()
+    rr_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lower-bound OPT_w: pilot batch -> greedy -> fresh unbiased estimate
+    # deflated by (1 + eps'), floored by the top-k weight sum.
+    # ------------------------------------------------------------------
+    with timer.phase("parameter_estimation"):
+        pilot = [sampler.sample(source) for _ in range(pilot_rr_sets)]
+        interim = greedy_max_coverage([rr.nodes for rr in pilot], graph.n, k)
+    rr_counts["parameter_estimation"] = pilot_rr_sets
+
+    with timer.phase("refinement"):
+        fresh_count = pilot_rr_sets
+        seed_set = set(interim.seeds)
+        covered = 0
+        for _ in range(fresh_count):
+            rr = sampler.sample(source)
+            if any(v in seed_set for v in rr.nodes):
+                covered += 1
+        estimate = covered / fresh_count * total_weight / (1.0 + epsilon_prime)
+        weights_sorted = np.sort(sampler.node_weights)[::-1]
+        weight_floor = float(weights_sorted[:k].sum())
+        opt_lower = max(estimate, weight_floor, 1e-12)
+    rr_counts["refinement"] = fresh_count
+
+    lambda_value = weighted_lambda(graph.n, total_weight, k, epsilon, ell)
+    theta = theta_from_kpt(lambda_value, opt_lower)
+    theta_capped = False
+    if max_theta is not None and theta > max_theta:
+        theta = max_theta
+        theta_capped = True
+
+    with timer.phase("node_selection"):
+        collection = RRCollection(graph.n, graph.m)
+        for _ in range(theta):
+            collection.append(sampler.sample(source))
+        coverage = greedy_max_coverage(collection.sets, graph.n, k)
+    rr_counts["node_selection"] = theta
+
+    return TIMResult(
+        algorithm="WeightedTIM+",
+        model=resolved.name,
+        seeds=coverage.seeds,
+        k=k,
+        runtime_seconds=timer.total,
+        estimated_spread=total_weight * coverage.fraction,
+        phase_seconds=timer.as_dict(),
+        extras={
+            "total_weight": total_weight,
+            "weight_floor": weight_floor,
+            "theta_capped": theta_capped,
+            "interim_seeds": interim.seeds,
+        },
+        epsilon=epsilon,
+        ell=ell,
+        ell_adjusted=ell,
+        kpt_star=opt_lower,
+        kpt_plus=opt_lower,
+        lambda_value=lambda_value,
+        theta=theta,
+        rr_sets_per_phase=rr_counts,
+        rr_collection_bytes=collection.nbytes(),
+    )

@@ -1,0 +1,19 @@
+"""Named synthetic stand-ins for the paper's datasets (Table 2)."""
+
+from repro.datasets.registry import (
+    Dataset,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+    dataset_spec,
+    paper_table2,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_names",
+    "dataset_spec",
+    "paper_table2",
+]

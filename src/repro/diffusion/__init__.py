@@ -1,0 +1,53 @@
+"""Diffusion models: IC, LT, general triggering; Monte-Carlo spread."""
+
+from repro.diffusion.base import DiffusionModel, model_names, register_model, resolve_model
+from repro.diffusion.bounded import BoundedIndependentCascade, simulate_bounded_ic
+from repro.diffusion.independent_cascade import (
+    IndependentCascade,
+    live_edge_reachable_ic,
+    simulate_ic,
+)
+from repro.diffusion.linear_threshold import (
+    LinearThreshold,
+    live_edge_reachable_lt,
+    sample_lt_in_edge,
+    simulate_lt,
+)
+from repro.diffusion.spread import (
+    SpreadEstimate,
+    estimate_spread,
+    marginal_gain_estimate,
+    spread_samples,
+)
+from repro.diffusion.triggering import (
+    FixedTriggering,
+    ICTriggering,
+    LTTriggering,
+    TriggeringDistribution,
+    TriggeringModel,
+)
+
+__all__ = [
+    "DiffusionModel",
+    "model_names",
+    "register_model",
+    "resolve_model",
+    "BoundedIndependentCascade",
+    "simulate_bounded_ic",
+    "IndependentCascade",
+    "live_edge_reachable_ic",
+    "simulate_ic",
+    "LinearThreshold",
+    "live_edge_reachable_lt",
+    "sample_lt_in_edge",
+    "simulate_lt",
+    "SpreadEstimate",
+    "estimate_spread",
+    "marginal_gain_estimate",
+    "spread_samples",
+    "FixedTriggering",
+    "ICTriggering",
+    "LTTriggering",
+    "TriggeringDistribution",
+    "TriggeringModel",
+]

@@ -1,0 +1,72 @@
+"""Diffusion-model abstraction.
+
+A *diffusion model* turns a weighted digraph plus a seed set into a random
+set of activated nodes.  Everything downstream (Monte-Carlo spread
+estimation, the Greedy/CELF baselines, RR-set sampling) is written against
+this small interface, so adding a model means implementing two methods and
+registering a sampler.
+
+Models are resolved by :func:`resolve_model`, which accepts an instance or
+one of the registered names (``"IC"``, ``"LT"``, ``"triggering"`` requires an
+instance since it carries per-node distributions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource
+
+__all__ = ["DiffusionModel", "resolve_model", "register_model", "model_names"]
+
+
+class DiffusionModel(ABC):
+    """Abstract influence-propagation model.
+
+    Subclasses must set :attr:`name` and implement :meth:`simulate`.
+    :meth:`validate_graph` may raise to reject graphs whose weights are not
+    admissible for the model (e.g. LT weight sums exceeding one).
+    """
+
+    #: Registry key; also used in results and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def simulate(self, graph: DiGraph, seeds, rng: RandomSource) -> set[int]:
+        """Run one propagation process; return the set of activated nodes.
+
+        ``seeds`` is an iterable of node ids; the returned set always
+        contains the seeds (a node activates itself).
+        """
+
+    def validate_graph(self, graph: DiGraph) -> None:
+        """Raise ``ValueError`` when the graph's weights are inadmissible."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_model(name: str, factory: type) -> None:
+    """Register a zero-argument model factory under ``name`` (case-insensitive)."""
+    _REGISTRY[name.lower()] = factory
+
+
+def model_names() -> list[str]:
+    """Registered model names."""
+    return sorted(_REGISTRY)
+
+
+def resolve_model(model) -> DiffusionModel:
+    """Normalise a model argument: instance pass-through or registry lookup."""
+    if isinstance(model, DiffusionModel):
+        return model
+    if isinstance(model, str):
+        key = model.lower()
+        if key in _REGISTRY:
+            return _REGISTRY[key]()
+        raise ValueError(f"unknown model {model!r}; known: {model_names()}")
+    raise TypeError(f"model must be a DiffusionModel or str; got {type(model).__name__}")

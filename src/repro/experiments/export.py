@@ -1,0 +1,59 @@
+"""Export experiment results and run records to CSV / JSON.
+
+A reproduction is only useful if its numbers leave the terminal; these
+helpers serialise :class:`ExperimentResult` tables and
+:class:`RunRecord` lists into the formats downstream plotting scripts eat.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict
+
+from repro.experiments.harness import RunRecord
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["result_to_csv", "result_to_json", "records_to_json", "load_result_json"]
+
+
+def result_to_csv(result: ExperimentResult, path: str | os.PathLike) -> None:
+    """Write one experiment table as CSV (headers + rows)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(["" if value is None else value for value in row])
+
+
+def result_to_json(result: ExperimentResult, path: str | os.PathLike) -> None:
+    """Write one experiment (metadata + rows) as JSON."""
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "headers": result.headers,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_result_json(path: str | os.PathLike) -> ExperimentResult:
+    """Round-trip counterpart of :func:`result_to_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return ExperimentResult(
+        name=payload["name"],
+        title=payload["title"],
+        headers=payload["headers"],
+        rows=payload["rows"],
+        notes=payload.get("notes", []),
+    )
+
+
+def records_to_json(records: list[RunRecord], path: str | os.PathLike) -> None:
+    """Serialise harness run records (one JSON array)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([asdict(record) for record in records], handle, indent=2)

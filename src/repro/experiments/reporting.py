@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results.
+
+The paper communicates through log-scale gnuplot figures; an offline
+terminal reproduction communicates through aligned tables.  One row per
+x-axis point (k or ε), one column per method/series — the same information
+content as the figures, greppable from the bench logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table", "render"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: metadata plus ready-to-print rows."""
+
+    name: str  # e.g. "figure-3a"
+    title: str  # human description, includes model/dataset
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name (for assertions in tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` with its notes."""
+    body = format_table(result.headers, result.rows, title=f"[{result.name}] {result.title}")
+    if result.notes:
+        body += "\n" + "\n".join(f"  note: {note}" for note in result.notes)
+    return body

@@ -1,0 +1,94 @@
+"""Graph substrate: CSR digraph, builders, generators, weights, transforms."""
+
+from repro.graphs.builder import GraphBuilder, from_edges
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    complete_digraph,
+    cycle_digraph,
+    forest_fire_digraph,
+    gnm_random_digraph,
+    gnp_random_digraph,
+    paper_figure1_graph,
+    path_digraph,
+    planted_partition_digraph,
+    powerlaw_out_digraph,
+    preferential_attachment_graph,
+    star_digraph,
+    watts_strogatz_graph,
+)
+from repro.graphs.io import load_edge_list, parse_edge_lines, save_edge_list
+from repro.graphs.metrics import (
+    bfs_distances,
+    global_clustering_coefficient,
+    largest_scc_size,
+    sampled_effective_diameter,
+    strongly_connected_components,
+)
+from repro.graphs.stats import (
+    GraphSummary,
+    average_degree,
+    degree_histogram,
+    density,
+    summarize,
+)
+from repro.graphs.transforms import (
+    induced_subgraph,
+    largest_weakly_connected_component,
+    reachable_from,
+    remove_self_loops,
+    reverse_reachable_to,
+    transpose,
+    weakly_connected_components,
+)
+from repro.graphs.weights import (
+    constant_probability,
+    normalize_in_weights,
+    trivalency,
+    uniform_random_lt,
+    validate_lt_weights,
+    weighted_cascade,
+)
+
+__all__ = [
+    "DiGraph",
+    "GraphBuilder",
+    "from_edges",
+    "complete_digraph",
+    "cycle_digraph",
+    "forest_fire_digraph",
+    "gnm_random_digraph",
+    "gnp_random_digraph",
+    "paper_figure1_graph",
+    "path_digraph",
+    "planted_partition_digraph",
+    "powerlaw_out_digraph",
+    "preferential_attachment_graph",
+    "star_digraph",
+    "watts_strogatz_graph",
+    "load_edge_list",
+    "parse_edge_lines",
+    "save_edge_list",
+    "bfs_distances",
+    "global_clustering_coefficient",
+    "largest_scc_size",
+    "sampled_effective_diameter",
+    "strongly_connected_components",
+    "GraphSummary",
+    "average_degree",
+    "degree_histogram",
+    "density",
+    "summarize",
+    "induced_subgraph",
+    "largest_weakly_connected_component",
+    "reachable_from",
+    "remove_self_loops",
+    "reverse_reachable_to",
+    "transpose",
+    "weakly_connected_components",
+    "constant_probability",
+    "normalize_in_weights",
+    "trivalency",
+    "uniform_random_lt",
+    "validate_lt_weights",
+    "weighted_cascade",
+]

@@ -1,0 +1,153 @@
+"""Incremental construction of :class:`~repro.graphs.digraph.DiGraph`.
+
+The builder accumulates edges in Python lists (cheap appends) and converts
+to numpy arrays once at :meth:`GraphBuilder.build`.  It also owns the
+edge-hygiene policies — self-loop and duplicate handling — so the CSR class
+can stay a dumb, always-valid container.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.validation import check_probability, require
+
+__all__ = ["GraphBuilder", "from_edges"]
+
+
+class GraphBuilder:
+    """Accumulates edges and produces an immutable :class:`DiGraph`.
+
+    Parameters
+    ----------
+    num_nodes:
+        Fixed node count, or ``None`` to infer ``max(id) + 1`` at build time.
+    allow_self_loops:
+        When False (default) self-loops raise at insertion.  Self-loops never
+        affect influence spread (a node cannot re-activate itself) so the
+        default keeps graphs clean.
+    deduplicate:
+        Duplicate-edge policy applied at build time: ``"error"`` (default),
+        ``"keep"`` (retain parallel edges), ``"first"`` or ``"last"`` (retain
+        one occurrence), or ``"max"`` (retain the largest probability).
+    """
+
+    _DEDUP_POLICIES = ("error", "keep", "first", "last", "max")
+
+    def __init__(
+        self,
+        num_nodes: int | None = None,
+        allow_self_loops: bool = False,
+        deduplicate: str = "error",
+    ):
+        require(
+            deduplicate in self._DEDUP_POLICIES,
+            f"deduplicate must be one of {self._DEDUP_POLICIES}; got {deduplicate!r}",
+        )
+        if num_nodes is not None:
+            require(num_nodes >= 0, "num_nodes must be non-negative")
+        self._num_nodes = num_nodes
+        self._allow_self_loops = allow_self_loops
+        self._deduplicate = deduplicate
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._prob: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def add_edge(self, u: int, v: int, prob: float = 1.0) -> "GraphBuilder":
+        """Append a directed edge ``u -> v``; returns self for chaining."""
+        u, v = int(u), int(v)
+        require(u >= 0 and v >= 0, "node ids must be non-negative")
+        if self._num_nodes is not None:
+            require(
+                u < self._num_nodes and v < self._num_nodes,
+                f"edge ({u}, {v}) exceeds num_nodes={self._num_nodes}",
+            )
+        if u == v and not self._allow_self_loops:
+            raise ValueError(f"self-loop at node {u} (allow_self_loops=False)")
+        self._src.append(u)
+        self._dst.append(v)
+        self._prob.append(check_probability(prob, "edge probability"))
+        return self
+
+    def add_undirected_edge(self, u: int, v: int, prob: float = 1.0) -> "GraphBuilder":
+        """Append both ``u -> v`` and ``v -> u`` with the same probability."""
+        self.add_edge(u, v, prob)
+        self.add_edge(v, u, prob)
+        return self
+
+    def add_edges_from(
+        self, edges: Iterable[tuple], undirected: bool = False
+    ) -> "GraphBuilder":
+        """Append ``(u, v)`` or ``(u, v, prob)`` tuples."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                prob = 1.0
+            elif len(edge) == 3:
+                u, v, prob = edge
+            else:
+                raise ValueError(f"edge tuple must have 2 or 3 fields; got {edge!r}")
+            if undirected:
+                self.add_undirected_edge(u, v, prob)
+            else:
+                self.add_edge(u, v, prob)
+        return self
+
+    def build(self) -> DiGraph:
+        """Materialise the accumulated edges as a :class:`DiGraph`."""
+        src = np.asarray(self._src, dtype=np.int64)
+        dst = np.asarray(self._dst, dtype=np.int64)
+        prob = np.asarray(self._prob, dtype=np.float64)
+        if self._num_nodes is not None:
+            n = self._num_nodes
+        elif src.size > 0:
+            n = int(max(src.max(), dst.max())) + 1
+        else:
+            n = 0
+        if self._deduplicate != "keep" and src.size > 0:
+            src, dst, prob = self._apply_dedup(src, dst, prob)
+        return DiGraph(n, src, dst, prob)
+
+    def _apply_dedup(self, src, dst, prob):
+        pairs = src * (int(dst.max()) + 1) + dst
+        unique, first_index, counts = np.unique(pairs, return_index=True, return_counts=True)
+        if counts.max() == 1:
+            return src, dst, prob
+        if self._deduplicate == "error":
+            dup = int(np.argmax(counts > 1))
+            u, v = int(src[first_index[dup]]), int(dst[first_index[dup]])
+            raise ValueError(f"duplicate edge ({u}, {v}); pass deduplicate='keep'/'first'/'last'/'max'")
+        if self._deduplicate == "first":
+            keep = np.sort(first_index)
+            return src[keep], dst[keep], prob[keep]
+        if self._deduplicate == "last":
+            # np.unique keeps first occurrences; reverse to keep last ones.
+            reversed_pairs = pairs[::-1]
+            _, rev_index = np.unique(reversed_pairs, return_index=True)
+            keep = np.sort(pairs.size - 1 - rev_index)
+            return src[keep], dst[keep], prob[keep]
+        # "max": for each pair keep the occurrence with the largest probability.
+        order = np.lexsort((-prob, pairs))
+        sorted_pairs = pairs[order]
+        is_first = np.ones(sorted_pairs.size, dtype=bool)
+        is_first[1:] = sorted_pairs[1:] != sorted_pairs[:-1]
+        keep = np.sort(order[is_first])
+        return src[keep], dst[keep], prob[keep]
+
+
+def from_edges(
+    edges: Iterable[tuple],
+    num_nodes: int | None = None,
+    undirected: bool = False,
+    deduplicate: str = "error",
+) -> DiGraph:
+    """One-shot convenience wrapper around :class:`GraphBuilder`."""
+    builder = GraphBuilder(num_nodes=num_nodes, deduplicate=deduplicate)
+    builder.add_edges_from(edges, undirected=undirected)
+    return builder.build()

@@ -1,0 +1,88 @@
+"""Plain-text edge-list I/O.
+
+The format matches the SNAP-style files the paper's datasets ship in:
+one ``u v`` (or ``u v p``) pair per line, ``#`` comments, arbitrary
+whitespace.  Node labels may be arbitrary non-negative integers or strings;
+they are compacted to ``0..n-1`` and the mapping is returned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "parse_edge_lines"]
+
+
+def parse_edge_lines(
+    lines, directed: bool = True, comment: str = "#", default_prob: float = 1.0
+) -> tuple[DiGraph, dict]:
+    """Parse an iterable of edge-list lines.
+
+    Returns ``(graph, label_to_id)``.  Labels are compacted in first-seen
+    order, so round-tripping a file written by :func:`save_edge_list`
+    preserves ids.
+    """
+    label_to_id: dict = {}
+    src: list[int] = []
+    dst: list[int] = []
+    prob: list[float] = []
+
+    def node_id(label: str) -> int:
+        if label not in label_to_id:
+            label_to_id[label] = len(label_to_id)
+        return label_to_id[label]
+
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comment):
+            continue
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            raise ValueError(f"line {line_number}: expected 'u v [p]'; got {line!r}")
+        u = node_id(fields[0])
+        v = node_id(fields[1])
+        p = float(fields[2]) if len(fields) == 3 else default_prob
+        src.append(u)
+        dst.append(v)
+        prob.append(p)
+        if not directed:
+            src.append(v)
+            dst.append(u)
+            prob.append(p)
+
+    n = len(label_to_id)
+    graph = DiGraph(n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64), np.asarray(prob))
+    return graph, label_to_id
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    directed: bool = True,
+    comment: str = "#",
+    default_prob: float = 1.0,
+) -> tuple[DiGraph, dict]:
+    """Load an edge-list file; see :func:`parse_edge_lines`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_edge_lines(handle, directed=directed, comment=comment, default_prob=default_prob)
+
+
+def save_edge_list(
+    graph: DiGraph, path: str | os.PathLike, write_probabilities: bool = True
+) -> None:
+    """Write ``u v p`` lines (directed form; every stored edge once)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        _write_edges(graph, handle, write_probabilities)
+
+
+def _write_edges(graph: DiGraph, handle: IO[str], write_probabilities: bool) -> None:
+    handle.write(f"# repro edge list: n={graph.n} m={graph.m}\n")
+    for u, v, p in graph.edges():
+        if write_probabilities:
+            handle.write(f"{u} {v} {p:.10g}\n")
+        else:
+            handle.write(f"{u} {v}\n")

@@ -1,0 +1,145 @@
+"""Structural graph metrics beyond Table 2's basics.
+
+Used to characterise workloads (the stand-ins should *look like* social
+networks, not just match degree counts): strongly connected components,
+clustering, and sampled distance statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_positive_int, require
+
+__all__ = [
+    "strongly_connected_components",
+    "largest_scc_size",
+    "global_clustering_coefficient",
+    "bfs_distances",
+    "sampled_effective_diameter",
+]
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[int]]:
+    """Tarjan's SCC algorithm (iterative), components largest-first."""
+    out_adj, _ = graph.out_adjacency()
+    index_of = [-1] * graph.n
+    low_link = [0] * graph.n
+    on_stack = [False] * graph.n
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    for start in range(graph.n):
+        if index_of[start] != -1:
+            continue
+        # Explicit DFS frames: (node, iterator position).
+        frames: list[list[int]] = [[start, 0]]
+        index_of[start] = low_link[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack[start] = True
+        while frames:
+            frame = frames[-1]
+            node, position = frame
+            neighbors = out_adj[node]
+            advanced = False
+            while position < len(neighbors):
+                target = neighbors[position]
+                position += 1
+                if index_of[target] == -1:
+                    frame[1] = position
+                    index_of[target] = low_link[target] = counter
+                    counter += 1
+                    stack.append(target)
+                    on_stack[target] = True
+                    frames.append([target, 0])
+                    advanced = True
+                    break
+                if on_stack[target]:
+                    low_link[node] = min(low_link[node], index_of[target])
+            if advanced:
+                continue
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                low_link[parent] = min(low_link[parent], low_link[node])
+            if low_link[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return sorted(components, key=len, reverse=True)
+
+
+def largest_scc_size(graph: DiGraph) -> int:
+    """Size of the largest strongly connected component."""
+    components = strongly_connected_components(graph)
+    return len(components[0]) if components else 0
+
+
+def global_clustering_coefficient(graph: DiGraph) -> float:
+    """Transitivity of the undirected skeleton: 3·triangles / open triads.
+
+    Direction and parallel edges are collapsed first; returns 0 for graphs
+    with no wedge.
+    """
+    neighbors: list[set[int]] = [set() for _ in range(graph.n)]
+    for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+        if u != v:
+            neighbors[u].add(v)
+            neighbors[v].add(u)
+    closed = 0  # ordered wedge endpoints that are connected (6x triangles)
+    wedges = 0
+    for v in range(graph.n):
+        degree = len(neighbors[v])
+        wedges += degree * (degree - 1)
+        for a in neighbors[v]:
+            # Count closed wedges centred at v.
+            closed += sum(1 for b in neighbors[v] if b != a and b in neighbors[a])
+    if wedges == 0:
+        return 0.0
+    return closed / wedges
+
+
+def bfs_distances(graph: DiGraph, source: int) -> np.ndarray:
+    """Directed hop distances from ``source`` (-1 = unreachable)."""
+    require(0 <= source < graph.n, "source out of range")
+    out_adj, _ = graph.out_adjacency()
+    distances = np.full(graph.n, -1, dtype=np.int64)
+    distances[source] = 0
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for target in out_adj[current]:
+            if distances[target] == -1:
+                distances[target] = distances[current] + 1
+                queue.append(target)
+    return distances
+
+
+def sampled_effective_diameter(
+    graph: DiGraph, num_sources: int = 50, percentile: float = 90.0, rng=None
+) -> float:
+    """The classic 'effective diameter': the ``percentile``-th percentile of
+    finite pairwise BFS distances, estimated from sampled sources."""
+    check_positive_int(num_sources, "num_sources")
+    require(0.0 < percentile <= 100.0, "percentile must be in (0, 100]")
+    source = resolve_rng(rng)
+    num_sources = min(num_sources, graph.n)
+    finite: list[int] = []
+    for origin in source.sample_indices(graph.n, num_sources):
+        distances = bfs_distances(graph, origin)
+        reachable = distances[distances > 0]
+        finite.extend(int(d) for d in reachable)
+    if not finite:
+        return 0.0
+    return float(np.percentile(np.asarray(finite), percentile))

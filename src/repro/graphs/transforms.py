@@ -1,0 +1,114 @@
+"""Structure-preserving graph transforms: subgraphs, components, relabeling."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.validation import require
+
+__all__ = [
+    "transpose",
+    "induced_subgraph",
+    "remove_self_loops",
+    "weakly_connected_components",
+    "largest_weakly_connected_component",
+    "reachable_from",
+    "reverse_reachable_to",
+]
+
+
+def transpose(graph: DiGraph) -> DiGraph:
+    """``G^T``: every edge reversed (Table 1 of the paper)."""
+    return graph.transpose()
+
+
+def induced_subgraph(graph: DiGraph, nodes) -> tuple[DiGraph, np.ndarray]:
+    """Subgraph induced by ``nodes``; also returns the old-id array.
+
+    Returned node ``i`` corresponds to ``mapping[i]`` in the original graph.
+    """
+    mapping = np.unique(np.asarray(list(nodes), dtype=np.int64))
+    require(mapping.size > 0, "induced_subgraph needs at least one node")
+    if mapping[0] < 0 or mapping[-1] >= graph.n:
+        raise ValueError("node id out of range")
+    new_id = np.full(graph.n, -1, dtype=np.int64)
+    new_id[mapping] = np.arange(mapping.size)
+    keep = (new_id[graph.src] >= 0) & (new_id[graph.dst] >= 0)
+    sub = DiGraph(
+        int(mapping.size),
+        new_id[graph.src[keep]],
+        new_id[graph.dst[keep]],
+        graph.prob[keep],
+    )
+    return sub, mapping
+
+
+def remove_self_loops(graph: DiGraph) -> DiGraph:
+    """Drop any ``v -> v`` edges (no effect on influence semantics)."""
+    keep = graph.src != graph.dst
+    return DiGraph(graph.n, graph.src[keep], graph.dst[keep], graph.prob[keep])
+
+
+def weakly_connected_components(graph: DiGraph) -> list[list[int]]:
+    """Connected components of the undirected skeleton, largest first."""
+    parent = list(range(graph.n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    groups: dict[int, list[int]] = {}
+    for node in range(graph.n):
+        groups.setdefault(find(node), []).append(node)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def largest_weakly_connected_component(graph: DiGraph) -> tuple[DiGraph, np.ndarray]:
+    """The induced subgraph on the largest weakly connected component."""
+    components = weakly_connected_components(graph)
+    require(len(components) > 0, "graph has no nodes")
+    return induced_subgraph(graph, components[0])
+
+
+def reachable_from(graph: DiGraph, sources) -> set[int]:
+    """Nodes reachable from ``sources`` along directed edges (BFS)."""
+    out_adj, _ = graph.out_adjacency()
+    visited = set(int(s) for s in sources)
+    queue = deque(visited)
+    while queue:
+        current = queue.popleft()
+        for neighbor in out_adj[current]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return visited
+
+
+def reverse_reachable_to(graph: DiGraph, target: int) -> set[int]:
+    """Nodes with a directed path *to* ``target`` (including itself).
+
+    This is the deterministic superset of every RR set rooted at ``target``
+    (Definition 1 applies coin flips on top of these edges), which makes it
+    a convenient oracle in property tests.
+    """
+    in_adj, _ = graph.in_adjacency()
+    visited = {int(target)}
+    queue = deque(visited)
+    while queue:
+        current = queue.popleft()
+        for neighbor in in_adj[current]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                queue.append(neighbor)
+    return visited

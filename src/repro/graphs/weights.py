@@ -1,0 +1,105 @@
+"""Edge-weighting schemes from the influence-maximization literature.
+
+The paper's experiments (Section 7.1) fix edge probabilities as follows:
+
+* **IC model** — the *weighted cascade* convention of [5, 10, 16, 30]:
+  ``p(e) = 1 / indeg(v)`` where ``v`` is the node ``e`` points to.
+* **LT model** — each in-neighbour of ``v`` receives a uniform random weight,
+  then the weights of ``v``'s in-edges are normalised to sum to one
+  (following [7]).
+
+All functions return a *new* :class:`DiGraph` sharing topology with the
+input; graphs are immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_probability, require
+
+__all__ = [
+    "weighted_cascade",
+    "constant_probability",
+    "trivalency",
+    "uniform_random_lt",
+    "normalize_in_weights",
+    "validate_lt_weights",
+]
+
+
+def weighted_cascade(graph: DiGraph) -> DiGraph:
+    """Assign ``p(e) = 1 / indeg(dst(e))`` (the paper's IC setting)."""
+    in_degrees = graph.in_degrees()
+    # Every edge's destination has in-degree >= 1 by construction.
+    prob = 1.0 / in_degrees[graph.dst]
+    return graph.with_probabilities(prob)
+
+
+def constant_probability(graph: DiGraph, p: float) -> DiGraph:
+    """Assign the same probability ``p`` to every edge."""
+    p = check_probability(p, "p")
+    return graph.with_probabilities(np.full(graph.m, p))
+
+
+def trivalency(graph: DiGraph, rng=None, values: tuple[float, ...] = (0.1, 0.01, 0.001)) -> DiGraph:
+    """The trivalency model: each edge draws uniformly from ``values``.
+
+    Used by several IC baselines (e.g. IRIE's evaluation) as a harder
+    alternative to the weighted cascade.
+    """
+    require(len(values) > 0, "values must be non-empty")
+    for value in values:
+        check_probability(value, "trivalency value")
+    source = resolve_rng(rng)
+    choices = source.np.integers(0, len(values), size=graph.m)
+    prob = np.asarray(values, dtype=np.float64)[choices]
+    return graph.with_probabilities(prob)
+
+
+def uniform_random_lt(graph: DiGraph, rng=None) -> DiGraph:
+    """The paper's LT weighting: random in-weights normalised to sum to 1.
+
+    For each node ``v``, every in-edge receives an independent U(0, 1]
+    weight; the weights of ``v``'s in-edges are then divided by their sum.
+    A node with no in-edges is untouched.
+    """
+    source = resolve_rng(rng)
+    # U(0,1] avoids an all-zero in-neighbourhood with probability one.
+    raw = 1.0 - source.np.random(graph.m)
+    return _normalized_from_raw(graph, raw)
+
+
+def normalize_in_weights(graph: DiGraph) -> DiGraph:
+    """Rescale each node's in-edge weights to sum to one (keep ratios)."""
+    return _normalized_from_raw(graph, graph.prob.copy())
+
+
+def _normalized_from_raw(graph: DiGraph, raw: np.ndarray) -> DiGraph:
+    sums = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(sums, graph.dst, raw)
+    if np.any((sums == 0.0) & (graph.in_degrees() > 0)):
+        raise ValueError("cannot normalise: a node's in-weights sum to zero")
+    safe_sums = np.where(sums == 0.0, 1.0, sums)
+    prob = raw / safe_sums[graph.dst]
+    # Clamp rounding overshoot so DiGraph's [0, 1] validation never trips.
+    np.clip(prob, 0.0, 1.0, out=prob)
+    return graph.with_probabilities(prob)
+
+
+def validate_lt_weights(graph: DiGraph, tolerance: float = 1e-9) -> None:
+    """Raise unless every node's in-edge weights sum to at most ``1 + tol``.
+
+    The LT model is only well defined under this constraint (the leftover
+    ``1 - sum`` is the probability that the node's triggering set is empty).
+    """
+    sums = np.zeros(graph.n, dtype=np.float64)
+    np.add.at(sums, graph.dst, graph.prob)
+    worst = float(sums.max(initial=0.0))
+    if worst > 1.0 + tolerance:
+        offender = int(np.argmax(sums))
+        raise ValueError(
+            f"LT weights invalid: in-weights of node {offender} sum to {sums[offender]:.6f} > 1"
+        )

@@ -1,0 +1,29 @@
+"""Reverse-reachable set machinery: samplers, storage, max coverage."""
+
+from repro.rrset.base import RRSampler, RRSet, make_rr_sampler
+from repro.rrset.collection import RRCollection
+from repro.rrset.coverage import (
+    CoverageResult,
+    brute_force_max_coverage,
+    coverage_of,
+    greedy_max_coverage,
+    lazy_greedy_max_coverage,
+)
+from repro.rrset.ic_sampler import ICRRSampler
+from repro.rrset.lt_sampler import LTRRSampler
+from repro.rrset.triggering_sampler import TriggeringRRSampler
+
+__all__ = [
+    "RRSampler",
+    "RRSet",
+    "make_rr_sampler",
+    "RRCollection",
+    "CoverageResult",
+    "brute_force_max_coverage",
+    "coverage_of",
+    "greedy_max_coverage",
+    "lazy_greedy_max_coverage",
+    "ICRRSampler",
+    "LTRRSampler",
+    "TriggeringRRSampler",
+]

@@ -1,0 +1,110 @@
+"""Reverse-reachable (RR) set sampling interface.
+
+An RR set for node ``v`` (Definition 1) is the set of nodes that can reach
+``v`` in a live-edge graph ``g`` sampled from the model's distribution ``G``;
+a *random* RR set additionally draws ``v`` uniformly (Definition 2).
+
+Samplers materialise RR sets without ever building ``g``: they run a
+randomized reverse traversal that flips each coin exactly when the
+corresponding edge would be examined — the paper's "randomized BFS on G"
+(Section 3.1 for IC, Section 4.2 for the triggering generalisation).
+
+Every sample reports two cost figures:
+
+* ``width`` — ``w(R)``, the number of edges of ``G`` pointing into ``R``
+  (Equation 1); drives ``κ(R)`` in Algorithm 2 and equals the coin-flip
+  count of the IC sampler,
+* ``cost`` — nodes plus edges *examined* while generating the set; this is
+  the quantity Borgs et al.'s RIS thresholds on (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.utils.rng import RandomSource, resolve_rng
+
+__all__ = ["RRSet", "RRSampler", "make_rr_sampler"]
+
+
+@dataclass(frozen=True, slots=True)
+class RRSet:
+    """One sampled reverse-reachable set."""
+
+    root: int
+    nodes: tuple[int, ...]
+    width: int
+    cost: int
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self.nodes
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+class RRSampler(ABC):
+    """Model-specific random RR-set generator bound to one graph."""
+
+    #: Display name of the diffusion model the sampler targets.
+    model_name: str = "abstract"
+
+    def __init__(self, graph: DiGraph):
+        self.graph = graph
+        self._in_degrees = graph.in_degrees().tolist()
+
+    @abstractmethod
+    def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
+        """Generate an RR set for the given root node."""
+
+    def sample(self, rng) -> RRSet:
+        """Generate a random RR set: uniform random root, fresh live world."""
+        source = resolve_rng(rng)
+        root = source.randrange(self.graph.n)
+        return self.sample_rooted(root, source)
+
+    def sample_many(self, count: int, rng) -> list[RRSet]:
+        """Generate ``count`` independent random RR sets."""
+        source = resolve_rng(rng)
+        randrange = source.py.randrange
+        n = self.graph.n
+        return [self.sample_rooted(randrange(n), source) for _ in range(count)]
+
+    def width_of(self, nodes) -> int:
+        """``w(R)`` = Σ in-degree over the members (Equation 1)."""
+        in_degrees = self._in_degrees
+        return sum(in_degrees[v] for v in nodes)
+
+
+def make_rr_sampler(graph: DiGraph, model) -> RRSampler:
+    """Build the right sampler for a diffusion model (instance or name).
+
+    Dispatches on the resolved model type: IC and LT get their specialised
+    samplers; :class:`~repro.diffusion.triggering.TriggeringModel` gets the
+    generic triggering sampler driven by its distribution.
+    """
+    from repro.diffusion.base import resolve_model
+    from repro.diffusion.bounded import BoundedIndependentCascade
+    from repro.diffusion.independent_cascade import IndependentCascade
+    from repro.diffusion.linear_threshold import LinearThreshold
+    from repro.diffusion.triggering import TriggeringModel
+    from repro.rrset.ic_sampler import ICRRSampler
+    from repro.rrset.lt_sampler import LTRRSampler
+    from repro.rrset.triggering_sampler import TriggeringRRSampler
+
+    resolved = resolve_model(model)
+    resolved.validate_graph(graph)
+    if isinstance(resolved, BoundedIndependentCascade):
+        return ICRRSampler(graph, max_depth=resolved.max_steps)
+    if isinstance(resolved, IndependentCascade):
+        return ICRRSampler(graph)
+    if isinstance(resolved, LinearThreshold):
+        return LTRRSampler(graph)
+    if isinstance(resolved, TriggeringModel):
+        return TriggeringRRSampler(graph, resolved.distribution)
+    raise TypeError(f"no RR sampler registered for model {resolved!r}")

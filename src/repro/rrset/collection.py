@@ -1,0 +1,141 @@
+"""Storage and bookkeeping for sampled RR sets (the paper's ``R``).
+
+Beyond holding the sets, the collection computes the quantities the
+algorithms read off ``R``:
+
+* ``F_R(S)`` — the fraction of RR sets covered by a node set ``S``
+  (Table 1); ``n · F_R(S)`` estimates ``E[I(S)]`` (Corollary 1),
+* ``κ(R)`` averages for Algorithm 2 (Equation 8),
+* byte accounting for the Figure 12 memory reproduction.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Sequence
+
+from repro.rrset.base import RRSet
+from repro.utils.validation import require
+
+__all__ = ["RRCollection"]
+
+
+class RRCollection:
+    """An append-only bag of RR sets over a graph with ``num_nodes`` nodes."""
+
+    def __init__(self, num_nodes: int, graph_edges: int):
+        require(num_nodes > 0, "num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.graph_edges = graph_edges
+        self._sets: list[tuple[int, ...]] = []
+        self._widths: list[int] = []
+        self._roots: list[int] = []
+        self._total_cost = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, rr: RRSet) -> None:
+        """Add one sampled RR set."""
+        self._sets.append(rr.nodes)
+        self._widths.append(rr.width)
+        self._roots.append(rr.root)
+        self._total_cost += rr.cost
+
+    def extend(self, rr_sets: Iterable[RRSet]) -> None:
+        """Add many sampled RR sets."""
+        for rr in rr_sets:
+            self.append(rr)
+
+    # ------------------------------------------------------------------
+    # Size / cost accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    @property
+    def sets(self) -> Sequence[tuple[int, ...]]:
+        """The stored node tuples (read-only view by convention)."""
+        return self._sets
+
+    @property
+    def widths(self) -> Sequence[int]:
+        """Per-set widths ``w(R)``."""
+        return self._widths
+
+    @property
+    def roots(self) -> Sequence[int]:
+        """Per-set root nodes."""
+        return self._roots
+
+    @property
+    def total_cost(self) -> int:
+        """Σ per-set generation cost (nodes + edges examined) — RIS's τ meter."""
+        return self._total_cost
+
+    @property
+    def total_nodes_stored(self) -> int:
+        """Σ |R| over the collection."""
+        return sum(len(s) for s in self._sets)
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by the stored node tuples.
+
+        Containers only (the int payloads are shared/interned); this tracks
+        the λ/KPT⁺-driven growth the paper analyses in Section 7.4.
+        """
+        return sys.getsizeof(self._sets) + sum(sys.getsizeof(s) for s in self._sets)
+
+    # ------------------------------------------------------------------
+    # Estimators
+    # ------------------------------------------------------------------
+    def coverage_count(self, nodes) -> int:
+        """Number of stored RR sets intersecting ``nodes``."""
+        node_set = set(int(v) for v in nodes)
+        covered = 0
+        for rr in self._sets:
+            for v in rr:
+                if v in node_set:
+                    covered += 1
+                    break
+        return covered
+
+    def coverage_fraction(self, nodes) -> float:
+        """``F_R(S)``: fraction of RR sets covered by ``S``."""
+        if not self._sets:
+            return 0.0
+        return self.coverage_count(nodes) / len(self._sets)
+
+    def estimate_spread(self, nodes) -> float:
+        """``n · F_R(S)``, the unbiased spread estimator of Corollary 1."""
+        return self.num_nodes * self.coverage_fraction(nodes)
+
+    def mean_width(self) -> float:
+        """Average ``w(R)`` — the EPT estimator of Section 3.2."""
+        if not self._widths:
+            return 0.0
+        return sum(self._widths) / len(self._widths)
+
+    def mean_kappa(self, k: int) -> float:
+        """Average ``κ(R) = 1 - (1 - w(R)/m)^k`` (Equation 8)."""
+        require(k >= 1, "k must be >= 1")
+        if not self._widths:
+            return 0.0
+        if self.graph_edges == 0:
+            return 0.0
+        m = self.graph_edges
+        total = 0.0
+        for width in self._widths:
+            total += 1.0 - (1.0 - width / m) ** k
+        return total / len(self._widths)
+
+    def node_frequencies(self) -> list[int]:
+        """How many RR sets each node appears in (argmax = best single seed)."""
+        counts = [0] * self.num_nodes
+        for rr in self._sets:
+            for v in rr:
+                counts[v] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RRCollection(num_sets={len(self._sets)}, num_nodes={self.num_nodes})"

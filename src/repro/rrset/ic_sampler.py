@@ -1,0 +1,142 @@
+"""RR-set sampling under the independent cascade model (Section 3.1).
+
+The sampler is the paper's randomized reverse BFS: starting at the root, for
+each in-edge of a dequeued node flip a coin with the edge's probability and
+enqueue the (unvisited) source on success.
+
+Fast path (DESIGN.md §4): when *all* in-edges of a node share one
+probability ``p`` — always true under the weighted-cascade convention,
+where ``p = 1/indeg`` — the number of successful flips among ``d`` edges is
+``Binomial(d, p)`` and the successful subset is uniform given its size.
+Drawing the count then ``random.sample``-ing the subset is distributionally
+identical to ``d`` per-edge flips but substantially faster for large ``d``.
+The ``use_fast_path`` flag exists so the ablation bench (and sceptical
+tests) can compare both implementations.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+from repro.rrset.base import RRSampler, RRSet
+from repro.utils.rng import RandomSource
+
+__all__ = ["ICRRSampler"]
+
+
+class ICRRSampler(RRSampler):
+    """Randomized reverse BFS generating IC RR sets."""
+
+    model_name = "IC"
+
+    #: Minimum in-degree for the Binomial fast path.  One numpy scalar
+    #: binomial draw costs about as much as ~30 plain ``random()`` calls, so
+    #: below this the per-edge loop is faster (measured in bench_ablation).
+    DEFAULT_FAST_PATH_MIN_DEGREE = 32
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        use_fast_path: bool = True,
+        fast_path_min_degree: int | None = None,
+        max_depth: int | None = None,
+    ):
+        super().__init__(graph)
+        self._in_adj, self._in_probs = graph.in_adjacency()
+        self.use_fast_path = use_fast_path
+        if fast_path_min_degree is None:
+            fast_path_min_degree = self.DEFAULT_FAST_PATH_MIN_DEGREE
+        self.fast_path_min_degree = fast_path_min_degree
+        if max_depth is not None and max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1; got {max_depth}")
+        #: Depth truncation for the time-critical (bounded-horizon) IC model:
+        #: a node enters the RR set only via live paths of length <= max_depth.
+        self.max_depth = max_depth
+        # Per node: the shared in-probability if uniform, else None.
+        self._uniform_prob: list[float | None] = []
+        for probs in self._in_probs:
+            if probs and all(p == probs[0] for p in probs):
+                self._uniform_prob.append(probs[0])
+            else:
+                self._uniform_prob.append(None)
+
+    def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
+        random01 = rng.py.random
+        sample_distinct = rng.py.sample
+        binomial = rng.np.binomial
+        in_adj = self._in_adj
+        in_probs = self._in_probs
+        uniform_prob = self._uniform_prob
+        use_fast_path = self.use_fast_path
+        min_degree = self.fast_path_min_degree
+
+        if self.max_depth is not None:
+            return self._sample_rooted_bounded(root, rng)
+
+        visited = {root}
+        # A LIFO frontier is fine: traversal order does not change the set of
+        # nodes whose coins succeed, only the order coins are consumed.
+        frontier = [root]
+        width = 0
+        while frontier:
+            current = frontier.pop()
+            neighbors = in_adj[current]
+            degree = len(neighbors)
+            width += degree
+            if degree == 0:
+                continue
+            shared = uniform_prob[current]
+            if use_fast_path and shared is not None and degree >= min_degree:
+                successes = int(binomial(degree, shared))
+                if successes == 0:
+                    continue
+                chosen = sample_distinct(neighbors, successes)
+                for source_node in chosen:
+                    if source_node not in visited:
+                        visited.add(source_node)
+                        frontier.append(source_node)
+            else:
+                probs = in_probs[current]
+                for index in range(degree):
+                    if random01() < probs[index]:
+                        source_node = neighbors[index]
+                        if source_node not in visited:
+                            visited.add(source_node)
+                            frontier.append(source_node)
+        # Every in-edge of every visited node was (conceptually) examined, so
+        # the generation cost is |R| nodes + w(R) edges.
+        return RRSet(root=root, nodes=tuple(visited), width=width, cost=len(visited) + width)
+
+    def _sample_rooted_bounded(self, root: int, rng: RandomSource) -> RRSet:
+        """Depth-truncated variant for bounded-horizon IC.
+
+        Must be FIFO: with a stack, a node could be first touched via a
+        *long* live path, get marked visited, and wrongly lose the expansion
+        budget its shortest live path would have granted.  FIFO dequeues in
+        nondecreasing live distance, so each node's recorded depth is its
+        true live distance to the root and membership is exactly "live path
+        of length <= max_depth".
+        """
+        from collections import deque
+
+        random01 = rng.py.random
+        in_adj = self._in_adj
+        in_probs = self._in_probs
+        max_depth = self.max_depth
+
+        visited = {root}
+        queue = deque([(root, 0)])
+        width = 0
+        while queue:
+            current, depth = queue.popleft()
+            if depth >= max_depth:
+                continue
+            neighbors = in_adj[current]
+            probs = in_probs[current]
+            width += len(neighbors)
+            for index in range(len(neighbors)):
+                if random01() < probs[index]:
+                    source_node = neighbors[index]
+                    if source_node not in visited:
+                        visited.add(source_node)
+                        queue.append((source_node, depth + 1))
+        return RRSet(root=root, nodes=tuple(visited), width=width, cost=len(visited) + width)

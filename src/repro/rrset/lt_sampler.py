@@ -1,0 +1,51 @@
+"""RR-set sampling under the linear threshold model.
+
+Under LT the triggering set of every node is empty or a single in-neighbour
+(chosen with probability equal to the edge weight), so the reverse traversal
+degenerates into a random walk: from the root repeatedly hop to one sampled
+in-neighbour, stopping when the draw lands in the "no neighbour" mass or the
+walk revisits a node (Section 4.2; the paper's Section 7.2 notes this is why
+LT needs one random number per *node* instead of one per *edge*).
+"""
+
+from __future__ import annotations
+
+from repro.diffusion.linear_threshold import sample_lt_in_edge
+from repro.graphs.digraph import DiGraph
+from repro.graphs.weights import validate_lt_weights
+from repro.rrset.base import RRSampler, RRSet
+from repro.utils.rng import RandomSource
+
+__all__ = ["LTRRSampler"]
+
+
+class LTRRSampler(RRSampler):
+    """Reverse random walk generating LT RR sets."""
+
+    model_name = "LT"
+
+    def __init__(self, graph: DiGraph):
+        super().__init__(graph)
+        validate_lt_weights(graph)
+        self._in_adj, self._in_weights = graph.in_adjacency()
+
+    def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
+        random01 = rng.py.random
+        in_adj = self._in_adj
+        in_weights = self._in_weights
+
+        visited = {root}
+        order = [root]
+        current = root
+        steps = 0
+        while True:
+            parent = sample_lt_in_edge(in_adj[current], in_weights[current], random01)
+            steps += 1
+            if parent is None or parent in visited:
+                break
+            visited.add(parent)
+            order.append(parent)
+            current = parent
+        width = self.width_of(order)
+        # One draw (≈ one edge examined) per visited node, plus the nodes.
+        return RRSet(root=root, nodes=tuple(order), width=width, cost=len(order) + steps)

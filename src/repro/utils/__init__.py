@@ -1,0 +1,36 @@
+"""Shared utilities: RNG management, timing, memory accounting, validation."""
+
+from repro.utils.lazy_heap import LazyMaxHeap, lazy_greedy_maximize
+from repro.utils.memory import PeakTracker, deep_size_of_rr_sets, track_peak
+from repro.utils.rng import RandomSource, resolve_rng, spawn_children
+from repro.utils.timer import PhaseTimer, Timer, timed
+from repro.utils.validation import (
+    check_ell,
+    check_epsilon,
+    check_k,
+    check_node,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "LazyMaxHeap",
+    "lazy_greedy_maximize",
+    "PeakTracker",
+    "deep_size_of_rr_sets",
+    "track_peak",
+    "RandomSource",
+    "resolve_rng",
+    "spawn_children",
+    "PhaseTimer",
+    "Timer",
+    "timed",
+    "check_ell",
+    "check_epsilon",
+    "check_k",
+    "check_node",
+    "check_positive_int",
+    "check_probability",
+    "require",
+]

@@ -1,0 +1,101 @@
+"""Lazy-evaluation max-heap for submodular greedy selection.
+
+This is the data structure behind CELF [21]: entries carry the iteration at
+which their value was last computed; a stale top entry is re-evaluated and
+pushed back rather than trusted.  Because marginal gains of a submodular
+function only decrease, a fresh top entry is guaranteed optimal.
+
+``heapq`` is a min-heap, so priorities are stored negated.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Hashable
+
+__all__ = ["LazyMaxHeap", "lazy_greedy_maximize"]
+
+
+class LazyMaxHeap:
+    """Max-heap keyed by float priority with lazy staleness tracking."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Hashable, int]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, item: Hashable, priority: float, round_tag: int) -> None:
+        """Insert ``item`` with ``priority`` computed during ``round_tag``.
+
+        The monotonically increasing counter breaks ties deterministically in
+        insertion order, keeping selections reproducible across runs.
+        """
+        self._counter += 1
+        heapq.heappush(self._heap, (-priority, self._counter, item, round_tag))
+
+    def pop(self) -> tuple[Hashable, float, int]:
+        """Remove and return ``(item, priority, round_tag)`` of the max entry."""
+        neg_priority, _, item, round_tag = heapq.heappop(self._heap)
+        return item, -neg_priority, round_tag
+
+    def peek(self) -> tuple[Hashable, float, int]:
+        """Return the max entry without removing it."""
+        neg_priority, _, item, round_tag = self._heap[0]
+        return item, -neg_priority, round_tag
+
+
+def lazy_greedy_maximize(
+    candidates: list,
+    k: int,
+    marginal_gain: Callable[[Hashable, list], float],
+    on_select: Callable[[Hashable], None] | None = None,
+) -> tuple[list, float, int]:
+    """Generic CELF-style lazy greedy maximisation.
+
+    Parameters
+    ----------
+    candidates:
+        Ground set of items.
+    k:
+        Number of items to select.
+    marginal_gain:
+        ``marginal_gain(item, selected)`` returning the gain of adding
+        ``item`` to the current ``selected`` list.  Must be (approximately)
+        submodular for the laziness to be sound.
+    on_select:
+        Optional callback invoked when an item is committed.
+
+    Returns
+    -------
+    (selected, total_value, evaluations)
+        The selected items (in pick order), the accumulated value, and how
+        many times ``marginal_gain`` was invoked — the statistic CELF papers
+        report to demonstrate the benefit of laziness.
+    """
+    heap = LazyMaxHeap()
+    selected: list = []
+    evaluations = 0
+    for item in candidates:
+        gain = marginal_gain(item, selected)
+        evaluations += 1
+        heap.push(item, gain, 0)
+
+    total = 0.0
+    current_round = 1
+    while len(selected) < k and len(heap) > 0:
+        item, gain, round_tag = heap.pop()
+        if round_tag == current_round:
+            selected.append(item)
+            total += gain
+            if on_select is not None:
+                on_select(item)
+            current_round += 1
+        else:
+            gain = marginal_gain(item, selected)
+            evaluations += 1
+            heap.push(item, gain, current_round)
+    return selected, total, evaluations

@@ -1,0 +1,77 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "PhaseTimer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> t.start(); _ = sum(range(10)); t.stop()  # doctest: +SKIP
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+
+@dataclass
+class PhaseTimer:
+    """Named phase timings, used to reproduce the paper's Figure 4 breakdown."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.phases)
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a one-shot timer; read ``.elapsed`` after."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer.running:
+            timer.stop()

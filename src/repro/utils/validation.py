@@ -1,0 +1,77 @@
+"""Argument validation helpers shared across the library.
+
+Raising early with a precise message is cheaper than debugging a silently
+wrong θ three phases later, so every public entry point funnels its
+parameters through these checks.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "require",
+    "check_probability",
+    "check_positive_int",
+    "check_k",
+    "check_epsilon",
+    "check_ell",
+    "check_node",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]; got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int; got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive; got {value}")
+    return value
+
+
+def check_k(k: int, num_nodes: int) -> int:
+    """Validate a seed-set size against the graph order."""
+    check_positive_int(k, "k")
+    if k > num_nodes:
+        raise ValueError(f"k={k} exceeds the number of nodes ({num_nodes})")
+    return k
+
+
+def check_epsilon(epsilon: float) -> float:
+    """Validate the approximation parameter ε ∈ (0, 1]."""
+    epsilon = float(epsilon)
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1]; got {epsilon}")
+    return epsilon
+
+
+def check_ell(ell: float) -> float:
+    """Validate the failure-probability exponent ℓ (> 0).
+
+    The paper's Theorem 2 requires ℓ ≥ 1/2; we allow any positive value but
+    the TIM driver documents that guarantees need ℓ ≥ 1/2.
+    """
+    ell = float(ell)
+    if ell <= 0.0:
+        raise ValueError(f"ell must be positive; got {ell}")
+    return ell
+
+
+def check_node(node: int, num_nodes: int) -> int:
+    """Validate a node id against the graph order."""
+    node = int(node)
+    if not 0 <= node < num_nodes:
+        raise ValueError(f"node id {node} out of range [0, {num_nodes})")
+    return node

@@ -1,0 +1,65 @@
+"""Tests for the algorithm registry and front door."""
+
+import pytest
+
+from repro.algorithms import algorithm_names, get_algorithm, maximize_influence, register_algorithm
+from repro.core.results import InfluenceMaxResult
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = set(algorithm_names())
+        expected = {
+            "tim",
+            "tim+",
+            "greedy",
+            "celf",
+            "celf++",
+            "ris",
+            "irie",
+            "simpath",
+            "degree",
+            "degree-discount",
+            "pagerank",
+            "random",
+        }
+        assert expected <= names
+
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm("TIM+") is get_algorithm("tim+")
+
+    def test_unknown_raises_with_catalogue(self):
+        with pytest.raises(ValueError, match="known:"):
+            get_algorithm("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("tim", lambda *a, **k: None)
+
+
+class TestMaximizeInfluence:
+    def test_dispatch_and_result_type(self, small_wc_graph):
+        result = maximize_influence(small_wc_graph, 3, algorithm="degree")
+        assert isinstance(result, InfluenceMaxResult)
+        assert result.algorithm == "MaxDegree"
+        assert len(result.seeds) == 3
+
+    def test_kwargs_forwarded(self, small_wc_graph):
+        result = maximize_influence(
+            small_wc_graph, 2, algorithm="tim+", epsilon=0.5, ell=0.5, rng=1
+        )
+        assert result.epsilon == 0.5
+
+    def test_runtime_filled_when_missing(self, small_wc_graph):
+        result = maximize_influence(small_wc_graph, 2, algorithm="random", rng=1)
+        assert result.runtime_seconds > 0.0
+
+
+class TestResultValidation:
+    def test_result_rejects_wrong_seed_count(self):
+        with pytest.raises(ValueError, match="seeds"):
+            InfluenceMaxResult(algorithm="x", model="IC", seeds=[1], k=2)
+
+    def test_result_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            InfluenceMaxResult(algorithm="x", model="IC", seeds=[1, 1], k=2)

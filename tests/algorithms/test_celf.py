@@ -1,0 +1,43 @@
+"""Tests for CELF."""
+
+from repro.algorithms import celf, greedy
+from repro.graphs import star_digraph
+
+
+class TestCelf:
+    def test_star_hub_found(self):
+        g = star_digraph(12, prob=1.0, outward=True)
+        result = celf(g, 1, num_runs=30, rng=1)
+        assert result.seeds == [0]
+
+    def test_matches_greedy_on_deterministic_graph(self):
+        from repro.graphs import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=9)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        celf_result = celf(g, 2, num_runs=25, rng=2)
+        greedy_result = greedy(g, 2, num_runs=25, rng=3)
+        assert set(celf_result.seeds) == set(greedy_result.seeds)
+
+    def test_lazy_saves_evaluations(self, small_wc_graph):
+        k = 4
+        celf_result = celf(small_wc_graph, k, num_runs=15, rng=4)
+        greedy_evals = small_wc_graph.n * k - sum(range(k))  # n + (n-1) + ...
+        assert celf_result.extras["spread_evaluations"] < greedy_evals
+
+    def test_seed_count_and_distinct(self, small_wc_graph):
+        result = celf(small_wc_graph, 5, num_runs=15, rng=5)
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+
+    def test_time_at_k_length(self, small_wc_graph):
+        result = celf(small_wc_graph, 3, num_runs=10, rng=6)
+        assert len(result.extras["time_at_k"]) == 3
+
+    def test_estimated_spread_positive(self, small_wc_graph):
+        result = celf(small_wc_graph, 3, num_runs=15, rng=7)
+        assert result.estimated_spread >= 3.0  # at least the seeds themselves

@@ -1,0 +1,50 @@
+"""Tests for CELF++."""
+
+from repro.algorithms import celf, celf_plus_plus
+from repro.graphs import star_digraph
+
+
+class TestCelfPlusPlus:
+    def test_star_hub_found(self):
+        g = star_digraph(12, prob=1.0, outward=True)
+        result = celf_plus_plus(g, 1, num_runs=30, rng=1)
+        assert result.seeds == [0]
+
+    def test_matches_celf_on_deterministic_graph(self):
+        from repro.graphs import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=9)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        pp = celf_plus_plus(g, 2, num_runs=25, rng=2)
+        plain = celf(g, 2, num_runs=25, rng=3)
+        assert set(pp.seeds) == set(plain.seeds)
+
+    def test_seed_count_and_distinct(self, small_wc_graph):
+        result = celf_plus_plus(small_wc_graph, 5, num_runs=15, rng=4)
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+
+    def test_mg2_shortcut_counter_present(self, small_wc_graph):
+        result = celf_plus_plus(small_wc_graph, 4, num_runs=15, rng=5)
+        assert result.extras["mg2_shortcuts"] >= 0
+
+    def test_time_at_k_monotone(self, small_wc_graph):
+        result = celf_plus_plus(small_wc_graph, 4, num_runs=15, rng=6)
+        times = result.extras["time_at_k"]
+        assert len(times) == 4
+        assert times == sorted(times)
+
+    def test_quality_close_to_celf_statistically(self, small_wc_graph):
+        """Same greedy semantics: spreads of the two selections should agree
+        within Monte-Carlo noise."""
+        from repro.diffusion import estimate_spread
+
+        pp = celf_plus_plus(small_wc_graph, 4, num_runs=40, rng=7)
+        plain = celf(small_wc_graph, 4, num_runs=40, rng=8)
+        spread_pp = estimate_spread(small_wc_graph, pp.seeds, num_samples=1500, rng=9).mean
+        spread_plain = estimate_spread(small_wc_graph, plain.seeds, num_samples=1500, rng=10).mean
+        assert abs(spread_pp - spread_plain) / max(spread_plain, 1.0) < 0.2

@@ -1,0 +1,87 @@
+"""Tests for Kempe et al.'s Greedy and the Lemma 10 bound."""
+
+import pytest
+
+from repro.algorithms import greedy, recommended_monte_carlo_runs
+from repro.graphs import path_digraph, star_digraph
+
+
+class TestGreedy:
+    def test_star_hub_found(self):
+        g = star_digraph(12, prob=1.0, outward=True)
+        result = greedy(g, 1, num_runs=30, rng=1)
+        assert result.seeds == [0]
+
+    def test_two_stars(self):
+        from repro.graphs import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=10)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7, 8):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        result = greedy(g, 2, num_runs=30, rng=2)
+        assert set(result.seeds) == {0, 5}
+
+    def test_seed_count(self, small_wc_graph):
+        result = greedy(small_wc_graph, 4, num_runs=20, rng=3)
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_evaluation_count(self):
+        g = path_digraph(6, prob=0.5)
+        result = greedy(g, 2, num_runs=5, rng=4)
+        # Iteration 1 evaluates 6 candidates, iteration 2 evaluates 5.
+        assert result.extras["spread_evaluations"] == 11
+
+    def test_candidate_pool_restriction(self, small_wc_graph):
+        result = greedy(small_wc_graph, 2, num_runs=10, rng=5, candidates=[0, 1, 2])
+        assert set(result.seeds) <= {0, 1, 2}
+
+    def test_pool_smaller_than_k_rejected(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            greedy(small_wc_graph, 4, num_runs=5, candidates=[0, 1])
+
+    def test_time_at_k_monotone(self, small_wc_graph):
+        result = greedy(small_wc_graph, 3, num_runs=10, rng=6)
+        times = result.extras["time_at_k"]
+        assert len(times) == 3
+        assert times == sorted(times)
+
+    def test_lt_model(self, small_lt_graph):
+        result = greedy(small_lt_graph, 2, model="LT", num_runs=20, rng=7)
+        assert len(result.seeds) == 2
+
+
+class TestLemma10:
+    def test_formula_by_hand(self):
+        import math
+
+        n, k, epsilon, ell, opt = 100, 2, 0.5, 1.0, 10.0
+        expected = (
+            (8 * k * k + 2 * k * epsilon)
+            * n
+            * ((ell + 1) * math.log(n) + math.log(k))
+            / (epsilon**2 * opt)
+        )
+        assert recommended_monte_carlo_runs(n, k, epsilon, ell, opt) == math.ceil(expected)
+
+    def test_exceeds_folklore_10000(self):
+        # The paper notes Lemma 10's r always exceeded 10000 in their runs.
+        r = recommended_monte_carlo_runs(15_000, 50, 0.1, 1.0, 1000.0)
+        assert r > 10_000
+
+    def test_decreases_with_opt(self):
+        small_opt = recommended_monte_carlo_runs(100, 2, 0.5, 1.0, 5.0)
+        large_opt = recommended_monte_carlo_runs(100, 2, 0.5, 1.0, 50.0)
+        assert small_opt > large_opt
+
+    def test_grows_quadratically_with_k(self):
+        r2 = recommended_monte_carlo_runs(100, 2, 0.5, 1.0, 10.0)
+        r20 = recommended_monte_carlo_runs(100, 20, 0.5, 1.0, 10.0)
+        assert r20 > 50 * r2  # ~(20/2)^2 = 100x, allow slack for linear terms
+
+    def test_rejects_bad_opt(self):
+        with pytest.raises(ValueError):
+            recommended_monte_carlo_runs(100, 2, 0.5, 1.0, 0.0)

@@ -1,0 +1,97 @@
+"""Tests for the simple heuristics: degree, degree-discount, pagerank, random."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import max_degree, pagerank_scores, pagerank_seeds, random_seeds
+from repro.algorithms.degree import degree_discount
+from repro.graphs import cycle_digraph, path_digraph, star_digraph
+
+
+class TestMaxDegree:
+    def test_hub_first(self):
+        g = star_digraph(10, prob=1.0, outward=True)
+        assert max_degree(g, 1).seeds == [0]
+
+    def test_tie_break_by_id(self):
+        g = cycle_digraph(5)
+        assert max_degree(g, 2).seeds == [0, 1]
+
+    def test_seed_contract(self, small_wc_graph):
+        result = max_degree(small_wc_graph, 6)
+        assert len(set(result.seeds)) == 6
+
+
+class TestDegreeDiscount:
+    def test_hub_first(self):
+        g = star_digraph(10, prob=1.0, outward=True)
+        assert degree_discount(g, 1).seeds == [0]
+
+    def test_discount_spreads_seeds(self):
+        from repro.graphs import GraphBuilder
+
+        # Two stars: hub 0 (5 leaves), hub 6 (4 leaves). Plain degree picks
+        # 0 then 6 too, but discount must also avoid picking 0's leaves.
+        builder = GraphBuilder(num_nodes=12)
+        for leaf in (1, 2, 3, 4, 5):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (7, 8, 9, 10):
+            builder.add_edge(6, leaf, 1.0)
+        g = builder.build()
+        result = degree_discount(g, 2, p=0.1)
+        assert set(result.seeds) == {0, 6}
+
+    def test_seed_contract(self, small_wc_graph):
+        result = degree_discount(small_wc_graph, 6, p=0.05)
+        assert len(set(result.seeds)) == 6
+
+    def test_p_validation(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            degree_discount(small_wc_graph, 2, p=1.5)
+
+
+class TestPagerank:
+    def test_scores_sum_to_one(self, small_wc_graph):
+        scores = pagerank_scores(small_wc_graph)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reverse_ranks_influencers(self):
+        # In reverse PageRank, the *source* of a p=1 chain accumulates mass.
+        g = path_digraph(5, prob=1.0)
+        scores = pagerank_scores(g, reverse=True)
+        assert int(np.argmax(scores)) == 0
+
+    def test_forward_ranks_sinks(self):
+        g = path_digraph(5, prob=1.0)
+        scores = pagerank_scores(g, reverse=False)
+        assert int(np.argmax(scores)) == 4
+
+    def test_uniform_on_cycle(self):
+        scores = pagerank_scores(cycle_digraph(6))
+        assert np.allclose(scores, 1 / 6, atol=1e-6)
+
+    def test_seeds_hub(self):
+        g = star_digraph(10, prob=1.0, outward=True)
+        assert pagerank_seeds(g, 1).seeds == [0]
+
+    def test_damping_validation(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            pagerank_scores(small_wc_graph, damping=1.0)
+
+
+class TestRandomSeeds:
+    def test_contract(self, small_wc_graph):
+        result = random_seeds(small_wc_graph, 5, rng=1)
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+        assert all(0 <= s < small_wc_graph.n for s in result.seeds)
+
+    def test_deterministic_given_seed(self, small_wc_graph):
+        assert random_seeds(small_wc_graph, 5, rng=2).seeds == random_seeds(
+            small_wc_graph, 5, rng=2
+        ).seeds
+
+    def test_varies_across_seeds(self, small_wc_graph):
+        assert random_seeds(small_wc_graph, 5, rng=3).seeds != random_seeds(
+            small_wc_graph, 5, rng=4
+        ).seeds

@@ -1,0 +1,78 @@
+"""Tests for IRIE."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import influence_rank, irie
+from repro.graphs import constant_probability, path_digraph, star_digraph
+
+
+class TestInfluenceRank:
+    def test_rank_at_least_one(self, small_wc_graph):
+        rank = influence_rank(small_wc_graph)
+        assert np.all(rank >= 1.0)
+
+    def test_hub_ranks_highest(self):
+        g = star_digraph(10, prob=1.0, outward=True)
+        rank = influence_rank(g)
+        assert int(np.argmax(rank)) == 0
+
+    def test_sinks_rank_lowest(self):
+        g = path_digraph(5, prob=1.0)
+        rank = influence_rank(g)
+        assert rank[0] == rank.max()
+        assert rank[4] == rank.min()
+
+    def test_activation_probability_damps(self, small_wc_graph):
+        undamped = influence_rank(small_wc_graph)
+        ap = np.full(small_wc_graph.n, 0.5)
+        damped = influence_rank(small_wc_graph, activation_prob=ap)
+        assert np.all(damped <= undamped)
+
+    def test_fully_activated_node_rank_zero(self, small_wc_graph):
+        ap = np.zeros(small_wc_graph.n)
+        ap[3] = 1.0
+        rank = influence_rank(small_wc_graph, activation_prob=ap)
+        assert rank[3] == 0.0
+
+    def test_alpha_validation(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            influence_rank(small_wc_graph, alpha=1.5)
+
+    def test_converges(self, small_wc_graph):
+        short = influence_rank(small_wc_graph, max_iterations=20)
+        long = influence_rank(small_wc_graph, max_iterations=60)
+        assert np.abs(short - long).max() < 1e-2
+
+
+class TestIrie:
+    def test_star_hub_found(self):
+        g = star_digraph(12, prob=1.0, outward=True)
+        result = irie(g, 1, rng=1, ap_runs=20)
+        assert result.seeds == [0]
+
+    def test_second_seed_avoids_covered_region(self):
+        from repro.graphs import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=10)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7, 8):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        result = irie(g, 2, rng=2, ap_runs=30)
+        assert set(result.seeds) == {0, 5}
+
+    def test_seed_contract(self, small_wc_graph):
+        result = irie(small_wc_graph, 5, rng=3, ap_runs=20)
+        assert len(result.seeds) == 5
+        assert len(set(result.seeds)) == 5
+
+    def test_zero_probability_graph_degenerates_gracefully(self):
+        g = constant_probability(path_digraph(6), 0.0)
+        result = irie(g, 2, rng=4, ap_runs=10)
+        assert len(result.seeds) == 2
+
+    def test_time_at_k_recorded(self, small_wc_graph):
+        result = irie(small_wc_graph, 3, rng=5, ap_runs=10)
+        assert len(result.extras["time_at_k"]) == 3

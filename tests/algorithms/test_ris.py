@@ -1,0 +1,62 @@
+"""Tests for Borgs et al.'s RIS."""
+
+import math
+
+import pytest
+
+from repro.algorithms import ris, ris_threshold
+from repro.graphs import star_digraph
+
+
+class TestThreshold:
+    def test_formula(self):
+        n, m, k, epsilon, ell = 100, 400, 5, 0.2, 1.0
+        expected = k * ell * (m + n) * math.log(n) / epsilon**3
+        assert ris_threshold(n, m, k, epsilon, ell) == pytest.approx(expected)
+
+    def test_constant_scales(self):
+        base = ris_threshold(100, 400, 5, 0.2, 1.0)
+        assert ris_threshold(100, 400, 5, 0.2, 1.0, tau_constant=2.0) == pytest.approx(2 * base)
+
+    def test_epsilon_cubed(self):
+        loose = ris_threshold(100, 400, 5, 0.4, 1.0)
+        tight = ris_threshold(100, 400, 5, 0.2, 1.0)
+        assert tight == pytest.approx(8 * loose)
+
+
+class TestRis:
+    def test_star_hub_found(self):
+        g = star_digraph(20, prob=1.0, outward=True)
+        result = ris(g, 1, rng=1, epsilon=0.5)
+        assert result.seeds == [0]
+
+    def test_cost_threshold_respected(self, small_wc_graph):
+        result = ris(small_wc_graph, 2, rng=2, epsilon=0.5, tau_constant=0.1)
+        assert result.extras["total_cost"] >= result.extras["tau"]
+
+    def test_stops_promptly_after_threshold(self, small_wc_graph):
+        # The final RR set may overshoot, but only by one set's cost.
+        result = ris(small_wc_graph, 2, rng=3, epsilon=0.5, tau_constant=0.1)
+        tau = result.extras["tau"]
+        overshoot = result.extras["total_cost"] - tau
+        # One RR set costs at most n + m.
+        assert overshoot <= small_wc_graph.n + small_wc_graph.m
+
+    def test_max_rr_sets_safety_valve(self, small_wc_graph):
+        result = ris(small_wc_graph, 2, rng=4, epsilon=0.2, max_rr_sets=50)
+        assert result.extras["num_rr_sets"] == 50
+
+    def test_more_work_for_smaller_epsilon(self, small_wc_graph):
+        loose = ris(small_wc_graph, 2, rng=5, epsilon=0.8, tau_constant=0.1)
+        tight = ris(small_wc_graph, 2, rng=5, epsilon=0.4, tau_constant=0.1)
+        assert tight.extras["num_rr_sets"] > loose.extras["num_rr_sets"]
+
+    def test_seed_contract(self, small_wc_graph):
+        result = ris(small_wc_graph, 4, rng=6, epsilon=0.5, tau_constant=0.1)
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_lt_model_supported(self, small_lt_graph):
+        result = ris(small_lt_graph, 2, model="LT", rng=7, epsilon=0.5, tau_constant=0.1)
+        assert result.model == "LT"
+        assert len(result.seeds) == 2

@@ -1,0 +1,121 @@
+"""Tests for SIMPATH."""
+
+import pytest
+
+from repro.algorithms import greedy_vertex_cover, sigma_within, simpath, simpath_spread
+from repro.analysis import exact_spread_lt
+from repro.graphs import DiGraph, GraphBuilder, path_digraph, star_digraph
+
+
+class TestSigmaWithin:
+    def test_isolated_node(self):
+        g = DiGraph(2, [], [])
+        assert sigma_within(g, 0, {0, 1}, eta=1e-6) == 1.0
+
+    def test_single_edge(self):
+        g = DiGraph(2, [0], [1], [0.5])
+        assert sigma_within(g, 0, {0, 1}, eta=1e-6) == pytest.approx(1.5)
+
+    def test_chain_weight_products(self):
+        g = path_digraph(4, prob=0.5)
+        # Paths: (), (0-1), (0-1-2), (0-1-2-3) -> 1 + .5 + .25 + .125.
+        assert sigma_within(g, 0, set(range(4)), eta=1e-6) == pytest.approx(1.875)
+
+    def test_eta_prunes_long_paths(self):
+        g = path_digraph(4, prob=0.5)
+        # eta = 0.3 prunes the two paths with weight < 0.3.
+        assert sigma_within(g, 0, set(range(4)), eta=0.3) == pytest.approx(1.5)
+
+    def test_allowed_set_restricts(self):
+        g = path_digraph(4, prob=0.5)
+        assert sigma_within(g, 0, {0, 1}, eta=1e-6) == pytest.approx(1.5)
+
+    def test_simple_paths_only_in_cycle(self):
+        g = DiGraph(2, [0, 1], [1, 0], [0.5, 0.5])
+        # From 0: empty path + 0->1; the cycle back to 0 is not simple.
+        assert sigma_within(g, 0, {0, 1}, eta=1e-9) == pytest.approx(1.5)
+
+    def test_requires_start_in_allowed(self):
+        g = path_digraph(3)
+        with pytest.raises(ValueError):
+            sigma_within(g, 0, {1, 2}, eta=0.1)
+
+
+class TestSimpathSpread:
+    def test_matches_exact_lt_on_small_graph(self):
+        builder = GraphBuilder(num_nodes=4)
+        builder.add_edge(0, 1, 0.5)
+        builder.add_edge(1, 2, 0.5)
+        builder.add_edge(0, 2, 0.3)
+        builder.add_edge(2, 3, 0.7)
+        g = builder.build()
+        for seeds in ([0], [1], [0, 3]):
+            path_estimate = simpath_spread(g, seeds, eta=1e-9)
+            exact = exact_spread_lt(g, seeds)
+            assert path_estimate == pytest.approx(exact, abs=1e-6), seeds
+
+    def test_multi_seed_excludes_other_seeds_paths(self):
+        g = path_digraph(3, prob=1.0)
+        # sigma({0, 1}): seed 0's enumeration must avoid seed 1, giving 1;
+        # seed 1 contributes 1 + 1 (node 2). Total 3 = exact spread.
+        assert simpath_spread(g, [0, 1], eta=1e-9) == pytest.approx(3.0)
+
+
+class TestVertexCover:
+    def test_cover_is_valid(self, small_lt_graph):
+        cover = greedy_vertex_cover(small_lt_graph)
+        for u, v in zip(small_lt_graph.src.tolist(), small_lt_graph.dst.tolist()):
+            assert u in cover or v in cover
+
+    def test_star_cover_is_hub(self):
+        g = star_digraph(8, prob=0.5, outward=True)
+        cover = greedy_vertex_cover(g)
+        # Matching-based 2-approx picks hub plus one leaf per matched edge;
+        # the hub must be covered after the first edge.
+        assert 0 in cover
+
+
+class TestSimpath:
+    def test_star_hub_found(self):
+        from repro.graphs import normalize_in_weights
+
+        g = normalize_in_weights(star_digraph(10, prob=1.0, outward=True))
+        result = simpath(g, 1)
+        assert result.seeds == [0]
+
+    def test_seed_contract(self, small_lt_graph):
+        result = simpath(small_lt_graph, 4)
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_vertex_cover_and_direct_agree(self, small_lt_graph):
+        with_cover = simpath(small_lt_graph, 3, use_vertex_cover=True)
+        without_cover = simpath(small_lt_graph, 3, use_vertex_cover=False)
+        assert with_cover.seeds == without_cover.seeds
+
+    def test_rejects_ic_model(self, small_wc_graph):
+        with pytest.raises(ValueError, match="LT model only"):
+            simpath(small_wc_graph, 2, model="IC")
+
+    def test_quality_near_greedy(self, small_lt_graph):
+        """SIMPATH should be within ~20% of MC-greedy's spread."""
+        from repro.algorithms import celf
+        from repro.diffusion import estimate_spread
+
+        sp = simpath(small_lt_graph, 3)
+        reference = celf(small_lt_graph, 3, model="LT", num_runs=60, rng=2)
+        spread_sp = estimate_spread(
+            small_lt_graph, sp.seeds, model="LT", num_samples=1500, rng=3
+        ).mean
+        spread_ref = estimate_spread(
+            small_lt_graph, reference.seeds, model="LT", num_samples=1500, rng=4
+        ).mean
+        assert spread_sp >= 0.8 * spread_ref
+
+    def test_time_at_k_recorded(self, small_lt_graph):
+        result = simpath(small_lt_graph, 3)
+        assert len(result.extras["time_at_k"]) == 3
+
+    def test_eta_validation(self, small_lt_graph):
+        with pytest.raises(ValueError):
+            simpath(small_lt_graph, 2, eta=0.0)

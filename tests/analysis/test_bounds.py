@@ -1,0 +1,78 @@
+"""Tests for Chernoff-bound helpers and sample-size requirements."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    required_theta_failure_probability,
+    theta_lower_bound,
+)
+from repro.core.parameters import lambda_param
+
+
+class TestChernoff:
+    def test_upper_tail_formula(self):
+        count, mean, delta = 100, 0.3, 0.5
+        expected = math.exp(-(delta**2) / (2 + delta) * count * mean)
+        assert chernoff_upper_tail(count, mean, delta) == pytest.approx(expected)
+
+    def test_lower_tail_formula(self):
+        count, mean, delta = 100, 0.3, 0.5
+        expected = math.exp(-(delta**2) / 2 * count * mean)
+        assert chernoff_lower_tail(count, mean, delta) == pytest.approx(expected)
+
+    def test_lower_tail_tighter_than_upper(self):
+        # exp(-d^2 c mu / 2) <= exp(-d^2 c mu / (2 + d)) for d > 0.
+        assert chernoff_lower_tail(50, 0.5, 0.3) <= chernoff_upper_tail(50, 0.5, 0.3)
+
+    def test_decays_with_count(self):
+        assert chernoff_upper_tail(1000, 0.3, 0.5) < chernoff_upper_tail(10, 0.3, 0.5)
+
+    def test_bounds_are_probabilities_for_reasonable_inputs(self):
+        assert 0.0 < chernoff_upper_tail(10, 0.1, 0.1) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, 0.5, 0.0)
+
+
+class TestThetaLowerBound:
+    def test_equals_lambda_over_opt(self):
+        n, k, epsilon, ell, opt = 200, 3, 0.4, 1.0, 25.0
+        assert theta_lower_bound(n, k, epsilon, ell, opt) == pytest.approx(
+            lambda_param(n, k, epsilon, ell) / opt
+        )
+
+    def test_larger_opt_needs_fewer_samples(self):
+        small = theta_lower_bound(200, 3, 0.4, 1.0, 10.0)
+        large = theta_lower_bound(200, 3, 0.4, 1.0, 100.0)
+        assert large < small
+
+
+class TestLemma3FailureProbability:
+    def test_prescribed_theta_achieves_target(self):
+        """With θ at Equation 2's bound, the per-set failure probability must
+        be below n^{-ell} / C(n, k) as Lemma 3 claims."""
+        import math as _math
+
+        n, k, epsilon, ell = 100, 2, 0.5, 1.0
+        opt = 20.0
+        theta = math.ceil(theta_lower_bound(n, k, epsilon, ell, opt))
+        # Worst case is spread = opt (rho as large as possible).
+        failure = required_theta_failure_probability(theta, n, k, epsilon, opt, opt)
+        from repro.core.parameters import log_binomial
+
+        target = math.exp(-ell * _math.log(n) - log_binomial(n, k))
+        assert failure <= target * 1.01
+
+    def test_failure_grows_when_theta_shrinks(self):
+        base = required_theta_failure_probability(10_000, 100, 2, 0.5, 20.0, 10.0)
+        tiny = required_theta_failure_probability(100, 100, 2, 0.5, 20.0, 10.0)
+        assert tiny > base

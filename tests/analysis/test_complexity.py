@@ -1,0 +1,60 @@
+"""Tests for the Section 5 asymptotic cost models."""
+
+import pytest
+
+from repro.analysis import (
+    borgs_lower_bound,
+    greedy_time_bound,
+    ris_time_bound,
+    tim_time_bound,
+)
+
+
+class TestOrderings:
+    def test_tim_beats_ris_asymptotically(self):
+        # Section 5: RIS is larger by a factor of ~ell * log n / epsilon.
+        n, m, k, ell, epsilon = 10**6, 10**7, 50, 1.0, 0.1
+        assert tim_time_bound(n, m, k, ell, epsilon) < ris_time_bound(n, m, k, ell, epsilon)
+
+    def test_ris_over_tim_ratio(self):
+        import math
+
+        n, m, k, ell, epsilon = 10**6, 10**7, 50, 1.0, 0.1
+        ratio = ris_time_bound(n, m, k, ell, epsilon) / tim_time_bound(n, m, k, ell, epsilon)
+        expected = k * ell * ell * math.log(n) / ((k + ell) * epsilon)
+        assert ratio == pytest.approx(expected)
+
+    def test_greedy_dwarfs_both(self):
+        n, m, k, ell, epsilon = 10**4, 10**5, 50, 1.0, 0.1
+        greedy = greedy_time_bound(n, m, k, num_runs=10_000)
+        assert greedy > 100 * ris_time_bound(n, m, k, ell, epsilon)
+        assert greedy > 100 * tim_time_bound(n, m, k, ell, epsilon)
+
+    def test_tim_is_near_linear(self):
+        # Doubling m should roughly double TIM's bound (for fixed n).
+        base = tim_time_bound(1000, 10_000, 10, 1.0, 0.2)
+        doubled = tim_time_bound(1000, 20_000, 10, 1.0, 0.2)
+        # Exactly (2m + n) / (m + n) ~ 1.91 for these sizes.
+        assert doubled / base == pytest.approx(21_000 / 11_000)
+
+    def test_lower_bound_is_m_plus_n(self):
+        assert borgs_lower_bound(100, 400) == 500.0
+
+    def test_all_bounds_exceed_lower_bound(self):
+        n, m, k, ell, epsilon = 10**4, 10**5, 10, 1.0, 0.5
+        floor = borgs_lower_bound(n, m)
+        assert tim_time_bound(n, m, k, ell, epsilon) > floor
+        assert ris_time_bound(n, m, k, ell, epsilon) > floor
+        assert greedy_time_bound(n, m, k, 100) > floor
+
+
+class TestValidation:
+    def test_k_range_enforced(self):
+        with pytest.raises(ValueError):
+            tim_time_bound(100, 10, 0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            ris_time_bound(100, 10, 101, 1.0, 0.5)
+
+    def test_runs_positive(self):
+        with pytest.raises(ValueError):
+            greedy_time_bound(100, 10, 5, 0)

@@ -1,0 +1,76 @@
+"""Tests for EPT/KPT estimators (make Lemmas 4 and 5 executable)."""
+
+import pytest
+
+from repro.analysis import (
+    estimate_ept,
+    estimate_kpt_by_definition,
+    estimate_kpt_by_kappa,
+    sample_indegree_weighted_node,
+    sample_indegree_weighted_set,
+)
+from repro.graphs import DiGraph, star_digraph
+from repro.rrset import make_rr_sampler
+from repro.utils.rng import RandomSource
+
+
+class TestVStarSampling:
+    def test_proportional_to_indegree(self):
+        # Node 2 has indegree 2, node 1 indegree 1: expect 2:1 draw ratio.
+        g = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        rng = RandomSource(1)
+        draws = [sample_indegree_weighted_node(g, rng) for _ in range(6000)]
+        ratio = draws.count(2) / max(draws.count(1), 1)
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_zero_indegree_never_drawn(self):
+        g = DiGraph(3, [0, 0, 1], [1, 2, 2])
+        rng = RandomSource(2)
+        assert all(sample_indegree_weighted_node(g, rng) != 0 for _ in range(500))
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError):
+            sample_indegree_weighted_node(DiGraph(3, [], []))
+
+    def test_set_deduplicates(self, small_wc_graph):
+        seeds = sample_indegree_weighted_set(small_wc_graph, 10, rng=3)
+        assert len(seeds) == len(set(seeds))
+        assert 1 <= len(seeds) <= 10
+
+
+class TestEptEstimation:
+    def test_star_ept_by_hand(self):
+        # Star hub -> 9 leaves with p=1.  Random root: hub (p=1/10) gives RR
+        # set {hub} width 0; leaf gives {leaf, hub} width 1.
+        # EPT = 0.9.
+        g = star_digraph(10, prob=1.0, outward=True)
+        sampler = make_rr_sampler(g, "IC")
+        ept = estimate_ept(sampler, num_samples=4000, rng=4)
+        assert ept == pytest.approx(0.9, abs=0.05)
+
+    def test_positive_on_random_graph(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        assert estimate_ept(sampler, num_samples=500, rng=5) > 0
+
+
+class TestKptEstimators:
+    def test_lemma5_agreement(self, small_wc_graph):
+        """KPT by definition (two-level MC) vs KPT = n·E[κ(R)] (Lemma 5)."""
+        k = 5
+        by_definition = estimate_kpt_by_definition(
+            small_wc_graph, k, num_outer=250, num_inner=25, rng=6
+        )
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        by_kappa = estimate_kpt_by_kappa(small_wc_graph, k, sampler, num_samples=6000, rng=7)
+        assert by_kappa == pytest.approx(by_definition, rel=0.15)
+
+    def test_kpt_monotone_in_k(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        k1 = estimate_kpt_by_kappa(small_wc_graph, 1, sampler, num_samples=3000, rng=8)
+        k10 = estimate_kpt_by_kappa(small_wc_graph, 10, sampler, num_samples=3000, rng=8)
+        assert k10 > k1
+
+    def test_kpt_bounded_by_n(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        kpt = estimate_kpt_by_kappa(small_wc_graph, 50, sampler, num_samples=2000, rng=9)
+        assert kpt <= small_wc_graph.n

@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    GraphBuilder,
+    gnm_random_digraph,
+    paper_figure1_graph,
+    path_digraph,
+    star_digraph,
+    uniform_random_lt,
+    weighted_cascade,
+)
+
+
+@pytest.fixture
+def figure1_graph() -> DiGraph:
+    """The paper's 4-node running example (Figure 1)."""
+    return paper_figure1_graph()
+
+
+@pytest.fixture
+def diamond_graph() -> DiGraph:
+    """0 -> {1, 2} -> 3, all probabilities 0.5 — smallest graph with
+    converging paths (exercises de-duplication in BFS/RR logic)."""
+    builder = GraphBuilder(num_nodes=4)
+    builder.add_edge(0, 1, 0.5)
+    builder.add_edge(0, 2, 0.5)
+    builder.add_edge(1, 3, 0.5)
+    builder.add_edge(2, 3, 0.5)
+    return builder.build()
+
+
+@pytest.fixture
+def deterministic_path() -> DiGraph:
+    """0 -> 1 -> 2 -> 3 with p=1: spread computations are exact integers."""
+    return path_digraph(4, prob=1.0)
+
+
+@pytest.fixture
+def out_star() -> DiGraph:
+    """Hub 0 -> 9 leaves with p=1: hub spread is exactly n."""
+    return star_digraph(10, prob=1.0, outward=True)
+
+
+@pytest.fixture
+def small_wc_graph() -> DiGraph:
+    """A 60-node weighted-cascade graph, the workhorse statistical fixture."""
+    return weighted_cascade(gnm_random_digraph(60, 240, rng=12345))
+
+
+@pytest.fixture
+def small_lt_graph() -> DiGraph:
+    """A 60-node LT graph with normalised random weights."""
+    return uniform_random_lt(gnm_random_digraph(60, 240, rng=54321), rng=999)

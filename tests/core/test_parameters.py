@@ -1,0 +1,142 @@
+"""Tests for the TIM parameter calculus (Equations 4, 5, 9)."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    adjusted_ell_tim,
+    adjusted_ell_tim_plus,
+    epsilon_prime_default,
+    kpt_max_iterations,
+    kpt_samples_per_iteration,
+    lambda_param,
+    lambda_prime,
+    log_binomial,
+    theta_from_kpt,
+)
+
+
+class TestLogBinomial:
+    def test_exact_small_values(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 3) == pytest.approx(math.log(120))
+
+    def test_edge_cases(self):
+        assert log_binomial(7, 0) == 0.0
+        assert log_binomial(7, 7) == 0.0
+
+    def test_symmetry(self):
+        assert log_binomial(20, 4) == pytest.approx(log_binomial(20, 16))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            log_binomial(3, 5)
+
+
+class TestLambda:
+    def test_matches_equation4_by_hand(self):
+        n, k, epsilon, ell = 100, 2, 0.5, 1.0
+        expected = (
+            (8 + 2 * epsilon)
+            * n
+            * (ell * math.log(n) + log_binomial(n, k) + math.log(2))
+            / epsilon**2
+        )
+        assert lambda_param(n, k, epsilon, ell) == pytest.approx(expected)
+
+    def test_decreases_with_epsilon(self):
+        assert lambda_param(100, 2, 0.5, 1.0) > lambda_param(100, 2, 0.9, 1.0)
+
+    def test_increases_with_k(self):
+        assert lambda_param(100, 10, 0.5, 1.0) > lambda_param(100, 2, 0.5, 1.0)
+
+    def test_increases_with_ell(self):
+        assert lambda_param(100, 2, 0.5, 2.0) > lambda_param(100, 2, 0.5, 1.0)
+
+    def test_scales_superlinearly_with_n(self):
+        assert lambda_param(200, 2, 0.5, 1.0) > 2 * lambda_param(100, 2, 0.5, 1.0)
+
+
+class TestTheta:
+    def test_ceiling_division(self):
+        assert theta_from_kpt(10.0, 3.0) == 4
+        assert theta_from_kpt(9.0, 3.0) == 3
+
+    def test_at_least_one(self):
+        assert theta_from_kpt(0.5, 100.0) == 1
+
+    def test_equation5_satisfied(self):
+        lam, kpt = 12345.6, 7.8
+        theta = theta_from_kpt(lam, kpt)
+        assert theta >= lam / kpt
+        assert theta - 1 < lam / kpt
+
+    def test_rejects_zero_kpt(self):
+        with pytest.raises(ValueError):
+            theta_from_kpt(10.0, 0.0)
+
+
+class TestEpsilonPrime:
+    def test_formula(self):
+        value = epsilon_prime_default(0.1, 50, 1.0)
+        assert value == pytest.approx(5 * (1.0 * 0.01 / 51.0) ** (1 / 3))
+
+    def test_satisfies_theory_requirement(self):
+        # TIM+ keeps TIM's complexity when eps' >= eps / sqrt(k).
+        for k in (1, 5, 50, 500):
+            for epsilon in (0.05, 0.1, 0.5, 1.0):
+                assert epsilon_prime_default(epsilon, k, 1.0) >= epsilon / math.sqrt(k)
+
+    def test_decreases_with_k(self):
+        assert epsilon_prime_default(0.1, 10, 1.0) > epsilon_prime_default(0.1, 100, 1.0)
+
+
+class TestLambdaPrime:
+    def test_formula(self):
+        n, eps_prime, ell = 100, 0.3, 1.0
+        expected = (2 + eps_prime) * ell * n * math.log(n) / eps_prime**2
+        assert lambda_prime(eps_prime, ell, n) == pytest.approx(expected)
+
+    def test_smaller_than_lambda_by_factor_k(self):
+        # The paper notes Algorithm 3's cost is ~k times below Algorithm 1's.
+        n, k, epsilon, ell = 1000, 50, 0.1, 1.0
+        eps_prime = epsilon_prime_default(epsilon, k, ell)
+        assert lambda_prime(eps_prime, ell, n) < lambda_param(n, k, epsilon, ell) / 5
+
+
+class TestAdjustedEll:
+    def test_tim_absorbs_factor_two(self):
+        n, ell = 1000, 1.0
+        adjusted = adjusted_ell_tim(ell, n)
+        # n^{-adjusted} == n^{-ell} / 2  <=>  2 * n^{-adjusted} == n^{-ell}.
+        assert 2 * n ** (-adjusted) == pytest.approx(n ** (-ell))
+
+    def test_tim_plus_absorbs_factor_three(self):
+        n, ell = 1000, 1.0
+        adjusted = adjusted_ell_tim_plus(ell, n)
+        assert 3 * n ** (-adjusted) == pytest.approx(n ** (-ell))
+
+    def test_adjustment_is_mild(self):
+        assert adjusted_ell_tim(1.0, 10**6) < 1.06
+
+
+class TestKptIterationSchedule:
+    def test_max_iterations(self):
+        assert kpt_max_iterations(1024) == 9  # log2 = 10, minus 1
+        assert kpt_max_iterations(2) == 1  # floored at 1
+
+    def test_samples_double_per_iteration(self):
+        c1 = kpt_samples_per_iteration(1000, 1.0, 1)
+        c2 = kpt_samples_per_iteration(1000, 1.0, 2)
+        assert c2 == pytest.approx(2 * c1, abs=2)
+
+    def test_equation9_value(self):
+        n, ell, i = 1000, 1.0, 3
+        expected = (6 * ell * math.log(n) + 6 * math.log(math.log2(n))) * 2**i
+        assert kpt_samples_per_iteration(n, ell, i) == math.ceil(expected)
+
+    def test_increases_with_ell(self):
+        assert kpt_samples_per_iteration(1000, 2.0, 1) > kpt_samples_per_iteration(
+            1000, 1.0, 1
+        )

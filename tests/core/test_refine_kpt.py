@@ -1,0 +1,107 @@
+"""Tests for Algorithm 3 (RefineKPT)."""
+
+import pytest
+
+from repro.core import estimate_kpt, refine_kpt
+from repro.core.parameters import epsilon_prime_default
+from repro.rrset import make_rr_sampler
+
+
+def run_refine(graph, k=5, kpt_scale=1.0, rng=1):
+    sampler = make_rr_sampler(graph, "IC")
+    estimation = estimate_kpt(graph, k, sampler, rng=rng)
+    eps_prime = epsilon_prime_default(0.3, k, 1.0)
+    return (
+        estimation,
+        refine_kpt(
+            graph,
+            k,
+            estimation.kpt_star * kpt_scale,
+            estimation.last_iteration_sets,
+            sampler,
+            epsilon_prime=eps_prime,
+            rng=rng + 1,
+        ),
+    )
+
+
+class TestRefinement:
+    def test_kpt_plus_never_below_kpt_star(self, small_wc_graph):
+        estimation, refined = run_refine(small_wc_graph)
+        assert refined.kpt_plus >= estimation.kpt_star
+
+    def test_kpt_plus_is_max_of_candidates(self, small_wc_graph):
+        estimation, refined = run_refine(small_wc_graph)
+        assert refined.kpt_plus == max(refined.kpt_prime, estimation.kpt_star)
+
+    def test_kpt_plus_below_n(self, small_wc_graph):
+        _, refined = run_refine(small_wc_graph)
+        assert refined.kpt_plus <= small_wc_graph.n
+
+    def test_interim_seeds_are_k_distinct_nodes(self, small_wc_graph):
+        _, refined = run_refine(small_wc_graph, k=4)
+        assert len(refined.interim_seeds) == 4
+        assert len(set(refined.interim_seeds)) == 4
+
+    def test_theta_prime_matches_formula(self, small_wc_graph):
+        from repro.core.parameters import lambda_prime, theta_from_kpt
+
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        estimation = estimate_kpt(small_wc_graph, 5, sampler, rng=3)
+        eps_prime = 0.4
+        refined = refine_kpt(
+            small_wc_graph,
+            5,
+            estimation.kpt_star,
+            estimation.last_iteration_sets,
+            sampler,
+            epsilon_prime=eps_prime,
+            rng=4,
+        )
+        expected = theta_from_kpt(
+            lambda_prime(eps_prime, 1.0, small_wc_graph.n), estimation.kpt_star
+        )
+        assert refined.num_rr_sets == expected
+
+    def test_deterministic(self, small_wc_graph):
+        _, a = run_refine(small_wc_graph, rng=7)
+        _, b = run_refine(small_wc_graph, rng=7)
+        assert a.kpt_plus == b.kpt_plus
+
+    def test_kpt_prime_deflated_by_epsilon_prime(self, small_wc_graph):
+        # KPT' = f*n/(1+eps') <= n/(1+eps') strictly below n.
+        _, refined = run_refine(small_wc_graph)
+        assert refined.kpt_prime < small_wc_graph.n
+
+
+class TestValidation:
+    def test_rejects_empty_last_sets(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        with pytest.raises(ValueError, match="last-iteration"):
+            refine_kpt(small_wc_graph, 2, 1.0, [], sampler, epsilon_prime=0.3)
+
+    def test_rejects_kpt_below_one(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        estimation = estimate_kpt(small_wc_graph, 2, sampler, rng=1)
+        with pytest.raises(ValueError, match="KPT"):
+            refine_kpt(
+                small_wc_graph,
+                2,
+                0.5,
+                estimation.last_iteration_sets,
+                sampler,
+                epsilon_prime=0.3,
+            )
+
+    def test_rejects_bad_epsilon_prime(self, small_wc_graph):
+        sampler = make_rr_sampler(small_wc_graph, "IC")
+        estimation = estimate_kpt(small_wc_graph, 2, sampler, rng=1)
+        with pytest.raises(ValueError):
+            refine_kpt(
+                small_wc_graph,
+                2,
+                estimation.kpt_star,
+                estimation.last_iteration_sets,
+                sampler,
+                epsilon_prime=0.0,
+            )

@@ -1,0 +1,144 @@
+"""Tests for node-weighted influence maximization."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedRootSampler, weighted_lambda, weighted_tim_plus
+from repro.graphs import GraphBuilder, path_digraph, star_digraph
+from repro.rrset import make_rr_sampler
+from repro.utils.rng import RandomSource
+
+
+class TestWeightedRootSampler:
+    def test_roots_proportional_to_weights(self, small_wc_graph):
+        weights = np.ones(small_wc_graph.n)
+        weights[7] = 10.0
+        sampler = WeightedRootSampler(make_rr_sampler(small_wc_graph, "IC"), weights)
+        rng = RandomSource(1)
+        roots = [sampler.sample(rng).root for _ in range(6000)]
+        frequency = roots.count(7) / 6000
+        expected = 10.0 / weights.sum()
+        assert frequency == pytest.approx(expected, rel=0.15)
+
+    def test_zero_weight_roots_never_drawn(self, small_wc_graph):
+        weights = np.ones(small_wc_graph.n)
+        weights[3] = 0.0
+        sampler = WeightedRootSampler(make_rr_sampler(small_wc_graph, "IC"), weights)
+        rng = RandomSource(2)
+        assert all(sampler.sample(rng).root != 3 for _ in range(600))
+
+    def test_rejects_negative_weights(self, small_wc_graph):
+        weights = np.ones(small_wc_graph.n)
+        weights[0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedRootSampler(make_rr_sampler(small_wc_graph, "IC"), weights)
+
+    def test_rejects_all_zero(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            WeightedRootSampler(
+                make_rr_sampler(small_wc_graph, "IC"), np.zeros(small_wc_graph.n)
+            )
+
+    def test_rejects_wrong_length(self, small_wc_graph):
+        with pytest.raises(ValueError):
+            WeightedRootSampler(make_rr_sampler(small_wc_graph, "IC"), np.ones(3))
+
+    def test_weighted_estimator_unbiased(self):
+        """W * F_R(S) estimates the weighted spread (weighted Corollary 1)."""
+        from repro.analysis import exact_spread_ic
+
+        g = path_digraph(4, prob=0.5)
+        # Weight only the tail node: weighted spread of {0} =
+        # w3 * P(0 activates 3) + w0 * 1 = 8 * 0.125 + 1.
+        weights = np.array([1.0, 0.0, 0.0, 8.0])
+        sampler = WeightedRootSampler(make_rr_sampler(g, "IC"), weights)
+        rng = RandomSource(3)
+        runs = 30000
+        covered = 0
+        for _ in range(runs):
+            if 0 in sampler.sample(rng).nodes:
+                covered += 1
+        estimate = covered / runs * sampler.total_weight
+        assert estimate == pytest.approx(8 * 0.125 + 1.0, abs=0.1)
+
+
+class TestWeightedLambda:
+    def test_reduces_to_plain_lambda_for_uniform_weights(self):
+        from repro.core import lambda_param
+
+        n, k, epsilon, ell = 100, 3, 0.5, 1.0
+        assert weighted_lambda(n, float(n), k, epsilon, ell) == pytest.approx(
+            lambda_param(n, k, epsilon, ell)
+        )
+
+    def test_scales_with_total_weight(self):
+        assert weighted_lambda(100, 200.0, 3, 0.5, 1.0) == pytest.approx(
+            2 * weighted_lambda(100, 100.0, 3, 0.5, 1.0)
+        )
+
+
+class TestWeightedTimPlus:
+    def test_uniform_weights_match_unweighted_choice(self, small_wc_graph):
+        from repro.core import tim_plus
+
+        weighted = weighted_tim_plus(
+            small_wc_graph, 1, np.ones(small_wc_graph.n), epsilon=0.5, rng=4
+        )
+        plain = tim_plus(small_wc_graph, 1, epsilon=0.5, rng=4)
+        assert weighted.seeds == plain.seeds
+
+    def test_weights_redirect_selection(self):
+        # Two stars; hub 0 has more leaves, but hub 5's leaves carry all the
+        # weight — the weighted objective must pick hub 5.
+        builder = GraphBuilder(num_nodes=10)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7, 8):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        weights = np.zeros(10)
+        weights[[6, 7, 8]] = 5.0
+        weights[5] = 1.0
+        result = weighted_tim_plus(g, 1, weights, epsilon=0.5, rng=5)
+        assert result.seeds == [5]
+
+    def test_unweighted_choice_differs_here(self):
+        builder = GraphBuilder(num_nodes=10)
+        for leaf in (1, 2, 3, 4):
+            builder.add_edge(0, leaf, 1.0)
+        for leaf in (6, 7, 8):
+            builder.add_edge(5, leaf, 1.0)
+        g = builder.build()
+        from repro.core import tim_plus
+
+        plain = tim_plus(g, 1, epsilon=0.5, rng=6)
+        assert plain.seeds == [0]  # bigger star wins by node count
+
+    def test_estimated_spread_in_weight_units(self):
+        g = star_digraph(6, prob=1.0, outward=True)
+        weights = np.full(6, 2.0)
+        result = weighted_tim_plus(g, 1, weights, epsilon=0.5, rng=7)
+        assert result.seeds == [0]
+        # Hub activates all 6 nodes: weighted spread 12.
+        assert result.estimated_spread == pytest.approx(12.0, rel=0.1)
+
+    def test_weight_floor_applies(self, small_wc_graph):
+        weights = np.ones(small_wc_graph.n)
+        result = weighted_tim_plus(small_wc_graph, 5, weights, epsilon=0.5, rng=8)
+        assert result.kpt_plus >= result.extras["weight_floor"]
+        assert result.extras["weight_floor"] == pytest.approx(5.0)
+
+    def test_theta_cap(self, small_wc_graph):
+        result = weighted_tim_plus(
+            small_wc_graph, 2, np.ones(small_wc_graph.n), epsilon=0.5, rng=9, max_theta=11
+        )
+        assert result.theta == 11
+        assert result.extras["theta_capped"] is True
+
+    def test_result_contract(self, small_wc_graph):
+        result = weighted_tim_plus(
+            small_wc_graph, 4, np.ones(small_wc_graph.n), epsilon=0.5, rng=10
+        )
+        assert result.algorithm == "WeightedTIM+"
+        assert len(set(result.seeds)) == 4
+        assert result.rr_collection_bytes > 0

@@ -1,0 +1,94 @@
+"""Tests for the dataset stand-in registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset, dataset_names, dataset_spec, paper_table2
+from repro.graphs import validate_lt_weights
+
+
+class TestRegistry:
+    def test_five_paper_datasets(self):
+        assert dataset_names() == ["nethept", "epinions", "dblp", "livejournal", "twitter"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="known:"):
+            dataset_spec("facebook")
+
+    def test_case_insensitive(self):
+        assert dataset_spec("NetHEPT").name == "nethept"
+
+    def test_paper_table_rows(self):
+        rows = paper_table2()
+        assert len(rows) == 5
+        assert rows[0][0] == "nethept"
+        assert rows[4][4] == 70.5  # twitter's Table 2 average degree
+
+
+class TestBuild:
+    def test_deterministic(self):
+        a = build_dataset("nethept")
+        b = build_dataset("nethept")
+        assert a.graph.same_structure(b.graph)
+
+    def test_scale(self):
+        full = build_dataset("nethept")
+        half = build_dataset("nethept", scale=0.5)
+        assert half.graph.n == pytest.approx(full.graph.n / 2, rel=0.05)
+
+    def test_minimum_size_floor(self):
+        tiny = build_dataset("nethept", scale=1e-9)
+        assert tiny.graph.n >= 16
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            build_dataset("nethept", scale=0.0)
+
+    def test_size_ordering_preserved(self):
+        sizes = [build_dataset(name, scale=0.25).graph.n for name in dataset_names()]
+        assert sizes == sorted(sizes)
+
+    @pytest.mark.parametrize("name", ["nethept", "epinions", "dblp"])
+    def test_average_degree_near_paper(self, name):
+        dataset = build_dataset(name)
+        summary = dataset.summary()
+        assert summary.average_degree == pytest.approx(
+            dataset.spec.paper_avg_degree, rel=0.15
+        )
+
+    def test_undirected_datasets_symmetric(self):
+        graph = build_dataset("dblp", scale=0.25).graph
+        pairs = graph.edge_set()
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_directed_dataset_asymmetric(self):
+        graph = build_dataset("epinions", scale=0.25).graph
+        pairs = graph.edge_set()
+        assert any((v, u) not in pairs for u, v in pairs)
+
+
+class TestWeightedViews:
+    def test_ic_view_is_weighted_cascade(self):
+        dataset = build_dataset("nethept", scale=0.25)
+        graph = dataset.weighted_for("IC")
+        in_degrees = graph.in_degrees()
+        expected = 1.0 / in_degrees[graph.dst]
+        assert np.allclose(graph.prob, expected)
+
+    def test_lt_view_validates(self):
+        dataset = build_dataset("nethept", scale=0.25)
+        validate_lt_weights(dataset.weighted_for("LT"))
+
+    def test_lt_view_deterministic(self):
+        dataset = build_dataset("nethept", scale=0.25)
+        assert np.array_equal(
+            dataset.weighted_for("LT").prob, dataset.weighted_for("LT").prob
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_dataset("nethept", scale=0.25).weighted_for("SIR")
+
+    def test_topology_shared_across_views(self):
+        dataset = build_dataset("nethept", scale=0.25)
+        assert dataset.weighted_for("IC").edge_set() == dataset.weighted_for("LT").edge_set()

@@ -1,0 +1,94 @@
+"""Tests for the IC model."""
+
+import pytest
+
+from repro.diffusion import IndependentCascade, live_edge_reachable_ic, simulate_ic
+from repro.graphs import constant_probability, path_digraph, star_digraph
+from repro.utils.rng import RandomSource
+
+
+class TestDeterministicCases:
+    def test_p1_path_activates_everything_downstream(self):
+        g = path_digraph(5, prob=1.0)
+        assert simulate_ic(g, [0], rng=1) == {0, 1, 2, 3, 4}
+
+    def test_p1_path_from_middle(self):
+        g = path_digraph(5, prob=1.0)
+        assert simulate_ic(g, [2], rng=1) == {2, 3, 4}
+
+    def test_p0_only_seeds_active(self):
+        g = constant_probability(path_digraph(5), 0.0)
+        assert simulate_ic(g, [0, 2], rng=1) == {0, 2}
+
+    def test_seeds_always_active(self):
+        g = constant_probability(star_digraph(6), 0.0)
+        assert simulate_ic(g, [3], rng=1) == {3}
+
+    def test_star_p1(self):
+        g = star_digraph(6, prob=1.0)
+        assert simulate_ic(g, [0], rng=1) == set(range(6))
+
+    def test_leaf_seed_activates_nothing_upstream(self):
+        g = star_digraph(6, prob=1.0)
+        assert simulate_ic(g, [2], rng=1) == {2}
+
+    def test_empty_seed_set(self):
+        g = path_digraph(3, prob=1.0)
+        assert simulate_ic(g, [], rng=1) == set()
+
+
+class TestStatisticalBehaviour:
+    def test_single_edge_activation_rate(self):
+        g = path_digraph(2, prob=0.3)
+        rng = RandomSource(42)
+        hits = sum(1 in simulate_ic(g, [0], rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_two_hop_rate_is_product(self):
+        g = path_digraph(3, prob=0.5)
+        rng = RandomSource(43)
+        hits = sum(2 in simulate_ic(g, [0], rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.25, abs=0.03)
+
+    def test_each_edge_tried_at_most_once(self):
+        # In a diamond, node 3 is activated with p = 1 - (1 - p1*p3)(1 - p2*p4)
+        # only if each of the two paths fires independently exactly once.
+        from repro.graphs import GraphBuilder
+
+        builder = GraphBuilder(num_nodes=4)
+        builder.add_edge(0, 1, 1.0)
+        builder.add_edge(0, 2, 1.0)
+        builder.add_edge(1, 3, 0.5)
+        builder.add_edge(2, 3, 0.5)
+        g = builder.build()
+        rng = RandomSource(44)
+        hits = sum(3 in simulate_ic(g, [0], rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.75, abs=0.03)
+
+
+class TestLiveEdgeEquivalence:
+    def test_distributions_match(self, diamond_graph):
+        rng_a = RandomSource(7)
+        rng_b = RandomSource(8)
+        runs = 4000
+        bfs_mean = sum(len(simulate_ic(diamond_graph, [0], rng_a)) for _ in range(runs)) / runs
+        live_mean = (
+            sum(len(live_edge_reachable_ic(diamond_graph, [0], rng_b)) for _ in range(runs)) / runs
+        )
+        assert bfs_mean == pytest.approx(live_mean, abs=0.08)
+
+    def test_live_edge_deterministic_cases(self):
+        g = path_digraph(4, prob=1.0)
+        assert live_edge_reachable_ic(g, [1], rng=1) == {1, 2, 3}
+
+
+class TestModelClass:
+    def test_simulate_delegates(self, deterministic_path):
+        model = IndependentCascade()
+        assert model.simulate(deterministic_path, [0], RandomSource(1)) == {0, 1, 2, 3}
+
+    def test_name(self):
+        assert IndependentCascade.name == "IC"
+
+    def test_validate_graph_accepts_anything(self, diamond_graph):
+        IndependentCascade().validate_graph(diamond_graph)

@@ -1,0 +1,99 @@
+"""Tests for the LT model."""
+
+import pytest
+
+from repro.diffusion import (
+    LinearThreshold,
+    live_edge_reachable_lt,
+    sample_lt_in_edge,
+    simulate_lt,
+)
+from repro.graphs import DiGraph, GraphBuilder, path_digraph
+from repro.utils.rng import RandomSource
+
+
+class TestDeterministicCases:
+    def test_weight_one_chain_activates(self):
+        g = path_digraph(4, prob=1.0)
+        assert simulate_lt(g, [0], rng=1) == {0, 1, 2, 3}
+
+    def test_zero_weights_spread_nothing(self):
+        g = path_digraph(4, prob=0.0)
+        assert simulate_lt(g, [0], rng=1) == {0}
+
+    def test_empty_seed_set(self):
+        assert simulate_lt(path_digraph(3, prob=1.0), [], rng=1) == set()
+
+    def test_combined_weights_guarantee_activation(self):
+        # Two in-edges of 0.5 each: if both sources are seeds, the target's
+        # incoming weight is 1.0 >= any threshold, so it always activates.
+        g = DiGraph(3, [0, 1], [2, 2], [0.5, 0.5])
+        assert 2 in simulate_lt(g, [0, 1], rng=7)
+
+
+class TestStatisticalBehaviour:
+    def test_single_edge_rate_equals_weight(self):
+        g = DiGraph(2, [0], [1], [0.3])
+        rng = RandomSource(42)
+        hits = sum(1 in simulate_lt(g, [0], rng) for _ in range(4000))
+        # Pr[threshold <= 0.3] = 0.3.
+        assert hits / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_partial_weights_partial_activation(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.5, 0.5])
+        rng = RandomSource(43)
+        hits = sum(2 in simulate_lt(g, [0], rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_validate_rejects_super_stochastic(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.9, 0.9])
+        with pytest.raises(ValueError):
+            LinearThreshold().validate_graph(g)
+
+
+class TestSampleLtInEdge:
+    def test_empty_neighbourhood(self):
+        assert sample_lt_in_edge([], [], lambda: 0.0) is None
+
+    def test_deterministic_draws(self):
+        neighbors = [10, 20]
+        weights = [0.3, 0.4]
+        assert sample_lt_in_edge(neighbors, weights, lambda: 0.1) == 10
+        assert sample_lt_in_edge(neighbors, weights, lambda: 0.5) == 20
+        assert sample_lt_in_edge(neighbors, weights, lambda: 0.9) is None
+
+    def test_boundary_draw(self):
+        assert sample_lt_in_edge([5], [0.5], lambda: 0.4999) == 5
+        assert sample_lt_in_edge([5], [0.5], lambda: 0.5) is None
+
+
+class TestLiveEdgeEquivalence:
+    def graph(self) -> DiGraph:
+        builder = GraphBuilder(num_nodes=4)
+        builder.add_edge(0, 1, 0.6)
+        builder.add_edge(2, 1, 0.4)
+        builder.add_edge(1, 3, 0.5)
+        builder.add_edge(0, 3, 0.5)
+        return builder.build()
+
+    def test_distributions_match(self):
+        g = self.graph()
+        rng_a = RandomSource(7)
+        rng_b = RandomSource(8)
+        runs = 5000
+        threshold_mean = sum(len(simulate_lt(g, [0], rng_a)) for _ in range(runs)) / runs
+        live_mean = sum(len(live_edge_reachable_lt(g, [0], rng_b)) for _ in range(runs)) / runs
+        assert threshold_mean == pytest.approx(live_mean, abs=0.08)
+
+    def test_live_edge_weight_one(self):
+        g = path_digraph(4, prob=1.0)
+        assert live_edge_reachable_lt(g, [0], rng=1) == {0, 1, 2, 3}
+
+
+class TestModelClass:
+    def test_name(self):
+        assert LinearThreshold.name == "LT"
+
+    def test_simulate_delegates(self):
+        g = path_digraph(3, prob=1.0)
+        assert LinearThreshold().simulate(g, [0], RandomSource(1)) == {0, 1, 2}

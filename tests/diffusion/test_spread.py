@@ -1,0 +1,101 @@
+"""Tests for Monte-Carlo spread estimation."""
+
+import pytest
+
+from repro.diffusion import (
+    estimate_spread,
+    marginal_gain_estimate,
+    spread_samples,
+)
+from repro.diffusion.base import model_names, resolve_model
+from repro.graphs import constant_probability, path_digraph, star_digraph
+
+
+class TestSpreadSamples:
+    def test_deterministic_graph_constant_samples(self):
+        g = path_digraph(4, prob=1.0)
+        samples = spread_samples(g, [0], model="IC", num_samples=50, rng=1)
+        assert samples.tolist() == [4.0] * 50
+
+    def test_sample_count(self):
+        g = path_digraph(3, prob=0.5)
+        assert spread_samples(g, [0], num_samples=77, rng=1).shape == (77,)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            spread_samples(path_digraph(3), [0], num_samples=0)
+
+
+class TestEstimateSpread:
+    def test_exact_on_deterministic_graph(self):
+        g = star_digraph(7, prob=1.0)
+        estimate = estimate_spread(g, [0], model="IC", num_samples=20, rng=1)
+        assert estimate.mean == 7.0
+        assert estimate.std == 0.0
+
+    def test_statistical_accuracy(self):
+        g = path_digraph(2, prob=0.4)
+        estimate = estimate_spread(g, [0], model="IC", num_samples=5000, rng=2)
+        assert estimate.mean == pytest.approx(1.4, abs=0.05)
+
+    def test_confidence_interval_contains_truth(self):
+        g = path_digraph(2, prob=0.4)
+        estimate = estimate_spread(g, [0], model="IC", num_samples=5000, rng=3)
+        low, high = estimate.confidence_interval()
+        assert low <= 1.4 <= high
+
+    def test_stderr_shrinks_with_samples(self):
+        g = path_digraph(2, prob=0.5)
+        small = estimate_spread(g, [0], num_samples=100, rng=4)
+        large = estimate_spread(g, [0], num_samples=10000, rng=4)
+        assert large.stderr < small.stderr
+
+    def test_float_conversion(self):
+        g = path_digraph(2, prob=1.0)
+        assert float(estimate_spread(g, [0], num_samples=10, rng=5)) == 2.0
+
+    def test_lt_model_accepted(self):
+        g = path_digraph(3, prob=1.0)
+        estimate = estimate_spread(g, [0], model="LT", num_samples=20, rng=6)
+        assert estimate.mean == 3.0
+
+
+class TestMarginalGain:
+    def test_gain_of_disjoint_component(self):
+        g = constant_probability(star_digraph(5, outward=True), 0.0)
+        # Adding an isolated-in-effect node always contributes exactly 1.
+        gain = marginal_gain_estimate(g, [0], 2, num_samples=200, rng=7)
+        assert gain == pytest.approx(1.0)
+
+    def test_gain_of_redundant_node_is_zero(self):
+        g = path_digraph(3, prob=1.0)
+        # Node 1 is always activated by seed 0; adding it gains nothing.
+        gain = marginal_gain_estimate(g, [0], 1, num_samples=200, rng=8)
+        assert gain == pytest.approx(0.0)
+
+    def test_common_random_numbers_reduce_variance(self):
+        g = path_digraph(4, prob=0.5)
+        gain = marginal_gain_estimate(g, [0], 3, num_samples=500, rng=9)
+        # True gain: 1 - P(0 reaches 3) = 1 - 0.125 = 0.875.
+        assert gain == pytest.approx(0.875, abs=0.06)
+
+
+class TestModelResolution:
+    def test_resolve_by_name_case_insensitive(self):
+        assert resolve_model("ic").name == "IC"
+        assert resolve_model("LT").name == "LT"
+
+    def test_resolve_instance_passthrough(self):
+        model = resolve_model("IC")
+        assert resolve_model(model) is model
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            resolve_model("SIR")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_model(42)
+
+    def test_registry_contains_ic_and_lt(self):
+        assert {"ic", "lt"} <= set(model_names())

@@ -1,0 +1,104 @@
+"""Tests for the general triggering model."""
+
+import pytest
+
+from repro.diffusion import (
+    FixedTriggering,
+    ICTriggering,
+    LTTriggering,
+    TriggeringModel,
+    simulate_ic,
+    simulate_lt,
+)
+from repro.graphs import DiGraph, path_digraph
+from repro.utils.rng import RandomSource
+
+
+class TestFixedTriggering:
+    def test_deterministic_propagation(self):
+        g = path_digraph(4, prob=0.5)
+        # Node v's triggering set contains its predecessor: full chain fires.
+        dist = FixedTriggering(g, {1: [0], 2: [1], 3: [2]})
+        model = TriggeringModel(dist)
+        assert model.simulate(g, [0], RandomSource(1)) == {0, 1, 2, 3}
+
+    def test_empty_sets_block_propagation(self):
+        g = path_digraph(4, prob=0.5)
+        dist = FixedTriggering(g, {1: [0], 2: [], 3: [2]})
+        model = TriggeringModel(dist)
+        # Chain breaks at node 2, so 3 is unreachable too.
+        assert model.simulate(g, [0], RandomSource(1)) == {0, 1}
+
+    def test_rejects_non_in_neighbour(self):
+        g = path_digraph(3)
+        with pytest.raises(ValueError, match="non-in-neighbours"):
+            FixedTriggering(g, {2: [0]})  # 0 is not an in-neighbour of 2
+
+    def test_missing_nodes_default_to_empty(self):
+        g = path_digraph(3, prob=1.0)
+        dist = FixedTriggering(g, {})
+        model = TriggeringModel(dist)
+        assert model.simulate(g, [0], RandomSource(1)) == {0}
+
+
+class TestICEquivalence:
+    def test_matches_ic_distribution(self, diamond_graph):
+        model = TriggeringModel(ICTriggering(diamond_graph))
+        rng_a = RandomSource(5)
+        rng_b = RandomSource(6)
+        runs = 4000
+        triggering_mean = (
+            sum(len(model.simulate(diamond_graph, [0], rng_a)) for _ in range(runs)) / runs
+        )
+        ic_mean = sum(len(simulate_ic(diamond_graph, [0], rng_b)) for _ in range(runs)) / runs
+        assert triggering_mean == pytest.approx(ic_mean, abs=0.08)
+
+    def test_p1_graph_deterministic(self):
+        g = path_digraph(4, prob=1.0)
+        model = TriggeringModel(ICTriggering(g))
+        assert model.simulate(g, [0], RandomSource(2)) == {0, 1, 2, 3}
+
+
+class TestLTEquivalence:
+    def test_matches_lt_distribution(self):
+        g = DiGraph(4, [0, 2, 1, 0], [1, 1, 3, 3], [0.6, 0.4, 0.5, 0.5])
+        model = TriggeringModel(LTTriggering(g))
+        rng_a = RandomSource(7)
+        rng_b = RandomSource(8)
+        runs = 5000
+        triggering_mean = sum(len(model.simulate(g, [0], rng_a)) for _ in range(runs)) / runs
+        lt_mean = sum(len(simulate_lt(g, [0], rng_b)) for _ in range(runs)) / runs
+        assert triggering_mean == pytest.approx(lt_mean, abs=0.08)
+
+    def test_lt_triggering_samples_at_most_one(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.5, 0.5])
+        dist = LTTriggering(g)
+        rng = RandomSource(9)
+        for _ in range(200):
+            assert len(dist.sample(2, rng)) <= 1
+
+    def test_lt_triggering_validates_weights(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.9, 0.9])
+        with pytest.raises(ValueError):
+            TriggeringModel(LTTriggering(g)).validate_graph(g)
+
+
+class TestModelBinding:
+    def test_rejects_foreign_graph(self):
+        g1 = path_digraph(3)
+        g2 = path_digraph(3)
+        model = TriggeringModel(ICTriggering(g1))
+        with pytest.raises(ValueError, match="different graph"):
+            model.validate_graph(g2)
+
+    def test_sampling_is_lazy_but_consistent(self):
+        # A node's triggering set is sampled at most once per run: with two
+        # seeds pointing at one target, the target's inclusion must be
+        # consistent (no double-dipping on probability).
+        g = DiGraph(3, [0, 1], [2, 2], [0.5, 0.5])
+        model = TriggeringModel(LTTriggering(g))
+        rng = RandomSource(10)
+        hits = sum(2 in model.simulate(g, [0, 1], rng) for _ in range(4000))
+        # LT triggering: node 2 picks exactly one of {0, 1}; both are seeds,
+        # so it always activates.
+        assert hits == 4000

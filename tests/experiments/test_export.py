@@ -1,0 +1,71 @@
+"""Tests for result export / import."""
+
+import csv
+import json
+
+from repro.experiments import (
+    ExperimentResult,
+    RunRecord,
+    load_result_json,
+    records_to_json,
+    result_to_csv,
+    result_to_json,
+)
+
+
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult("figure-x", "demo", headers=["k", "time", "label"])
+    result.add_row(1, 0.5, "a")
+    result.add_row(5, None, "b")
+    result.notes.append("a note")
+    return result
+
+
+class TestCsv:
+    def test_round_trip_values(self, tmp_path):
+        path = tmp_path / "out.csv"
+        result_to_csv(sample_result(), path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["k", "time", "label"]
+        assert rows[1] == ["1", "0.5", "a"]
+        assert rows[2] == ["5", "", "b"]  # None -> empty cell
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        original = sample_result()
+        result_to_json(original, path)
+        loaded = load_result_json(path)
+        assert loaded.name == original.name
+        assert loaded.headers == original.headers
+        assert loaded.rows == original.rows
+        assert loaded.notes == original.notes
+
+    def test_json_is_valid(self, tmp_path):
+        path = tmp_path / "out.json"
+        result_to_json(sample_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "figure-x"
+
+
+class TestRecords:
+    def test_records_serialise(self, tmp_path):
+        records = [
+            RunRecord(
+                algorithm="TIM+",
+                dataset="nethept",
+                model="IC",
+                k=5,
+                runtime_seconds=0.4,
+                seeds=[1, 2, 3, 4, 5],
+                theta=1000,
+            )
+        ]
+        path = tmp_path / "records.json"
+        records_to_json(records, path)
+        payload = json.loads(path.read_text())
+        assert payload[0]["algorithm"] == "TIM+"
+        assert payload[0]["seeds"] == [1, 2, 3, 4, 5]
+        assert payload[0]["theta"] == 1000

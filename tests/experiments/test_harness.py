@@ -1,0 +1,57 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import run_algorithm
+
+
+class TestRunAlgorithm:
+    def test_records_basics(self, small_wc_graph):
+        record = run_algorithm(
+            small_wc_graph, "tim+", 3, model="IC", dataset="demo", rng=1, epsilon=0.5
+        )
+        assert record.algorithm == "TIM+"
+        assert record.dataset == "demo"
+        assert record.k == 3
+        assert record.runtime_seconds > 0
+        assert len(record.seeds) == 3
+
+    def test_tim_diagnostics_captured(self, small_wc_graph):
+        record = run_algorithm(small_wc_graph, "tim+", 3, rng=2, epsilon=0.5)
+        assert record.kpt_star is not None
+        assert record.kpt_plus >= record.kpt_star
+        assert record.theta > 0
+        assert record.rr_collection_bytes > 0
+        assert "node_selection" in record.phase_seconds
+
+    def test_non_tim_algorithms_have_no_theta(self, small_wc_graph):
+        record = run_algorithm(small_wc_graph, "degree", 3, rng=3)
+        assert record.theta is None
+        assert record.kpt_star is None
+
+    def test_spread_rescoring(self, small_wc_graph):
+        record = run_algorithm(
+            small_wc_graph, "degree", 3, rng=4, spread_samples=300
+        )
+        assert record.spread is not None
+        assert record.spread >= 3.0  # seeds activate themselves
+
+    def test_no_rescoring_by_default(self, small_wc_graph):
+        record = run_algorithm(small_wc_graph, "degree", 3, rng=5)
+        assert record.spread is None
+
+    def test_memory_tracking(self, small_wc_graph):
+        record = run_algorithm(
+            small_wc_graph, "tim+", 2, rng=6, epsilon=0.5, track_memory=True
+        )
+        assert record.peak_memory_bytes is not None
+        assert record.peak_memory_bytes > 0
+
+    def test_kwargs_forwarded(self, small_wc_graph):
+        record = run_algorithm(small_wc_graph, "greedy", 2, rng=7, num_runs=5)
+        assert record.extras["num_runs"] == 5
+
+    def test_deterministic_given_seed(self, small_wc_graph):
+        a = run_algorithm(small_wc_graph, "tim+", 3, rng=8, epsilon=0.5)
+        b = run_algorithm(small_wc_graph, "tim+", 3, rng=8, epsilon=0.5)
+        assert a.seeds == b.seeds

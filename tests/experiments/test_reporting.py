@@ -1,0 +1,54 @@
+"""Tests for experiment result rendering."""
+
+from repro.experiments import ExperimentResult, format_table, render
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("t", "title", headers=["k", "time"])
+        result.add_row(1, 0.5)
+        result.add_row(5, 0.7)
+        assert result.column("time") == [0.5, 0.7]
+
+    def test_column_unknown_header(self):
+        result = ExperimentResult("t", "title", headers=["k"])
+        try:
+            result.column("nope")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        # All lines equal width per column: header and separator align.
+        assert len(lines[1]) == len(lines[0])
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.12345], [1234.5], [12.3]])
+        assert "0.1234" in text or "0.1235" in text
+        assert "1,234" in text or "1,235" in text
+
+    def test_title_line(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+
+class TestRender:
+    def test_includes_name_title_and_notes(self):
+        result = ExperimentResult(
+            "figure-x", "demo title", headers=["k"], notes=["remember this"]
+        )
+        result.add_row(1)
+        text = render(result)
+        assert "[figure-x]" in text
+        assert "demo title" in text
+        assert "note: remember this" in text

@@ -1,0 +1,30 @@
+"""Tests for the Section 5 theory table."""
+
+from repro.experiments import section5_table
+
+
+class TestSection5:
+    def test_five_rows(self):
+        result = section5_table()
+        assert len(result.rows) == 5
+
+    def test_tim_dominates_everywhere(self):
+        result = section5_table()
+        for row in result.rows:
+            dataset, tim, ris, greedy, ris_ratio, greedy_ratio = row
+            assert ris > tim, dataset
+            assert greedy > ris, dataset
+            assert ris_ratio > 1
+            assert greedy_ratio > ris_ratio
+
+    def test_greedy_gap_is_astronomical_at_scale(self):
+        result = section5_table()
+        by_name = {row[0]: row for row in result.rows}
+        # On the twitter-scale sizes Greedy is > 10^6 x TIM's bound.
+        assert by_name["twitter"][5] > 1e6
+
+    def test_parameters_change_ratios(self):
+        loose = section5_table(epsilon=0.5)
+        tight = section5_table(epsilon=0.1)
+        # RIS/TIM ratio carries a 1/eps factor: tighter eps widens the gap.
+        assert tight.rows[0][4] > loose.rows[0][4]

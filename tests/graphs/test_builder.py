@@ -1,0 +1,135 @@
+"""Tests for GraphBuilder."""
+
+import pytest
+
+from repro.graphs import GraphBuilder, from_edges
+
+
+class TestAddEdge:
+    def test_chaining(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+    def test_infers_num_nodes(self):
+        g = GraphBuilder().add_edge(0, 9).build()
+        assert g.num_nodes == 10
+
+    def test_fixed_num_nodes(self):
+        g = GraphBuilder(num_nodes=20).add_edge(0, 1).build()
+        assert g.num_nodes == 20
+
+    def test_edge_beyond_fixed_nodes_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            GraphBuilder(num_nodes=2).add_edge(0, 5)
+
+    def test_self_loop_rejected_by_default(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            GraphBuilder().add_edge(1, 1)
+
+    def test_self_loop_opt_in(self):
+        g = GraphBuilder(allow_self_loops=True).add_edge(1, 1).build()
+        assert g.has_edge(1, 1)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(-1, 0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder().add_edge(0, 1, prob=1.5)
+
+    def test_len_counts_pending_edges(self):
+        builder = GraphBuilder().add_edge(0, 1).add_undirected_edge(1, 2)
+        assert len(builder) == 3
+
+
+class TestUndirected:
+    def test_adds_both_directions(self):
+        g = GraphBuilder().add_undirected_edge(0, 1, 0.3).build()
+        assert g.edge_probability(0, 1) == 0.3
+        assert g.edge_probability(1, 0) == 0.3
+
+    def test_add_edges_from_undirected(self):
+        g = GraphBuilder().add_edges_from([(0, 1), (1, 2)], undirected=True).build()
+        assert g.num_edges == 4
+
+
+class TestAddEdgesFrom:
+    def test_two_and_three_tuples(self):
+        g = GraphBuilder().add_edges_from([(0, 1), (1, 2, 0.4)]).build()
+        assert g.edge_probability(0, 1) == 1.0
+        assert g.edge_probability(1, 2) == 0.4
+
+    def test_rejects_malformed_tuple(self):
+        with pytest.raises(ValueError, match="2 or 3"):
+            GraphBuilder().add_edges_from([(0, 1, 0.5, 9)])
+
+
+class TestDeduplication:
+    def test_error_policy_default(self):
+        builder = GraphBuilder().add_edge(0, 1).add_edge(0, 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            builder.build()
+
+    def test_keep_policy(self):
+        g = GraphBuilder(deduplicate="keep").add_edge(0, 1).add_edge(0, 1).build()
+        assert g.num_edges == 2
+
+    def test_first_policy(self):
+        g = (
+            GraphBuilder(deduplicate="first")
+            .add_edge(0, 1, 0.1)
+            .add_edge(0, 1, 0.9)
+            .build()
+        )
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == 0.1
+
+    def test_last_policy(self):
+        g = (
+            GraphBuilder(deduplicate="last")
+            .add_edge(0, 1, 0.1)
+            .add_edge(0, 1, 0.9)
+            .build()
+        )
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == 0.9
+
+    def test_max_policy(self):
+        g = (
+            GraphBuilder(deduplicate="max")
+            .add_edge(0, 1, 0.4)
+            .add_edge(0, 1, 0.9)
+            .add_edge(0, 1, 0.2)
+            .add_edge(2, 1, 0.5)
+            .build()
+        )
+        assert g.num_edges == 2
+        assert g.edge_probability(0, 1) == 0.9
+
+    def test_dedup_preserves_distinct_edges(self):
+        g = (
+            GraphBuilder(deduplicate="first")
+            .add_edges_from([(0, 1), (1, 0), (0, 2), (0, 1)])
+            .build()
+        )
+        assert g.edge_set() == {(0, 1), (1, 0), (0, 2)}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="deduplicate"):
+            GraphBuilder(deduplicate="bogus")
+
+
+class TestFromEdges:
+    def test_one_shot(self):
+        g = from_edges([(0, 1, 0.2), (1, 2, 0.3)])
+        assert g.num_edges == 2
+
+    def test_empty(self):
+        g = from_edges([])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_empty_with_nodes(self):
+        g = from_edges([], num_nodes=7)
+        assert g.num_nodes == 7

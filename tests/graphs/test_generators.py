@@ -1,0 +1,222 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_digraph,
+    cycle_digraph,
+    forest_fire_digraph,
+    gnm_random_digraph,
+    gnp_random_digraph,
+    paper_figure1_graph,
+    path_digraph,
+    planted_partition_digraph,
+    powerlaw_out_digraph,
+    preferential_attachment_graph,
+    star_digraph,
+    watts_strogatz_graph,
+)
+
+
+class TestFixtures:
+    def test_path(self):
+        g = path_digraph(4)
+        assert g.edge_set() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_cycle(self):
+        g = cycle_digraph(3)
+        assert g.edge_set() == {(0, 1), (1, 2), (2, 0)}
+
+    def test_cycle_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            cycle_digraph(1)
+
+    def test_star_outward(self):
+        g = star_digraph(4, outward=True)
+        assert g.out_degree(0) == 3
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star_digraph(4, outward=False)
+        assert g.in_degree(0) == 3
+        assert g.out_degree(0) == 0
+
+    def test_complete(self):
+        g = complete_digraph(4)
+        assert g.num_edges == 12
+
+    def test_probability_parameter(self):
+        g = path_digraph(3, prob=0.25)
+        assert g.edge_probability(0, 1) == 0.25
+
+    def test_figure1_matches_paper(self):
+        g = paper_figure1_graph()
+        assert g.num_nodes == 4
+        # v2 -> v1 (0.01), v2 -> v4 (0.01), v4 -> v1 (1.0), v3 -> v2, v1 -> v3
+        assert g.edge_probability(1, 0) == 0.01
+        assert g.edge_probability(3, 0) == 1.0
+        assert g.num_edges == 5
+
+
+class TestGnp:
+    def test_density_approximates_p(self):
+        g = gnp_random_digraph(100, 0.1, rng=1)
+        expected = 0.1 * 100 * 99
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_no_self_loops(self):
+        g = gnp_random_digraph(40, 0.3, rng=2)
+        assert not np.any(g.src == g.dst)
+
+    def test_deterministic_given_seed(self):
+        a = gnp_random_digraph(30, 0.2, rng=7)
+        b = gnp_random_digraph(30, 0.2, rng=7)
+        assert a.same_structure(b)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            gnp_random_digraph(10000, 0.5, rng=1)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_digraph(50, 300, rng=3)
+        assert g.num_edges == 300
+
+    def test_edges_distinct(self):
+        g = gnm_random_digraph(20, 150, rng=4)
+        assert len(g.edge_set()) == 150
+
+    def test_no_self_loops(self):
+        g = gnm_random_digraph(20, 150, rng=5)
+        assert not np.any(g.src == g.dst)
+
+    def test_deterministic(self):
+        assert gnm_random_digraph(20, 50, rng=6).same_structure(
+            gnm_random_digraph(20, 50, rng=6)
+        )
+
+    def test_full_graph(self):
+        g = gnm_random_digraph(5, 20, rng=1)
+        assert g.num_edges == 20
+
+    def test_rejects_impossible_m(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            gnm_random_digraph(3, 7, rng=1)
+
+    def test_zero_edges(self):
+        assert gnm_random_digraph(5, 0, rng=1).num_edges == 0
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity(self):
+        g = preferential_attachment_graph(100, 2, rng=8)
+        assert g.num_nodes == 100
+        # Undirected: every node has total degree >= 2 attachments * 2 dirs
+        assert int(g.out_degrees().min()) >= 2
+
+    def test_symmetric_when_undirected(self):
+        g = preferential_attachment_graph(50, 2, rng=9)
+        pairs = g.edge_set()
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_directed_variant(self):
+        g = preferential_attachment_graph(50, 2, rng=10, directed=True)
+        pairs = g.edge_set()
+        assert any((v, u) not in pairs for u, v in pairs)
+
+    def test_heavy_tail(self):
+        g = preferential_attachment_graph(300, 2, rng=11)
+        degrees = g.out_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_requires_n_above_m(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(3, 3, rng=1)
+
+
+class TestPowerlaw:
+    def test_average_degree_close(self):
+        g = powerlaw_out_digraph(500, 8.0, rng=12)
+        assert abs(g.m / g.n - 8.0) < 3.0
+
+    def test_no_self_loops(self):
+        g = powerlaw_out_digraph(200, 5.0, rng=13)
+        assert not np.any(g.src == g.dst)
+
+    def test_in_degree_heavy_tail(self):
+        g = powerlaw_out_digraph(500, 6.0, rng=14)
+        in_degrees = g.in_degrees()
+        assert in_degrees.max() > 5 * in_degrees.mean()
+
+    def test_deterministic(self):
+        assert powerlaw_out_digraph(100, 4.0, rng=15).same_structure(
+            powerlaw_out_digraph(100, 4.0, rng=15)
+        )
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_out_digraph(100, 4.0, exponent=0.5, rng=1)
+
+
+class TestWattsStrogatz:
+    def test_beta_zero_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0, rng=16)
+        # Ring lattice: every node connected to 2 neighbours each side.
+        assert int(g.out_degrees().min()) == 4
+        assert int(g.out_degrees().max()) == 4
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz_graph(40, 4, 0.0, rng=17)
+        rewired = watts_strogatz_graph(40, 4, 0.9, rng=17)
+        assert lattice.edge_set() != rewired.edge_set()
+
+    def test_symmetric(self):
+        g = watts_strogatz_graph(30, 4, 0.3, rng=18)
+        pairs = g.edge_set()
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_odd_lattice_degree_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            watts_strogatz_graph(20, 3, 0.1, rng=1)
+
+
+class TestPlantedPartition:
+    def test_blocks_denser_than_cross(self):
+        g = planted_partition_digraph(60, 3, 0.5, 0.02, rng=19)
+        membership = np.arange(60) % 3
+        same = membership[g.src] == membership[g.dst]
+        internal = int(same.sum())
+        external = g.m - internal
+        # 20 nodes/community: internal capacity 3*20*19, external 3*20*40.
+        assert internal / (3 * 20 * 19) > external / (3 * 20 * 40) * 5
+
+    def test_no_self_loops(self):
+        g = planted_partition_digraph(30, 2, 0.4, 0.1, rng=20)
+        assert not np.any(g.src == g.dst)
+
+    def test_more_communities_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            planted_partition_digraph(3, 5, 0.5, 0.1, rng=1)
+
+
+class TestForestFire:
+    def test_connected_to_earlier_nodes(self):
+        g = forest_fire_digraph(50, 0.3, rng=21)
+        # Every non-root node links only to strictly earlier nodes.
+        assert np.all(g.src > g.dst)
+
+    def test_each_node_has_out_edge(self):
+        g = forest_fire_digraph(50, 0.3, rng=22)
+        assert all(g.out_degree(v) >= 1 for v in range(1, g.n))
+
+    def test_burning_increases_density(self):
+        cold = forest_fire_digraph(200, 0.05, rng=23)
+        hot = forest_fire_digraph(200, 0.6, rng=23)
+        assert hot.num_edges > cold.num_edges
+
+    def test_deterministic(self):
+        assert forest_fire_digraph(60, 0.3, rng=24).same_structure(
+            forest_fire_digraph(60, 0.3, rng=24)
+        )

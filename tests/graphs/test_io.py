@@ -1,0 +1,61 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graphs import load_edge_list, parse_edge_lines, save_edge_list, path_digraph
+
+
+class TestParse:
+    def test_basic_pairs(self):
+        graph, labels = parse_edge_lines(["0 1", "1 2"])
+        assert graph.num_edges == 2
+        assert labels == {"0": 0, "1": 1, "2": 2}
+
+    def test_weighted_lines(self):
+        graph, _ = parse_edge_lines(["a b 0.25"])
+        assert graph.edge_probability(0, 1) == 0.25
+
+    def test_comments_and_blanks_skipped(self):
+        graph, _ = parse_edge_lines(["# header", "", "0 1", "   ", "# end"])
+        assert graph.num_edges == 1
+
+    def test_string_labels_compacted(self):
+        graph, labels = parse_edge_lines(["alice bob", "bob carol"])
+        assert graph.num_nodes == 3
+        assert labels["alice"] == 0
+
+    def test_undirected_doubles_edges(self):
+        graph, _ = parse_edge_lines(["0 1"], directed=False)
+        assert graph.edge_set() == {(0, 1), (1, 0)}
+
+    def test_default_probability(self):
+        graph, _ = parse_edge_lines(["0 1"], default_prob=0.5)
+        assert graph.edge_probability(0, 1) == 0.5
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_edge_lines(["0 1", "0 1 2 3"])
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        original = path_digraph(5, prob=0.3)
+        path = tmp_path / "graph.txt"
+        save_edge_list(original, path)
+        loaded, _ = load_edge_list(path)
+        assert loaded.same_structure(original)
+
+    def test_save_without_probabilities(self, tmp_path):
+        original = path_digraph(3, prob=0.3)
+        path = tmp_path / "graph.txt"
+        save_edge_list(original, path, write_probabilities=False)
+        loaded, _ = load_edge_list(path)
+        assert loaded.edge_set() == original.edge_set()
+        assert loaded.edge_probability(0, 1) == 1.0
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("# demo\n0 1 0.5\n1 2 0.5\n")
+        graph, labels = load_edge_list(path)
+        assert graph.num_edges == 2
+        assert len(labels) == 3

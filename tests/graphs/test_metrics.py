@@ -1,0 +1,121 @@
+"""Tests for structural graph metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    GraphBuilder,
+    bfs_distances,
+    complete_digraph,
+    cycle_digraph,
+    global_clustering_coefficient,
+    largest_scc_size,
+    path_digraph,
+    sampled_effective_diameter,
+    strongly_connected_components,
+)
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        components = strongly_connected_components(cycle_digraph(5))
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2, 3, 4]
+
+    def test_path_is_all_singletons(self):
+        components = strongly_connected_components(path_digraph(4))
+        assert len(components) == 4
+        assert all(len(c) == 1 for c in components)
+
+    def test_two_cycles_bridge(self):
+        builder = GraphBuilder(num_nodes=6)
+        builder.add_edges_from([(0, 1), (1, 2), (2, 0)])  # cycle A
+        builder.add_edges_from([(3, 4), (4, 5), (5, 3)])  # cycle B
+        builder.add_edge(2, 3)  # one-way bridge
+        components = strongly_connected_components(builder.build())
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 3]
+
+    def test_largest_first_ordering(self):
+        builder = GraphBuilder(num_nodes=5)
+        builder.add_edges_from([(0, 1), (1, 0)])
+        components = strongly_connected_components(builder.build())
+        assert len(components[0]) == 2
+
+    def test_largest_scc_size(self):
+        assert largest_scc_size(cycle_digraph(7)) == 7
+        assert largest_scc_size(path_digraph(7)) == 1
+
+    def test_matches_networkx_on_random_graph(self):
+        import networkx as nx
+
+        from repro.graphs import gnm_random_digraph
+
+        g = gnm_random_digraph(40, 120, rng=1)
+        ours = sorted(len(c) for c in strongly_connected_components(g))
+        nx_graph = nx.DiGraph(list(zip(g.src.tolist(), g.dst.tolist())))
+        nx_graph.add_nodes_from(range(g.n))
+        theirs = sorted(len(c) for c in nx.strongly_connected_components(nx_graph))
+        assert ours == theirs
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        builder = GraphBuilder(num_nodes=3)
+        builder.add_edges_from([(0, 1), (1, 2), (2, 0)])
+        assert global_clustering_coefficient(builder.build()) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        from repro.graphs import star_digraph
+
+        assert global_clustering_coefficient(star_digraph(6)) == 0.0
+
+    def test_complete_graph(self):
+        assert global_clustering_coefficient(complete_digraph(5)) == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graphs import gnm_random_digraph
+
+        g = gnm_random_digraph(30, 90, rng=2)
+        undirected = nx.Graph(list(zip(g.src.tolist(), g.dst.tolist())))
+        undirected.add_nodes_from(range(g.n))
+        assert global_clustering_coefficient(g) == pytest.approx(
+            nx.transitivity(undirected), abs=1e-9
+        )
+
+
+class TestDistances:
+    def test_path_distances(self):
+        distances = bfs_distances(path_digraph(5), 0)
+        assert distances.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        distances = bfs_distances(path_digraph(5), 2)
+        assert distances.tolist() == [-1, -1, 0, 1, 2]
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            bfs_distances(path_digraph(3), 9)
+
+
+class TestEffectiveDiameter:
+    def test_cycle_diameter(self):
+        # On a directed 10-cycle all distances 1..9 appear equally often;
+        # the 90th percentile is ~8.
+        value = sampled_effective_diameter(cycle_digraph(10), num_sources=10, rng=1)
+        assert 7.0 <= value <= 9.0
+
+    def test_small_world_shrinks_diameter(self):
+        from repro.graphs import watts_strogatz_graph
+
+        lattice = watts_strogatz_graph(60, 4, 0.0, rng=3)
+        rewired = watts_strogatz_graph(60, 4, 0.5, rng=3)
+        assert sampled_effective_diameter(rewired, num_sources=20, rng=4) < (
+            sampled_effective_diameter(lattice, num_sources=20, rng=4)
+        )
+
+    def test_edgeless_graph(self):
+        assert sampled_effective_diameter(DiGraph(5, [], []), num_sources=5, rng=5) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for graph statistics / Table 2 summaries."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    average_degree,
+    complete_digraph,
+    degree_histogram,
+    density,
+    path_digraph,
+    star_digraph,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_directed_convention(self):
+        g = DiGraph(4, [0, 1, 2], [1, 2, 3])
+        summary = summarize(g, "demo")
+        assert summary.num_edges == 3
+        # Table 2 convention: average degree = 2m/n.
+        assert summary.average_degree == pytest.approx(1.5)
+        assert summary.graph_type == "directed"
+
+    def test_undirected_convention(self):
+        # 2 undirected edges stored as 4 arcs on 3 nodes.
+        g = DiGraph(3, [0, 1, 1, 2], [1, 0, 2, 1])
+        summary = summarize(g, "demo", undirected=True)
+        assert summary.num_edges == 2
+        assert summary.average_degree == pytest.approx(4 / 3)
+        assert summary.graph_type == "undirected"
+
+    def test_as_row_rounds(self):
+        g = DiGraph(3, [0, 1], [1, 2])
+        row = summarize(g, "demo").as_row()
+        assert row[0] == "demo"
+        assert row[-1] == round(2 * 2 / 3, 1)
+
+
+class TestDegreeHistogram:
+    def test_out_histogram(self):
+        g = star_digraph(5, outward=True)
+        hist = degree_histogram(g, "out")
+        assert hist[0] == 4  # four leaves
+        assert hist[4] == 1  # the hub
+
+    def test_in_histogram(self):
+        g = star_digraph(5, outward=True)
+        hist = degree_histogram(g, "in")
+        assert hist[1] == 4
+        assert hist[0] == 1
+
+    def test_total_histogram(self):
+        g = path_digraph(3)
+        hist = degree_histogram(g, "total")
+        assert hist[1] == 2  # endpoints
+        assert hist[2] == 1  # middle
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            degree_histogram(path_digraph(3), "sideways")
+
+    def test_empty_graph(self):
+        hist = degree_histogram(DiGraph(0, [], []))
+        assert hist.tolist() == [0]
+
+
+class TestScalars:
+    def test_average_degree(self):
+        assert average_degree(path_digraph(4)) == pytest.approx(0.75)
+
+    def test_density_complete(self):
+        assert density(complete_digraph(5)) == pytest.approx(1.0)
+
+    def test_density_tiny(self):
+        assert density(DiGraph(1, [], [])) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for graph transforms."""
+
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    GraphBuilder,
+    cycle_digraph,
+    induced_subgraph,
+    largest_weakly_connected_component,
+    path_digraph,
+    reachable_from,
+    remove_self_loops,
+    reverse_reachable_to,
+    transpose,
+    weakly_connected_components,
+)
+
+
+def two_components() -> DiGraph:
+    builder = GraphBuilder(num_nodes=7)
+    builder.add_edges_from([(0, 1), (1, 2), (2, 0)])  # triangle
+    builder.add_edges_from([(3, 4), (4, 5)])  # path; node 6 isolated
+    return builder.build()
+
+
+class TestTranspose:
+    def test_matches_method(self):
+        g = cycle_digraph(4)
+        assert transpose(g).same_structure(g.transpose())
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = two_components()
+        sub, mapping = induced_subgraph(g, [0, 1, 3])
+        assert sub.num_nodes == 3
+        assert mapping.tolist() == [0, 1, 3]
+        assert sub.edge_set() == {(0, 1)}  # only 0 -> 1 survives
+
+    def test_relabels_compactly(self):
+        g = two_components()
+        sub, mapping = induced_subgraph(g, [3, 4, 5])
+        assert sub.edge_set() == {(0, 1), (1, 2)}
+        assert mapping.tolist() == [3, 4, 5]
+
+    def test_preserves_probabilities(self):
+        g = path_digraph(3, prob=0.7)
+        sub, _ = induced_subgraph(g, [0, 1])
+        assert sub.edge_probability(0, 1) == 0.7
+
+    def test_duplicate_input_nodes_collapsed(self):
+        sub, mapping = induced_subgraph(two_components(), [1, 1, 2])
+        assert sub.num_nodes == 2
+        assert mapping.tolist() == [1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(two_components(), [])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            induced_subgraph(two_components(), [99])
+
+
+class TestRemoveSelfLoops:
+    def test_removes_only_loops(self):
+        builder = GraphBuilder(num_nodes=3, allow_self_loops=True)
+        builder.add_edges_from([(0, 0), (0, 1), (1, 1), (1, 2)])
+        cleaned = remove_self_loops(builder.build())
+        assert cleaned.edge_set() == {(0, 1), (1, 2)}
+
+
+class TestComponents:
+    def test_finds_all_components(self):
+        components = weakly_connected_components(two_components())
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 3, 3]
+
+    def test_largest_first(self):
+        components = weakly_connected_components(two_components())
+        assert len(components[0]) == 3
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2 is weakly connected despite no directed path 0 -> 2.
+        g = DiGraph(3, [0, 2], [1, 1])
+        assert len(weakly_connected_components(g)) == 1
+
+    def test_largest_component_extraction(self):
+        sub, mapping = largest_weakly_connected_component(two_components())
+        assert sub.num_nodes == 3
+        assert sorted(mapping.tolist()) in ([0, 1, 2], [3, 4, 5])
+
+
+class TestReachability:
+    def test_forward(self):
+        g = path_digraph(5)
+        assert reachable_from(g, [1]) == {1, 2, 3, 4}
+
+    def test_forward_multi_source(self):
+        g = two_components()
+        assert reachable_from(g, [0, 3]) == {0, 1, 2, 3, 4, 5}
+
+    def test_reverse(self):
+        g = path_digraph(5)
+        assert reverse_reachable_to(g, 3) == {0, 1, 2, 3}
+
+    def test_reverse_includes_target_only_when_isolated(self):
+        g = two_components()
+        assert reverse_reachable_to(g, 6) == {6}
+
+    def test_cycle_reaches_everything(self):
+        g = cycle_digraph(4)
+        assert reverse_reachable_to(g, 0) == {0, 1, 2, 3}

@@ -1,0 +1,125 @@
+"""Tests for edge-weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    constant_probability,
+    gnm_random_digraph,
+    normalize_in_weights,
+    path_digraph,
+    trivalency,
+    uniform_random_lt,
+    validate_lt_weights,
+    weighted_cascade,
+)
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self):
+        g = DiGraph(4, [0, 1, 2], [3, 3, 3])
+        wc = weighted_cascade(g)
+        assert all(p == pytest.approx(1 / 3) for _, _, p in wc.edges())
+
+    def test_mixed_indegrees(self):
+        g = DiGraph(4, [0, 1, 0], [2, 2, 3])
+        wc = weighted_cascade(g)
+        assert wc.edge_probability(0, 2) == pytest.approx(0.5)
+        assert wc.edge_probability(0, 3) == pytest.approx(1.0)
+
+    def test_topology_unchanged(self):
+        g = gnm_random_digraph(30, 120, rng=1)
+        wc = weighted_cascade(g)
+        assert wc.edge_set() == g.edge_set()
+
+    def test_original_untouched(self):
+        g = path_digraph(3, prob=1.0)
+        weighted_cascade(g)
+        assert g.edge_probability(0, 1) == 1.0
+
+    def test_wc_weights_are_valid_lt_weights(self):
+        # In-weights sum to exactly 1 per node, so WC graphs are LT-admissible.
+        wc = weighted_cascade(gnm_random_digraph(30, 150, rng=2))
+        validate_lt_weights(wc)
+
+
+class TestConstantProbability:
+    def test_sets_all(self):
+        g = constant_probability(path_digraph(5), 0.42)
+        assert all(p == 0.42 for _, _, p in g.edges())
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            constant_probability(path_digraph(3), 1.2)
+
+
+class TestTrivalency:
+    def test_values_from_palette(self):
+        g = trivalency(gnm_random_digraph(30, 200, rng=3), rng=4)
+        assert set(np.unique(g.prob)) <= {0.1, 0.01, 0.001}
+
+    def test_all_values_used(self):
+        g = trivalency(gnm_random_digraph(40, 400, rng=5), rng=6)
+        assert set(np.unique(g.prob)) == {0.1, 0.01, 0.001}
+
+    def test_custom_palette(self):
+        g = trivalency(path_digraph(10), rng=7, values=(0.5,))
+        assert all(p == 0.5 for _, _, p in g.edges())
+
+    def test_deterministic(self):
+        base = gnm_random_digraph(20, 100, rng=8)
+        assert np.array_equal(trivalency(base, rng=9).prob, trivalency(base, rng=9).prob)
+
+    def test_rejects_empty_palette(self):
+        with pytest.raises(ValueError):
+            trivalency(path_digraph(3), values=())
+
+
+class TestUniformRandomLt:
+    def test_in_weights_sum_to_one(self):
+        g = uniform_random_lt(gnm_random_digraph(40, 200, rng=10), rng=11)
+        sums = np.zeros(g.n)
+        np.add.at(sums, g.dst, g.prob)
+        with_in_edges = g.in_degrees() > 0
+        assert np.allclose(sums[with_in_edges], 1.0)
+
+    def test_weights_positive(self):
+        g = uniform_random_lt(gnm_random_digraph(40, 200, rng=12), rng=13)
+        assert np.all(g.prob > 0)
+
+    def test_validates(self):
+        g = uniform_random_lt(gnm_random_digraph(40, 200, rng=14), rng=15)
+        validate_lt_weights(g)
+
+    def test_deterministic(self):
+        base = gnm_random_digraph(20, 80, rng=16)
+        a = uniform_random_lt(base, rng=17)
+        b = uniform_random_lt(base, rng=17)
+        assert np.array_equal(a.prob, b.prob)
+
+
+class TestNormalizeInWeights:
+    def test_preserves_ratios(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.2, 0.6])
+        normalized = normalize_in_weights(g)
+        assert normalized.edge_probability(0, 2) == pytest.approx(0.25)
+        assert normalized.edge_probability(1, 2) == pytest.approx(0.75)
+
+    def test_rejects_zero_sum(self):
+        g = DiGraph(2, [0], [1], [0.0])
+        with pytest.raises(ValueError, match="sum to zero"):
+            normalize_in_weights(g)
+
+
+class TestValidateLtWeights:
+    def test_accepts_sub_stochastic(self):
+        validate_lt_weights(DiGraph(3, [0, 1], [2, 2], [0.3, 0.3]))
+
+    def test_rejects_super_stochastic(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.8, 0.8])
+        with pytest.raises(ValueError, match="sum to"):
+            validate_lt_weights(g)
+
+    def test_edgeless_ok(self):
+        validate_lt_weights(DiGraph(3, [], []))

@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "tim+"
+        assert args.k == 10
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "nethept" in out
+        assert "twitter" in out
+
+    def test_run_tim_plus(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "nethept",
+                "--scale",
+                "0.05",
+                "-k",
+                "3",
+                "--epsilon",
+                "0.5",
+                "--seed",
+                "1",
+                "--score-samples",
+                "200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TIM+" in out
+        assert "seeds" in out
+        assert "MC spread" in out
+
+    def test_run_heuristic(self, capsys):
+        code = main(
+            ["run", "--algorithm", "degree", "--dataset", "nethept", "--scale", "0.05", "-k", "2"]
+        )
+        assert code == 0
+        assert "MaxDegree" in capsys.readouterr().out
+
+    def test_run_from_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n2 3\n0 2\n")
+        code = main(
+            ["run", "--dataset", f"@{path}", "-k", "1", "--epsilon", "0.5", "--seed", "2"]
+        )
+        assert code == 0
+        assert "seeds" in capsys.readouterr().out
+
+    def test_run_with_horizon(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "nethept",
+                "--scale",
+                "0.05",
+                "-k",
+                "2",
+                "--epsilon",
+                "0.5",
+                "--horizon",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "bounded-IC" in capsys.readouterr().out
+
+    def test_horizon_requires_ic(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="IC model"):
+            main(
+                [
+                    "run",
+                    "--dataset",
+                    "nethept",
+                    "--scale",
+                    "0.05",
+                    "--model",
+                    "LT",
+                    "-k",
+                    "2",
+                    "--horizon",
+                    "2",
+                ]
+            )
+
+    def test_spread(self, capsys):
+        code = main(
+            [
+                "spread",
+                "--dataset",
+                "nethept",
+                "--scale",
+                "0.05",
+                "--seeds",
+                "0,1,2",
+                "--samples",
+                "200",
+            ]
+        )
+        assert code == 0
+        assert "E[I(S)]" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "[table-2]" in out
+        assert "livejournal" in out
+
+    def test_experiment_section5(self, capsys):
+        assert main(["experiment", "section5"]) == 0
+        out = capsys.readouterr().out
+        assert "[section-5]" in out
+        assert "greedy/tim" in out

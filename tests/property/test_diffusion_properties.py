@@ -1,0 +1,105 @@
+"""Property-based tests for diffusion semantics.
+
+The deep invariants (monotonicity, seed containment, reachability bounds)
+are checked against the *exact* oracles where possible so no statistical
+slack is needed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import exact_spread_ic
+from repro.diffusion import simulate_ic, simulate_lt
+from repro.graphs import from_edges
+from repro.graphs.transforms import reachable_from
+from repro.utils.rng import RandomSource
+
+
+@st.composite
+def ic_graphs(draw, max_nodes=8, max_random_edges=10):
+    """Graphs small enough for exact IC enumeration."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pair_space = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=1, max_value=min(max_random_edges, len(pair_space))))
+    pairs = draw(st.permutations(pair_space).map(lambda p: p[:count]))
+    probs = draw(
+        st.lists(
+            st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return n, [(u, v, p) for (u, v), p in zip(pairs, probs)]
+
+
+class TestSimulationInvariants:
+    @given(ic_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_activation_bounds(self, data, seed):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        seeds = [0]
+        activated = simulate_ic(g, seeds, RandomSource(seed))
+        assert set(seeds) <= activated
+        assert activated <= reachable_from(g, seeds)
+
+    @given(ic_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_lt_activation_bounds(self, data, seed):
+        n, edges = data
+        # Normalise weights so LT is valid.
+        in_sums: dict[int, float] = {}
+        for u, v, p in edges:
+            in_sums[v] = in_sums.get(v, 0.0) + p
+        lt_edges = [
+            (u, v, p / in_sums[v] if in_sums[v] > 1.0 else p) for u, v, p in edges
+        ]
+        g = from_edges(lt_edges, num_nodes=n)
+        seeds = [0]
+        activated = simulate_lt(g, seeds, RandomSource(seed))
+        assert set(seeds) <= activated
+        assert activated <= reachable_from(g, seeds)
+
+
+class TestExactSpreadProperties:
+    @given(ic_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_monotonicity(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        spread_single = exact_spread_ic(g, [0])
+        spread_pair = exact_spread_ic(g, [0, 1])
+        assert spread_pair >= spread_single - 1e-12
+
+    @given(ic_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_submodularity_on_fixed_triple(self, data):
+        n, edges = data
+        if n < 3:
+            return
+        g = from_edges(edges, num_nodes=n)
+        # Marginal gain of node 2 shrinks as the base grows: f({0,2}) - f({0})
+        # >= f({0,1,2}) - f({0,1}).
+        gain_small = exact_spread_ic(g, [0, 2]) - exact_spread_ic(g, [0])
+        gain_large = exact_spread_ic(g, [0, 1, 2]) - exact_spread_ic(g, [0, 1])
+        assert gain_small >= gain_large - 1e-9
+
+    @given(ic_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_spread_bounds(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        spread = exact_spread_ic(g, [0])
+        assert 1.0 - 1e-12 <= spread <= n + 1e-12
+
+    @given(ic_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_monte_carlo_consistent_with_exact(self, data, seed):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        exact = exact_spread_ic(g, [0])
+        rng = RandomSource(seed)
+        runs = 1500
+        mc = sum(len(simulate_ic(g, [0], rng)) for _ in range(runs)) / runs
+        # 1500 runs, spread range [1, 8]: allow a generous 5-sigma band.
+        assert abs(mc - exact) < 0.45

@@ -1,0 +1,94 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DiGraph, from_edges, parse_edge_lines, save_edge_list, load_edge_list
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12, max_edges=30):
+    """Random (num_nodes, distinct edge list with probabilities)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pair_space = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=0, max_value=min(max_edges, len(pair_space))))
+    pairs = draw(st.permutations(pair_space).map(lambda p: p[:count]))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return n, [(u, v, p) for (u, v), p in zip(pairs, probs)]
+
+
+class TestCsrProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        assert int(g.out_degrees().sum()) == g.m
+        assert int(g.in_degrees().sum()) == g.m
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_round_trip_through_csr(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        from_csr = set()
+        for v in g.nodes():
+            for u in g.out_neighbors(v):
+                from_csr.add((v, int(u)))
+        assert from_csr == {(u, v) for u, v, _ in edges}
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        assert g.transpose().transpose().same_structure(g)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_swaps_degrees(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        t = g.transpose()
+        assert np.array_equal(g.out_degrees(), t.in_degrees())
+        assert np.array_equal(g.in_degrees(), t.out_degrees())
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_in_out_adjacency_consistent(self, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        out_pairs = {(v, int(u)) for v in g.nodes() for u in g.out_neighbors(v)}
+        in_pairs = {(int(u), v) for v in g.nodes() for u in g.in_neighbors(v)}
+        assert out_pairs == in_pairs
+
+
+class TestIoProperties:
+    @given(edge_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_save_load_round_trip(self, tmp_path_factory, data):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        path = tmp_path_factory.mktemp("io") / "g.txt"
+        save_edge_list(g, path)
+        loaded, _ = load_edge_list(path)
+        if g.m == 0:
+            assert loaded.num_edges == 0
+        else:
+            import math
+
+            # Node labels compact to first-seen order; compare the multiset
+            # of probabilities (isomorphism-invariant) to 10-digit precision.
+            for saved, read in zip(
+                sorted(p for _, _, p in g.edges()),
+                sorted(p for _, _, p in loaded.edges()),
+            ):
+                assert math.isclose(saved, read, rel_tol=1e-9, abs_tol=1e-15)
+            assert loaded.num_edges == g.num_edges

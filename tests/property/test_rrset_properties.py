@@ -1,0 +1,86 @@
+"""Property-based tests for RR-set samplers (the paper's core objects)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import from_edges
+from repro.graphs.transforms import reverse_reachable_to
+from repro.rrset import ICRRSampler, LTRRSampler
+from repro.utils.rng import RandomSource
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes=10):
+    """Random digraph with per-node sub-stochastic in-weights (LT-legal)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pair_space = [(u, v) for u in range(n) for v in range(n) if u != v]
+    count = draw(st.integers(min_value=1, max_value=min(25, len(pair_space))))
+    pairs = draw(st.permutations(pair_space).map(lambda p: p[:count]))
+    # Assign weights then normalise per in-node so LT validity holds.
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    in_sums: dict[int, float] = {}
+    for (u, v), w in zip(pairs, raw):
+        in_sums[v] = in_sums.get(v, 0.0) + w
+    edges = [
+        (u, v, w / max(in_sums[v], 1.0) if in_sums[v] > 1.0 else w)
+        for (u, v), w in zip(pairs, raw)
+    ]
+    return n, edges
+
+
+class TestICSamplerProperties:
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, data, seed):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        sampler = ICRRSampler(g)
+        rng = RandomSource(seed)
+        rr = sampler.sample(rng)
+        # Root membership.
+        assert rr.root in rr.nodes
+        # No duplicates.
+        assert len(set(rr.nodes)) == len(rr.nodes)
+        # Subset of deterministic reverse reachability.
+        assert set(rr.nodes) <= reverse_reachable_to(g, rr.root)
+        # Width accounting (Equation 1).
+        in_degrees = g.in_degrees()
+        assert rr.width == int(sum(in_degrees[v] for v in rr.nodes))
+        # Cost = nodes + edges examined.
+        assert rr.cost == len(rr.nodes) + rr.width
+
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_and_slow_paths_share_invariants(self, data, seed):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        for fast in (True, False):
+            sampler = ICRRSampler(g, use_fast_path=fast)
+            rr = sampler.sample(RandomSource(seed))
+            assert rr.root in rr.nodes
+            assert set(rr.nodes) <= reverse_reachable_to(g, rr.root)
+
+
+class TestLTSamplerProperties:
+    @given(weighted_graphs(), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, data, seed):
+        n, edges = data
+        g = from_edges(edges, num_nodes=n)
+        sampler = LTRRSampler(g)
+        rr = sampler.sample(RandomSource(seed))
+        assert rr.root in rr.nodes
+        assert rr.nodes[0] == rr.root
+        assert len(set(rr.nodes)) == len(rr.nodes)
+        # Walk property: consecutive nodes are in-neighbour hops.
+        in_adj, _ = g.in_adjacency()
+        nodes = list(rr.nodes)
+        for i in range(len(nodes) - 1):
+            assert nodes[i + 1] in in_adj[nodes[i]]
+        assert set(rr.nodes) <= reverse_reachable_to(g, rr.root)

@@ -1,0 +1,140 @@
+"""Tests for greedy maximum coverage."""
+
+import pytest
+
+from repro.rrset import (
+    brute_force_max_coverage,
+    coverage_of,
+    greedy_max_coverage,
+    lazy_greedy_max_coverage,
+)
+
+
+SIMPLE_SETS = [(0, 1), (1, 2), (2,), (3,), (0, 3)]
+
+
+class TestCoverageOf:
+    def test_counts_intersections(self):
+        assert coverage_of(SIMPLE_SETS, [1]) == 2
+        assert coverage_of(SIMPLE_SETS, [0, 2]) == 4
+        assert coverage_of(SIMPLE_SETS, []) == 0
+
+
+class TestExactGreedy:
+    def test_single_pick_is_most_frequent(self):
+        result = greedy_max_coverage(SIMPLE_SETS, 4, 1)
+        # Node frequencies: 0:2, 1:2, 2:2, 3:2 — tie broken to node 0.
+        assert result.seeds == [0]
+        assert result.covered == 2
+
+    def test_greedy_two_picks(self):
+        sets = [(0,), (0,), (0, 1), (1,), (2,)]
+        result = greedy_max_coverage(sets, 3, 2)
+        assert result.seeds[0] == 0  # covers 3 sets
+        assert result.covered == 4  # then node 1 adds set (1,)
+
+    def test_coverage_matches_reference_counter(self):
+        result = greedy_max_coverage(SIMPLE_SETS, 4, 2)
+        assert result.covered == coverage_of(SIMPLE_SETS, result.seeds)
+
+    def test_seeds_distinct(self):
+        result = greedy_max_coverage(SIMPLE_SETS, 4, 4)
+        assert len(set(result.seeds)) == 4
+
+    def test_covers_everything_with_enough_seeds(self):
+        result = greedy_max_coverage(SIMPLE_SETS, 4, 4)
+        assert result.covered == len(SIMPLE_SETS)
+
+    def test_marginal_gains_non_increasing(self):
+        sets = [(0,), (0,), (0, 1), (1,), (2,), (2, 3)]
+        result = greedy_max_coverage(sets, 4, 3)
+        gains = list(result.marginal_gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_fraction(self):
+        result = greedy_max_coverage(SIMPLE_SETS, 4, 1)
+        assert result.fraction == pytest.approx(2 / 5)
+
+    def test_empty_rr_sets(self):
+        result = greedy_max_coverage([], 4, 2)
+        assert result.covered == 0
+        assert len(result.seeds) == 2
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            greedy_max_coverage(SIMPLE_SETS, 2, 3)
+
+
+class TestLazyGreedy:
+    def test_same_coverage_as_exact(self):
+        for k in (1, 2, 3):
+            exact = greedy_max_coverage(SIMPLE_SETS, 4, k)
+            lazy = lazy_greedy_max_coverage(SIMPLE_SETS, 4, k)
+            assert lazy.covered == exact.covered
+
+    def test_randomised_instances_agree(self):
+        import random
+
+        rng = random.Random(99)
+        for trial in range(20):
+            num_nodes = rng.randint(4, 12)
+            sets = [
+                tuple(rng.sample(range(num_nodes), rng.randint(1, min(4, num_nodes))))
+                for _ in range(rng.randint(1, 30))
+            ]
+            k = rng.randint(1, num_nodes)
+            exact = greedy_max_coverage(sets, num_nodes, k)
+            lazy = lazy_greedy_max_coverage(sets, num_nodes, k)
+            assert exact.covered == lazy.covered, f"trial {trial}"
+
+    def test_pads_with_arbitrary_nodes_when_needed(self):
+        result = lazy_greedy_max_coverage([(0,)], 3, 3)
+        assert len(result.seeds) == 3
+        assert len(set(result.seeds)) == 3
+
+
+class TestApproximationGuarantee:
+    def test_greedy_within_1_minus_1_over_e_of_optimum(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(15):
+            num_nodes = rng.randint(4, 9)
+            sets = [
+                tuple(rng.sample(range(num_nodes), rng.randint(1, 3)))
+                for _ in range(rng.randint(3, 20))
+            ]
+            k = rng.randint(1, 3)
+            greedy = greedy_max_coverage(sets, num_nodes, k)
+            optimal = brute_force_max_coverage(sets, num_nodes, k)
+            assert greedy.covered >= (1 - 1 / 2.7182818284) * optimal.covered - 1e-9
+
+
+class TestBruteForce:
+    def test_finds_true_optimum(self):
+        # node 0 covers sets {0, 2}; node 1 covers {1, 2}; nodes 2/3 cover {3}.
+        # Every pair covers exactly 3 of the 4 sets; brute force must find 3.
+        sets = [(0,), (1,), (0, 1), (2, 3)]
+        result = brute_force_max_coverage(sets, 4, 2)
+        assert result.covered == 3
+
+    def test_beats_or_ties_greedy_everywhere(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            num_nodes = rng.randint(3, 7)
+            sets = [
+                tuple(rng.sample(range(num_nodes), rng.randint(1, 3)))
+                for _ in range(rng.randint(2, 12))
+            ]
+            k = rng.randint(1, 2)
+            greedy = greedy_max_coverage(sets, num_nodes, k)
+            optimal = brute_force_max_coverage(sets, num_nodes, k)
+            assert optimal.covered >= greedy.covered
+
+    def test_optimum_small_instance(self):
+        sets = [(0,), (1,), (2,)]
+        result = brute_force_max_coverage(sets, 3, 2)
+        assert result.covered == 2
+        assert result.seeds == [0, 1]

@@ -1,0 +1,105 @@
+"""Tests for the LT RR-set sampler."""
+
+import pytest
+
+from repro.graphs import DiGraph, path_digraph
+from repro.graphs.transforms import reverse_reachable_to
+from repro.rrset import LTRRSampler
+from repro.utils.rng import RandomSource
+
+
+class TestStructure:
+    def test_weight_one_chain_walks_to_source(self):
+        g = path_digraph(4, prob=1.0)
+        rr = LTRRSampler(g).sample_rooted(3, RandomSource(1))
+        assert set(rr.nodes) == {0, 1, 2, 3}
+
+    def test_rr_set_is_a_path(self, small_lt_graph):
+        # LT RR sets are random in-walks: node i+1 of the order must be an
+        # in-neighbour of node i.
+        sampler = LTRRSampler(small_lt_graph)
+        in_adj, _ = small_lt_graph.in_adjacency()
+        rng = RandomSource(2)
+        for _ in range(50):
+            rr = sampler.sample(rng)
+            nodes = list(rr.nodes)
+            for i in range(len(nodes) - 1):
+                assert nodes[i + 1] in in_adj[nodes[i]]
+
+    def test_root_first(self, small_lt_graph):
+        sampler = LTRRSampler(small_lt_graph)
+        rng = RandomSource(3)
+        for _ in range(20):
+            rr = sampler.sample(rng)
+            assert rr.nodes[0] == rr.root
+
+    def test_no_duplicates(self, small_lt_graph):
+        sampler = LTRRSampler(small_lt_graph)
+        rng = RandomSource(4)
+        for _ in range(50):
+            rr = sampler.sample(rng)
+            assert len(set(rr.nodes)) == len(rr.nodes)
+
+    def test_subset_of_reverse_reachable(self, small_lt_graph):
+        sampler = LTRRSampler(small_lt_graph)
+        rng = RandomSource(5)
+        for _ in range(50):
+            rr = sampler.sample(rng)
+            assert set(rr.nodes) <= reverse_reachable_to(small_lt_graph, rr.root)
+
+    def test_rejects_invalid_weights(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.8, 0.8])
+        with pytest.raises(ValueError):
+            LTRRSampler(g)
+
+
+class TestStatistics:
+    def test_single_edge_inclusion_rate(self):
+        g = DiGraph(2, [0], [1], [0.4])
+        sampler = LTRRSampler(g)
+        rng = RandomSource(6)
+        hits = sum(0 in sampler.sample_rooted(1, rng).nodes for _ in range(4000))
+        assert hits / 4000 == pytest.approx(0.4, abs=0.03)
+
+    def test_walk_picks_proportional_to_weight(self):
+        g = DiGraph(3, [0, 1], [2, 2], [0.25, 0.75])
+        sampler = LTRRSampler(g)
+        rng = RandomSource(7)
+        picked_zero = 0
+        picked_one = 0
+        for _ in range(4000):
+            nodes = sampler.sample_rooted(2, rng).nodes
+            if 0 in nodes:
+                picked_zero += 1
+            if 1 in nodes:
+                picked_one += 1
+        assert picked_zero / 4000 == pytest.approx(0.25, abs=0.03)
+        assert picked_one / 4000 == pytest.approx(0.75, abs=0.03)
+
+    def test_width_accounting(self, small_lt_graph):
+        sampler = LTRRSampler(small_lt_graph)
+        in_degrees = small_lt_graph.in_degrees()
+        rng = RandomSource(8)
+        for _ in range(30):
+            rr = sampler.sample(rng)
+            assert rr.width == int(sum(in_degrees[v] for v in rr.nodes))
+
+    def test_cost_counts_walk_steps(self, small_lt_graph):
+        sampler = LTRRSampler(small_lt_graph)
+        rng = RandomSource(9)
+        for _ in range(30):
+            rr = sampler.sample(rng)
+            # Exactly one draw per visited node (the final draw terminates),
+            # so cost = |R| nodes + |R| draws.
+            assert rr.cost == 2 * len(rr.nodes)
+
+
+class TestCycleTermination:
+    def test_cycle_walk_terminates(self):
+        from repro.graphs import cycle_digraph
+
+        g = cycle_digraph(5, prob=1.0)
+        sampler = LTRRSampler(g)
+        rr = sampler.sample_rooted(0, RandomSource(10))
+        # Walks the full cycle then stops on revisit.
+        assert set(rr.nodes) == {0, 1, 2, 3, 4}

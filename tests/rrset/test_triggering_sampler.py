@@ -1,0 +1,64 @@
+"""Tests for the generic triggering RR-set sampler."""
+
+import pytest
+
+from repro.diffusion import FixedTriggering, ICTriggering, LTTriggering
+from repro.graphs import path_digraph
+from repro.rrset import ICRRSampler, LTRRSampler, TriggeringRRSampler
+from repro.utils.rng import RandomSource
+
+
+class TestFixedDistribution:
+    def test_follows_fixed_sets(self):
+        g = path_digraph(4, prob=0.5)
+        dist = FixedTriggering(g, {3: [2], 2: [1], 1: []})
+        rr = TriggeringRRSampler(g, dist).sample_rooted(3, RandomSource(1))
+        assert set(rr.nodes) == {1, 2, 3}
+
+    def test_empty_everything(self):
+        g = path_digraph(4, prob=0.5)
+        dist = FixedTriggering(g, {})
+        rr = TriggeringRRSampler(g, dist).sample_rooted(2, RandomSource(1))
+        assert set(rr.nodes) == {2}
+
+
+class TestEquivalenceWithSpecialisedSamplers:
+    def test_matches_ic_sampler_distribution(self, small_wc_graph):
+        generic = TriggeringRRSampler(small_wc_graph, ICTriggering(small_wc_graph))
+        special = ICRRSampler(small_wc_graph)
+        runs = 3000
+        generic_mean = (
+            sum(len(generic.sample_rooted(0, RandomSource(i))) for i in range(runs)) / runs
+        )
+        special_mean = (
+            sum(len(special.sample_rooted(0, RandomSource(10_000 + i))) for i in range(runs)) / runs
+        )
+        assert generic_mean == pytest.approx(special_mean, rel=0.12, abs=0.15)
+
+    def test_matches_lt_sampler_distribution(self, small_lt_graph):
+        generic = TriggeringRRSampler(small_lt_graph, LTTriggering(small_lt_graph))
+        special = LTRRSampler(small_lt_graph)
+        runs = 3000
+        generic_mean = (
+            sum(len(generic.sample_rooted(0, RandomSource(i))) for i in range(runs)) / runs
+        )
+        special_mean = (
+            sum(len(special.sample_rooted(0, RandomSource(10_000 + i))) for i in range(runs)) / runs
+        )
+        assert generic_mean == pytest.approx(special_mean, rel=0.12, abs=0.15)
+
+
+class TestValidation:
+    def test_rejects_foreign_graph(self):
+        g1 = path_digraph(3)
+        g2 = path_digraph(3)
+        with pytest.raises(ValueError, match="different graph"):
+            TriggeringRRSampler(g2, ICTriggering(g1))
+
+    def test_width_accounting(self, small_wc_graph):
+        sampler = TriggeringRRSampler(small_wc_graph, ICTriggering(small_wc_graph))
+        in_degrees = small_wc_graph.in_degrees()
+        rng = RandomSource(5)
+        for _ in range(30):
+            rr = sampler.sample(rng)
+            assert rr.width == int(sum(in_degrees[v] for v in rr.nodes))

@@ -1,0 +1,79 @@
+"""Tests for the lazy max-heap and generic lazy greedy."""
+
+import pytest
+
+from repro.utils.lazy_heap import LazyMaxHeap, lazy_greedy_maximize
+
+
+class TestLazyMaxHeap:
+    def test_pop_order_is_max_first(self):
+        heap = LazyMaxHeap()
+        heap.push("a", 1.0, 0)
+        heap.push("b", 3.0, 0)
+        heap.push("c", 2.0, 0)
+        assert heap.pop()[0] == "b"
+        assert heap.pop()[0] == "c"
+        assert heap.pop()[0] == "a"
+
+    def test_ties_break_by_insertion_order(self):
+        heap = LazyMaxHeap()
+        heap.push("first", 1.0, 0)
+        heap.push("second", 1.0, 0)
+        assert heap.pop()[0] == "first"
+
+    def test_peek_does_not_remove(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 5.0, 2)
+        assert heap.peek() == ("x", 5.0, 2)
+        assert len(heap) == 1
+
+    def test_round_tag_round_trips(self):
+        heap = LazyMaxHeap()
+        heap.push("x", 5.0, 7)
+        assert heap.pop() == ("x", 5.0, 7)
+
+    def test_len(self):
+        heap = LazyMaxHeap()
+        assert len(heap) == 0
+        heap.push("x", 1.0, 0)
+        assert len(heap) == 1
+
+
+class TestLazyGreedyMaximize:
+    def test_matches_eager_greedy_on_modular_function(self):
+        values = {"a": 5.0, "b": 3.0, "c": 8.0, "d": 1.0}
+        selected, total, _ = lazy_greedy_maximize(
+            list(values), 2, lambda item, sel: values[item]
+        )
+        assert selected == ["c", "a"]
+        assert total == 13.0
+
+    def test_submodular_coverage_instance(self):
+        sets = {"a": {1, 2, 3}, "b": {3, 4}, "c": {5}}
+
+        def gain(item, selected):
+            covered = set().union(*(sets[s] for s in selected)) if selected else set()
+            return len(sets[item] - covered)
+
+        selected, total, evaluations = lazy_greedy_maximize(list(sets), 2, gain)
+        assert selected == ["a", "b"]
+        assert total == 4.0  # a covers {1,2,3}; b then adds only {4}
+        assert evaluations >= 3
+
+    def test_on_select_callback_fires_in_order(self):
+        picked = []
+        lazy_greedy_maximize(
+            ["x", "y"], 2, lambda item, sel: 1.0, on_select=picked.append
+        )
+        assert picked == ["x", "y"]
+
+    def test_lazy_saves_evaluations_when_gains_separate(self):
+        # Gains are static; after the initial scan no re-evaluation is needed
+        # beyond one per selection round.
+        values = {i: float(100 - i) for i in range(100)}
+        _, _, evaluations = lazy_greedy_maximize(
+            list(values), 5, lambda item, sel: values[item]
+        )
+        # initial scan = 100; each round's top is stale (tag mismatch) so one
+        # re-evaluation per pick.
+        assert evaluations <= 100 + 2 * 5

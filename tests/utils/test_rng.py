@@ -1,0 +1,93 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, resolve_rng, spawn_children
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_numpy_stream_deterministic(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert np.array_equal(a.np.random(5), b.np.random(5))
+
+    def test_unseeded_sources_are_independent(self):
+        a = RandomSource()
+        b = RandomSource()
+        assert a.seed != b.seed
+
+    def test_randrange_in_bounds(self):
+        source = RandomSource(3)
+        draws = [source.randrange(10) for _ in range(200)]
+        assert all(0 <= d < 10 for d in draws)
+        assert len(set(draws)) > 1
+
+    def test_binomial_bounds(self):
+        source = RandomSource(3)
+        draws = [source.binomial(20, 0.5) for _ in range(100)]
+        assert all(0 <= d <= 20 for d in draws)
+
+    def test_sample_indices_distinct(self):
+        source = RandomSource(3)
+        picked = source.sample_indices(50, 10)
+        assert len(picked) == 10
+        assert len(set(picked)) == 10
+        assert all(0 <= p < 50 for p in picked)
+
+    def test_spawn_deterministic(self):
+        assert RandomSource(5).spawn().seed == RandomSource(5).spawn().seed
+
+    def test_spawn_decorrelated_from_parent(self):
+        parent = RandomSource(5)
+        child = parent.spawn()
+        assert child.seed != parent.seed
+
+
+class TestResolveRng:
+    def test_none_gives_fresh_source(self):
+        assert isinstance(resolve_rng(None), RandomSource)
+
+    def test_int_seed(self):
+        assert resolve_rng(9).seed == 9
+
+    def test_numpy_integer_seed(self):
+        assert resolve_rng(np.int64(9)).seed == 9
+
+    def test_passthrough(self):
+        source = RandomSource(1)
+        assert resolve_rng(source) is source
+
+    def test_python_random(self):
+        a = resolve_rng(random.Random(4))
+        b = resolve_rng(random.Random(4))
+        assert a.seed == b.seed
+
+    def test_numpy_generator(self):
+        a = resolve_rng(np.random.default_rng(4))
+        b = resolve_rng(np.random.default_rng(4))
+        assert a.seed == b.seed
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            resolve_rng("not-an-rng")
+
+
+def test_spawn_children_count_and_determinism():
+    first = spawn_children(11, 3)
+    second = spawn_children(11, 3)
+    assert len(first) == 3
+    assert [c.seed for c in first] == [c.seed for c in second]
+    assert len({c.seed for c in first}) == 3

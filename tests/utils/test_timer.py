@@ -1,0 +1,78 @@
+"""Tests for timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import PhaseTimer, Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        timer.start()
+        time.sleep(0.01)
+        elapsed = timer.stop()
+        assert elapsed >= 0.009
+        timer.start()
+        timer.stop()
+        assert timer.elapsed >= elapsed
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        timer.start()
+        timer.stop()
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert not timer.running
+
+
+class TestPhaseTimer:
+    def test_records_named_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("one"):
+            time.sleep(0.005)
+        with timer.phase("two"):
+            pass
+        assert set(timer.phases) == {"one", "two"}
+        assert timer.phases["one"] >= 0.004
+        assert timer.total == pytest.approx(sum(timer.phases.values()))
+
+    def test_same_phase_accumulates(self):
+        timer = PhaseTimer()
+        for _ in range(2):
+            with timer.phase("x"):
+                time.sleep(0.002)
+        assert timer.phases["x"] >= 0.003
+
+    def test_records_even_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("boom"):
+                raise RuntimeError()
+        assert "boom" in timer.phases
+
+    def test_as_dict_is_copy(self):
+        timer = PhaseTimer()
+        with timer.phase("x"):
+            pass
+        snapshot = timer.as_dict()
+        snapshot["x"] = 999.0
+        assert timer.phases["x"] != 999.0
+
+
+def test_timed_context_manager():
+    with timed() as timer:
+        time.sleep(0.005)
+    assert timer.elapsed >= 0.004
+    assert not timer.running

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_ell,
+    check_epsilon,
+    check_k,
+    check_node,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+    def test_coerces_int(self):
+        assert check_probability(1) == 1.0
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value, "x")
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_rejects_non_int(self, value):
+        with pytest.raises(TypeError):
+            check_positive_int(value, "x")
+
+
+class TestCheckK:
+    def test_accepts(self):
+        assert check_k(3, 10) == 3
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            check_k(11, 10)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_k(0, 10)
+
+
+class TestCheckEpsilon:
+    @pytest.mark.parametrize("value", [0.01, 0.5, 1.0])
+    def test_accepts(self, value):
+        assert check_epsilon(value) == value
+
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_epsilon(value)
+
+
+class TestCheckEll:
+    def test_accepts_small_positive(self):
+        assert check_ell(0.5) == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_ell(0.0)
+
+
+class TestCheckNode:
+    def test_accepts(self):
+        assert check_node(0, 5) == 0
+        assert check_node(4, 5) == 4
+
+    @pytest.mark.parametrize("node", [-1, 5])
+    def test_rejects_out_of_range(self, node):
+        with pytest.raises(ValueError):
+            check_node(node, 5)
