@@ -1,24 +1,172 @@
-"""Micro-benchmarks: raw RR-set generation throughput (IC vs LT).
+"""Micro-benchmarks: raw RR-set generation throughput and engine comparison.
 
-These are the per-operation numbers behind every figure: Section 7.2's
-observation that LT sampling is cheaper than IC (one random number per node
-versus per edge) shows up directly here.
+Two halves:
+
+* A runnable script (``python benchmarks/bench_samplers.py``) that reports
+  the vectorized vs Python RR engines side by side on a weighted-cascade
+  Erdős–Rényi graph — RR generation throughput, end-to-end ``tim`` wall
+  clock, and the relative spread difference between engines.  Defaults to
+  the paper-scale n=20k / m=200k instance; ``--smoke`` shrinks it for CI.
+  Exits non-zero if the vectorized engine is not at least ``--min-speedup``
+  times faster or the spreads diverge by more than ``--max-spread-diff``.
+
+* pytest-benchmark cases (the per-operation numbers behind every figure:
+  Section 7.2's observation that LT sampling is cheaper than IC shows up
+  directly here).
 """
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 import pytest
 
-from repro.datasets import build_dataset
 from repro.rrset import make_rr_sampler
 from repro.utils.rng import RandomSource
 
 
+# ----------------------------------------------------------------------
+# Engine comparison script
+# ----------------------------------------------------------------------
+def build_wc_graph(n: int, m: int, seed: int = 2014):
+    from repro.graphs import gnm_random_digraph, weighted_cascade
+
+    return weighted_cascade(gnm_random_digraph(n, m, rng=seed))
+
+
+def bench_generation(graph, num_sets: int, seed: int = 1) -> dict[str, float]:
+    """Seconds to generate ``num_sets`` random RR sets per engine."""
+    sampler = make_rr_sampler(graph, "IC")
+    # Warm both paths once (adjacency/degree caches, allocator) so the
+    # timed sections measure steady-state throughput.
+    sampler.sample(RandomSource(0))
+    sampler.sample_random_batch(min(num_sets, 500), RandomSource(0))
+
+    rng = RandomSource(seed)
+    started = time.perf_counter()
+    total_python = 0
+    for _ in range(num_sets):
+        total_python += len(sampler.sample(rng))
+    python_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = sampler.sample_random_batch(num_sets, RandomSource(seed + 1))
+    vectorized_seconds = time.perf_counter() - started
+    return {
+        "python_seconds": python_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": python_seconds / max(vectorized_seconds, 1e-12),
+        "python_mean_size": total_python / num_sets,
+        "vectorized_mean_size": float(batch.set_sizes().mean()),
+    }
+
+
+def bench_tim(graph, k: int, epsilon: float, seed: int = 3) -> dict[str, float]:
+    """End-to-end ``tim`` wall clock and estimated spread per engine."""
+    from repro.core import tim
+
+    results = {}
+    for engine in ("python", "vectorized"):
+        started = time.perf_counter()
+        result = tim(graph, k, epsilon=epsilon, rng=seed, engine=engine)
+        results[engine] = {
+            "seconds": time.perf_counter() - started,
+            "spread": result.estimated_spread,
+            "theta": result.theta,
+        }
+    py, vec = results["python"], results["vectorized"]
+    results["speedup"] = py["seconds"] / max(vec["seconds"], 1e-12)
+    results["spread_rel_diff"] = abs(vec["spread"] - py["spread"]) / max(py["spread"], 1e-12)
+    return results
+
+
+def run_comparison(args) -> int:
+    print(f"graph: weighted-cascade G(n={args.n}, m={args.m})  [seed {args.seed}]")
+    graph = build_wc_graph(args.n, args.m, seed=args.seed)
+
+    gen = bench_generation(graph, args.num_sets, seed=args.seed)
+    print(f"\nRR generation ({args.num_sets} random RR sets):")
+    print(
+        f"  python     {gen['python_seconds']*1e3:9.1f} ms   "
+        f"(mean |R| = {gen['python_mean_size']:.2f})"
+    )
+    print(
+        f"  vectorized {gen['vectorized_seconds']*1e3:9.1f} ms   "
+        f"(mean |R| = {gen['vectorized_mean_size']:.2f})"
+    )
+    print(f"  speedup    {gen['speedup']:9.2f}x")
+
+    timres = bench_tim(graph, args.k, args.epsilon, seed=args.seed)
+    print(f"\ntim(k={args.k}, eps={args.epsilon}) end to end:")
+    for engine in ("python", "vectorized"):
+        row = timres[engine]
+        print(
+            f"  {engine:<10} {row['seconds']*1e3:9.1f} ms   "
+            f"spread = {row['spread']:10.2f}   theta = {row['theta']}"
+        )
+    print(f"  speedup    {timres['speedup']:9.2f}x")
+    print(f"  spread rel diff: {timres['spread_rel_diff']*100:.3f}%")
+
+    failed = False
+    if gen["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: RR-generation speedup {gen['speedup']:.2f}x "
+            f"< required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if timres["spread_rel_diff"] > args.max_spread_diff:
+        print(
+            f"FAIL: spread divergence {timres['spread_rel_diff']*100:.3f}% "
+            f"> allowed {args.max_spread_diff*100:.1f}%",
+            file=sys.stderr,
+        )
+        failed = True
+    if not failed:
+        print("\nOK: vectorized engine meets speedup and parity targets")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--m", type=int, default=200_000)
+    parser.add_argument("--num-sets", type=int, default=20_000)
+    parser.add_argument("--k", type=int, default=20)
+    parser.add_argument("--epsilon", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--min-speedup", type=float, default=None)
+    parser.add_argument("--max-spread-diff", type=float, default=0.02)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration: n=2000, m=10000, fewer RR sets, "
+        "relaxed speedup bar (shared CI runners are noisy)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n, args.m, args.num_sets, args.k = 2_000, 10_000, 5_000, 10
+    if args.min_speedup is None:
+        args.min_speedup = 1.5 if args.smoke else 3.0
+    return run_comparison(args)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+# ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def livejournal_ic():
+    from repro.datasets import build_dataset
+
     return build_dataset("livejournal", scale=0.5).weighted_for("IC")
 
 
 @pytest.fixture(scope="module")
 def livejournal_lt():
+    from repro.datasets import build_dataset
+
     return build_dataset("livejournal", scale=0.5).weighted_for("LT")
 
 
@@ -26,6 +174,11 @@ def test_ic_rr_generation(benchmark, livejournal_ic):
     sampler = make_rr_sampler(livejournal_ic, "IC")
     rng = RandomSource(1)
     benchmark(sampler.sample_many, 2000, rng)
+
+
+def test_ic_rr_generation_vectorized(benchmark, livejournal_ic):
+    sampler = make_rr_sampler(livejournal_ic, "IC")
+    benchmark(lambda: sampler.sample_random_batch(2000, RandomSource(1)))
 
 
 def test_lt_rr_generation(benchmark, livejournal_lt):
@@ -50,5 +203,9 @@ def test_greedy_coverage_throughput(benchmark, livejournal_ic):
     from repro.rrset import greedy_max_coverage
 
     sampler = make_rr_sampler(livejournal_ic, "IC")
-    rr_sets = [rr.nodes for rr in sampler.sample_many(30_000, RandomSource(4))]
+    rr_sets = sampler.sample_random_batch(30_000, RandomSource(4))
     benchmark(greedy_max_coverage, rr_sets, livejournal_ic.n, 50)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,7 +54,13 @@ from repro.graphs import (
     uniform_random_lt,
     weighted_cascade,
 )
-from repro.rrset import RRCollection, RRSet, greedy_max_coverage, make_rr_sampler
+from repro.rrset import (
+    FlatRRCollection,
+    RRCollection,
+    RRSet,
+    greedy_max_coverage,
+    make_rr_sampler,
+)
 
 __version__ = "1.0.0"
 
@@ -87,6 +93,7 @@ __all__ = [
     "load_edge_list",
     "uniform_random_lt",
     "weighted_cascade",
+    "FlatRRCollection",
     "RRCollection",
     "RRSet",
     "greedy_max_coverage",

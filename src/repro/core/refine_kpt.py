@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.parameters import lambda_prime, theta_from_kpt
-from repro.rrset.base import RRSampler, RRSet
+from repro.rrset.base import RRSampler
 from repro.rrset.coverage import greedy_max_coverage
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_ell, check_k, require
@@ -35,17 +35,31 @@ class RefineKptResult:
     total_cost: int = 0
 
 
+#: Vectorised refinement samples θ′ in slabs of this many RR sets so the
+#: transient flat batch stays small even when θ′ is large.
+_BATCH_SIZE = 8192
+
+
 def refine_kpt(
     graph,
     k: int,
     kpt_star: float,
-    last_iteration_sets: list[RRSet],
+    last_iteration_sets,
     sampler: RRSampler,
     epsilon_prime: float,
     ell: float = 1.0,
     rng=None,
+    engine: str = "vectorized",
 ) -> RefineKptResult:
-    """Run Algorithm 3 and return KPT⁺ = max(KPT′, KPT*)."""
+    """Run Algorithm 3 and return KPT⁺ = max(KPT′, KPT*).
+
+    ``last_iteration_sets`` is Algorithm 2's final batch — either a list of
+    :class:`RRSet` or a :class:`~repro.rrset.flat_collection
+    .FlatRRCollection` (whichever engine :func:`~repro.core.kpt_estimation
+    .estimate_kpt` ran with).  ``engine`` selects how the θ′ fresh RR sets
+    are generated and covered: numpy-batched (``"vectorized"``, default) or
+    the original scalar loop (``"python"``).
+    """
     n = graph.n
     require(n >= 2, "refine_kpt needs at least two nodes")
     check_k(k, n)
@@ -53,24 +67,38 @@ def refine_kpt(
     require(kpt_star >= 1.0, "KPT* must be >= 1 (a seed activates itself)")
     require(epsilon_prime > 0.0, "epsilon_prime must be positive")
     require(len(last_iteration_sets) > 0, "need Algorithm 2's last-iteration RR sets")
+    require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
 
     source = resolve_rng(rng)
     # Lines 2-6: greedy max coverage over R' to get the interim seed set.
-    interim = greedy_max_coverage([rr.nodes for rr in last_iteration_sets], n, k)
+    # greedy_max_coverage consumes a flat collection directly; lists of
+    # RRSet objects are converted to their node tuples first.
+    if hasattr(last_iteration_sets, "ptr_array"):
+        interim = greedy_max_coverage(last_iteration_sets, n, k)
+    else:
+        interim = greedy_max_coverage([rr.nodes for rr in last_iteration_sets], n, k)
 
     # Lines 7-9: θ' fresh RR sets.
     theta_prime = theta_from_kpt(lambda_prime(epsilon_prime, ell, n), kpt_star)
     seed_set = set(interim.seeds)
     covered = 0
     total_cost = 0
-    randrange = source.py.randrange
-    for _ in range(theta_prime):
-        rr = sampler.sample_rooted(randrange(n), source)
-        total_cost += rr.cost
-        for node in rr.nodes:
-            if node in seed_set:
-                covered += 1
-                break
+    if engine == "vectorized":
+        remaining = theta_prime
+        while remaining > 0:
+            batch = sampler.sample_random_batch(min(_BATCH_SIZE, remaining), source)
+            total_cost += int(batch.costs_array.sum())
+            covered += batch.coverage_count(seed_set)
+            remaining -= len(batch)
+    else:
+        randrange = source.py.randrange
+        for _ in range(theta_prime):
+            rr = sampler.sample_rooted(randrange(n), source)
+            total_cost += rr.cost
+            for node in rr.nodes:
+                if node in seed_set:
+                    covered += 1
+                    break
 
     # Lines 10-12: deflate the unbiased estimate so KPT' <= OPT w.h.p.
     fraction = covered / theta_prime

@@ -47,6 +47,7 @@ def tim(
     epsilon_prime: float | None = None,
     coverage: str = "exact",
     max_theta: int | None = None,
+    engine: str = "vectorized",
 ) -> TIMResult:
     """Two-phase Influence Maximization.
 
@@ -74,6 +75,11 @@ def tim(
         Optional hard cap on θ.  **Voids the approximation guarantee**; it
         exists so exploratory runs on tiny budgets cannot run away.  The
         result records whether the cap bit via ``extras["theta_capped"]``.
+    engine:
+        ``"vectorized"`` (default) runs every sampling phase through the
+        numpy-batched flat RR engine; ``"python"`` keeps the original scalar
+        loops (ablation baseline).  Identical output distribution either
+        way — only the constant factors differ.
 
     Returns
     -------
@@ -82,6 +88,7 @@ def tim(
         per-phase RR-set counts, per-phase wall-clock, RR-collection bytes.
     """
     require(graph.n >= 2, "influence maximization needs at least two nodes")
+    require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
     check_k(k, graph.n)
     check_epsilon(epsilon)
     check_ell(ell)
@@ -101,7 +108,7 @@ def tim(
     rr_counts: dict[str, int] = {}
 
     with timer.phase("parameter_estimation"):
-        kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted, rng=source)
+        kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted, rng=source, engine=engine)
     rr_counts["parameter_estimation"] = kpt_result.num_rr_sets
 
     kpt = kpt_result.kpt_star
@@ -120,6 +127,7 @@ def tim(
                 epsilon_prime=epsilon_prime,
                 ell=ell_adjusted,
                 rng=source,
+                engine=engine,
             )
         kpt_plus = refined.kpt_plus
         kpt = refined.kpt_plus
@@ -135,7 +143,7 @@ def tim(
 
     with timer.phase("node_selection"):
         selection = node_selection(
-            graph, k, theta, sampler, rng=source, coverage=coverage
+            graph, k, theta, sampler, rng=source, coverage=coverage, engine=engine
         )
     rr_counts["node_selection"] = selection.num_rr_sets
 
@@ -152,6 +160,7 @@ def tim(
             "interim_seeds": interim_seeds,
             "theta_capped": theta_capped,
             "kpt_iterations": kpt_result.iterations_run,
+            "engine": engine,
         },
         epsilon=epsilon,
         ell=ell,
@@ -175,6 +184,7 @@ def tim_plus(
     epsilon_prime: float | None = None,
     coverage: str = "exact",
     max_theta: int | None = None,
+    engine: str = "vectorized",
 ) -> TIMResult:
     """TIM+ — TIM with the Algorithm 3 refinement step (Section 4.1)."""
     return tim(
@@ -188,4 +198,5 @@ def tim_plus(
         epsilon_prime=epsilon_prime,
         coverage=coverage,
         max_theta=max_theta,
+        engine=engine,
     )

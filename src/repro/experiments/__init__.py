@@ -1,6 +1,10 @@
 """Experiment harness and per-figure reproductions of the paper's Section 7."""
 
-from repro.experiments.ablations import ablation_coverage, ablation_ic_fast_path
+from repro.experiments.ablations import (
+    ablation_coverage,
+    ablation_engine,
+    ablation_ic_fast_path,
+)
 from repro.experiments.export import (
     load_result_json,
     records_to_json,
@@ -30,11 +34,13 @@ EXPERIMENTS = {
     "section5": section5_table,
     "ablation-sampler": ablation_ic_fast_path,
     "ablation-coverage": ablation_coverage,
+    "ablation-engine": ablation_engine,
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ablation_coverage",
+    "ablation_engine",
     "ablation_ic_fast_path",
     "figure3",
     "figure4",

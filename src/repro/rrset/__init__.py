@@ -1,4 +1,13 @@
-"""Reverse-reachable set machinery: samplers, storage, max coverage."""
+"""Reverse-reachable set machinery: samplers, storage, max coverage.
+
+Two interchangeable storage layouts back the algorithms:
+
+* :class:`RRCollection` — one Python tuple per RR set (the original,
+  ``engine="python"`` substrate),
+* :class:`FlatRRCollection` — the whole collection packed into CSR-style
+  ``ptr``/``nodes`` numpy arrays (the ``engine="vectorized"`` substrate;
+  see :mod:`repro.rrset.flat_collection` for the layout).
+"""
 
 from repro.rrset.base import RRSampler, RRSet, make_rr_sampler
 from repro.rrset.collection import RRCollection
@@ -7,8 +16,10 @@ from repro.rrset.coverage import (
     brute_force_max_coverage,
     coverage_of,
     greedy_max_coverage,
+    greedy_max_coverage_python,
     lazy_greedy_max_coverage,
 )
+from repro.rrset.flat_collection import FlatRRCollection
 from repro.rrset.ic_sampler import ICRRSampler
 from repro.rrset.lt_sampler import LTRRSampler
 from repro.rrset.triggering_sampler import TriggeringRRSampler
@@ -18,10 +29,12 @@ __all__ = [
     "RRSet",
     "make_rr_sampler",
     "RRCollection",
+    "FlatRRCollection",
     "CoverageResult",
     "brute_force_max_coverage",
     "coverage_of",
     "greedy_max_coverage",
+    "greedy_max_coverage_python",
     "lazy_greedy_max_coverage",
     "ICRRSampler",
     "LTRRSampler",

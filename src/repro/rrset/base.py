@@ -23,6 +23,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.graphs.digraph import DiGraph
 from repro.utils.rng import RandomSource, resolve_rng
 
@@ -74,6 +76,29 @@ class RRSampler(ABC):
         randrange = source.py.randrange
         n = self.graph.n
         return [self.sample_rooted(randrange(n), source) for _ in range(count)]
+
+    def sample_batch(self, roots, rng):
+        """Generate one RR set per root, returned as a flat collection.
+
+        The base implementation loops :meth:`sample_rooted` (Python speed);
+        vectorised samplers override it with numpy-batched expansion.  Either
+        way the result is a :class:`~repro.rrset.flat_collection
+        .FlatRRCollection` holding the sets in root order, which is what the
+        ``engine="vectorized"`` code paths consume.
+        """
+        from repro.rrset.flat_collection import FlatRRCollection
+
+        source = resolve_rng(rng)
+        out = FlatRRCollection(self.graph.n, self.graph.m)
+        for root in roots:
+            out.append(self.sample_rooted(int(root), source))
+        return out
+
+    def sample_random_batch(self, count: int, rng):
+        """``count`` random-root RR sets as a flat collection."""
+        source = resolve_rng(rng)
+        roots = source.np.integers(0, self.graph.n, size=int(count), dtype=np.int64)
+        return self.sample_batch(roots, source)
 
     def width_of(self, nodes) -> int:
         """``w(R)`` = Σ in-degree over the members (Equation 1)."""

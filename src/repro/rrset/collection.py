@@ -7,14 +7,20 @@ algorithms read off ``R``:
   (Table 1); ``n · F_R(S)`` estimates ``E[I(S)]`` (Corollary 1),
 * ``κ(R)`` averages for Algorithm 2 (Equation 8),
 * byte accounting for the Figure 12 memory reproduction.
+
+This is the *tuple-per-set* layout, the ``engine="python"`` substrate.  The
+numpy-batched hot paths use its flat sibling,
+:class:`repro.rrset.flat_collection.FlatRRCollection`, which stores the
+whole collection in packed CSR-style ``ptr``/``nodes`` arrays; the two
+expose the same estimator API and are interchangeable downstream.
 """
 
 from __future__ import annotations
 
-import sys
 from typing import Iterable, Sequence
 
 from repro.rrset.base import RRSet
+from repro.utils.memory import deep_size_of_rr_sets
 from repro.utils.validation import require
 
 __all__ = ["RRCollection"]
@@ -79,12 +85,15 @@ class RRCollection:
         return sum(len(s) for s in self._sets)
 
     def nbytes(self) -> int:
-        """Approximate bytes held by the stored node tuples.
+        """Bytes held by the stored node tuples *including* int payloads.
 
-        Containers only (the int payloads are shared/interned); this tracks
-        the λ/KPT⁺-driven growth the paper analyses in Section 7.4.
+        Counts the outer list, every tuple, and — once per distinct object —
+        the integer payloads (CPython interns small ints, so duplicates are
+        deduplicated by id).  This is the number the Figure 12 memory
+        reproduction tracks as |R| = λ/KPT⁺ grows (Section 7.4); the earlier
+        container-only accounting understated it by the whole payload.
         """
-        return sys.getsizeof(self._sets) + sum(sys.getsizeof(s) for s in self._sets)
+        return deep_size_of_rr_sets(self._sets)
 
     # ------------------------------------------------------------------
     # Estimators

@@ -6,6 +6,7 @@ from repro.rrset import (
     brute_force_max_coverage,
     coverage_of,
     greedy_max_coverage,
+    greedy_max_coverage_python,
     lazy_greedy_max_coverage,
 )
 
@@ -91,6 +92,92 @@ class TestLazyGreedy:
         result = lazy_greedy_max_coverage([(0,)], 3, 3)
         assert len(result.seeds) == 3
         assert len(set(result.seeds)) == 3
+
+
+class TestTieBreakAlignment:
+    """Exact and lazy must return *identical seeds* even on ties."""
+
+    def test_all_tied_singletons(self):
+        sets = [(0,), (1,), (2,), (3,)]  # every node covers exactly one set
+        for k in (1, 2, 4):
+            exact = greedy_max_coverage(sets, 4, k)
+            lazy = lazy_greedy_max_coverage(sets, 4, k)
+            assert exact.seeds == lazy.seeds == list(range(k))
+
+    def test_duplicated_sets_force_ties(self):
+        sets = [(2, 3)] * 5 + [(0, 1)] * 5 + [(4,)] * 2
+        for k in (1, 2, 3):
+            exact = greedy_max_coverage(sets, 5, k)
+            lazy = lazy_greedy_max_coverage(sets, 5, k)
+            assert exact.seeds == lazy.seeds
+        # Tied top gain (0,1) vs (2,3): smaller node id wins.
+        assert greedy_max_coverage(sets, 5, 1).seeds == [0]
+
+    def test_randomised_instances_identical_seeds(self):
+        import random
+
+        rng = random.Random(1234)
+        for trial in range(40):
+            num_nodes = rng.randint(4, 10)
+            # Small universes + duplicated sets make ties frequent.
+            pool = [
+                tuple(rng.sample(range(num_nodes), rng.randint(1, 3)))
+                for _ in range(rng.randint(1, 8))
+            ]
+            sets = [rng.choice(pool) for _ in range(rng.randint(2, 24))]
+            k = rng.randint(1, num_nodes)
+            exact = greedy_max_coverage(sets, num_nodes, k)
+            lazy = lazy_greedy_max_coverage(sets, num_nodes, k)
+            assert exact.seeds == lazy.seeds, f"trial {trial}: {sets}"
+            assert exact.marginal_gains == lazy.marginal_gains
+
+    def test_degenerate_fill_smallest_ids_first(self):
+        # Only node 0 ever covers anything; the rest is zero-gain padding,
+        # which both variants must fill with the smallest unchosen ids.
+        exact = greedy_max_coverage([(0,)], 5, 4)
+        lazy = lazy_greedy_max_coverage([(0,)], 5, 4)
+        assert exact.seeds == lazy.seeds == [0, 1, 2, 3]
+
+
+class TestNumpyPythonParity:
+    """The vectorised exact greedy must match the pure-Python original."""
+
+    def test_simple_sets(self):
+        for k in (1, 2, 4):
+            vec = greedy_max_coverage(SIMPLE_SETS, 4, k)
+            ref = greedy_max_coverage_python(SIMPLE_SETS, 4, k)
+            assert vec.seeds == ref.seeds
+            assert vec.covered == ref.covered
+            assert vec.marginal_gains == ref.marginal_gains
+
+    def test_randomised_instances(self):
+        import random
+
+        rng = random.Random(77)
+        for trial in range(30):
+            num_nodes = rng.randint(3, 15)
+            sets = [
+                tuple(rng.sample(range(num_nodes), rng.randint(1, min(5, num_nodes))))
+                for _ in range(rng.randint(1, 40))
+            ]
+            k = rng.randint(1, num_nodes)
+            vec = greedy_max_coverage(sets, num_nodes, k)
+            ref = greedy_max_coverage_python(sets, num_nodes, k)
+            assert vec.seeds == ref.seeds, f"trial {trial}"
+            assert vec.covered == ref.covered
+            assert vec.marginal_gains == ref.marginal_gains
+
+    def test_flat_collection_input(self):
+        from repro.rrset import FlatRRCollection, RRSet
+
+        flat = FlatRRCollection(4, 10)
+        for i, rr in enumerate(SIMPLE_SETS):
+            flat.append(RRSet(root=rr[0], nodes=rr, width=i, cost=len(rr) + i))
+        for solver in (greedy_max_coverage, lazy_greedy_max_coverage):
+            from_flat = solver(flat, 4, 2)
+            from_tuples = solver(SIMPLE_SETS, 4, 2)
+            assert from_flat.seeds == from_tuples.seeds
+            assert from_flat.covered == from_tuples.covered
 
 
 class TestApproximationGuarantee:

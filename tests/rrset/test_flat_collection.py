@@ -1,0 +1,173 @@
+"""FlatRRCollection: layout, estimators, and parity with RRCollection."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rrset import FlatRRCollection, RRCollection, RRSet
+
+
+def random_rrsets(seed: int, num_nodes: int = 40, count: int = 120) -> list[RRSet]:
+    rng = random.Random(seed)
+    sets = []
+    for _ in range(count):
+        size = rng.randint(1, min(8, num_nodes))
+        nodes = tuple(rng.sample(range(num_nodes), size))
+        width = rng.randint(0, 30)
+        sets.append(RRSet(root=nodes[0], nodes=nodes, width=width, cost=size + width))
+    return sets
+
+
+def paired_collections(seed: int = 0, num_nodes: int = 40, graph_edges: int = 77):
+    rr_sets = random_rrsets(seed, num_nodes=num_nodes)
+    classic = RRCollection(num_nodes, graph_edges)
+    classic.extend(rr_sets)
+    flat = FlatRRCollection.from_rrsets(num_nodes, graph_edges, rr_sets)
+    return classic, flat
+
+
+class TestLayout:
+    def test_ptr_and_nodes_consistent(self):
+        _, flat = paired_collections()
+        ptr = flat.ptr_array
+        assert ptr[0] == 0
+        assert ptr[-1] == flat.total_nodes_stored == flat.nodes_array.size
+        assert np.all(np.diff(ptr) >= 1)
+
+    def test_sets_roundtrip(self):
+        classic, flat = paired_collections()
+        assert [tuple(s) for s in flat.sets] == list(classic.sets)
+
+    def test_to_rrsets_roundtrip(self):
+        rr_sets = random_rrsets(3)
+        flat = FlatRRCollection.from_rrsets(40, 77, rr_sets)
+        assert flat.to_rrsets() == rr_sets
+
+    def test_iteration_yields_rrsets(self):
+        rr_sets = random_rrsets(4)
+        flat = FlatRRCollection.from_rrsets(40, 77, rr_sets)
+        assert list(flat) == rr_sets
+
+    def test_extend_flat_concatenates(self):
+        a = FlatRRCollection.from_rrsets(40, 77, random_rrsets(5, count=30))
+        b = FlatRRCollection.from_rrsets(40, 77, random_rrsets(6, count=20))
+        merged = FlatRRCollection(40, 77)
+        merged.extend_flat(a)
+        merged.extend_flat(b)
+        assert len(merged) == 50
+        assert merged.sets == a.sets + b.sets
+        assert merged.total_cost == a.total_cost + b.total_cost
+
+    def test_extend_flat_rejects_universe_mismatch(self):
+        a = FlatRRCollection(40, 77)
+        b = FlatRRCollection(41, 77)
+        with pytest.raises(ValueError):
+            a.extend_flat(b)
+
+    def test_truncate(self):
+        flat = FlatRRCollection.from_rrsets(40, 77, random_rrsets(7, count=30))
+        full_sets = flat.sets
+        flat.truncate(12)
+        assert len(flat) == 12
+        assert flat.sets == full_sets[:12]
+        assert flat.ptr_array.size == 13
+
+    def test_truncate_out_of_range(self):
+        flat = FlatRRCollection.from_rrsets(40, 77, random_rrsets(8, count=5))
+        with pytest.raises(ValueError):
+            flat.truncate(6)
+
+    def test_rejects_empty_universe(self):
+        with pytest.raises(ValueError):
+            FlatRRCollection(num_nodes=0, graph_edges=0)
+
+
+class TestParityWithRRCollection:
+    """Same logical contents ⇒ same estimator values, on random inputs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_estimators_agree(self, seed):
+        classic, flat = paired_collections(seed)
+        assert len(flat) == len(classic)
+        assert list(flat.widths) == list(classic.widths)
+        assert list(flat.roots) == list(classic.roots)
+        assert flat.total_cost == classic.total_cost
+        assert flat.total_nodes_stored == classic.total_nodes_stored
+        assert flat.mean_width() == pytest.approx(classic.mean_width())
+        for k in (1, 3, 10):
+            assert flat.mean_kappa(k) == pytest.approx(classic.mean_kappa(k))
+        assert flat.node_frequencies() == classic.node_frequencies()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_coverage_agrees(self, seed):
+        classic, flat = paired_collections(seed)
+        rng = random.Random(seed + 100)
+        for _ in range(10):
+            probe = rng.sample(range(40), rng.randint(1, 6))
+            assert flat.coverage_count(probe) == classic.coverage_count(probe)
+            assert flat.coverage_fraction(probe) == pytest.approx(
+                classic.coverage_fraction(probe)
+            )
+            assert flat.estimate_spread(probe) == pytest.approx(
+                classic.estimate_spread(probe)
+            )
+
+    def test_empty_collections_agree(self):
+        classic = RRCollection(5, 10)
+        flat = FlatRRCollection(5, 10)
+        assert flat.coverage_fraction([1]) == classic.coverage_fraction([1]) == 0.0
+        assert flat.mean_width() == classic.mean_width() == 0.0
+        assert flat.mean_kappa(2) == classic.mean_kappa(2) == 0.0
+        assert flat.total_cost == classic.total_cost == 0
+
+    def test_kappa_sum_matches_mean(self):
+        _, flat = paired_collections()
+        assert flat.kappa_sum(4) == pytest.approx(flat.mean_kappa(4) * len(flat))
+
+
+class TestBytesAccounting:
+    def test_flat_nbytes_is_exact(self):
+        flat = FlatRRCollection.from_rrsets(40, 77, random_rrsets(9, count=50))
+        expected = (
+            (len(flat) + 1) * 8  # ptr int64
+            + flat.total_nodes_stored * 4  # nodes int32
+            + len(flat) * (8 + 4 + 8)  # widths int64 + roots int32 + costs int64
+        )
+        assert flat.nbytes() == expected
+
+    def test_flat_nbytes_ignores_overallocation(self):
+        a = FlatRRCollection(40, 77)
+        b = FlatRRCollection(40, 77)
+        rr = RRSet(root=1, nodes=(1, 2, 3), width=4, cost=7)
+        a.append(rr)
+        # b holds the same live data but went through many growth cycles.
+        for _ in range(30):
+            b.append(rr)
+        b.truncate(1)
+        assert a.nbytes() == b.nbytes()
+
+    def test_classic_nbytes_counts_int_payloads(self):
+        """The fixed RRCollection accounting must exceed container-only size."""
+        import sys
+
+        classic, _ = paired_collections(10)
+        container_only = sys.getsizeof(classic._sets) + sum(
+            sys.getsizeof(s) for s in classic._sets
+        )
+        assert classic.nbytes() > container_only
+
+    def test_parity_flat_is_leaner(self):
+        """Same contents: packed arrays must undercut tuple-of-int storage."""
+        classic, flat = paired_collections(11)
+        assert 0 < flat.nbytes() < classic.nbytes()
+
+    def test_both_grow_with_contents(self):
+        small_sets = random_rrsets(12, count=10)
+        big_sets = random_rrsets(12, count=200)
+        for cls in (RRCollection, FlatRRCollection):
+            small = cls(40, 77)
+            small.extend(small_sets)
+            big = cls(40, 77)
+            big.extend(big_sets)
+            assert big.nbytes() > small.nbytes()
