@@ -22,6 +22,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.algorithms` — Greedy, CELF, CELF++, RIS, IRIE, SIMPATH, ...;
 * :mod:`repro.analysis` — Chernoff bounds, exact oracles, cost models;
 * :mod:`repro.datasets` — scaled stand-ins for the paper's five datasets;
+* :mod:`repro.sketch` — persistent RR-sketch index + influence query service;
 * :mod:`repro.experiments` — regeneration of every evaluation table/figure.
 """
 
@@ -61,6 +62,7 @@ from repro.rrset import (
     greedy_max_coverage,
     make_rr_sampler,
 )
+from repro.sketch import InfluenceService, SketchIndex
 
 __version__ = "1.0.0"
 
@@ -98,4 +100,6 @@ __all__ = [
     "RRSet",
     "greedy_max_coverage",
     "make_rr_sampler",
+    "InfluenceService",
+    "SketchIndex",
 ]

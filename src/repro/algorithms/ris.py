@@ -56,6 +56,7 @@ def ris(
     tau_constant: float = 1.0,
     max_rr_sets: int | None = None,
     engine: str = "vectorized",
+    sketch_index=None,
 ) -> InfluenceMaxResult:
     """Borgs et al.'s RIS with a cost-threshold stopping rule.
 
@@ -68,6 +69,13 @@ def ris(
     cumulative cost crosses τ — the same stopping rule as the scalar loop,
     faithful to Borgs et al.'s coupled sampling (including the flaw).
     ``engine="python"`` keeps the original one-set-at-a-time loop.
+
+    ``sketch_index`` (service mode, implies the vectorized path) makes the
+    call run *through* a :class:`~repro.sketch.index.SketchIndex`: cost
+    already accumulated by the sketch counts toward τ, any shortfall is
+    sampled and appended warm-start style, and max coverage runs on the
+    index's prebuilt postings.  Note this departs from Borgs et al.'s
+    strictly coupled sampling exactly as much as reusing a sketch does.
     """
     check_k(k, graph.n)
     require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
@@ -78,8 +86,15 @@ def ris(
     tau = ris_threshold(graph.n, graph.m, k, epsilon, ell, tau_constant)
 
     started = time.perf_counter()
-    if engine == "vectorized":
-        collection = FlatRRCollection(graph.n, graph.m)
+    sketch_sets_reused = 0
+    if sketch_index is not None or engine == "vectorized":
+        if sketch_index is not None:
+            collection = sketch_index.collection
+            sketch_sets_reused = len(collection)
+            commit = sketch_index.extend_flat  # keeps the index's caches honest
+        else:
+            collection = FlatRRCollection(graph.n, graph.m)
+            commit = collection.extend_flat
         batch_size = 64
         while collection.total_cost < tau:
             if max_rr_sets is not None and len(collection) >= max_rr_sets:
@@ -94,9 +109,12 @@ def ris(
                 take = min(take, max_rr_sets - len(collection))
             if take < len(batch):
                 batch.truncate(take)
-            collection.extend_flat(batch)
+            commit(batch)
             batch_size = min(batch_size * 2, 8192)
-        coverage = greedy_max_coverage(collection, graph.n, k)
+        if sketch_index is not None:
+            coverage = sketch_index.select(k)
+        else:
+            coverage = greedy_max_coverage(collection, graph.n, k)
     else:
         collection = RRCollection(graph.n, graph.m)
         randrange = source.py.randrange
@@ -116,6 +134,7 @@ def ris(
             "tau": tau,
             "num_rr_sets": len(collection),
             "total_cost": collection.total_cost,
+            "sketch_sets_reused": sketch_sets_reused,
         },
     )
 

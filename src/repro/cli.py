@@ -6,12 +6,16 @@ Subcommands:
 * ``run`` — run any registered algorithm on a stand-in or edge-list file.
 * ``spread`` — Monte-Carlo spread of a given seed set.
 * ``experiment`` — regenerate a paper table/figure and print it.
+* ``sketch`` — build a persistent RR-sketch index and save it as ``.npz``.
+* ``serve`` — answer JSONL influence queries from a sketch (build-or-load).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.algorithms import algorithm_names, maximize_influence
 from repro.datasets import build_dataset, dataset_names, dataset_spec
@@ -20,6 +24,9 @@ from repro.experiments import EXPERIMENTS, render
 from repro.graphs import load_edge_list, summarize, uniform_random_lt, weighted_cascade
 
 __all__ = ["main", "build_parser"]
+
+#: Algorithms that accept the ``engine=`` keyword (TIM family + RIS).
+_ENGINE_ALGORITHMS = {"tim", "tim+", "timplus", "ris"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +56,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--score-samples", type=int, default=0, help="MC re-score of result (0=off)")
+    run.add_argument(
+        "--engine",
+        choices=["vectorized", "python"],
+        default=None,
+        help="RR sampling/storage engine for the TIM family and RIS "
+        "(default: the library's vectorized engine)",
+    )
 
     spread = sub.add_parser("spread", help="estimate spread of a seed set")
     spread.add_argument("--dataset", default="nethept")
@@ -60,6 +74,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    sketch = sub.add_parser("sketch", help="build and persist an RR-sketch index")
+    sketch.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
+    sketch.add_argument("--scale", type=float, default=1.0)
+    sketch.add_argument("--model", default="IC", choices=["IC", "LT"])
+    sketch.add_argument("-k", type=int, default=10, help="budget used to derive theta")
+    sketch.add_argument("--epsilon", type=float, default=0.3)
+    sketch.add_argument("--ell", type=float, default=1.0)
+    sketch.add_argument("--theta", type=int, default=None, help="fixed sketch size (skips derivation)")
+    sketch.add_argument("--seed", type=int, default=0)
+    sketch.add_argument("--engine", choices=["vectorized", "python"], default="vectorized")
+    sketch.add_argument("--out", required=True, help="output .npz sketch path")
+
+    serve = sub.add_parser("serve", help="serve influence queries from an RR sketch")
+    serve.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--model", default="IC", choices=["IC", "LT"])
+    serve.add_argument("--sketch", default=None, help="pre-built sketch (.npz) to load")
+    serve.add_argument("--mmap", action="store_true", help="memory-map the loaded sketch")
+    serve.add_argument(
+        "--batch",
+        default=None,
+        help="JSONL query file ('-' or omitted = read stdin until EOF)",
+    )
+    serve.add_argument("--save-sketch", default=None, help="persist the (possibly grown) sketch on exit")
+    serve.add_argument("-k", type=int, default=10, help="budget for cold sketch builds")
+    serve.add_argument("--epsilon", type=float, default=0.3)
+    serve.add_argument("--ell", type=float, default=1.0)
+    serve.add_argument("--theta", type=int, default=None, help="fixed size for cold sketch builds")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-indexes", type=int, default=4)
 
     return parser
 
@@ -97,6 +142,12 @@ def _command_run(args) -> int:
         kwargs["ell"] = args.ell
     if args.num_runs is not None:
         kwargs["num_runs"] = args.num_runs
+    if args.engine is not None:
+        if args.algorithm.lower() not in _ENGINE_ALGORITHMS:
+            raise SystemExit(
+                f"--engine applies to {sorted(_ENGINE_ALGORITHMS)}, not {args.algorithm!r}"
+            )
+        kwargs["engine"] = args.engine
     model = args.model
     if args.horizon is not None:
         if args.model != "IC":
@@ -138,6 +189,87 @@ def _command_experiment(args) -> int:
     return 0
 
 
+def _command_sketch(args) -> int:
+    import os
+
+    from repro.sketch import SketchIndex
+
+    graph = _load_graph(args.dataset, args.scale, args.model)
+    started = time.perf_counter()
+    index = SketchIndex.build(
+        graph,
+        args.model,
+        theta=args.theta,
+        k=None if args.theta is not None else args.k,
+        epsilon=args.epsilon,
+        ell=args.ell,
+        rng=args.seed,
+        engine=args.engine,
+    )
+    build_seconds = time.perf_counter() - started
+    index.save(args.out)
+    print(f"sketch      : {args.out} ({os.path.getsize(args.out)} bytes on disk)")
+    print(f"graph       : n={graph.n} m={graph.m} fingerprint={graph.fingerprint()[:16]}…")
+    print(f"model       : {index.meta['model']}")
+    print(f"rr sets     : {index.num_sets} (θ), {index.collection.nbytes()} array bytes")
+    print(f"build time  : {build_seconds:.3f}s")
+    return 0
+
+
+def _command_serve(args) -> int:
+    from repro.sketch import InfluenceService, SketchIndex
+
+    graph = _load_graph(args.dataset, args.scale, args.model)
+    service = InfluenceService(
+        max_indexes=args.max_indexes,
+        default_k=args.k,
+        epsilon=args.epsilon,
+        ell=args.ell,
+        theta=args.theta,
+        rng=args.seed,
+    )
+    loaded_index = None
+    if args.sketch is not None:
+        # Loading validates the fingerprint: a stale sketch fails fast here.
+        loaded_index = SketchIndex.load(args.sketch, graph=graph, mmap=args.mmap)
+        service.add_index(loaded_index)
+
+    if args.batch is None or args.batch == "-":
+        lines = sys.stdin
+    else:
+        lines = open(args.batch, "r", encoding="utf-8")
+    try:
+        responses = service.run_batch(graph, lines, model=args.model)
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    try:
+        for response in responses:
+            print(json.dumps(response, sort_keys=True))
+    except BrokenPipeError:  # downstream pager/head closed the pipe
+        # Still persist the sketch and report the honest exit code; point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        import os
+
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+
+    if args.save_sketch is not None:
+        index, _ = service.get_index(graph, args.model)
+        index.save(args.save_sketch)
+    stats = service.stats
+    try:
+        print(
+            f"served {stats.queries} queries ({stats.errors} errors) | "
+            f"cache hits/misses {stats.cache_hits}/{stats.cache_misses} | "
+            f"mean latency {stats.mean_latency_ms:.2f}ms | "
+            f"{stats.queries_per_second:.0f} q/s",
+            file=sys.stderr,
+        )
+    except BrokenPipeError:
+        pass
+    return 1 if stats.errors else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -149,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_spread(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "sketch":
+        return _command_sketch(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

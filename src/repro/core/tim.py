@@ -48,6 +48,7 @@ def tim(
     coverage: str = "exact",
     max_theta: int | None = None,
     engine: str = "vectorized",
+    sketch_index=None,
 ) -> TIMResult:
     """Two-phase Influence Maximization.
 
@@ -80,6 +81,16 @@ def tim(
         numpy-batched flat RR engine; ``"python"`` keeps the original scalar
         loops (ablation baseline).  Identical output distribution either
         way — only the constant factors differ.
+    sketch_index:
+        Optional :class:`~repro.sketch.index.SketchIndex` to run the call
+        *through* (build-or-reuse).  Node selection draws on the index's
+        sketch — RR sets it already holds are reused and only the shortfall
+        to θ is sampled and appended — and the index's KPT cache lets a
+        repeat call for the same ``(k, refine)`` skip Algorithm 2/3
+        entirely (reusing an earlier KPT* is statistically sound: any value
+        in ``[KPT/4, OPT]`` validates θ, and the cached one was produced by
+        the same procedure, independently of the selection samples).  A
+        first call populates the index; later calls amortize it.
 
     Returns
     -------
@@ -107,32 +118,50 @@ def tim(
     timer = PhaseTimer()
     rr_counts: dict[str, int] = {}
 
-    with timer.phase("parameter_estimation"):
-        kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted, rng=source, engine=engine)
-    rr_counts["parameter_estimation"] = kpt_result.num_rr_sets
-
-    kpt = kpt_result.kpt_star
-    kpt_plus = kpt_result.kpt_star
+    cached_kpt = sketch_index.cached_kpt(k, refine) if sketch_index is not None else None
     interim_seeds: list[int] = []
-    if refine:
-        if epsilon_prime is None:
-            epsilon_prime = epsilon_prime_default(epsilon, k, ell)
-        with timer.phase("refinement"):
-            refined = refine_kpt(
-                graph,
-                k,
-                kpt_result.kpt_star,
-                kpt_result.last_iteration_sets,
-                sampler,
-                epsilon_prime=epsilon_prime,
-                ell=ell_adjusted,
-                rng=source,
-                engine=engine,
+    kpt_iterations = 0
+    if cached_kpt is not None:
+        # Warm path: the index already priced this (k, refine) — skip
+        # Algorithms 2/3 and reuse the recorded KPT bounds.
+        kpt_star = float(cached_kpt["kpt_star"])
+        kpt_plus = float(cached_kpt["kpt_plus"])
+        kpt = kpt_plus if refine else kpt_star
+        rr_counts["parameter_estimation"] = 0
+        if refine:
+            rr_counts["refinement"] = 0
+    else:
+        with timer.phase("parameter_estimation"):
+            kpt_result = estimate_kpt(
+                graph, k, sampler, ell=ell_adjusted, rng=source, engine=engine
             )
-        kpt_plus = refined.kpt_plus
-        kpt = refined.kpt_plus
-        interim_seeds = refined.interim_seeds
-        rr_counts["refinement"] = refined.num_rr_sets
+        rr_counts["parameter_estimation"] = kpt_result.num_rr_sets
+        kpt_iterations = kpt_result.iterations_run
+
+        kpt_star = kpt_result.kpt_star
+        kpt = kpt_result.kpt_star
+        kpt_plus = kpt_result.kpt_star
+        if refine:
+            if epsilon_prime is None:
+                epsilon_prime = epsilon_prime_default(epsilon, k, ell)
+            with timer.phase("refinement"):
+                refined = refine_kpt(
+                    graph,
+                    k,
+                    kpt_result.kpt_star,
+                    kpt_result.last_iteration_sets,
+                    sampler,
+                    epsilon_prime=epsilon_prime,
+                    ell=ell_adjusted,
+                    rng=source,
+                    engine=engine,
+                )
+            kpt_plus = refined.kpt_plus
+            kpt = refined.kpt_plus
+            interim_seeds = refined.interim_seeds
+            rr_counts["refinement"] = refined.num_rr_sets
+        if sketch_index is not None:
+            sketch_index.store_kpt(k, refine, {"kpt_star": kpt_star, "kpt_plus": kpt_plus})
 
     lambda_value = lambda_param(graph.n, k, epsilon, ell_adjusted)
     theta = theta_from_kpt(lambda_value, kpt)
@@ -141,11 +170,14 @@ def tim(
         theta = max_theta
         theta_capped = True
 
+    sketch_sets_reused = len(sketch_index.collection) if sketch_index is not None else 0
     with timer.phase("node_selection"):
         selection = node_selection(
-            graph, k, theta, sampler, rng=source, coverage=coverage, engine=engine
+            graph, k, theta, sampler, rng=source, coverage=coverage, engine=engine,
+            index=sketch_index,
         )
-    rr_counts["node_selection"] = selection.num_rr_sets
+    # Freshly sampled sets only; anything the sketch already held is reuse.
+    rr_counts["node_selection"] = selection.num_rr_sets - sketch_sets_reused
 
     algorithm = "TIM+" if refine else "TIM"
     return TIMResult(
@@ -159,13 +191,15 @@ def tim(
         extras={
             "interim_seeds": interim_seeds,
             "theta_capped": theta_capped,
-            "kpt_iterations": kpt_result.iterations_run,
+            "kpt_iterations": kpt_iterations,
             "engine": engine,
+            "kpt_cache_hit": cached_kpt is not None,
+            "sketch_sets_reused": sketch_sets_reused,
         },
         epsilon=epsilon,
         ell=ell,
         ell_adjusted=ell_adjusted,
-        kpt_star=kpt_result.kpt_star,
+        kpt_star=kpt_star,
         kpt_plus=kpt_plus,
         lambda_value=lambda_value,
         theta=theta,
@@ -185,6 +219,7 @@ def tim_plus(
     coverage: str = "exact",
     max_theta: int | None = None,
     engine: str = "vectorized",
+    sketch_index=None,
 ) -> TIMResult:
     """TIM+ — TIM with the Algorithm 3 refinement step (Section 4.1)."""
     return tim(
@@ -199,4 +234,5 @@ def tim_plus(
         coverage=coverage,
         max_theta=max_theta,
         engine=engine,
+        sketch_index=sketch_index,
     )

@@ -79,6 +79,17 @@ class Dataset:
     def summary(self) -> GraphSummary:
         return summarize(self.graph, self.spec.name, undirected=self.spec.undirected)
 
+    def build_sketch(self, model="IC", **kwargs):
+        """Build a :class:`~repro.sketch.index.SketchIndex` for this stand-in.
+
+        Convenience for serving workflows: applies the Section 7.1 weighting
+        for ``model`` and forwards ``kwargs`` (``theta`` or ``k``/``epsilon``
+        /``ell``, ``rng``, ``engine``) to :meth:`SketchIndex.build`.
+        """
+        from repro.sketch import SketchIndex
+
+        return SketchIndex.build(self.weighted_for(model), model, **kwargs)
+
 
 def _pa(edges_per_node: int) -> Callable[[int, int], DiGraph]:
     def build(n: int, seed: int) -> DiGraph:

@@ -2,6 +2,7 @@
 
 from repro.graphs.builder import GraphBuilder, from_edges
 from repro.graphs.digraph import DiGraph
+from repro.graphs.fingerprint import graph_fingerprint
 from repro.graphs.generators import (
     complete_digraph,
     cycle_digraph,
@@ -53,6 +54,7 @@ __all__ = [
     "DiGraph",
     "GraphBuilder",
     "from_edges",
+    "graph_fingerprint",
     "complete_digraph",
     "cycle_digraph",
     "forest_fire_digraph",

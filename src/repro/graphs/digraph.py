@@ -63,6 +63,7 @@ class DiGraph:
         "in_prob",
         "_in_adj_cache",
         "_out_adj_cache",
+        "_fingerprint_cache",
     )
 
     def __init__(self, num_nodes: int, src, dst, prob=None):
@@ -90,6 +91,7 @@ class DiGraph:
         self.in_ptr, self.in_idx, self.in_prob = self._build_csr(self.dst, self.src)
         self._in_adj_cache = None
         self._out_adj_cache = None
+        self._fingerprint_cache = None
 
     def _build_csr(self, keys: np.ndarray, values: np.ndarray):
         """CSR arrays grouping ``values``/``prob`` by ``keys``."""
@@ -198,6 +200,23 @@ class DiGraph:
     def copy(self) -> "DiGraph":
         """An independent copy."""
         return DiGraph(self.n, self.src.copy(), self.dst.copy(), self.prob.copy())
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash over the CSR arrays and probabilities (cached).
+
+        See :func:`repro.graphs.fingerprint.graph_fingerprint`.  The graph is
+        immutable, so the digest is computed once and reused; it keys the
+        sketch cache in :mod:`repro.sketch` and validates persisted sketches
+        against the graph they are loaded for.
+        """
+        if self._fingerprint_cache is None:
+            from repro.graphs.fingerprint import graph_fingerprint
+
+            self._fingerprint_cache = graph_fingerprint(self)
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------
     # Comparison / debugging

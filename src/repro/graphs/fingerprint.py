@@ -1,0 +1,49 @@
+"""Stable content fingerprint for :class:`~repro.graphs.digraph.DiGraph`.
+
+The fingerprint is a SHA-256 digest over the graph's *canonical CSR content*
+— node count, edge count, ``out_ptr``/``out_idx``/``out_prob`` — so two
+graphs hash identically exactly when their adjacency structure and per-edge
+probabilities agree byte for byte.  It is the key that binds a persisted RR
+sketch (:mod:`repro.sketch`) to the graph it was sampled from: the sketch
+cache uses it to look up indexes, and :func:`repro.sketch.persistence
+.load_sketch` refuses to load a sketch whose recorded fingerprint does not
+match the graph it is being attached to.
+
+Within one node's CSR slice the neighbour order follows edge *input* order
+(the CSR build sorts stably by source), so re-ordering the input edge list
+can change the fingerprint even though the edge multiset is unchanged.
+That conservatism is deliberate: a false mismatch costs one rebuild, a
+false match would silently serve spread estimates for the wrong graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["graph_fingerprint"]
+
+#: Domain separator; bump when the hashed content or layout changes.
+_FINGERPRINT_DOMAIN = b"repro.graphs.fingerprint/v1"
+
+
+def graph_fingerprint(graph) -> str:
+    """Hex SHA-256 digest of the graph's CSR arrays and probabilities.
+
+    Deterministic across processes and platforms for a given graph content:
+    the hashed arrays have fixed dtypes (``int64`` pointers/indices,
+    ``float64`` probabilities) and little-endian byte order is enforced
+    before hashing.
+    """
+    digest = hashlib.sha256()
+    digest.update(_FINGERPRINT_DOMAIN)
+    header = np.array([graph.n, graph.m], dtype="<i8")
+    digest.update(header.tobytes())
+    for array, dtype in (
+        (graph.out_ptr, "<i8"),
+        (graph.out_idx, "<i8"),
+        (graph.out_prob, "<f8"),
+    ):
+        digest.update(np.ascontiguousarray(array, dtype=dtype).tobytes())
+    return digest.hexdigest()

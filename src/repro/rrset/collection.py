@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.rrset.base import RRSet
 from repro.utils.memory import deep_size_of_rr_sets
 from repro.utils.validation import require
@@ -36,6 +38,7 @@ class RRCollection:
         self._sets: list[tuple[int, ...]] = []
         self._widths: list[int] = []
         self._roots: list[int] = []
+        self._costs: list[int] = []
         self._total_cost = 0
 
     # ------------------------------------------------------------------
@@ -46,6 +49,7 @@ class RRCollection:
         self._sets.append(rr.nodes)
         self._widths.append(rr.width)
         self._roots.append(rr.root)
+        self._costs.append(rr.cost)
         self._total_cost += rr.cost
 
     def extend(self, rr_sets: Iterable[RRSet]) -> None:
@@ -73,6 +77,20 @@ class RRCollection:
     def roots(self) -> Sequence[int]:
         """Per-set root nodes."""
         return self._roots
+
+    @property
+    def costs(self) -> Sequence[int]:
+        """Per-set generation costs (nodes + edges examined)."""
+        return self._costs
+
+    @property
+    def costs_array(self) -> np.ndarray:
+        """Per-set generation costs as ``int64`` (parity with the flat layout)."""
+        return np.asarray(self._costs, dtype=np.int64)
+
+    def set_sizes(self) -> np.ndarray:
+        """``|R|`` per stored set (parity with the flat layout)."""
+        return np.fromiter((len(s) for s in self._sets), dtype=np.int64, count=len(self._sets))
 
     @property
     def total_cost(self) -> int:
@@ -127,16 +145,24 @@ class RRCollection:
 
     def mean_kappa(self, k: int) -> float:
         """Average ``κ(R) = 1 - (1 - w(R)/m)^k`` (Equation 8)."""
-        require(k >= 1, "k must be >= 1")
         if not self._widths:
+            require(k >= 1, "k must be >= 1")
             return 0.0
-        if self.graph_edges == 0:
+        return self.kappa_sum(k) / len(self._widths)
+
+    def kappa_sum(self, k: int) -> float:
+        """Σ ``κ(R)`` over the collection (Algorithm 2's running total).
+
+        Same quantity as :meth:`mean_kappa` times ``len(self)``; exposed
+        directly for parity with :class:`~repro.rrset.flat_collection
+        .FlatRRCollection`, whose vectorised variant the estimation loop
+        consumes.
+        """
+        require(k >= 1, "k must be >= 1")
+        if not self._widths or self.graph_edges == 0:
             return 0.0
         m = self.graph_edges
-        total = 0.0
-        for width in self._widths:
-            total += 1.0 - (1.0 - width / m) ** k
-        return total / len(self._widths)
+        return sum(1.0 - (1.0 - width / m) ** k for width in self._widths)
 
     def node_frequencies(self) -> list[int]:
         """How many RR sets each node appears in (argmax = best single seed)."""
@@ -145,6 +171,10 @@ class RRCollection:
             for v in rr:
                 counts[v] += 1
         return counts
+
+    def node_frequency_array(self) -> np.ndarray:
+        """Numpy variant of :meth:`node_frequencies` (parity with flat layout)."""
+        return np.asarray(self.node_frequencies(), dtype=np.int64)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RRCollection(num_sets={len(self._sets)}, num_nodes={self.num_nodes})"

@@ -96,6 +96,53 @@ class FlatRRCollection:
         collection.extend(rr_sets)
         return collection
 
+    @classmethod
+    def from_arrays(
+        cls,
+        num_nodes: int,
+        graph_edges: int,
+        ptr: np.ndarray,
+        nodes: np.ndarray,
+        roots: np.ndarray,
+        widths: np.ndarray,
+        costs: np.ndarray,
+    ) -> "FlatRRCollection":
+        """Adopt already-packed arrays as a collection *without copying*.
+
+        This is the deserialisation entry point used by
+        :mod:`repro.sketch.persistence`: the given arrays become the live
+        storage directly, so memory-mapped (read-only) arrays are accepted —
+        the first ``append``/``extend`` grows into fresh writable buffers
+        before any in-place write happens, because loaded arrays carry no
+        spare capacity.
+        """
+        # asanyarray keeps np.memmap views intact (mmap-loaded sketches).
+        ptr = np.asanyarray(ptr)
+        nodes = np.asanyarray(nodes)
+        roots = np.asanyarray(roots)
+        widths = np.asanyarray(widths)
+        costs = np.asanyarray(costs)
+        num_sets = int(roots.size)
+        require(ptr.ndim == 1 and ptr.size == num_sets + 1, "ptr/roots length mismatch")
+        require(widths.size == num_sets, "widths length mismatch")
+        require(costs.size == num_sets, "costs length mismatch")
+        require(int(ptr[0]) == 0, "ptr must start at 0")
+        require(int(ptr[-1]) == int(nodes.size), "ptr does not span the nodes array")
+        require(bool(np.all(np.diff(ptr) >= 0)), "ptr must be non-decreasing")
+        if nodes.size:
+            lo, hi = int(nodes.min()), int(nodes.max())
+            require(0 <= lo and hi < num_nodes, "node id out of range for num_nodes")
+        collection = cls(num_nodes, graph_edges)
+        collection._ptr = ptr
+        collection._nodes = nodes
+        collection._widths = widths
+        collection._roots = roots
+        collection._costs = costs
+        collection._num_sets = num_sets
+        collection._num_entries = int(nodes.size)
+        collection._total_cost = int(costs.sum()) if num_sets else 0
+        return collection
+
     def append(self, rr: RRSet) -> None:
         """Add one sampled RR set (compatibility with :class:`RRCollection`)."""
         self.append_arrays(
@@ -155,6 +202,8 @@ class FlatRRCollection:
         extra_sets = int(roots.size)
         extra_entries = int(nodes.size)
         require(ptr.size == extra_sets + 1, "ptr/roots length mismatch")
+        if extra_sets == 0:
+            return
         self._reserve(self._num_sets + extra_sets, self._num_entries + extra_entries)
         self._nodes[self._num_entries : self._num_entries + extra_entries] = nodes
         self._ptr[self._num_sets + 1 : self._num_sets + 1 + extra_sets] = (
@@ -235,6 +284,11 @@ class FlatRRCollection:
     def roots(self) -> Sequence[int]:
         """Per-set root nodes."""
         return self.roots_array.tolist()
+
+    @property
+    def costs(self) -> Sequence[int]:
+        """Per-set generation costs (parity with :class:`RRCollection`)."""
+        return self.costs_array.tolist()
 
     @property
     def total_cost(self) -> int:
@@ -338,6 +392,31 @@ class FlatRRCollection:
     def node_frequency_array(self) -> np.ndarray:
         """Vectorised variant of :meth:`node_frequencies` (no list detour)."""
         return np.bincount(self.nodes_array, minlength=self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Persistence (delegates to repro.sketch.persistence)
+    # ------------------------------------------------------------------
+    def save(self, path, meta: dict | None = None) -> None:
+        """Persist the collection as a versioned ``.npz`` sketch file.
+
+        ``meta`` carries sampler provenance (model name, theta, RNG seed,
+        graph fingerprint, ...); see :func:`repro.sketch.persistence
+        .save_sketch` for the format contract.
+        """
+        from repro.sketch.persistence import save_sketch
+
+        save_sketch(path, self, meta or {})
+
+    @classmethod
+    def load(cls, path, mmap: bool = False) -> "tuple[FlatRRCollection, dict]":
+        """Load a persisted sketch; returns ``(collection, metadata)``.
+
+        With ``mmap=True`` the packed arrays are memory-mapped read-only
+        (``mmap_mode="r"``) so concurrent service processes share pages.
+        """
+        from repro.sketch.persistence import load_sketch
+
+        return load_sketch(path, mmap=mmap)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

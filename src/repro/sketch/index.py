@@ -1,0 +1,455 @@
+"""`SketchIndex` — a reusable influence oracle over a persisted RR sketch.
+
+TIM's structural insight (and Borgs et al.'s framing of RR sketches as an
+oracle) is that a collection of random RR sets is *query-independent of k*:
+one sketch answers seed selection for every budget, spread estimation for
+any seed set, and marginal-gain probes — all without resampling.  The index
+wraps a :class:`~repro.rrset.flat_collection.FlatRRCollection` with the two
+prebuilt structures every query needs:
+
+* per-node cover counts (one ``bincount`` over the packed member array),
+* a CSR **inverted index** ``node → ids of the RR sets containing it``,
+
+and keeps an *incremental* lazy-greedy selection state: ``select(5)`` then
+``select(25)`` continues from the fifth pick instead of restarting, so a
+service answering ascending-k queries pays each greedy round once.  Seed
+output is bit-identical to :func:`repro.rrset.coverage.greedy_max_coverage`
+(both resolve tied maxima toward the smaller node id), which is what
+:func:`repro.core.node_selection.node_selection` runs — so routing
+``tim``/``tim_plus`` through an index changes wall-clock, never seeds.
+
+Warm-start theta extension: when a query demands a tighter ε than the sketch
+was built for, :meth:`ensure_theta` appends freshly sampled RR sets via
+``extend_flat`` (never resampling the existing prefix) and invalidates the
+derived structures; :meth:`save` then persists the grown sketch.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.kpt_estimation import estimate_kpt
+from repro.core.parameters import adjusted_ell_tim, lambda_param, theta_from_kpt
+from repro.diffusion.base import resolve_model
+from repro.rrset.base import make_rr_sampler
+from repro.rrset.coverage import (
+    CoverageResult,
+    _decrement,
+    _gather_members,
+    _inverted_index,
+)
+from repro.rrset.flat_collection import FlatRRCollection
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import check_k, require
+
+__all__ = ["SketchIndex"]
+
+
+class _GreedyState:
+    """Resumable lazy-greedy max-coverage state (one instance per index)."""
+
+    __slots__ = ("counts", "covered", "heap", "chosen", "seeds", "gains", "covered_total")
+
+    def __init__(self, counts: np.ndarray, num_sets: int):
+        self.counts = counts
+        self.covered = np.zeros(num_sets, dtype=bool)
+        self.heap = [(-int(counts[node]), node) for node in range(counts.size)]
+        heapq.heapify(self.heap)
+        self.chosen = np.zeros(counts.size, dtype=bool)
+        self.seeds: list[int] = []
+        self.gains: list[int] = []
+        self.covered_total = 0
+
+
+class SketchIndex:
+    """Query service over one RR sketch: selection, spread, marginal gain.
+
+    Parameters
+    ----------
+    collection:
+        The sketch itself (a :class:`FlatRRCollection`); ``None`` starts an
+        empty sketch over ``graph`` to be filled by ``ensure_theta`` or by
+        routing a ``tim`` call through the index.
+    graph:
+        The sampled graph.  Optional for pure read-only querying of a loaded
+        sketch, required for warm extension (sampling needs the graph) and
+        for fingerprint stamping.
+    model:
+        Diffusion model name or instance the sketch was sampled under.
+    meta:
+        Provenance dictionary (see :mod:`repro.sketch.persistence`); the
+        index keeps it current (``theta``, ``kpt_cache``) as the sketch
+        grows and answers queries.
+    """
+
+    def __init__(self, collection: FlatRRCollection | None = None, *,
+                 graph=None, model="IC", meta: dict | None = None):
+        require(collection is not None or graph is not None,
+                "SketchIndex needs a collection, a graph, or both")
+        self._model = resolve_model(model)
+        if collection is None:
+            collection = FlatRRCollection(graph.n, graph.m)
+        self.collection = collection
+        self.graph = graph
+        if graph is not None:
+            require(graph.n == collection.num_nodes,
+                    "collection node universe does not match the graph")
+        self.meta = dict(meta or {})
+        self.meta.setdefault("model", self._model.name)
+        require(self.meta["model"] == self._model.name,
+                f"sketch was sampled under model {self.meta['model']!r}, "
+                f"not {self._model.name!r}")
+        if graph is not None:
+            self.meta.setdefault("graph_fingerprint", graph.fingerprint())
+        self.meta["theta"] = len(collection)
+        self._sampler = None
+        self._inv_ptr: np.ndarray | None = None
+        self._inv_sets: np.ndarray | None = None
+        self._state: _GreedyState | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
+              epsilon: float = 0.1, ell: float = 1.0, rng=None,
+              engine: str = "vectorized") -> "SketchIndex":
+        """Cold-build a sketch: sample θ random RR sets and index them.
+
+        Either pass ``theta`` directly, or pass ``k`` and the sketch size is
+        derived the TIM way — Algorithm 2's KPT* and θ = ⌈λ/KPT*⌉ for the
+        given ``epsilon``/``ell`` — making the sketch ε-equivalent to what a
+        ``tim(graph, k, epsilon)`` call would have sampled.
+        """
+        require(engine in ("vectorized", "python"),
+                f"engine must be 'vectorized' or 'python'; got {engine!r}")
+        resolved = resolve_model(model)
+        resolved.validate_graph(graph)
+        source = resolve_rng(rng)
+        sampler = make_rr_sampler(graph, resolved)
+        meta: dict = {"rng_seed": source.seed, "engine": engine}
+        if theta is None:
+            require(k is not None, "build needs theta, or k to derive theta from epsilon")
+            check_k(k, graph.n)
+            ell_adjusted = adjusted_ell_tim(ell, graph.n)
+            kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted,
+                                      rng=source, engine=engine)
+            theta = theta_from_kpt(
+                lambda_param(graph.n, k, epsilon, ell_adjusted), kpt_result.kpt_star
+            )
+            meta.update(epsilon=epsilon, ell=ell, k=k, kpt_star=kpt_result.kpt_star)
+        theta = int(theta)
+        require(theta >= 1, "theta must be >= 1")
+        if engine == "vectorized":
+            collection = sampler.sample_random_batch(theta, source)
+        else:
+            collection = FlatRRCollection(graph.n, graph.m)
+            randrange = source.py.randrange
+            for _ in range(theta):
+                collection.append(sampler.sample_rooted(randrange(graph.n), source))
+        index = cls(collection, graph=graph, model=resolved, meta=meta)
+        index._sampler = sampler
+        return index
+
+    @classmethod
+    def load(cls, path, graph=None, model=None, mmap: bool = False) -> "SketchIndex":
+        """Load a persisted sketch, validating it against ``graph`` if given.
+
+        A sketch recorded for a different graph raises
+        :class:`~repro.sketch.persistence.SketchGraphMismatchError` — RR
+        sets only estimate spread on the exact graph they were drawn from.
+        """
+        from repro.sketch.persistence import load_sketch
+
+        expected = graph.fingerprint() if graph is not None else None
+        collection, meta = load_sketch(path, mmap=mmap, expected_fingerprint=expected)
+        return cls(collection, graph=graph, model=model or meta.get("model", "IC"), meta=meta)
+
+    def save(self, path) -> None:
+        """Persist the (possibly grown) sketch and its current metadata."""
+        payload = {
+            key: value
+            for key, value in self.meta.items()
+            if key not in ("format_version", "num_nodes", "graph_edges", "num_sets")
+        }
+        self.collection.save(path, payload)
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        """θ — the number of RR sets currently in the sketch."""
+        return len(self.collection)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.collection.num_nodes
+
+    def _ensure_postings(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._inv_ptr is None:
+            self._inv_ptr, self._inv_sets = _inverted_index(
+                self.collection.ptr_array, self.collection.nodes_array, self.num_nodes
+            )
+        return self._inv_ptr, self._inv_sets
+
+    def invalidate(self) -> None:
+        """Drop postings and selection state (call after the sketch grows)."""
+        self._inv_ptr = None
+        self._inv_sets = None
+        self._state = None
+
+    # ------------------------------------------------------------------
+    # Growth (warm-start theta extension)
+    # ------------------------------------------------------------------
+    def _require_sampler(self):
+        require(self.graph is not None,
+                "this index has no graph attached; re-load the sketch with "
+                "graph=... to enable sampling")
+        if self._sampler is None:
+            self._sampler = make_rr_sampler(self.graph, self._model)
+        return self._sampler
+
+    def extend_flat(self, batch: FlatRRCollection) -> None:
+        """Append pre-sampled RR sets (array-level) and invalidate caches."""
+        self.collection.extend_flat(batch)
+        self.meta["theta"] = len(self.collection)
+        self.invalidate()
+
+    def ensure_theta(self, theta: int, rng=None) -> int:
+        """Grow the sketch to at least ``theta`` RR sets; returns the number added.
+
+        The existing prefix is never resampled — random RR sets are i.i.d.,
+        so appending fresh ones preserves every estimator guarantee while
+        reusing all prior sampling work (the warm-start amortization that
+        makes repeated tighter-ε queries cheap).
+        """
+        missing = int(theta) - len(self.collection)
+        if missing <= 0:
+            return 0
+        sampler = self._require_sampler()
+        batch = sampler.sample_random_batch(missing, resolve_rng(rng))
+        self.extend_flat(batch)
+        return missing
+
+    def ensure_epsilon(self, k: int, epsilon: float, ell: float = 1.0, rng=None) -> int:
+        """Grow the sketch until it is ε-equivalent for budget ``k``.
+
+        Recomputes θ = ⌈λ(ε)/KPT*⌉ from the cached KPT* for *this* ``k``
+        (KPT is k-dependent — Equation 8's κ uses k — so the cache is keyed
+        by k; a fresh Algorithm 2 run fills a miss) and extends to it;
+        returns the number of sets added.
+        """
+        check_k(k, self.num_nodes)
+        source = resolve_rng(rng)
+        ell_adjusted = adjusted_ell_tim(ell, self.num_nodes)
+        kpt_by_k = self.meta.setdefault("kpt_star_by_k", {})
+        if "kpt_star" in self.meta and self.meta.get("k") is not None:
+            # Seed the per-k cache with the build-time estimate.
+            kpt_by_k.setdefault(str(self.meta["k"]), self.meta["kpt_star"])
+        kpt_star = kpt_by_k.get(str(k))
+        if kpt_star is None:
+            sampler = self._require_sampler()
+            kpt_star = estimate_kpt(
+                self.graph, k, sampler, ell=ell_adjusted, rng=source
+            ).kpt_star
+            kpt_by_k[str(k)] = kpt_star
+        theta = theta_from_kpt(
+            lambda_param(self.num_nodes, k, epsilon, ell_adjusted), kpt_star
+        )
+        added = self.ensure_theta(theta, rng=source)
+        if added:
+            self.meta["epsilon"] = epsilon
+        return added
+
+    # ------------------------------------------------------------------
+    # KPT cache (lets a warm `tim` call skip Algorithm 2 entirely)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _kpt_key(k: int, refine: bool) -> str:
+        return f"k={int(k)}|refine={bool(refine)}"
+
+    def cached_kpt(self, k: int, refine: bool) -> dict | None:
+        """A previously computed ``{"kpt_star": .., "kpt_plus": ..}`` record."""
+        return self.meta.get("kpt_cache", {}).get(self._kpt_key(k, refine))
+
+    def store_kpt(self, k: int, refine: bool, record: dict) -> None:
+        self.meta.setdefault("kpt_cache", {})[self._kpt_key(k, refine)] = dict(record)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(self, k: int, forced_include=(), forced_exclude=(),
+               incremental: bool = True) -> CoverageResult:
+        """Greedy max-coverage seed selection over the sketch, for any ``k``.
+
+        Matches :func:`repro.rrset.coverage.greedy_max_coverage` seed-for-seed
+        (ties resolve toward the smaller node id).  With ``incremental=True``
+        (default, and only valid without constraints) the lazy-greedy state
+        persists across calls, so ascending-k queries extend the previous
+        answer instead of recomputing it.
+
+        ``forced_include`` seeds are taken first (in the given order) and
+        count toward ``k``; ``forced_exclude`` nodes are never selected.
+        """
+        check_k(k, self.num_nodes)
+        include = [int(v) for v in forced_include]
+        exclude = {int(v) for v in forced_exclude}
+        if include or exclude:
+            for node in include:
+                require(0 <= node < self.num_nodes, f"forced seed {node} out of range")
+            for node in exclude:
+                require(0 <= node < self.num_nodes, f"excluded node {node} out of range")
+            require(len(set(include)) == len(include), "forced_include has duplicates")
+            require(not (set(include) & exclude),
+                    "forced_include and forced_exclude overlap")
+            require(len(include) <= k, "forced_include larger than k")
+            require(self.num_nodes - len(exclude) >= k,
+                    "exclusions leave fewer than k eligible nodes")
+            return self._select_constrained(k, include, exclude)
+        if not incremental:
+            return self._run_greedy(k, _GreedyState(self._fresh_counts(), self.num_sets))
+        if self._state is None:
+            self._state = _GreedyState(self._fresh_counts(), self.num_sets)
+        state = self._state
+        if len(state.seeds) >= k:
+            return CoverageResult(
+                state.seeds[:k],
+                int(sum(state.gains[:k])),
+                self.num_sets,
+                tuple(state.gains[:k]),
+            )
+        return self._run_greedy(k, state)
+
+    def _fresh_counts(self) -> np.ndarray:
+        self._ensure_postings()
+        return self.collection.node_frequency_array().astype(np.int64, copy=True)
+
+    def _run_greedy(self, k: int, state: _GreedyState) -> CoverageResult:
+        """Advance ``state`` until it holds ``k`` seeds; return the answer."""
+        inv_ptr, inv_sets = self._ensure_postings()
+        ptr = self.collection.ptr_array
+        nodes = self.collection.nodes_array
+        counts, covered, heap, chosen = state.counts, state.covered, state.heap, state.chosen
+        while len(state.seeds) < k and heap:
+            negative_count, node = heapq.heappop(heap)
+            if chosen[node]:
+                continue
+            current = int(counts[node])
+            if -negative_count != current:
+                heapq.heappush(heap, (-current, node))
+                continue
+            state.seeds.append(node)
+            chosen[node] = True
+            state.gains.append(current)
+            state.covered_total += current
+            candidate_sets = inv_sets[inv_ptr[node] : inv_ptr[node + 1]]
+            new_sets = candidate_sets[~covered[candidate_sets]]
+            if new_sets.size:
+                covered[new_sets] = True
+                _decrement(counts, _gather_members(ptr, nodes, new_sets), self.num_nodes)
+        if len(state.seeds) < k:
+            fill = np.flatnonzero(~chosen)[: k - len(state.seeds)]
+            for v in fill:
+                state.seeds.append(int(v))
+                state.gains.append(0)
+                chosen[v] = True
+        return CoverageResult(
+            list(state.seeds), state.covered_total, self.num_sets, tuple(state.gains)
+        )
+
+    def _select_constrained(self, k: int, include: list[int], exclude: set[int]) -> CoverageResult:
+        """One-shot greedy honouring forced include/exclude constraints."""
+        inv_ptr, inv_sets = self._ensure_postings()
+        ptr = self.collection.ptr_array
+        nodes = self.collection.nodes_array
+        counts = self._fresh_counts()
+        covered = np.zeros(self.num_sets, dtype=bool)
+        chosen = np.zeros(self.num_nodes, dtype=bool)
+        seeds: list[int] = []
+        gains: list[int] = []
+        total = 0
+
+        def take(node: int) -> None:
+            nonlocal total
+            gain = int(counts[node])
+            seeds.append(node)
+            gains.append(gain)
+            total += gain
+            chosen[node] = True
+            candidate_sets = inv_sets[inv_ptr[node] : inv_ptr[node + 1]]
+            new_sets = candidate_sets[~covered[candidate_sets]]
+            if new_sets.size:
+                covered[new_sets] = True
+                _decrement(counts, _gather_members(ptr, nodes, new_sets), self.num_nodes)
+
+        for node in include:
+            take(node)
+        if exclude:
+            chosen[list(exclude)] = True  # never eligible
+        heap = [
+            (-int(counts[node]), node)
+            for node in range(self.num_nodes)
+            if not chosen[node]
+        ]
+        heapq.heapify(heap)
+        while len(seeds) < k and heap:
+            negative_count, node = heapq.heappop(heap)
+            if chosen[node]:
+                continue
+            current = int(counts[node])
+            if -negative_count != current:
+                heapq.heappush(heap, (-current, node))
+                continue
+            take(node)
+        if len(seeds) < k:
+            eligible = ~chosen
+            fill = np.flatnonzero(eligible)[: k - len(seeds)]
+            for v in fill:
+                seeds.append(int(v))
+                gains.append(0)
+        return CoverageResult(seeds, total, self.num_sets, tuple(gains))
+
+    def coverage_count(self, seeds) -> int:
+        """Number of RR sets covered by ``seeds`` (postings-list union)."""
+        inv_ptr, inv_sets = self._ensure_postings()
+        mask = np.zeros(self.num_sets, dtype=bool)
+        for v in seeds:
+            v = int(v)
+            require(0 <= v < self.num_nodes, f"seed {v} out of range")
+            mask[inv_sets[inv_ptr[v] : inv_ptr[v + 1]]] = True
+        return int(np.count_nonzero(mask))
+
+    def coverage_fraction(self, seeds) -> float:
+        """``F_R(S)`` over the sketch."""
+        if self.num_sets == 0:
+            return 0.0
+        return self.coverage_count(seeds) / self.num_sets
+
+    def spread(self, seeds) -> float:
+        """``n · F_R(S)`` — the Corollary 1 spread estimate, no resampling."""
+        return self.num_nodes * self.coverage_fraction(seeds)
+
+    def marginal_gain(self, seeds, candidate: int) -> float:
+        """Estimated spread increase from adding ``candidate`` to ``seeds``."""
+        inv_ptr, inv_sets = self._ensure_postings()
+        candidate = int(candidate)
+        require(0 <= candidate < self.num_nodes, f"candidate {candidate} out of range")
+        if self.num_sets == 0:
+            return 0.0
+        mask = np.zeros(self.num_sets, dtype=bool)
+        for v in seeds:
+            v = int(v)
+            require(0 <= v < self.num_nodes, f"seed {v} out of range")
+            mask[inv_sets[inv_ptr[v] : inv_ptr[v + 1]]] = True
+        postings = inv_sets[inv_ptr[candidate] : inv_ptr[candidate + 1]]
+        gain = int(np.count_nonzero(~mask[postings]))
+        return self.num_nodes * gain / self.num_sets
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SketchIndex(num_sets={self.num_sets}, num_nodes={self.num_nodes}, "
+            f"model={self._model.name!r})"
+        )

@@ -1,0 +1,252 @@
+"""Versioned on-disk format for RR sketches (``.npz``).
+
+A *sketch file* is one uncompressed ``.npz`` archive holding the five packed
+arrays of a :class:`~repro.rrset.flat_collection.FlatRRCollection` —
+``ptr`` / ``nodes`` / ``roots`` / ``widths`` / ``costs`` — plus a
+``meta_json`` byte array with the sampler provenance:
+
+* ``format_version`` — bumped on any layout change; mismatches raise
+  :class:`SketchVersionError` instead of misreading bytes,
+* ``num_nodes`` / ``graph_edges`` — the node universe and ``m`` the
+  estimators divide by,
+* ``graph_fingerprint`` — :func:`repro.graphs.fingerprint.graph_fingerprint`
+  of the sampled graph; :func:`load_sketch` refuses a mismatched graph
+  (:class:`SketchGraphMismatchError`), because RR sets are only meaningful
+  against the exact graph they were drawn from,
+* sampler metadata: ``model``, ``theta`` (the sketch size, i.e. the
+  ε-equivalent sample count), ``rng_seed``, and optional ``epsilon`` /
+  ``ell`` / ``k`` / ``kpt_cache`` entries written by
+  :class:`~repro.sketch.index.SketchIndex`.
+
+Two load paths:
+
+* **eager** (default) — ``np.load`` copies the arrays into fresh memory;
+* **mmap** (``mmap=True``) — because ``np.savez`` stores members
+  uncompressed (``ZIP_STORED``), each ``.npy`` member is a contiguous run
+  of bytes inside the archive.  We locate each member's data offset from
+  its zip local-file header, parse the ``.npy`` header in place, and hand
+  back ``np.memmap`` views — so any number of service processes share one
+  page-cache copy of a multi-gigabyte sketch.  ``np.load``'s own
+  ``mmap_mode`` is silently ignored for ``.npz`` archives, hence the manual
+  offset arithmetic.
+
+Roundtrips are bit-exact: array dtypes and contents are preserved, so
+``nbytes`` and every estimator agree before and after a save/load cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zipfile
+
+import numpy as np
+
+from repro.rrset.flat_collection import FlatRRCollection
+
+__all__ = [
+    "SKETCH_FORMAT_VERSION",
+    "SketchFileError",
+    "SketchVersionError",
+    "SketchGraphMismatchError",
+    "save_sketch",
+    "load_sketch",
+    "read_sketch_meta",
+]
+
+#: Current on-disk format version; bump on any incompatible layout change.
+SKETCH_FORMAT_VERSION = 1
+
+_ARRAY_KEYS = ("ptr", "nodes", "roots", "widths", "costs")
+
+
+class SketchFileError(ValueError):
+    """The file is not a readable sketch (corrupt, truncated, wrong schema)."""
+
+
+class SketchVersionError(SketchFileError):
+    """The sketch was written by an incompatible format version."""
+
+
+class SketchGraphMismatchError(SketchFileError):
+    """The sketch's recorded graph fingerprint does not match the graph."""
+
+
+def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
+    """Write ``collection`` plus ``meta`` as a versioned ``.npz`` sketch.
+
+    Reserved keys (``format_version``, ``num_nodes``, ``graph_edges``,
+    ``num_sets``) are stamped from the collection and must not be supplied
+    with conflicting values in ``meta``.
+    """
+    full_meta = dict(meta)
+    stamped = {
+        "format_version": SKETCH_FORMAT_VERSION,
+        "num_nodes": collection.num_nodes,
+        "graph_edges": collection.graph_edges,
+        "num_sets": len(collection),
+    }
+    for key, value in stamped.items():
+        if key in full_meta and full_meta[key] != value:
+            raise ValueError(
+                f"meta key {key!r} conflicts with the collection ({full_meta[key]!r} != {value!r})"
+            )
+        full_meta[key] = value
+    meta_bytes = np.frombuffer(
+        json.dumps(full_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    # np.savez (not savez_compressed): ZIP_STORED members are what makes the
+    # mmap load path possible.  Writing through an open handle keeps the
+    # caller's exact path — np.savez(path, ...) would silently append
+    # ".npz" and strand the file somewhere the caller never asked for.
+    with open(path, "wb") as handle:
+        np.savez(
+            handle,
+            ptr=collection.ptr_array,
+            nodes=collection.nodes_array,
+            roots=collection.roots_array,
+            widths=collection.widths_array,
+            costs=collection.costs_array,
+            meta_json=meta_bytes,
+        )
+
+
+def read_sketch_meta(path) -> dict:
+    """Parse and validate only the metadata block of a sketch file."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "meta_json" not in data.files:
+                raise SketchFileError(f"{path}: missing meta_json — not a sketch file")
+            raw = bytes(np.asarray(data["meta_json"], dtype=np.uint8))
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        if isinstance(exc, SketchFileError):
+            raise
+        raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
+    try:
+        meta = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SketchFileError(f"{path}: corrupt sketch metadata ({exc})") from exc
+    if not isinstance(meta, dict):
+        raise SketchFileError(f"{path}: sketch metadata is not an object")
+    version = meta.get("format_version")
+    if version != SKETCH_FORMAT_VERSION:
+        raise SketchVersionError(
+            f"{path}: sketch format version {version!r} is not supported "
+            f"(this build reads version {SKETCH_FORMAT_VERSION})"
+        )
+    for key in ("num_nodes", "graph_edges", "num_sets"):
+        if not isinstance(meta.get(key), int):
+            raise SketchFileError(f"{path}: sketch metadata missing integer {key!r}")
+    return meta
+
+
+def load_sketch(
+    path, mmap: bool = False, expected_fingerprint: str | None = None
+) -> tuple[FlatRRCollection, dict]:
+    """Load a sketch file; returns ``(collection, metadata)``.
+
+    Parameters
+    ----------
+    mmap:
+        Memory-map the packed arrays read-only instead of copying them.
+    expected_fingerprint:
+        When given, the sketch's recorded ``graph_fingerprint`` must match
+        exactly; a stale or wrong-graph sketch raises
+        :class:`SketchGraphMismatchError`.
+    """
+    meta = read_sketch_meta(path)
+    if expected_fingerprint is not None:
+        recorded = meta.get("graph_fingerprint")
+        if recorded != expected_fingerprint:
+            raise SketchGraphMismatchError(
+                f"{path}: sketch was built for graph {recorded!r}, "
+                f"not the given graph {expected_fingerprint!r}; rebuild the sketch"
+            )
+    try:
+        if mmap:
+            arrays = _mmap_npz_members(path, _ARRAY_KEYS)
+        else:
+            with np.load(path, allow_pickle=False) as data:
+                missing = [key for key in _ARRAY_KEYS if key not in data.files]
+                if missing:
+                    raise SketchFileError(f"{path}: sketch archive missing arrays {missing}")
+                arrays = {key: data[key] for key in _ARRAY_KEYS}
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        if isinstance(exc, SketchFileError):
+            raise
+        raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
+    try:
+        collection = FlatRRCollection.from_arrays(
+            num_nodes=meta["num_nodes"],
+            graph_edges=meta["graph_edges"],
+            ptr=arrays["ptr"],
+            nodes=arrays["nodes"],
+            roots=arrays["roots"],
+            widths=arrays["widths"],
+            costs=arrays["costs"],
+        )
+    except ValueError as exc:
+        raise SketchFileError(f"{path}: inconsistent sketch arrays ({exc})") from exc
+    if len(collection) != meta["num_sets"]:
+        raise SketchFileError(
+            f"{path}: metadata records {meta['num_sets']} sets "
+            f"but arrays hold {len(collection)}"
+        )
+    return collection, meta
+
+
+# ----------------------------------------------------------------------
+# Zero-copy .npz member mapping
+# ----------------------------------------------------------------------
+def _mmap_npz_members(path, names) -> dict[str, np.ndarray]:
+    """Memory-map the named ``.npy`` members of an uncompressed ``.npz``.
+
+    For each member: read its zip *local* file header (the central
+    directory's name/extra lengths can differ from the local ones, so the
+    data offset must come from the local header), then parse the ``.npy``
+    header at that offset to learn dtype/shape/order, and finally map the
+    raw array bytes with ``np.memmap(..., mode="r")``.
+    """
+    out: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for name in names:
+            member = name + ".npy"
+            try:
+                info = archive.getinfo(member)
+            except KeyError:
+                raise SketchFileError(f"{path}: sketch archive missing arrays ['{name}']")
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise SketchFileError(
+                    f"{path}: member {member} is compressed; mmap load needs "
+                    "an uncompressed archive (np.savez, not savez_compressed)"
+                )
+            with open(path, "rb") as handle:
+                handle.seek(info.header_offset)
+                local_header = handle.read(30)
+                if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                    raise SketchFileError(f"{path}: corrupt zip local header for {member}")
+                name_len, extra_len = struct.unpack("<HH", local_header[26:30])
+                handle.seek(info.header_offset + 30 + name_len + extra_len)
+                data_start = handle.tell()
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:
+                    raise SketchFileError(
+                        f"{path}: {member} uses unsupported .npy version {version}"
+                    )
+                payload_offset = handle.tell()
+            expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if payload_offset - data_start + expected > info.file_size:
+                raise SketchFileError(f"{path}: truncated array payload for {member}")
+            out[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=payload_offset,
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return out

@@ -1,0 +1,256 @@
+"""`InfluenceService` — an in-process influence-query server over sketches.
+
+The service front of :mod:`repro.sketch`: it keeps an LRU cache of
+:class:`~repro.sketch.index.SketchIndex` objects keyed by
+``(graph fingerprint, model name)``, builds an index on first touch
+(cold miss) and serves every later query from the cached sketch (warm hit).
+This is the "build a sketch once, answer millions of queries" shape the
+ROADMAP's serving north-star asks for, mirrored in miniature: the
+``repro-im serve`` CLI wraps one service instance around a JSONL request
+stream and reports per-query latency plus hit/miss statistics.
+
+Request format (one JSON object per line)::
+
+    {"op": "select", "k": 10}
+    {"op": "select", "k": 10, "include": [3], "exclude": [7]}
+    {"op": "spread", "seeds": [3, 17, 42]}
+    {"op": "marginal_gain", "seeds": [3, 17], "candidate": 42}
+    {"op": "stats"}
+
+Responses echo ``op`` (and ``id`` when the request carries one) and add
+``result``, ``latency_ms`` and ``cache`` (``"hit"``/``"miss"``).  Failures
+come back as ``{"ok": false, "error": ...}`` instead of raising, so one bad
+request cannot take down a batch.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.diffusion.base import resolve_model
+from repro.sketch.index import SketchIndex
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import require
+
+__all__ = ["InfluenceService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters the service maintains across queries."""
+
+    queries: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    builds: int = 0
+    total_latency_seconds: float = 0.0
+    per_op: dict = field(default_factory=dict)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if self.queries == 0:
+            return 0.0
+        return 1000.0 * self.total_latency_seconds / self.queries
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.total_latency_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.total_latency_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "builds": self.builds,
+            "mean_latency_ms": self.mean_latency_ms,
+            "queries_per_second": self.queries_per_second,
+            "per_op": dict(self.per_op),
+        }
+
+
+class InfluenceService:
+    """LRU of sketch indexes plus a uniform query front.
+
+    Parameters
+    ----------
+    max_indexes:
+        Capacity of the LRU; the least-recently-used index is evicted when a
+        build would exceed it.
+    default_k, epsilon, ell, engine:
+        Build parameters for cold misses (θ derived the TIM way from
+        ``epsilon`` at budget ``default_k``); ``theta`` overrides the
+        derivation with a fixed sketch size.
+    rng:
+        Seed/source for cold builds, so a service run is reproducible.
+    """
+
+    def __init__(self, max_indexes: int = 4, *, default_k: int = 10,
+                 epsilon: float = 0.3, ell: float = 1.0, theta: int | None = None,
+                 engine: str = "vectorized", rng=None):
+        require(max_indexes >= 1, "max_indexes must be >= 1")
+        self.max_indexes = int(max_indexes)
+        self.default_k = int(default_k)
+        self.epsilon = float(epsilon)
+        self.ell = float(ell)
+        self.theta = theta
+        self.engine = engine
+        self._rng = resolve_rng(rng)
+        self._indexes: "OrderedDict[tuple[str, str], SketchIndex]" = OrderedDict()
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Index cache
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(graph, model) -> tuple[str, str]:
+        return (graph.fingerprint(), resolve_model(model).name)
+
+    def add_index(self, index: SketchIndex, graph=None) -> tuple[str, str]:
+        """Register a pre-built/loaded index (e.g. from a sketch file)."""
+        graph = graph if graph is not None else index.graph
+        fingerprint = index.meta.get("graph_fingerprint")
+        if fingerprint is None:
+            require(graph is not None, "index carries no fingerprint and no graph")
+            fingerprint = graph.fingerprint()
+        key = (fingerprint, index.meta["model"])
+        self._indexes[key] = index
+        self._indexes.move_to_end(key)
+        self._evict()
+        return key
+
+    def get_index(self, graph, model="IC") -> tuple[SketchIndex, bool]:
+        """Return ``(index, was_cached)`` for the graph/model, building on miss."""
+        key = self._key(graph, model)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            self._indexes.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached, True
+        self.stats.cache_misses += 1
+        self.stats.builds += 1
+        index = SketchIndex.build(
+            graph,
+            model,
+            theta=self.theta,
+            k=None if self.theta is not None else self.default_k,
+            epsilon=self.epsilon,
+            ell=self.ell,
+            rng=self._rng.spawn(),
+            engine=self.engine,
+        )
+        self._indexes[key] = index
+        self._evict()
+        return index, False
+
+    def _evict(self) -> None:
+        while len(self._indexes) > self.max_indexes:
+            self._indexes.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def cached_keys(self) -> list[tuple[str, str]]:
+        return list(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, graph, request: dict, model=None) -> dict:
+        """Answer one request dict; never raises on bad input.
+
+        ``model`` in the request overrides the call-level default, which
+        overrides ``"IC"``.
+        """
+        started = time.perf_counter()
+        response: dict = {}
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        try:
+            require(isinstance(request, dict), "request must be a JSON object")
+            op = request.get("op")
+            response["op"] = op
+            if op == "stats":
+                response.update(ok=True, result=self.stats.as_dict(), cache="n/a")
+                return response
+            resolved_model = request.get("model", model or "IC")
+            index, was_cached = self.get_index(graph, resolved_model)
+            response["cache"] = "hit" if was_cached else "miss"
+            if op == "select":
+                k = request.get("k")
+                require(isinstance(k, int) and k >= 1, "select needs an integer k >= 1")
+                result = index.select(
+                    k,
+                    forced_include=request.get("include", ()),
+                    forced_exclude=request.get("exclude", ()),
+                )
+                response.update(ok=True, result={
+                    "seeds": result.seeds,
+                    "coverage_fraction": result.fraction,
+                    "estimated_spread": index.num_nodes * result.fraction,
+                    "num_rr_sets": index.num_sets,
+                })
+            elif op == "spread":
+                seeds = request.get("seeds")
+                require(isinstance(seeds, list) and seeds, "spread needs a non-empty seeds list")
+                response.update(ok=True, result={
+                    "spread": index.spread(seeds),
+                    "coverage_fraction": index.coverage_fraction(seeds),
+                    "num_rr_sets": index.num_sets,
+                })
+            elif op == "marginal_gain":
+                seeds = request.get("seeds")
+                candidate = request.get("candidate")
+                require(isinstance(seeds, list), "marginal_gain needs a seeds list")
+                require(isinstance(candidate, int), "marginal_gain needs an integer candidate")
+                response.update(ok=True, result={
+                    "gain": index.marginal_gain(seeds, candidate),
+                    "num_rr_sets": index.num_sets,
+                })
+            else:
+                raise ValueError(
+                    f"unknown op {op!r}; expected select, spread, marginal_gain, or stats"
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            response.update(ok=False, error=str(exc))
+            self.stats.errors += 1
+        finally:
+            elapsed = time.perf_counter() - started
+            response["latency_ms"] = 1000.0 * elapsed
+            self.stats.queries += 1
+            self.stats.total_latency_seconds += elapsed
+            op_name = response.get("op") or "<missing>"
+            self.stats.per_op[op_name] = self.stats.per_op.get(op_name, 0) + 1
+        return response
+
+    def run_batch(self, graph, lines: Iterable[str], model=None) -> list[dict]:
+        """Answer a JSONL request stream; blank lines and ``#`` comments skip."""
+        responses: list[dict] = []
+        for line_number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                request = json.loads(text)
+            except json.JSONDecodeError as exc:
+                self.stats.queries += 1
+                self.stats.errors += 1
+                responses.append({
+                    "ok": False,
+                    "line": line_number,
+                    "error": f"invalid JSON: {exc}",
+                    "latency_ms": 0.0,
+                })
+                continue
+            responses.append(self.query(graph, request, model=model))
+        return responses

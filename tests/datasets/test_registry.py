@@ -92,3 +92,15 @@ class TestWeightedViews:
     def test_topology_shared_across_views(self):
         dataset = build_dataset("nethept", scale=0.25)
         assert dataset.weighted_for("IC").edge_set() == dataset.weighted_for("LT").edge_set()
+
+
+class TestBuildSketch:
+    def test_dataset_sketch_convenience(self):
+        from repro.datasets import build_dataset
+
+        dataset = build_dataset("nethept", scale=0.05)
+        index = dataset.build_sketch("IC", theta=150, rng=4)
+        assert index.num_sets == 150
+        assert index.meta["model"] == "IC"
+        assert index.meta["graph_fingerprint"] == dataset.weighted_for("IC").fingerprint()
+        assert len(index.select(3).seeds) == 3

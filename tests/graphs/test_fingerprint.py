@@ -1,0 +1,36 @@
+"""DiGraph content fingerprint: stability, sensitivity, caching."""
+
+from repro.graphs import DiGraph, gnm_random_digraph, graph_fingerprint, weighted_cascade
+
+
+def build(seed: int = 4) -> DiGraph:
+    return weighted_cascade(gnm_random_digraph(40, 160, rng=seed))
+
+
+class TestFingerprint:
+    def test_deterministic_across_instances(self):
+        assert build().fingerprint() == build().fingerprint()
+        assert graph_fingerprint(build()) == build().fingerprint()
+
+    def test_is_hex_sha256(self):
+        digest = build().fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_sensitive_to_structure(self):
+        assert build(4).fingerprint() != build(5).fingerprint()
+
+    def test_sensitive_to_probabilities(self):
+        graph = build()
+        reweighted = graph.with_probabilities(graph.prob * 0.5)
+        assert graph.fingerprint() != reweighted.fingerprint()
+
+    def test_copy_preserves_fingerprint(self):
+        graph = build()
+        assert graph.copy().fingerprint() == graph.fingerprint()
+
+    def test_cached(self):
+        graph = build()
+        first = graph.fingerprint()
+        assert graph._fingerprint_cache == first
+        assert graph.fingerprint() is first

@@ -136,3 +136,127 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[section-5]" in out
         assert "greedy/tim" in out
+
+
+class TestEngineFlag:
+    def test_engine_threaded_to_tim(self, capsys):
+        for engine in ("vectorized", "python"):
+            code = main(
+                [
+                    "run", "--algorithm", "tim", "--dataset", "nethept",
+                    "--scale", "0.05", "-k", "2", "--epsilon", "0.5",
+                    "--seed", "3", "--engine", engine,
+                ]
+            )
+            assert code == 0
+            assert "seeds" in capsys.readouterr().out
+
+    def test_engine_accepted_for_ris(self, capsys):
+        code = main(
+            [
+                "run", "--algorithm", "ris", "--dataset", "nethept",
+                "--scale", "0.05", "-k", "2", "--epsilon", "0.5",
+                "--seed", "3", "--engine", "python",
+            ]
+        )
+        assert code == 0
+
+    def test_engine_rejected_for_heuristics(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="--engine"):
+            main(
+                [
+                    "run", "--algorithm", "degree", "--dataset", "nethept",
+                    "--scale", "0.05", "-k", "2", "--engine", "python",
+                ]
+            )
+
+    def test_engine_choices_validated(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "turbo"])
+
+
+class TestSketchAndServe:
+    def _build_sketch(self, tmp_path, capsys):
+        out = tmp_path / "nh.npz"
+        code = main(
+            [
+                "sketch", "--dataset", "nethept", "--scale", "0.05",
+                "--model", "IC", "--theta", "500", "--seed", "7",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "rr sets" in capsys.readouterr().out
+        assert out.exists()
+        return out
+
+    def test_sketch_build_and_serve_batch(self, tmp_path, capsys):
+        import json
+
+        sketch = self._build_sketch(tmp_path, capsys)
+        batch = tmp_path / "queries.jsonl"
+        lines = [json.dumps({"op": "select", "k": k}) for k in (1, 2, 3)]
+        lines.append(json.dumps({"op": "spread", "seeds": [0, 1]}))
+        lines.append(json.dumps({"op": "stats"}))
+        batch.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "serve", "--dataset", "nethept", "--scale", "0.05",
+                "--model", "IC", "--sketch", str(sketch), "--mmap",
+                "--batch", str(batch), "--seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(responses) == 5
+        assert all(response["ok"] for response in responses)
+        # The preloaded sketch serves every query: no cold builds.
+        assert all(r["cache"] == "hit" for r in responses if r["cache"] != "n/a")
+
+    def test_serve_reports_errors_in_exit_code(self, tmp_path, capsys):
+        batch = tmp_path / "bad.jsonl"
+        batch.write_text('{"op": "unknown"}\n')
+        code = main(
+            [
+                "serve", "--dataset", "nethept", "--scale", "0.05",
+                "--theta", "200", "--batch", str(batch), "--seed", "1",
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+
+    def test_serve_save_sketch_roundtrip(self, tmp_path, capsys):
+        import json
+
+        batch = tmp_path / "queries.jsonl"
+        batch.write_text(json.dumps({"op": "select", "k": 2}) + "\n")
+        saved = tmp_path / "grown.npz"
+        code = main(
+            [
+                "serve", "--dataset", "nethept", "--scale", "0.05",
+                "--theta", "300", "--batch", str(batch), "--seed", "1",
+                "--save-sketch", str(saved),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert saved.exists()
+
+    def test_stale_sketch_rejected(self, tmp_path, capsys):
+        sketch = self._build_sketch(tmp_path, capsys)
+        import pytest
+
+        from repro.sketch import SketchGraphMismatchError
+
+        with pytest.raises(SketchGraphMismatchError):
+            main(
+                [
+                    "serve", "--dataset", "nethept", "--scale", "0.1",
+                    "--sketch", str(sketch), "--batch", str(tmp_path / "none.jsonl"),
+                ]
+            )

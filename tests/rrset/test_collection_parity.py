@@ -1,0 +1,104 @@
+"""RRCollection and FlatRRCollection expose one estimator surface.
+
+ISSUE 2's API-drift fix: the sketch index (and anything else downstream)
+must be able to treat the two storage layouts interchangeably, so every
+estimator/accessor either layout offers exists on both and agrees on the
+same RR sets.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rrset import FlatRRCollection, RRCollection, RRSet
+
+#: The shared estimator/accessor surface both layouts must expose.
+PARITY_SURFACE = [
+    "coverage_count",
+    "coverage_fraction",
+    "estimate_spread",
+    "mean_width",
+    "mean_kappa",
+    "kappa_sum",
+    "node_frequencies",
+    "node_frequency_array",
+    "set_sizes",
+    "sets",
+    "widths",
+    "roots",
+    "costs",
+    "costs_array",
+    "total_cost",
+    "total_nodes_stored",
+    "nbytes",
+]
+
+
+def sample_rrsets(seed: int = 7, num_nodes: int = 30, count: int = 90) -> list[RRSet]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        size = rng.randint(1, 6)
+        nodes = tuple(rng.sample(range(num_nodes), size))
+        width = rng.randint(0, 25)
+        out.append(RRSet(root=nodes[0], nodes=nodes, width=width, cost=size + width))
+    return out
+
+
+@pytest.fixture
+def pair():
+    rr_sets = sample_rrsets()
+    classic = RRCollection(30, 55)
+    classic.extend(rr_sets)
+    flat = FlatRRCollection.from_rrsets(30, 55, rr_sets)
+    return classic, flat
+
+
+class TestSurfaceParity:
+    @pytest.mark.parametrize("name", PARITY_SURFACE)
+    def test_both_layouts_expose(self, pair, name):
+        classic, flat = pair
+        assert hasattr(classic, name), f"RRCollection lacks {name}"
+        assert hasattr(flat, name), f"FlatRRCollection lacks {name}"
+
+    def test_coverage_estimators_agree(self, pair):
+        classic, flat = pair
+        for probe in ([0], [3, 7, 11], range(10)):
+            assert classic.coverage_count(probe) == flat.coverage_count(probe)
+            assert classic.coverage_fraction(probe) == flat.coverage_fraction(probe)
+            assert classic.estimate_spread(probe) == flat.estimate_spread(probe)
+
+    def test_kappa_estimators_agree(self, pair):
+        classic, flat = pair
+        for k in (1, 2, 5, 10):
+            assert classic.mean_kappa(k) == pytest.approx(flat.mean_kappa(k))
+            assert classic.kappa_sum(k) == pytest.approx(flat.kappa_sum(k))
+
+    def test_frequencies_agree(self, pair):
+        classic, flat = pair
+        assert classic.node_frequencies() == flat.node_frequencies()
+        assert np.array_equal(classic.node_frequency_array(), flat.node_frequency_array())
+
+    def test_costs_and_sizes_agree(self, pair):
+        classic, flat = pair
+        assert list(classic.costs) == list(flat.costs)
+        assert np.array_equal(classic.costs_array, flat.costs_array)
+        assert np.array_equal(classic.set_sizes(), flat.set_sizes())
+        assert classic.total_cost == flat.total_cost
+        assert classic.total_nodes_stored == flat.total_nodes_stored
+
+    def test_kappa_sum_validates_k(self, pair):
+        classic, flat = pair
+        with pytest.raises(ValueError):
+            classic.kappa_sum(0)
+        with pytest.raises(ValueError):
+            flat.kappa_sum(0)
+
+    def test_empty_collections_agree(self):
+        classic = RRCollection(5, 9)
+        flat = FlatRRCollection(5, 9)
+        assert classic.kappa_sum(3) == flat.kappa_sum(3) == 0.0
+        assert np.array_equal(classic.costs_array, flat.costs_array)
+        assert np.array_equal(classic.set_sizes(), flat.set_sizes())
+        assert np.array_equal(classic.node_frequency_array(), flat.node_frequency_array())

@@ -1,0 +1,202 @@
+"""SketchIndex: selection parity, estimator queries, warm extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.node_selection import node_selection
+from repro.core.tim import tim
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.rrset import make_rr_sampler
+from repro.rrset.coverage import greedy_max_coverage
+from repro.sketch import SketchGraphMismatchError, SketchIndex
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(120, 480, rng=21))
+
+
+@pytest.fixture
+def index(wc_graph):
+    return SketchIndex.build(wc_graph, "IC", theta=1500, rng=77)
+
+
+class TestSelection:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 25])
+    def test_matches_exact_greedy(self, index, wc_graph, k):
+        expected = greedy_max_coverage(index.collection, wc_graph.n, k)
+        result = index.select(k, incremental=False)
+        assert result.seeds == expected.seeds
+        assert result.covered == expected.covered
+        assert result.marginal_gains == expected.marginal_gains
+
+    def test_matches_node_selection(self, wc_graph):
+        """select(k) equals Algorithm 1 run over the same collection."""
+        sampler = make_rr_sampler(wc_graph, "IC")
+        index = SketchIndex.build(wc_graph, "IC", theta=900, rng=5)
+        for k in (1, 3, 8, 15):
+            expected = node_selection(
+                wc_graph, k, len(index.collection), sampler,
+                rng=0, collection=index.collection,
+            )
+            assert index.select(k, incremental=False).seeds == expected.seeds
+
+    def test_incremental_extends_previous_answer(self, index, wc_graph):
+        first = index.select(4)
+        longer = index.select(12)
+        assert longer.seeds[:4] == first.seeds
+        assert longer.seeds == greedy_max_coverage(index.collection, wc_graph.n, 12).seeds
+
+    def test_incremental_prefix_reuse(self, index):
+        full = index.select(10)
+        again = index.select(6)
+        assert again.seeds == full.seeds[:6]
+        assert again.marginal_gains == full.marginal_gains[:6]
+
+    def test_forced_include_taken_first(self, index):
+        result = index.select(5, forced_include=[42, 7])
+        assert result.seeds[:2] == [42, 7]
+        assert len(result.seeds) == 5
+
+    def test_forced_exclude_never_selected(self, index):
+        unconstrained = index.select(5, incremental=False)
+        banned = unconstrained.seeds[0]
+        result = index.select(5, forced_exclude=[banned])
+        assert banned not in result.seeds
+
+    def test_constraint_validation(self, index):
+        with pytest.raises(ValueError):
+            index.select(2, forced_include=[1, 2, 3])
+        with pytest.raises(ValueError):
+            index.select(3, forced_include=[1], forced_exclude=[1])
+        with pytest.raises(ValueError):
+            index.select(3, forced_include=[1, 1])
+
+    def test_degenerate_fill(self, wc_graph):
+        """k larger than the number of useful nodes still yields k seeds."""
+        index = SketchIndex.build(wc_graph, "IC", theta=3, rng=0)
+        result = index.select(50, incremental=False)
+        assert len(result.seeds) == 50
+        assert len(set(result.seeds)) == 50
+
+
+class TestEstimators:
+    def test_spread_matches_collection(self, index):
+        seeds = index.select(6).seeds
+        assert index.spread(seeds) == pytest.approx(index.collection.estimate_spread(seeds))
+        assert index.coverage_count(seeds) == index.collection.coverage_count(seeds)
+
+    def test_marginal_gain_is_spread_difference(self, index):
+        seeds = index.select(6).seeds
+        base, candidate = seeds[:5], seeds[5]
+        expected = index.spread(seeds) - index.spread(base)
+        assert index.marginal_gain(base, candidate) == pytest.approx(expected)
+
+    def test_marginal_gain_of_member_is_zero(self, index):
+        seeds = index.select(3).seeds
+        assert index.marginal_gain(seeds, seeds[0]) == 0.0
+
+    def test_out_of_range_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.spread([10_000])
+        with pytest.raises(ValueError):
+            index.marginal_gain([0], 10_000)
+
+
+class TestWarmExtension:
+    def test_ensure_theta_appends_only_shortfall(self, index):
+        before = index.num_sets
+        added = index.ensure_theta(before + 300, rng=1)
+        assert added == 300
+        assert index.num_sets == before + 300
+        assert index.ensure_theta(10, rng=1) == 0  # already satisfied
+
+    def test_extension_invalidates_selection(self, index, wc_graph):
+        index.select(5)
+        index.ensure_theta(index.num_sets + 200, rng=2)
+        fresh = greedy_max_coverage(index.collection, wc_graph.n, 5)
+        assert index.select(5).seeds == fresh.seeds
+
+    def test_grown_sketch_persists(self, index, wc_graph, tmp_path):
+        index.ensure_theta(index.num_sets + 100, rng=3)
+        path = tmp_path / "grown.npz"
+        index.save(path)
+        reloaded = SketchIndex.load(path, graph=wc_graph)
+        assert reloaded.num_sets == index.num_sets
+        assert reloaded.select(4, incremental=False).seeds == index.select(4, incremental=False).seeds
+
+    def test_ensure_epsilon_grows_for_tighter_epsilon(self, wc_graph):
+        index = SketchIndex.build(wc_graph, "IC", k=5, epsilon=0.8, rng=11)
+        loose = index.num_sets
+        added = index.ensure_epsilon(5, epsilon=0.4, rng=12)
+        assert added > 0
+        assert index.num_sets == loose + added
+
+
+class TestPersistedIndex:
+    def test_load_validates_graph(self, index, wc_graph, tmp_path):
+        path = tmp_path / "sketch.npz"
+        index.save(path)
+        other = weighted_cascade(gnm_random_digraph(120, 480, rng=22))
+        with pytest.raises(SketchGraphMismatchError):
+            SketchIndex.load(path, graph=other)
+
+    def test_load_without_graph_serves_reads(self, index, tmp_path):
+        path = tmp_path / "sketch.npz"
+        index.save(path)
+        readonly = SketchIndex.load(path)
+        assert readonly.select(3, incremental=False).seeds == index.select(3, incremental=False).seeds
+        with pytest.raises(ValueError, match="no graph"):
+            readonly.ensure_theta(readonly.num_sets + 1, rng=0)
+
+    def test_mmap_load_selects_identically(self, index, wc_graph, tmp_path):
+        path = tmp_path / "sketch.npz"
+        index.save(path)
+        mapped = SketchIndex.load(path, graph=wc_graph, mmap=True)
+        assert isinstance(mapped.collection.nodes_array, np.memmap)
+        assert mapped.select(7, incremental=False).seeds == index.select(7, incremental=False).seeds
+
+
+class TestTimThroughIndex:
+    def test_capture_run_matches_cold_run(self, wc_graph):
+        cold = tim(wc_graph, 5, epsilon=0.6, rng=42)
+        index = SketchIndex(graph=wc_graph, model="IC")
+        captured = tim(wc_graph, 5, epsilon=0.6, rng=42, sketch_index=index)
+        assert captured.seeds == cold.seeds
+        assert captured.theta == cold.theta
+        assert len(index.collection) >= cold.theta
+
+    def test_warm_run_reuses_sketch_and_kpt(self, wc_graph):
+        index = SketchIndex(graph=wc_graph, model="IC")
+        first = tim(wc_graph, 5, epsilon=0.6, rng=42, sketch_index=index)
+        warm = tim(wc_graph, 5, epsilon=0.6, rng=43, sketch_index=index)
+        assert warm.extras["kpt_cache_hit"]
+        assert warm.rr_sets_per_phase["parameter_estimation"] == 0
+        assert warm.rr_sets_per_phase["node_selection"] == 0  # sketch already >= theta
+        assert warm.seeds == first.seeds  # same collection, same greedy
+
+    def test_build_derives_theta_like_tim(self, wc_graph):
+        index = SketchIndex.build(wc_graph, "IC", k=5, epsilon=0.6, ell=1.0, rng=9)
+        assert index.num_sets >= 1
+        assert index.meta["epsilon"] == 0.6
+        assert index.meta["k"] == 5
+        assert "kpt_star" in index.meta
+
+    def test_model_mismatch_rejected(self, wc_graph, tmp_path):
+        index = SketchIndex.build(wc_graph, "IC", theta=10, rng=0)
+        path = tmp_path / "ic.npz"
+        index.save(path)
+        with pytest.raises(ValueError, match="model"):
+            SketchIndex.load(path, graph=None, model="LT")
+
+
+class TestKptCacheKeying:
+    def test_ensure_epsilon_kpt_is_keyed_by_k(self, wc_graph):
+        """KPT* is k-dependent; a cached value for one k must not price another."""
+        index = SketchIndex.build(wc_graph, "IC", k=10, epsilon=0.8, rng=11)
+        index.ensure_epsilon(2, epsilon=0.8, rng=12)
+        by_k = index.meta["kpt_star_by_k"]
+        assert set(by_k) == {"10", "2"}
+        # KPT is non-decreasing in k (Equation 7).
+        assert by_k["10"] >= by_k["2"]

@@ -1,0 +1,201 @@
+"""Sketch persistence: roundtrips, mmap loading, and failure modes."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.rrset import FlatRRCollection, make_rr_sampler
+from repro.sketch import (
+    SKETCH_FORMAT_VERSION,
+    SketchFileError,
+    SketchGraphMismatchError,
+    SketchVersionError,
+    load_sketch,
+    read_sketch_meta,
+    save_sketch,
+)
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(80, 320, rng=5))
+
+
+@pytest.fixture
+def sampled(wc_graph):
+    sampler = make_rr_sampler(wc_graph, "IC")
+    return sampler.sample_random_batch(400, RandomSource(9))
+
+
+@pytest.fixture
+def sketch_path(tmp_path, sampled, wc_graph):
+    path = tmp_path / "sketch.npz"
+    save_sketch(path, sampled, {"model": "IC", "graph_fingerprint": wc_graph.fingerprint()})
+    return path
+
+
+class TestRoundtrip:
+    def test_arrays_bit_exact(self, sketch_path, sampled):
+        loaded, _ = load_sketch(sketch_path)
+        for name in ("ptr_array", "nodes_array", "roots_array", "widths_array", "costs_array"):
+            original = getattr(sampled, name)
+            restored = getattr(loaded, name)
+            assert original.dtype == restored.dtype
+            assert np.array_equal(original, restored)
+
+    def test_nbytes_and_estimators_match(self, sketch_path, sampled):
+        loaded, _ = load_sketch(sketch_path)
+        assert loaded.nbytes() == sampled.nbytes()
+        assert loaded.total_cost == sampled.total_cost
+        assert loaded.mean_width() == sampled.mean_width()
+        assert loaded.mean_kappa(5) == sampled.mean_kappa(5)
+        probe = [0, 3, 17]
+        assert loaded.coverage_count(probe) == sampled.coverage_count(probe)
+        assert loaded.estimate_spread(probe) == sampled.estimate_spread(probe)
+
+    def test_metadata_preserved(self, sketch_path, wc_graph, sampled):
+        meta = read_sketch_meta(sketch_path)
+        assert meta["format_version"] == SKETCH_FORMAT_VERSION
+        assert meta["model"] == "IC"
+        assert meta["graph_fingerprint"] == wc_graph.fingerprint()
+        assert meta["num_sets"] == len(sampled)
+        assert meta["num_nodes"] == sampled.num_nodes
+        assert meta["graph_edges"] == sampled.graph_edges
+
+    def test_collection_save_load_methods(self, tmp_path, sampled):
+        path = tmp_path / "via_methods.npz"
+        sampled.save(path, {"model": "IC"})
+        loaded, meta = FlatRRCollection.load(path)
+        assert meta["model"] == "IC"
+        assert np.array_equal(loaded.nodes_array, sampled.nodes_array)
+
+    def test_loaded_collection_still_grows(self, sketch_path, sampled, wc_graph):
+        loaded, _ = load_sketch(sketch_path)
+        sampler = make_rr_sampler(wc_graph, "IC")
+        loaded.extend_flat(sampler.sample_random_batch(50, RandomSource(2)))
+        assert len(loaded) == len(sampled) + 50
+
+
+class TestMmap:
+    def test_mmap_arrays_match_and_are_mapped(self, sketch_path, sampled):
+        loaded, _ = load_sketch(sketch_path, mmap=True)
+        assert isinstance(loaded.nodes_array, np.memmap)
+        assert not loaded.nodes_array.flags.writeable
+        for name in ("ptr_array", "nodes_array", "roots_array", "widths_array", "costs_array"):
+            assert np.array_equal(getattr(loaded, name), getattr(sampled, name))
+
+    def test_mmap_estimator_parity(self, sketch_path, sampled):
+        loaded, _ = load_sketch(sketch_path, mmap=True)
+        assert loaded.nbytes() == sampled.nbytes()
+        assert loaded.estimate_spread([1, 2]) == sampled.estimate_spread([1, 2])
+
+    def test_mmap_collection_grows_by_copy(self, sketch_path, wc_graph, sampled):
+        loaded, _ = load_sketch(sketch_path, mmap=True)
+        sampler = make_rr_sampler(wc_graph, "IC")
+        loaded.extend_flat(sampler.sample_random_batch(10, RandomSource(3)))
+        assert len(loaded) == len(sampled) + 10
+        assert loaded.nodes_array.flags.writeable  # growth copied off the map
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SketchFileError):
+            load_sketch(tmp_path / "nope.npz")
+
+    def test_corrupted_file(self, tmp_path, sketch_path):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(sketch_path.read_bytes()[: 200])
+        with pytest.raises(SketchFileError):
+            load_sketch(corrupt)
+
+    def test_garbage_file(self, tmp_path):
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"not a zip archive at all")
+        with pytest.raises(SketchFileError):
+            load_sketch(garbage)
+
+    def test_not_a_sketch_npz(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, something=np.arange(4))
+        with pytest.raises(SketchFileError, match="meta_json"):
+            load_sketch(path)
+
+    def test_version_mismatch(self, tmp_path, sampled):
+        path = tmp_path / "future.npz"
+        meta = {"format_version": SKETCH_FORMAT_VERSION + 1, "num_nodes": 80,
+                "graph_edges": 320, "num_sets": len(sampled)}
+        np.savez(
+            path,
+            ptr=sampled.ptr_array, nodes=sampled.nodes_array, roots=sampled.roots_array,
+            widths=sampled.widths_array, costs=sampled.costs_array,
+            meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(SketchVersionError):
+            load_sketch(path)
+
+    def test_fingerprint_mismatch(self, sketch_path):
+        with pytest.raises(SketchGraphMismatchError):
+            load_sketch(sketch_path, expected_fingerprint="deadbeef")
+
+    def test_fingerprint_match_passes(self, sketch_path, wc_graph):
+        loaded, _ = load_sketch(sketch_path, expected_fingerprint=wc_graph.fingerprint())
+        assert len(loaded) == 400
+
+    def test_inconsistent_arrays_rejected(self, tmp_path, sampled):
+        path = tmp_path / "inconsistent.npz"
+        meta = {"format_version": SKETCH_FORMAT_VERSION, "num_nodes": 80,
+                "graph_edges": 320, "num_sets": len(sampled)}
+        bad_ptr = sampled.ptr_array.copy()
+        bad_ptr[-1] += 7  # no longer spans the nodes array
+        np.savez(
+            path,
+            ptr=bad_ptr, nodes=sampled.nodes_array, roots=sampled.roots_array,
+            widths=sampled.widths_array, costs=sampled.costs_array,
+            meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(SketchFileError):
+            load_sketch(path)
+
+    def test_reserved_meta_conflict_rejected(self, sampled, tmp_path):
+        with pytest.raises(ValueError, match="num_nodes"):
+            save_sketch(tmp_path / "x.npz", sampled, {"num_nodes": 9999})
+
+    def test_mmap_rejects_compressed_archive(self, tmp_path, sampled):
+        path = tmp_path / "compressed.npz"
+        meta = {"format_version": SKETCH_FORMAT_VERSION, "num_nodes": 80,
+                "graph_edges": 320, "num_sets": len(sampled)}
+        np.savez_compressed(
+            path,
+            ptr=sampled.ptr_array, nodes=sampled.nodes_array, roots=sampled.roots_array,
+            widths=sampled.widths_array, costs=sampled.costs_array,
+            meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(SketchFileError, match="compressed"):
+            load_sketch(path, mmap=True)
+        # ... but the eager path reads it fine.
+        loaded, _ = load_sketch(path)
+        assert np.array_equal(loaded.nodes_array, sampled.nodes_array)
+
+    def test_zip_but_not_npz(self, tmp_path):
+        path = tmp_path / "weird.npz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("hello.txt", "hi")
+        with pytest.raises(SketchFileError):
+            load_sketch(path)
+
+
+class TestExactPath:
+    def test_save_respects_extensionless_path(self, tmp_path, sampled):
+        """np.savez's silent '.npz' suffixing must not leak (regression test)."""
+        path = tmp_path / "sketch.dat"
+        save_sketch(path, sampled, {"model": "IC"})
+        assert path.exists()
+        assert not (tmp_path / "sketch.dat.npz").exists()
+        loaded, _ = load_sketch(path)
+        assert len(loaded) == len(sampled)
+        mapped, _ = load_sketch(path, mmap=True)
+        assert len(mapped) == len(sampled)

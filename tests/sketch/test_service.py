@@ -1,0 +1,137 @@
+"""InfluenceService: LRU behaviour, query dispatch, JSONL batches."""
+
+import json
+
+import pytest
+
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.sketch import InfluenceService, SketchIndex
+
+
+@pytest.fixture
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(90, 360, rng=31))
+
+
+@pytest.fixture
+def service():
+    return InfluenceService(max_indexes=2, theta=400, rng=17)
+
+
+class TestCache:
+    def test_miss_then_hit(self, service, wc_graph):
+        first = service.query(wc_graph, {"op": "select", "k": 3})
+        second = service.query(wc_graph, {"op": "select", "k": 3})
+        assert first["cache"] == "miss"
+        assert second["cache"] == "hit"
+        assert first["result"]["seeds"] == second["result"]["seeds"]
+        assert service.stats.builds == 1
+
+    def test_distinct_graphs_get_distinct_indexes(self, service):
+        a = weighted_cascade(gnm_random_digraph(50, 200, rng=1))
+        b = weighted_cascade(gnm_random_digraph(50, 200, rng=2))
+        service.query(a, {"op": "select", "k": 2})
+        service.query(b, {"op": "select", "k": 2})
+        assert len(service) == 2
+        assert service.stats.builds == 2
+
+    def test_lru_eviction(self, service):
+        graphs = [
+            weighted_cascade(gnm_random_digraph(40, 160, rng=seed)) for seed in (1, 2, 3)
+        ]
+        for graph in graphs:
+            service.query(graph, {"op": "select", "k": 2})
+        assert len(service) == 2
+        assert service.stats.evictions == 1
+        # Oldest graph was evicted: querying it again is a rebuild miss.
+        response = service.query(graphs[0], {"op": "select", "k": 2})
+        assert response["cache"] == "miss"
+
+    def test_add_index_registers_preloaded_sketch(self, service, wc_graph, tmp_path):
+        index = SketchIndex.build(wc_graph, "IC", theta=200, rng=3)
+        path = tmp_path / "sk.npz"
+        index.save(path)
+        service.add_index(SketchIndex.load(path, graph=wc_graph))
+        response = service.query(wc_graph, {"op": "select", "k": 2})
+        assert response["cache"] == "hit"
+        assert service.stats.builds == 0
+
+
+class TestQueries:
+    def test_select_response_shape(self, service, wc_graph):
+        response = service.query(wc_graph, {"op": "select", "k": 4, "id": "q1"})
+        assert response["ok"] and response["id"] == "q1"
+        result = response["result"]
+        assert len(result["seeds"]) == 4
+        assert 0.0 <= result["coverage_fraction"] <= 1.0
+        assert result["estimated_spread"] == pytest.approx(
+            wc_graph.n * result["coverage_fraction"]
+        )
+        assert response["latency_ms"] >= 0.0
+
+    def test_select_with_constraints(self, service, wc_graph):
+        response = service.query(
+            wc_graph, {"op": "select", "k": 4, "include": [5], "exclude": [6]}
+        )
+        assert response["ok"]
+        assert response["result"]["seeds"][0] == 5
+        assert 6 not in response["result"]["seeds"]
+
+    def test_spread_and_marginal_gain(self, service, wc_graph):
+        seeds = service.query(wc_graph, {"op": "select", "k": 3})["result"]["seeds"]
+        spread = service.query(wc_graph, {"op": "spread", "seeds": seeds})
+        assert spread["ok"] and spread["result"]["spread"] > 0
+        gain = service.query(
+            wc_graph, {"op": "marginal_gain", "seeds": seeds[:2], "candidate": seeds[2]}
+        )
+        assert gain["ok"] and gain["result"]["gain"] >= 0
+
+    def test_stats_op(self, service, wc_graph):
+        service.query(wc_graph, {"op": "select", "k": 2})
+        response = service.query(wc_graph, {"op": "stats"})
+        assert response["ok"]
+        assert response["result"]["queries"] == 1
+        assert response["result"]["per_op"] == {"select": 1}
+
+    def test_bad_requests_do_not_raise(self, service, wc_graph):
+        for request in (
+            {"op": "unknown"},
+            {"op": "select"},
+            {"op": "select", "k": 0},
+            {"op": "spread", "seeds": []},
+            {"op": "marginal_gain", "seeds": [1]},
+            {"op": "spread", "seeds": [10_000]},
+        ):
+            response = service.query(wc_graph, request)
+            assert not response["ok"]
+            assert "error" in response
+        assert service.stats.errors == 6
+
+
+class TestBatch:
+    def test_jsonl_batch(self, service, wc_graph):
+        lines = [
+            json.dumps({"op": "select", "k": k}) for k in (1, 2, 3)
+        ] + ["", "# comment", json.dumps({"op": "stats"})]
+        responses = service.run_batch(wc_graph, lines)
+        assert len(responses) == 4  # blanks and comments skipped
+        assert all(response["ok"] for response in responses)
+
+    def test_invalid_json_reported_per_line(self, service, wc_graph):
+        responses = service.run_batch(wc_graph, ["{not json", json.dumps({"op": "stats"})])
+        assert not responses[0]["ok"]
+        assert responses[0]["line"] == 1
+        assert responses[1]["ok"]
+        assert service.stats.errors == 1
+
+
+class TestRobustness:
+    def test_out_of_range_exclude_is_a_soft_error(self, service, wc_graph):
+        """A bad request must never take down a batch (regression test)."""
+        responses = service.run_batch(wc_graph, [
+            json.dumps({"op": "select", "k": 2, "exclude": [999_999_999]}),
+            json.dumps({"op": "select", "k": 2, "exclude": [-1]}),
+            json.dumps({"op": "select", "k": 2, "include": [-3]}),
+            json.dumps({"op": "select", "k": 2}),
+        ])
+        assert [r["ok"] for r in responses] == [False, False, False, True]
