@@ -23,6 +23,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis` — Chernoff bounds, exact oracles, cost models;
 * :mod:`repro.datasets` — scaled stand-ins for the paper's five datasets;
 * :mod:`repro.sketch` — persistent RR-sketch index + influence query service;
+* :mod:`repro.parallel` — multicore sharded RR generation (the ``jobs=``
+  worker pool; byte-identical results for any worker count);
 * :mod:`repro.experiments` — regeneration of every evaluation table/figure.
 """
 
@@ -62,6 +64,7 @@ from repro.rrset import (
     greedy_max_coverage,
     make_rr_sampler,
 )
+from repro.parallel import ParallelSampler
 from repro.sketch import InfluenceService, SketchIndex
 
 __version__ = "1.0.0"
@@ -101,5 +104,6 @@ __all__ = [
     "greedy_max_coverage",
     "make_rr_sampler",
     "InfluenceService",
+    "ParallelSampler",
     "SketchIndex",
 ]

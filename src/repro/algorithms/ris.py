@@ -22,6 +22,7 @@ import time
 import numpy as np
 
 from repro.algorithms.base import register_algorithm
+from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
@@ -57,6 +58,7 @@ def ris(
     max_rr_sets: int | None = None,
     engine: str = "vectorized",
     sketch_index=None,
+    jobs: int | None = None,
 ) -> InfluenceMaxResult:
     """Borgs et al.'s RIS with a cost-threshold stopping rule.
 
@@ -76,53 +78,65 @@ def ris(
     sampled and appended warm-start style, and max coverage runs on the
     index's prebuilt postings.  Note this departs from Borgs et al.'s
     strictly coupled sampling exactly as much as reusing a sketch does.
+
+    ``jobs`` shards each vectorized batch across worker processes (``0`` =
+    all cores) with worker-count-invariant results; ``None`` keeps the
+    legacy single stream.
     """
     check_k(k, graph.n)
     require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
     resolved = resolve_model(model)
     resolved.validate_graph(graph)
     source = resolve_rng(rng)
-    sampler = make_rr_sampler(graph, resolved)
+    if sketch_index is None:
+        # With a sketch index, sampling always takes the flat batch path,
+        # so jobs stays useful even under engine="python".
+        jobs = jobs_for_engine(engine, jobs, stacklevel=2)
+    sampler, owned_pool = maybe_parallel(make_rr_sampler(graph, resolved), jobs)
     tau = ris_threshold(graph.n, graph.m, k, epsilon, ell, tau_constant)
 
     started = time.perf_counter()
     sketch_sets_reused = 0
-    if sketch_index is not None or engine == "vectorized":
-        if sketch_index is not None:
-            collection = sketch_index.collection
-            sketch_sets_reused = len(collection)
-            commit = sketch_index.extend_flat  # keeps the index's caches honest
+    try:
+        if sketch_index is not None or engine == "vectorized":
+            if sketch_index is not None:
+                collection = sketch_index.collection
+                sketch_sets_reused = len(collection)
+                commit = sketch_index.extend_flat  # keeps the index's caches honest
+            else:
+                collection = FlatRRCollection(graph.n, graph.m)
+                commit = collection.extend_flat
+            batch_size = 64
+            while collection.total_cost < tau:
+                if max_rr_sets is not None and len(collection) >= max_rr_sets:
+                    break
+                batch = sampler.sample_random_batch(batch_size, source)
+                # Keep the prefix up to and including the set that crosses the
+                # remaining budget — identical stopping rule to the scalar loop.
+                cumulative = np.cumsum(batch.costs_array) + collection.total_cost
+                crossing = int(np.searchsorted(cumulative, tau, side="left"))
+                take = len(batch) if crossing >= len(batch) else crossing + 1
+                if max_rr_sets is not None:
+                    take = min(take, max_rr_sets - len(collection))
+                if take < len(batch):
+                    batch.truncate(take)
+                commit(batch)
+                batch_size = min(batch_size * 2, 8192)
+            if sketch_index is not None:
+                coverage = sketch_index.select(k)
+            else:
+                coverage = greedy_max_coverage(collection, graph.n, k)
         else:
-            collection = FlatRRCollection(graph.n, graph.m)
-            commit = collection.extend_flat
-        batch_size = 64
-        while collection.total_cost < tau:
-            if max_rr_sets is not None and len(collection) >= max_rr_sets:
-                break
-            batch = sampler.sample_random_batch(batch_size, source)
-            # Keep the prefix up to and including the set that crosses the
-            # remaining budget — identical stopping rule to the scalar loop.
-            cumulative = np.cumsum(batch.costs_array) + collection.total_cost
-            crossing = int(np.searchsorted(cumulative, tau, side="left"))
-            take = len(batch) if crossing >= len(batch) else crossing + 1
-            if max_rr_sets is not None:
-                take = min(take, max_rr_sets - len(collection))
-            if take < len(batch):
-                batch.truncate(take)
-            commit(batch)
-            batch_size = min(batch_size * 2, 8192)
-        if sketch_index is not None:
-            coverage = sketch_index.select(k)
-        else:
-            coverage = greedy_max_coverage(collection, graph.n, k)
-    else:
-        collection = RRCollection(graph.n, graph.m)
-        randrange = source.py.randrange
-        while collection.total_cost < tau:
-            collection.append(sampler.sample_rooted(randrange(graph.n), source))
-            if max_rr_sets is not None and len(collection) >= max_rr_sets:
-                break
-        coverage = greedy_max_coverage(collection.sets, graph.n, k)
+            collection = RRCollection(graph.n, graph.m)
+            randrange = source.py.randrange
+            while collection.total_cost < tau:
+                collection.append(sampler.sample_rooted(randrange(graph.n), source))
+                if max_rr_sets is not None and len(collection) >= max_rr_sets:
+                    break
+            coverage = greedy_max_coverage(collection.sets, graph.n, k)
+    finally:
+        if owned_pool:
+            sampler.close()
     return InfluenceMaxResult(
         algorithm="RIS",
         model=resolved.name,

@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="RR sampling/storage engine for the TIM family and RIS "
         "(default: the library's vectorized engine)",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for RR generation (TIM family / RIS; "
+        "0 = all cores; results are identical for any worker count)",
+    )
 
     spread = sub.add_parser("spread", help="estimate spread of a seed set")
     spread.add_argument("--dataset", default="nethept")
@@ -85,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     sketch.add_argument("--theta", type=int, default=None, help="fixed sketch size (skips derivation)")
     sketch.add_argument("--seed", type=int, default=0)
     sketch.add_argument("--engine", choices=["vectorized", "python"], default="vectorized")
+    sketch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the build (0 = all cores; the sketch "
+        "file is byte-identical for any worker count)",
+    )
     sketch.add_argument("--out", required=True, help="output .npz sketch path")
 
     serve = sub.add_parser("serve", help="serve influence queries from an RR sketch")
@@ -105,6 +119,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--theta", type=int, default=None, help="fixed size for cold sketch builds")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-indexes", type=int, default=4)
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for cold sketch builds and warm extensions "
+        "(0 = all cores)",
+    )
 
     return parser
 
@@ -148,6 +169,12 @@ def _command_run(args) -> int:
                 f"--engine applies to {sorted(_ENGINE_ALGORITHMS)}, not {args.algorithm!r}"
             )
         kwargs["engine"] = args.engine
+    if args.jobs is not None:
+        if args.algorithm.lower() not in _ENGINE_ALGORITHMS:
+            raise SystemExit(
+                f"--jobs applies to {sorted(_ENGINE_ALGORITHMS)}, not {args.algorithm!r}"
+            )
+        kwargs["jobs"] = args.jobs
     model = args.model
     if args.horizon is not None:
         if args.model != "IC":
@@ -205,8 +232,10 @@ def _command_sketch(args) -> int:
         ell=args.ell,
         rng=args.seed,
         engine=args.engine,
+        jobs=args.jobs,
     )
     build_seconds = time.perf_counter() - started
+    index.close()
     index.save(args.out)
     print(f"sketch      : {args.out} ({os.path.getsize(args.out)} bytes on disk)")
     print(f"graph       : n={graph.n} m={graph.m} fingerprint={graph.fingerprint()[:16]}…")
@@ -226,6 +255,7 @@ def _command_serve(args) -> int:
         epsilon=args.epsilon,
         ell=args.ell,
         theta=args.theta,
+        jobs=args.jobs,
         rng=args.seed,
     )
     loaded_index = None
@@ -256,6 +286,7 @@ def _command_serve(args) -> int:
     if args.save_sketch is not None:
         index, _ = service.get_index(graph, args.model)
         index.save(args.save_sketch)
+    service.close()
     stats = service.stats
     try:
         print(

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.parameters import lambda_prime, theta_from_kpt
+from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.rrset.base import RRSampler
 from repro.rrset.coverage import greedy_max_coverage
 from repro.utils.rng import resolve_rng
@@ -50,6 +51,7 @@ def refine_kpt(
     ell: float = 1.0,
     rng=None,
     engine: str = "vectorized",
+    jobs: int | None = None,
 ) -> RefineKptResult:
     """Run Algorithm 3 and return KPT⁺ = max(KPT′, KPT*).
 
@@ -58,7 +60,9 @@ def refine_kpt(
     .FlatRRCollection` (whichever engine :func:`~repro.core.kpt_estimation
     .estimate_kpt` ran with).  ``engine`` selects how the θ′ fresh RR sets
     are generated and covered: numpy-batched (``"vectorized"``, default) or
-    the original scalar loop (``"python"``).
+    the original scalar loop (``"python"``).  ``jobs`` shards the θ′ batch
+    across worker processes (``0`` = all cores) with worker-count-invariant
+    results; ``None`` keeps the legacy single stream.
     """
     n = graph.n
     require(n >= 2, "refine_kpt needs at least two nodes")
@@ -70,6 +74,7 @@ def refine_kpt(
     require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
 
     source = resolve_rng(rng)
+    jobs = jobs_for_engine(engine, jobs)
     # Lines 2-6: greedy max coverage over R' to get the interim seed set.
     # greedy_max_coverage consumes a flat collection directly; lists of
     # RRSet objects are converted to their node tuples first.
@@ -84,12 +89,17 @@ def refine_kpt(
     covered = 0
     total_cost = 0
     if engine == "vectorized":
-        remaining = theta_prime
-        while remaining > 0:
-            batch = sampler.sample_random_batch(min(_BATCH_SIZE, remaining), source)
-            total_cost += int(batch.costs_array.sum())
-            covered += batch.coverage_count(seed_set)
-            remaining -= len(batch)
+        sampler, owned_pool = maybe_parallel(sampler, jobs)
+        try:
+            remaining = theta_prime
+            while remaining > 0:
+                batch = sampler.sample_random_batch(min(_BATCH_SIZE, remaining), source)
+                total_cost += int(batch.costs_array.sum())
+                covered += batch.coverage_count(seed_set)
+                remaining -= len(batch)
+        finally:
+            if owned_pool:
+                sampler.close()
     else:
         randrange = source.py.randrange
         for _ in range(theta_prime):

@@ -27,6 +27,7 @@ from repro.core.parameters import (
 from repro.core.refine_kpt import refine_kpt
 from repro.core.results import TIMResult
 from repro.diffusion.base import resolve_model
+from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.graphs.digraph import DiGraph
 from repro.rrset.base import make_rr_sampler
 from repro.utils.rng import resolve_rng
@@ -49,6 +50,7 @@ def tim(
     max_theta: int | None = None,
     engine: str = "vectorized",
     sketch_index=None,
+    jobs: int | None = None,
 ) -> TIMResult:
     """Two-phase Influence Maximization.
 
@@ -91,6 +93,13 @@ def tim(
         in ``[KPT/4, OPT]`` validates θ, and the cached one was produced by
         the same procedure, independently of the selection samples).  A
         first call populates the index; later calls amortize it.
+    jobs:
+        Worker processes for RR generation (``0`` = all cores).  One
+        :class:`~repro.parallel.ParallelSampler` pool is spawned lazily and
+        reused across every phase of the run, then shut down.  Seed sets,
+        KPT estimates, and sampled collections are byte-identical for every
+        worker count; ``None`` (default) keeps the legacy single-stream
+        path.
 
     Returns
     -------
@@ -106,8 +115,22 @@ def tim(
     resolved_model = resolve_model(model)
     resolved_model.validate_graph(graph)
     source = resolve_rng(rng)
-    sampler = make_rr_sampler(graph, resolved_model)
+    jobs = jobs_for_engine(engine, jobs, stacklevel=2)
+    sampler, owned_pool = maybe_parallel(make_rr_sampler(graph, resolved_model), jobs)
+    try:
+        return _tim_run(
+            graph, k, epsilon, ell, resolved_model, source, sampler, refine,
+            epsilon_prime, coverage, max_theta, engine, sketch_index,
+        )
+    finally:
+        if owned_pool:
+            sampler.close()
 
+
+def _tim_run(
+    graph, k, epsilon, ell, resolved_model, source, sampler, refine,
+    epsilon_prime, coverage, max_theta, engine, sketch_index,
+):
     # Success-probability bookkeeping (Sections 3.3 / 4.1): the internal
     # ell absorbs the union bound over 2 (TIM) or 3 (TIM+) failure events.
     if refine:
@@ -220,6 +243,7 @@ def tim_plus(
     max_theta: int | None = None,
     engine: str = "vectorized",
     sketch_index=None,
+    jobs: int | None = None,
 ) -> TIMResult:
     """TIM+ — TIM with the Algorithm 3 refinement step (Section 4.1)."""
     return tim(
@@ -235,4 +259,5 @@ def tim_plus(
         max_theta=max_theta,
         engine=engine,
         sketch_index=sketch_index,
+        jobs=jobs,
     )

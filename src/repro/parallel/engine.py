@@ -1,0 +1,354 @@
+"""`ParallelSampler` — multicore sharded RR generation over a worker pool.
+
+TIM's wall clock is dominated by RR-set generation, and every phase of it
+(Algorithm 2's doubling loop, Algorithm 3's θ′ batch, node selection's θ
+batch, sketch builds) funnels through ``sample_random_batch``/``sample_batch``.
+This engine shards those calls across a persistent process pool while
+keeping results **bit-reproducible for any worker count**:
+
+* **Sharding is a pure function of the batch size** (never of ``jobs``):
+  :func:`shard_sizes` cuts a batch into at most :data:`MAX_SHARDS` shards of
+  at least :data:`MIN_SHARD` roots, so shards stay big enough to amortize
+  IPC and the cut points cannot drift when the worker count changes.
+* **One child seed stream per shard** via ``np.random.SeedSequence.spawn``:
+  the parent draws a single 63-bit entropy value from the caller's RNG,
+  seeds a ``SeedSequence`` with it, and spawns one child per shard.  Shard
+  ``i`` always receives child ``i``, so the (shard → random stream) mapping
+  is fixed no matter which worker runs it.
+* **Merging in shard-index order** into one
+  :class:`~repro.rrset.flat_collection.FlatRRCollection` — the packed
+  arrays come out byte-identical for ``jobs=1`` (shards run inline, no pool)
+  and ``jobs=8`` (shards run wherever a worker is free), and therefore so do
+  KPT estimates, ``tim()`` seed sets, and persisted sketch files.
+
+The pool itself is lazy (spawned on the first sharded call that wants one),
+reused across every wave of a run, and broadcast the graph's in-CSR arrays
+exactly once via :mod:`repro.parallel.shm` (shared memory, memmap-file
+fallback).  A crashed pool is respawned once and, failing that, the engine
+degrades to in-process sharding — same bytes, one core, loud warning.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+import weakref
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+import numpy as np
+
+from repro.parallel.shared_graph import graph_payload
+from repro.parallel.shm import pack_arrays
+from repro.parallel.worker import init_worker, run_shard, run_shard_with, sampler_spec
+from repro.rrset.flat_collection import FlatRRCollection
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "ParallelSampler",
+    "resolve_jobs",
+    "maybe_parallel",
+    "shard_sizes",
+    "jobs_for_engine",
+]
+
+#: Smallest shard worth a round trip to a worker: below this the pickle +
+#: queue latency rivals the sampling itself (measured in bench_samplers'
+#: --jobs sweep).  Also the shard size floor for inline (jobs=1) runs so the
+#: shard layout is identical for every worker count.
+MIN_SHARD = 1024
+
+#: Upper bound on shards per batch: keeps the per-batch Python dispatch and
+#: SeedSequence spawning O(1)-ish while still load-balancing up to 64 cores.
+MAX_SHARDS = 64
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``jobs`` request: ``0`` means all cores, ``n>=1`` literal."""
+    require(isinstance(jobs, int) and not isinstance(jobs, bool), "jobs must be an int")
+    require(jobs >= 0, f"jobs must be >= 0 (0 = all cores); got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def shard_sizes(count: int, min_shard: int = MIN_SHARD, max_shards: int = MAX_SHARDS) -> list[int]:
+    """Deterministic shard layout for a batch of ``count`` roots.
+
+    Depends only on ``count`` (and the module constants) — crucially *not*
+    on the worker count — so the same batch is always cut the same way.
+    """
+    if count <= 0:
+        return []
+    num = min(max_shards, max(1, -(-count // min_shard)))
+    base, extra = divmod(count, num)
+    return [base + 1 if i < extra else base for i in range(num)]
+
+
+def jobs_for_engine(engine: str, jobs: int | None, stacklevel: int = 3) -> int | None:
+    """Drop a ``jobs`` request that the scalar ``python`` engine cannot honour.
+
+    The python engine samples one RR set at a time through
+    ``sample_rooted``, which never reaches the sharded batch path — warn
+    (loud degradation, not silent) and fall back to ``None``.
+    """
+    if jobs is not None and engine == "python":
+        warnings.warn(
+            "engine='python' samples one RR set at a time; jobs is ignored "
+            "(use the vectorized engine for multicore sharding)",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+        return None
+    return jobs
+
+
+def maybe_parallel(sampler, jobs):
+    """Wrap ``sampler`` for an explicit ``jobs`` request.
+
+    Returns ``(sampler, owned)``.  ``jobs=None`` (the library default) keeps
+    the legacy single-stream path untouched; an already-wrapped sampler is
+    passed through so layered calls (``tim`` → ``node_selection``) share one
+    pool — with a loud warning if the pass-through discards an explicit
+    *conflicting* worker-count request.  ``owned`` tells the caller whether
+    it should ``close()`` the wrapper when its run finishes.
+    """
+    if isinstance(sampler, ParallelSampler):
+        if jobs is not None and resolve_jobs(jobs) != sampler.jobs:
+            warnings.warn(
+                f"sampler is already parallel with jobs={sampler.jobs}; "
+                f"ignoring the conflicting jobs={jobs} request (close the "
+                "wrapper and re-wrap to change the worker count)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return sampler, False
+    if jobs is None:
+        return sampler, False
+    return ParallelSampler(sampler, jobs=jobs), True
+
+
+def _shutdown_state(state: dict) -> None:
+    """Idempotent teardown shared by ``close()`` and the GC finalizer."""
+    executor = state.pop("executor", None)
+    if executor is not None:
+        executor.shutdown(wait=False, cancel_futures=True)
+    pack = state.pop("pack", None)
+    if pack is not None:
+        pack.close()
+
+
+class ParallelSampler:
+    """Deterministic sharded facade over a model-specific RR sampler.
+
+    Parameters
+    ----------
+    sampler:
+        The base per-process sampler (``ICRRSampler``, ``LTRRSampler``, ...).
+        Scalar entry points (``sample_rooted``, ``sample``, ``sample_many``)
+        delegate to it unchanged.
+    jobs:
+        Worker count; ``0`` resolves to ``os.cpu_count()``.  ``jobs=1`` runs
+        the shards inline — same shard layout, same seed streams, same
+        bytes — without ever spawning a pool.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` uses the platform default.  Workers only
+        receive picklable payloads, so every method is safe.
+    transport:
+        Force the graph broadcast transport (``"shared_memory"`` or
+        ``"memmap"``); default prefers shared memory and falls back.
+    """
+
+    def __init__(self, sampler, jobs: int = 1, *, start_method: str | None = None,
+                 transport: str | None = None):
+        self._sampler = sampler
+        self.jobs = resolve_jobs(jobs)
+        self._start_method = start_method
+        self._transport = transport
+        self._spec = sampler_spec(sampler)
+        self._state: dict = {}
+        self._pool_disabled = False
+        self._warned_inline = False
+        self._finalizer = weakref.finalize(self, _shutdown_state, self._state)
+
+    # ------------------------------------------------------------------
+    # Delegated scalar surface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self._sampler.graph
+
+    @property
+    def model_name(self) -> str:
+        return self._sampler.model_name
+
+    @property
+    def base_sampler(self):
+        """The wrapped per-process sampler."""
+        return self._sampler
+
+    def sample_rooted(self, root: int, rng):
+        return self._sampler.sample_rooted(root, rng)
+
+    def sample(self, rng):
+        return self._sampler.sample(rng)
+
+    def sample_many(self, count: int, rng):
+        return self._sampler.sample_many(count, rng)
+
+    def width_of(self, nodes) -> int:
+        return self._sampler.width_of(nodes)
+
+    def __getattr__(self, name):
+        # Anything else (tuning knobs, ablation flags) reads through.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._sampler, name)
+
+    # ------------------------------------------------------------------
+    # Sharded batch generation
+    # ------------------------------------------------------------------
+    def sample_random_batch(self, count: int, rng) -> FlatRRCollection:
+        """``count`` random-root RR sets, sharded; byte-stable across jobs."""
+        source = resolve_rng(rng)
+        sizes = shard_sizes(int(count))
+        seeds = self._shard_seeds(source, len(sizes))
+        tasks = [("random", seed, size) for seed, size in zip(seeds, sizes)]
+        return self._merge(self._run_shards(tasks))
+
+    def sample_batch(self, roots, rng) -> FlatRRCollection:
+        """One RR set per given root, sharded by contiguous root slices."""
+        source = resolve_rng(rng)
+        roots = np.ascontiguousarray(roots, dtype=np.int64)
+        sizes = shard_sizes(int(roots.size))
+        seeds = self._shard_seeds(source, len(sizes))
+        tasks = []
+        offset = 0
+        for seed, size in zip(seeds, sizes):
+            tasks.append(("roots", seed, roots[offset : offset + size]))
+            offset += size
+        return self._merge(self._run_shards(tasks))
+
+    def _shard_seeds(self, source, num_shards: int) -> list[int]:
+        """One child stream per shard, derived from a single parent draw.
+
+        The parent's RNG advances by exactly one ``getrandbits`` call per
+        batch regardless of shard or worker count, so multi-phase runs
+        (KPT estimation → refinement → selection) consume the caller's
+        stream identically for every ``jobs`` value.
+        """
+        entropy = source.py.getrandbits(63)
+        if num_shards == 0:
+            return []
+        children = np.random.SeedSequence(entropy).spawn(num_shards)
+        return [int(child.generate_state(1, np.uint64)[0] % (2**63)) for child in children]
+
+    def _merge(self, shards) -> FlatRRCollection:
+        graph = self._sampler.graph
+        out = FlatRRCollection(graph.n, graph.m)
+        for ptr, nodes, roots, widths, costs in shards:
+            out.extend_arrays(roots=roots, ptr=ptr, nodes=nodes, widths=widths, costs=costs)
+        return out
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _run_shards(self, tasks) -> list:
+        if not tasks:
+            return []
+        executor = self._pool_available() if self.jobs > 1 else None
+        if executor is None:
+            return [run_shard_with(self._sampler, task) for task in tasks]
+        try:
+            return list(executor.map(run_shard, tasks))
+        except BrokenExecutor:
+            # One respawn attempt: a worker OOM-killed mid-wave should not
+            # end the run when a fresh pool can redo the same shards (same
+            # seeds, same bytes).
+            self._teardown_pool()
+            try:
+                executor = self._pool_available()
+                if executor is not None:
+                    return list(executor.map(run_shard, tasks))
+            except BrokenExecutor:
+                self._teardown_pool()
+            self._disable_pool(
+                "worker pool crashed twice; continuing with in-process shards"
+            )
+            return [run_shard_with(self._sampler, task) for task in tasks]
+
+    def _pool_available(self) -> ProcessPoolExecutor | None:
+        """The live executor, lazily spawning it; ``None`` when degraded."""
+        if self._pool_disabled:
+            return None
+        if self._spec is None:
+            self._disable_pool(
+                f"{type(self._sampler).__name__} cannot be rebuilt in worker "
+                "processes; sampling shards in-process instead"
+            )
+            return None
+        executor = self._state.get("executor")
+        if executor is not None:
+            return executor
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self._start_method)
+            pack = pack_arrays(graph_payload(self._sampler.graph), prefer=self._transport)
+        except (OSError, ValueError, ImportError) as exc:
+            self._disable_pool(f"could not broadcast the graph ({exc}); "
+                               "sampling shards in-process instead")
+            return None
+        # The pack goes into _state *before* the executor is built so a
+        # failed spawn still releases the graph-sized segments via teardown.
+        self._state["pack"] = pack
+        try:
+            payload = {
+                "graph": pack.describe(),
+                "num_nodes": self._sampler.graph.n,
+                "spec": self._spec,
+            }
+            executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=init_worker,
+                initargs=(payload,),
+            )
+        except (OSError, ValueError, ImportError) as exc:
+            self._disable_pool(f"could not spawn the worker pool ({exc}); "
+                               "sampling shards in-process instead")
+            return None
+        self._state["executor"] = executor
+        return executor
+
+    def _teardown_pool(self) -> None:
+        _shutdown_state(self._state)
+
+    def _disable_pool(self, reason: str) -> None:
+        self._teardown_pool()
+        self._pool_disabled = True
+        if not self._warned_inline:
+            self._warned_inline = True
+            warnings.warn(
+                f"parallel RR generation degraded: {reason} "
+                "(results are unchanged — sharding is worker-count invariant)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def close(self) -> None:
+        """Shut the pool down and release the shared graph arrays."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "ParallelSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelSampler({type(self._sampler).__name__}, jobs={self.jobs}, "
+            f"pool={'live' if self._state.get('executor') else 'idle'})"
+        )

@@ -1,0 +1,185 @@
+"""Zero-copy broadcast of numpy arrays to worker processes.
+
+The parallel RR engine ships the graph's CSR arrays to every worker exactly
+once, at pool spawn.  Two transports implement the same tiny contract —
+*describe* yourself as a picklable dict, *attach* from that dict inside a
+worker, hand back numpy views:
+
+* :class:`SharedMemoryPack` — ``multiprocessing.shared_memory`` segments,
+  one per array.  True shared pages under both ``fork`` and ``spawn`` start
+  methods; only the creating process unlinks (pool workers attach by name,
+  and the process tree shares one resource tracker, so a worker attaching
+  or exiting never destroys the segment for everyone else).
+* :class:`MemmapPack` — a scratch file plus read-only ``np.memmap`` views.
+  The fallback for platforms/filesystems where POSIX shared memory is
+  unavailable; page-cache sharing gives the same one-copy behaviour.
+
+:func:`pack_arrays` picks the best available transport; ``attach_pack``
+reverses it from the descriptor alone (workers never hold transport
+objects from the parent).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+__all__ = ["SharedMemoryPack", "MemmapPack", "pack_arrays", "attach_pack"]
+
+
+def _describe(arrays: dict[str, np.ndarray]) -> dict[str, tuple[str, tuple[int, ...]]]:
+    return {name: (str(array.dtype), tuple(array.shape)) for name, array in arrays.items()}
+
+
+class SharedMemoryPack:
+    """Arrays copied once into POSIX shared memory segments."""
+
+    kind = "shared_memory"
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        from multiprocessing import shared_memory
+
+        self._segments = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._owner = True
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                view[...] = array
+                self._segments[name] = segment
+                self._views[name] = view
+        except BaseException:
+            self.close()
+            raise
+        self._layout = _describe(arrays)
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "layout": self._layout,
+            "names": {name: seg.name for name, seg in self._segments.items()},
+        }
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return dict(self._views)
+
+    def close(self) -> None:
+        """Release the segments; the owner also unlinks them."""
+        self._views.clear()
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+            if self._owner:
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+        self._segments.clear()
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "SharedMemoryPack":
+        from multiprocessing import shared_memory
+
+        pack = cls.__new__(cls)
+        pack._segments = {}
+        pack._views = {}
+        pack._owner = False
+        pack._layout = descriptor["layout"]
+        for name, segment_name in descriptor["names"].items():
+            segment = shared_memory.SharedMemory(name=segment_name)
+            dtype, shape = descriptor["layout"][name]
+            pack._segments[name] = segment
+            pack._views[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        return pack
+
+
+class MemmapPack:
+    """Arrays written once to a scratch file, mapped read-only by workers."""
+
+    kind = "memmap"
+
+    def __init__(self, arrays: dict[str, np.ndarray], directory: str | None = None):
+        fd, self._path = tempfile.mkstemp(prefix="repro-rr-graph-", suffix=".bin", dir=directory)
+        self._owner = True
+        self._views: dict[str, np.ndarray] = {}
+        self._offsets: dict[str, int] = {}
+        offset = 0
+        with os.fdopen(fd, "wb") as handle:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                self._offsets[name] = offset
+                handle.write(array.tobytes())
+                offset += array.nbytes
+        self._layout = _describe(arrays)
+        for name, array in arrays.items():
+            self._views[name] = self._map(name)
+
+    def _map(self, name: str) -> np.ndarray:
+        dtype, shape = self._layout[name]
+        return np.memmap(
+            self._path, dtype=np.dtype(dtype), mode="r",
+            offset=self._offsets[name], shape=shape,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "layout": self._layout,
+            "path": self._path,
+            "offsets": dict(self._offsets),
+        }
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return dict(self._views)
+
+    def close(self) -> None:
+        self._views.clear()
+        if self._owner:
+            try:
+                os.unlink(self._path)
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "MemmapPack":
+        pack = cls.__new__(cls)
+        pack._path = descriptor["path"]
+        pack._offsets = dict(descriptor["offsets"])
+        pack._layout = descriptor["layout"]
+        pack._owner = False
+        pack._views = {name: pack._map(name) for name in pack._layout}
+        return pack
+
+
+def pack_arrays(arrays: dict[str, np.ndarray], prefer: str | None = None):
+    """Broadcast ``arrays`` with the best transport available.
+
+    ``prefer`` forces ``"shared_memory"`` or ``"memmap"`` (tests and the
+    platform fallback); default is shared memory with a silent memmap
+    fallback when segment creation fails (no /dev/shm, SELinux denial, ...).
+    """
+    if prefer == "memmap":
+        return MemmapPack(arrays)
+    try:
+        return SharedMemoryPack(arrays)
+    except (ImportError, OSError):
+        if prefer == "shared_memory":
+            raise
+        return MemmapPack(arrays)
+
+
+def attach_pack(descriptor: dict):
+    """Worker-side: rebuild array views from a :meth:`describe` payload."""
+    if descriptor["kind"] == SharedMemoryPack.kind:
+        return SharedMemoryPack.attach(descriptor)
+    if descriptor["kind"] == MemmapPack.kind:
+        return MemmapPack.attach(descriptor)
+    raise ValueError(f"unknown shared-array transport {descriptor['kind']!r}")

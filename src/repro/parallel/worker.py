@@ -1,0 +1,118 @@
+"""Worker-process side of the parallel RR engine.
+
+Every function here must stay importable at module top level (``spawn``
+start-method pickling) and free of parent-process state: a worker receives
+one *payload* at pool initialisation — the shared-graph transport descriptor
+plus a sampler *spec* — attaches the arrays, rebuilds its own sampler bound
+to the :class:`~repro.parallel.shared_graph.SharedGraph`, and then answers
+shard tasks until the pool shuts down.
+
+A shard task is ``(mode, seed, payload)``:
+
+* ``("random", seed, count)`` — draw ``count`` uniform roots from the
+  shard's own :class:`~repro.utils.rng.RandomSource` (seeded from the
+  parent's ``SeedSequence.spawn`` child), then sample;
+* ``("roots", seed, roots)`` — sample the given roots with the shard
+  stream.
+
+:func:`run_shard_with` is the single source of truth for shard execution:
+the parent runs the *same* function inline for ``jobs=1`` (and as the
+degraded fallback), which is what makes results byte-identical for every
+worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.shared_graph import SharedGraph
+from repro.parallel.shm import attach_pack
+from repro.utils.rng import RandomSource
+
+__all__ = ["sampler_spec", "build_sampler", "run_shard_with", "init_worker", "run_shard"]
+
+#: Per-process worker state: the attached transport and the rebuilt sampler.
+_STATE: dict = {}
+
+
+def sampler_spec(sampler) -> dict | None:
+    """A picklable recipe to rebuild ``sampler`` in a worker, or ``None``.
+
+    Only exact sampler types with array-only construction inputs are
+    supported; unknown types (e.g. triggering samplers bound to arbitrary
+    distribution objects) return ``None`` and the engine degrades to
+    in-process sharding.
+    """
+    from repro.rrset.ic_sampler import ICRRSampler
+    from repro.rrset.lt_sampler import LTRRSampler
+
+    if type(sampler) is ICRRSampler:
+        return {
+            "kind": "ic",
+            "use_fast_path": sampler.use_fast_path,
+            "fast_path_min_degree": sampler.fast_path_min_degree,
+            "max_depth": sampler.max_depth,
+            "use_geometric_skip": sampler.use_geometric_skip,
+        }
+    if type(sampler) is LTRRSampler:
+        return {"kind": "lt"}
+    return None
+
+
+def build_sampler(graph, spec: dict):
+    """Rebuild the sampler described by :func:`sampler_spec` on ``graph``."""
+    kind = spec["kind"]
+    if kind == "ic":
+        from repro.rrset.ic_sampler import ICRRSampler
+
+        return ICRRSampler(
+            graph,
+            use_fast_path=spec["use_fast_path"],
+            fast_path_min_degree=spec["fast_path_min_degree"],
+            max_depth=spec["max_depth"],
+            use_geometric_skip=spec["use_geometric_skip"],
+        )
+    if kind == "lt":
+        from repro.rrset.lt_sampler import LTRRSampler
+
+        return LTRRSampler(graph)
+    raise ValueError(f"unknown sampler spec kind {kind!r}")
+
+
+def run_shard_with(sampler, task):
+    """Execute one shard task against ``sampler``; returns packed arrays.
+
+    The returned tuple mirrors ``FlatRRCollection.extend_arrays`` inputs:
+    ``(ptr, nodes, roots, widths, costs)`` with ``ptr`` local (starting at
+    0).  Arrays are copied out of the collection's over-allocated buffers so
+    the IPC payload is exactly the shard's live data.
+    """
+    mode, seed, payload = task
+    source = RandomSource(seed)
+    if mode == "random":
+        roots = source.np.integers(0, sampler.graph.n, size=int(payload), dtype=np.int64)
+    elif mode == "roots":
+        roots = np.ascontiguousarray(payload, dtype=np.int64)
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown shard mode {mode!r}")
+    batch = sampler.sample_batch(roots, source)
+    return (
+        batch.ptr_array.copy(),
+        batch.nodes_array.copy(),
+        batch.roots_array.copy(),
+        batch.widths_array.copy(),
+        batch.costs_array.copy(),
+    )
+
+
+def init_worker(payload: dict) -> None:
+    """Pool initializer: attach the shared graph, rebuild the sampler."""
+    pack = attach_pack(payload["graph"])
+    graph = SharedGraph.from_arrays(payload["num_nodes"], pack.arrays())
+    _STATE["pack"] = pack
+    _STATE["sampler"] = build_sampler(graph, payload["spec"])
+
+
+def run_shard(task):
+    """Pool task entry point (initializer must have run first)."""
+    return run_shard_with(_STATE["sampler"], task)

@@ -20,6 +20,7 @@ Every sample reports two cost figures:
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -56,9 +57,15 @@ class RRSampler(ABC):
     #: Display name of the diffusion model the sampler targets.
     model_name: str = "abstract"
 
+    #: Sampler classes that already warned about lacking a vectorized batch
+    #: path (one warning per class per process, not one per call).
+    _batch_fallback_warned: set[str] = set()
+
     def __init__(self, graph: DiGraph):
         self.graph = graph
-        self._in_degrees = graph.in_degrees().tolist()
+        # Lazy: only the scalar width_of path reads the Python list; pool
+        # workers driving the vectorised batch path never build it.
+        self._in_degrees: list[int] | None = None
 
     @abstractmethod
     def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
@@ -85,9 +92,23 @@ class RRSampler(ABC):
         way the result is a :class:`~repro.rrset.flat_collection
         .FlatRRCollection` holding the sets in root order, which is what the
         ``engine="vectorized"`` code paths consume.
+
+        Falling back here is an engine degradation, not a correctness
+        problem, so it is announced exactly once per sampler class instead
+        of silently running orders of magnitude slower.
         """
         from repro.rrset.flat_collection import FlatRRCollection
 
+        cls_name = type(self).__name__
+        if cls_name not in RRSampler._batch_fallback_warned:
+            RRSampler._batch_fallback_warned.add(cls_name)
+            warnings.warn(
+                f"{cls_name} has no vectorized sample_batch; falling back to "
+                "the per-root Python sampling path (slow, single-core). "
+                "Distribution is unchanged.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         source = resolve_rng(rng)
         out = FlatRRCollection(self.graph.n, self.graph.m)
         for root in roots:
@@ -102,6 +123,8 @@ class RRSampler(ABC):
 
     def width_of(self, nodes) -> int:
         """``w(R)`` = Σ in-degree over the members (Equation 1)."""
+        if self._in_degrees is None:
+            self._in_degrees = self.graph.in_degrees().tolist()
         in_degrees = self._in_degrees
         return sum(in_degrees[v] for v in nodes)
 

@@ -115,7 +115,6 @@ class ICRRSampler(RRSampler):
         use_geometric_skip: bool = True,
     ):
         super().__init__(graph)
-        self._in_adj, self._in_probs = graph.in_adjacency()
         self.use_fast_path = use_fast_path
         if fast_path_min_degree is None:
             fast_path_min_degree = self.DEFAULT_FAST_PATH_MIN_DEGREE
@@ -128,24 +127,59 @@ class ICRRSampler(RRSampler):
         #: Allow geometric-skip draws for uniform-probability frontier groups
         #: in the vectorised path (off = pure per-edge batched coin flips).
         self.use_geometric_skip = use_geometric_skip
-        # Per node: the shared in-probability if uniform, else None.
-        self._uniform_prob: list[float | None] = []
-        for probs in self._in_probs:
-            if probs and all(p == probs[0] for p in probs):
-                self._uniform_prob.append(probs[0])
-            else:
-                self._uniform_prob.append(None)
-        # Vectorised-path state, built on first sample_batch call.
+        #: Per node: the shared in-probability if uniform, NaN otherwise
+        #: (computed straight off the CSR arrays — no Python materialisation,
+        #: so pool workers sampling over a shared graph stay at the one-copy
+        #: memory footprint).
+        self._np_unif_p = self._uniform_in_probs()
+        finite = self._np_unif_p[np.isfinite(self._np_unif_p)]
+        #: Few distinct uniform probabilities (e.g. a constant-p graph) ⇒
+        #: frontier groups are large and geometric skip pays; many distinct
+        #: values (weighted cascade on a degree-diverse graph) ⇒ groups are
+        #: shards and only high-degree hubs are worth it.
+        self._distinct_uniform_probs = int(np.unique(finite).size)
+        in_deg = graph.in_degrees()
+        self._max_in_degree = int(in_deg.max()) if in_deg.size else 0
+        # Lazy caches: Python adjacency lists (scalar sample_rooted path
+        # only), the shared-p list mirror, and the vector-path degree array.
+        self._adj: tuple[list[list[int]], list[list[float]]] | None = None
+        self._uniform_list: list[float | None] | None = None
         self._np_in_deg: np.ndarray | None = None
-        self._np_unif_p: np.ndarray | None = None
+
+    def _uniform_in_probs(self) -> np.ndarray:
+        """Per-node shared in-probability (NaN when mixed or in-degree 0)."""
+        graph = self.graph
+        out = np.full(graph.n, np.nan, dtype=np.float64)
+        if graph.m == 0:
+            return out
+        in_deg = graph.in_degrees()
+        node_of_edge = np.repeat(np.arange(graph.n, dtype=np.int64), in_deg)
+        first_prob = graph.in_prob[graph.in_ptr[node_of_edge]]
+        mixed = np.zeros(graph.n, dtype=bool)
+        mixed[node_of_edge[graph.in_prob != first_prob]] = True
+        uniform = (in_deg > 0) & ~mixed
+        out[uniform] = graph.in_prob[graph.in_ptr[:-1][uniform]]
+        return out
+
+    def _adjacency(self) -> tuple[list[list[int]], list[list[float]]]:
+        """Python adjacency lists for the scalar loops (built on demand)."""
+        if self._adj is None:
+            self._adj = self.graph.in_adjacency()
+        return self._adj
+
+    def _uniform_prob_list(self) -> list[float | None]:
+        if self._uniform_list is None:
+            self._uniform_list = [
+                None if math.isnan(p) else p for p in self._np_unif_p.tolist()
+            ]
+        return self._uniform_list
 
     def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
         random01 = rng.py.random
         sample_distinct = rng.py.sample
         binomial = rng.np.binomial
-        in_adj = self._in_adj
-        in_probs = self._in_probs
-        uniform_prob = self._uniform_prob
+        in_adj, in_probs = self._adjacency()
+        uniform_prob = self._uniform_prob_list()
         use_fast_path = self.use_fast_path
         min_degree = self.fast_path_min_degree
 
@@ -199,8 +233,7 @@ class ICRRSampler(RRSampler):
         from collections import deque
 
         random01 = rng.py.random
-        in_adj = self._in_adj
-        in_probs = self._in_probs
+        in_adj, in_probs = self._adjacency()
         max_depth = self.max_depth
 
         visited = {root}
@@ -225,19 +258,8 @@ class ICRRSampler(RRSampler):
     # Vectorised batch path
     # ------------------------------------------------------------------
     def _ensure_vector_state(self) -> None:
-        if self._np_in_deg is not None:
-            return
-        self._np_in_deg = self.graph.in_degrees()
-        self._np_unif_p = np.array(
-            [math.nan if p is None else p for p in self._uniform_prob], dtype=np.float64
-        )
-        finite = self._np_unif_p[np.isfinite(self._np_unif_p)]
-        #: Few distinct uniform probabilities (e.g. a constant-p graph) ⇒
-        #: frontier groups are large and geometric skip pays; many distinct
-        #: values (weighted cascade on a degree-diverse graph) ⇒ groups are
-        #: shards and only high-degree hubs are worth it.
-        self._distinct_uniform_probs = int(np.unique(finite).size)
-        self._max_in_degree = int(self._np_in_deg.max()) if self._np_in_deg.size else 0
+        if self._np_in_deg is None:
+            self._np_in_deg = self.graph.in_degrees()
 
     def sample_batch(self, roots, rng) -> FlatRRCollection:
         """Generate one IC RR set per root with numpy-batched expansion.
@@ -476,18 +498,22 @@ class ICRRSampler(RRSampler):
         Numpy call overhead dominates waves this small, and deep RR sets
         (long weighted-cascade chains) would otherwise pay it per level.
         Shares the driver's visited matrix (``active_r`` names each pair's
-        row) and the cached Python adjacency lists; coin order differs from
-        the wave path but the sampled distribution is identical.  FIFO with
-        explicit depths keeps ``max_depth`` truncation exact (see
-        :meth:`_sample_rooted_bounded`).  ``widths`` is only accumulated for
-        the bounded driver; the streaming driver derives widths from the
-        final membership instead.
+        row); each expanded node's in-edges come straight off the CSR slice
+        (one ``tolist`` per node — deliberately *not* the full cached
+        adjacency, so pool workers never materialise the whole graph as
+        Python lists).  Coin order differs from the wave path but the
+        sampled distribution is identical.  FIFO with explicit depths keeps
+        ``max_depth`` truncation exact (see :meth:`_sample_rooted_bounded`).
+        ``widths`` is only accumulated for the bounded driver; the streaming
+        driver derives widths from the final membership instead.
         """
         from collections import deque
 
         random01 = source.py.random
-        in_adj = self._in_adj
-        in_probs = self._in_probs
+        graph = self.graph
+        in_ptr = graph.in_ptr
+        in_idx = graph.in_idx
+        in_prob = graph.in_prob
         max_depth = self.max_depth
         extra_s: list[int] = []
         extra_v: list[int] = []
@@ -499,8 +525,9 @@ class ICRRSampler(RRSampler):
             sample, row_id, current, level = queue.popleft()
             if max_depth is not None and level >= max_depth:
                 continue
-            neighbors = in_adj[current]
-            probs = in_probs[current]
+            lo, hi = int(in_ptr[current]), int(in_ptr[current + 1])
+            neighbors = in_idx[lo:hi].tolist()
+            probs = in_prob[lo:hi].tolist()
             if widths is not None:
                 widths[sample] += len(neighbors)
             row = visited[row_id]

@@ -6,15 +6,30 @@ degenerates into a random walk: from the root repeatedly hop to one sampled
 in-neighbour, stopping when the draw lands in the "no neighbour" mass or the
 walk revisits a node (Section 4.2; the paper's Section 7.2 notes this is why
 LT needs one random number per *node* instead of one per *edge*).
+
+Vectorised path (:meth:`LTRRSampler.sample_batch`): many walks advance in
+lockstep, one wave per hop.  The inverse-CDF edge pick becomes a single
+``searchsorted`` against the global prefix sum of ``in_prob`` — for walk at
+node ``v`` with CSR slice ``[lo, hi)`` and uniform draw ``r``, the live
+in-edge is the first position whose cumulative weight exceeds
+``prefix[lo] + r``, and ``r >= Σ w`` is the "no neighbour" stop — while
+revisit detection reuses the IC engine's visited-bitmap row pool (one row
+per in-flight walk).  Same distribution as the scalar walk, not
+draw-for-draw identical (batched draws consume the RNG in a different
+order); the whole batch lands in one packed
+:class:`~repro.rrset.flat_collection.FlatRRCollection`.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.diffusion.linear_threshold import sample_lt_in_edge
 from repro.graphs.digraph import DiGraph
 from repro.graphs.weights import validate_lt_weights
 from repro.rrset.base import RRSampler, RRSet
-from repro.utils.rng import RandomSource
+from repro.rrset.flat_collection import FlatRRCollection
+from repro.utils.rng import RandomSource, resolve_rng
 
 __all__ = ["LTRRSampler"]
 
@@ -24,15 +39,36 @@ class LTRRSampler(RRSampler):
 
     model_name = "LT"
 
+    #: Visited-bitmap row pool bounds, matching the IC engine's sweet spot
+    #: (at most this many boolean cells / concurrent walks per chunk).
+    BATCH_CHUNK_CELLS = 16 << 20
+    BATCH_CHUNK_MAX = 8192
+
+    #: When fewer than this many walks are still alive, the chunk's
+    #: stragglers are finished by the scalar walk: numpy call overhead
+    #: dominates waves this small, and long walks (deep LT chains) would
+    #: otherwise pay it once per hop.
+    TAIL_CUTOVER_WALKS = 64
+
     def __init__(self, graph: DiGraph):
         super().__init__(graph)
         validate_lt_weights(graph)
-        self._in_adj, self._in_weights = graph.in_adjacency()
+        # Lazy caches: Python adjacency for the scalar walk only (pool
+        # workers drive the vectorised path and never materialise it),
+        # plus the vectorised-path arrays built on first sample_batch call.
+        self._adj: tuple[list[list[int]], list[list[float]]] | None = None
+        self._cumw: np.ndarray | None = None
+        self._prefix: np.ndarray | None = None
+        self._np_in_deg: np.ndarray | None = None
+
+    def _adjacency(self) -> tuple[list[list[int]], list[list[float]]]:
+        if self._adj is None:
+            self._adj = self.graph.in_adjacency()
+        return self._adj
 
     def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
         random01 = rng.py.random
-        in_adj = self._in_adj
-        in_weights = self._in_weights
+        in_adj, in_weights = self._adjacency()
 
         visited = {root}
         order = [root]
@@ -49,3 +85,160 @@ class LTRRSampler(RRSampler):
         width = self.width_of(order)
         # One draw (≈ one edge examined) per visited node, plus the nodes.
         return RRSet(root=root, nodes=tuple(order), width=width, cost=len(order) + steps)
+
+    # ------------------------------------------------------------------
+    # Vectorised batch path
+    # ------------------------------------------------------------------
+    def _ensure_vector_state(self) -> None:
+        if self._cumw is not None:
+            return
+        self._np_in_deg = self.graph.in_degrees()
+        self._cumw = np.cumsum(self.graph.in_prob)
+        # prefix[i] = Σ in_prob[:i], so a node's in-weight mass over CSR
+        # slice [lo, hi) is prefix[hi] - prefix[lo].
+        self._prefix = np.concatenate(([0.0], self._cumw))
+
+    def sample_batch(self, roots, rng) -> FlatRRCollection:
+        """Generate one LT RR set per root with numpy-batched walk waves.
+
+        Matches :meth:`sample_rooted` in distribution but not draw-for-draw
+        (a wave draws one uniform per live walk at once, including walks at
+        in-degree-0 nodes whose scalar counterpart stops without drawing).
+        """
+        source = resolve_rng(rng)
+        self._ensure_vector_state()
+        roots = np.ascontiguousarray(roots, dtype=np.int64)
+        n = self.graph.n
+        out = FlatRRCollection(n, self.graph.m)
+        if roots.size == 0:
+            return out
+        rows = max(1, min(self.BATCH_CHUNK_MAX, self.BATCH_CHUNK_CELLS // max(n, 1)))
+        rows = min(rows, int(roots.size))
+        visited = np.zeros((rows, n), dtype=bool)
+        for start in range(0, roots.size, rows):
+            self._walk_chunk(roots[start : start + rows], source, out, visited)
+        return out
+
+    def _walk_chunk(
+        self,
+        chunk_roots: np.ndarray,
+        source,
+        out: FlatRRCollection,
+        visited: np.ndarray,
+    ) -> None:
+        """Advance every walk of the chunk one hop per wave until all stop.
+
+        ``visited`` is an all-False scratch matrix with at least
+        ``len(chunk_roots)`` rows (walk ``i`` owns row ``i``); touched cells
+        are cleared before return.
+        """
+        graph = self.graph
+        in_ptr = graph.in_ptr
+        cumw = self._cumw
+        prefix = self._prefix
+        batch = int(chunk_roots.size)
+        sample_ids = np.arange(batch, dtype=np.int64)
+        visited[sample_ids, chunk_roots] = True
+        member_samples = [sample_ids]
+        member_nodes = [chunk_roots]
+
+        active_s, active_v = sample_ids, chunk_roots
+        while active_v.size:
+            if active_v.size <= self.TAIL_CUTOVER_WALKS:
+                self._finish_tail(
+                    active_s, active_v, visited, source, member_samples, member_nodes
+                )
+                break
+            draws = source.np.random(active_v.size)
+            lo = in_ptr[active_v]
+            hi = in_ptr[active_v + 1]
+            base = prefix[lo]
+            total = prefix[hi] - base
+            cont = draws < total  # else the "no live in-edge" mass: walk ends
+            if not cont.any():
+                break
+            walk_s = active_s[cont]
+            # Inverse CDF over the node's CSR weight slice, done globally:
+            # first edge position whose cumulative weight exceeds the draw.
+            edge = np.searchsorted(cumw, base[cont] + draws[cont], side="right")
+            # `total` can round a hair above the true weight sum, letting a
+            # draw in that float sliver pass `cont` with base + draw beyond
+            # the node's last cumulative entry — clamp into the CSR slice so
+            # such a draw takes the last in-edge instead of a neighbour
+            # node's edge (or an out-of-bounds index at the array end).
+            np.minimum(edge, hi[cont] - 1, out=edge)
+            parent = graph.in_idx[edge]
+            fresh = ~visited[walk_s, parent]
+            walk_s, parent = walk_s[fresh], parent[fresh]
+            if walk_s.size == 0:
+                break
+            visited[walk_s, parent] = True
+            member_samples.append(walk_s)
+            member_nodes.append(parent)
+            active_s, active_v = walk_s, parent
+
+        all_s = np.concatenate(member_samples)
+        all_v = np.concatenate(member_nodes)
+        visited[all_s, all_v] = False  # reset scratch for the next chunk
+        self._commit_chunk(chunk_roots, all_s, all_v, out)
+
+    def _finish_tail(
+        self,
+        active_s: np.ndarray,
+        active_v: np.ndarray,
+        visited: np.ndarray,
+        source,
+        member_samples: list[np.ndarray],
+        member_nodes: list[np.ndarray],
+    ) -> None:
+        """Walk the few remaining chains to completion with the scalar hop.
+
+        In-edges come straight off the CSR slice per hop (not the cached
+        full adjacency) so shared-graph pool workers stay at the one-copy
+        memory footprint.
+        """
+        random01 = source.py.random
+        graph = self.graph
+        in_ptr = graph.in_ptr
+        in_idx = graph.in_idx
+        in_prob = graph.in_prob
+        extra_s: list[int] = []
+        extra_v: list[int] = []
+        for sample, current in zip(active_s.tolist(), active_v.tolist()):
+            row = visited[sample]
+            while True:
+                lo, hi = int(in_ptr[current]), int(in_ptr[current + 1])
+                parent = sample_lt_in_edge(
+                    in_idx[lo:hi].tolist(), in_prob[lo:hi].tolist(), random01
+                )
+                if parent is None or row[parent]:
+                    break
+                row[parent] = True
+                extra_s.append(sample)
+                extra_v.append(parent)
+                current = parent
+        if extra_s:
+            member_samples.append(np.asarray(extra_s, dtype=np.int64))
+            member_nodes.append(np.asarray(extra_v, dtype=np.int64))
+
+    def _commit_chunk(
+        self, chunk_roots: np.ndarray, all_s: np.ndarray, all_v: np.ndarray,
+        out: FlatRRCollection,
+    ) -> None:
+        batch = int(chunk_roots.size)
+        sizes = np.bincount(all_s, minlength=batch)
+        local_ptr = np.zeros(batch + 1, dtype=np.int64)
+        np.cumsum(sizes, out=local_ptr[1:])
+        order = np.argsort(all_s, kind="stable")  # root first, then hop order
+        widths = np.bincount(
+            all_s, weights=self._np_in_deg[all_v], minlength=batch
+        ).astype(np.int64)
+        # The scalar walk draws exactly |R| times (one per member, the last
+        # draw being the one that stops it), so cost = |R| + draws = 2|R|.
+        out.extend_arrays(
+            roots=chunk_roots,
+            ptr=local_ptr,
+            nodes=all_v[order].astype(np.int32, copy=False),
+            widths=widths,
+            costs=2 * sizes,
+        )

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.kpt_estimation import estimate_kpt
 from repro.core.parameters import adjusted_ell_tim, lambda_param, theta_from_kpt
 from repro.diffusion.base import resolve_model
+from repro.parallel import ParallelSampler, jobs_for_engine, maybe_parallel
 from repro.rrset.base import make_rr_sampler
 from repro.rrset.coverage import (
     CoverageResult,
@@ -82,10 +83,18 @@ class SketchIndex:
         Provenance dictionary (see :mod:`repro.sketch.persistence`); the
         index keeps it current (``theta``, ``kpt_cache``) as the sketch
         grows and answers queries.
+    jobs:
+        Worker processes for warm-start sampling (``ensure_theta`` /
+        ``ensure_epsilon`` and cold builds): ``0`` = all cores, ``None``
+        (default) = the legacy single stream.  The pool persists on the
+        index across extension waves (call :meth:`close` to release it);
+        the sampled RR sets are byte-identical for every worker count, so
+        a sketch grown with ``jobs=8`` equals one grown with ``jobs=1``.
     """
 
     def __init__(self, collection: FlatRRCollection | None = None, *,
-                 graph=None, model="IC", meta: dict | None = None):
+                 graph=None, model="IC", meta: dict | None = None,
+                 jobs: int | None = None):
         require(collection is not None or graph is not None,
                 "SketchIndex needs a collection, a graph, or both")
         self._model = resolve_model(model)
@@ -105,6 +114,7 @@ class SketchIndex:
             self.meta.setdefault("graph_fingerprint", graph.fingerprint())
         self.meta["theta"] = len(collection)
         self._sampler = None
+        self._jobs = jobs
         self._inv_ptr: np.ndarray | None = None
         self._inv_sets: np.ndarray | None = None
         self._state: _GreedyState | None = None
@@ -115,20 +125,26 @@ class SketchIndex:
     @classmethod
     def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
               epsilon: float = 0.1, ell: float = 1.0, rng=None,
-              engine: str = "vectorized") -> "SketchIndex":
+              engine: str = "vectorized", jobs: int | None = None) -> "SketchIndex":
         """Cold-build a sketch: sample θ random RR sets and index them.
 
         Either pass ``theta`` directly, or pass ``k`` and the sketch size is
         derived the TIM way — Algorithm 2's KPT* and θ = ⌈λ/KPT*⌉ for the
         given ``epsilon``/``ell`` — making the sketch ε-equivalent to what a
         ``tim(graph, k, epsilon)`` call would have sampled.
+
+        ``jobs`` shards the build across worker processes (``0`` = all
+        cores); the resulting sketch — and therefore its saved file — is
+        byte-identical for every worker count.  The pool stays on the index
+        for warm-start extensions.
         """
         require(engine in ("vectorized", "python"),
                 f"engine must be 'vectorized' or 'python'; got {engine!r}")
         resolved = resolve_model(model)
         resolved.validate_graph(graph)
         source = resolve_rng(rng)
-        sampler = make_rr_sampler(graph, resolved)
+        jobs = jobs_for_engine(engine, jobs)
+        sampler, _ = maybe_parallel(make_rr_sampler(graph, resolved), jobs)
         meta: dict = {"rng_seed": source.seed, "engine": engine}
         if theta is None:
             require(k is not None, "build needs theta, or k to derive theta from epsilon")
@@ -149,23 +165,26 @@ class SketchIndex:
             randrange = source.py.randrange
             for _ in range(theta):
                 collection.append(sampler.sample_rooted(randrange(graph.n), source))
-        index = cls(collection, graph=graph, model=resolved, meta=meta)
+        index = cls(collection, graph=graph, model=resolved, meta=meta, jobs=jobs)
         index._sampler = sampler
         return index
 
     @classmethod
-    def load(cls, path, graph=None, model=None, mmap: bool = False) -> "SketchIndex":
+    def load(cls, path, graph=None, model=None, mmap: bool = False,
+             jobs: int | None = None) -> "SketchIndex":
         """Load a persisted sketch, validating it against ``graph`` if given.
 
         A sketch recorded for a different graph raises
         :class:`~repro.sketch.persistence.SketchGraphMismatchError` — RR
         sets only estimate spread on the exact graph they were drawn from.
+        ``jobs`` configures worker processes for later warm-start sampling.
         """
         from repro.sketch.persistence import load_sketch
 
         expected = graph.fingerprint() if graph is not None else None
         collection, meta = load_sketch(path, mmap=mmap, expected_fingerprint=expected)
-        return cls(collection, graph=graph, model=model or meta.get("model", "IC"), meta=meta)
+        return cls(collection, graph=graph, model=model or meta.get("model", "IC"),
+                   meta=meta, jobs=jobs)
 
     def save(self, path) -> None:
         """Persist the (possibly grown) sketch and its current metadata."""
@@ -204,13 +223,31 @@ class SketchIndex:
     # ------------------------------------------------------------------
     # Growth (warm-start theta extension)
     # ------------------------------------------------------------------
-    def _require_sampler(self):
+    def _require_sampler(self, jobs: int | None = None):
         require(self.graph is not None,
                 "this index has no graph attached; re-load the sketch with "
                 "graph=... to enable sampling")
+        if jobs is not None and jobs != self._jobs:
+            # Re-configure the worker count: tear down any existing pool so
+            # the next batch spawns one with the requested width.  Sampled
+            # bytes do not depend on the worker count, only wall-clock does.
+            self.close()
+            self._sampler = None
+            self._jobs = jobs
         if self._sampler is None:
-            self._sampler = make_rr_sampler(self.graph, self._model)
+            self._sampler, _ = maybe_parallel(
+                make_rr_sampler(self.graph, self._model), self._jobs
+            )
         return self._sampler
+
+    def close(self) -> None:
+        """Shut down the warm-start sampling pool, if one is live.
+
+        Queries keep working (they never sample); a later ``ensure_theta``
+        lazily respawns the pool.
+        """
+        if isinstance(self._sampler, ParallelSampler):
+            self._sampler.close()
 
     def extend_flat(self, batch: FlatRRCollection) -> None:
         """Append pre-sampled RR sets (array-level) and invalidate caches."""
@@ -218,23 +255,26 @@ class SketchIndex:
         self.meta["theta"] = len(self.collection)
         self.invalidate()
 
-    def ensure_theta(self, theta: int, rng=None) -> int:
+    def ensure_theta(self, theta: int, rng=None, jobs: int | None = None) -> int:
         """Grow the sketch to at least ``theta`` RR sets; returns the number added.
 
         The existing prefix is never resampled — random RR sets are i.i.d.,
         so appending fresh ones preserves every estimator guarantee while
         reusing all prior sampling work (the warm-start amortization that
-        makes repeated tighter-ε queries cheap).
+        makes repeated tighter-ε queries cheap).  ``jobs`` (sticky: it
+        becomes the index default) shards the extension across worker
+        processes with worker-count-invariant bytes.
         """
         missing = int(theta) - len(self.collection)
         if missing <= 0:
             return 0
-        sampler = self._require_sampler()
+        sampler = self._require_sampler(jobs)
         batch = sampler.sample_random_batch(missing, resolve_rng(rng))
         self.extend_flat(batch)
         return missing
 
-    def ensure_epsilon(self, k: int, epsilon: float, ell: float = 1.0, rng=None) -> int:
+    def ensure_epsilon(self, k: int, epsilon: float, ell: float = 1.0, rng=None,
+                       jobs: int | None = None) -> int:
         """Grow the sketch until it is ε-equivalent for budget ``k``.
 
         Recomputes θ = ⌈λ(ε)/KPT*⌉ from the cached KPT* for *this* ``k``
@@ -251,7 +291,7 @@ class SketchIndex:
             kpt_by_k.setdefault(str(self.meta["k"]), self.meta["kpt_star"])
         kpt_star = kpt_by_k.get(str(k))
         if kpt_star is None:
-            sampler = self._require_sampler()
+            sampler = self._require_sampler(jobs)
             kpt_star = estimate_kpt(
                 self.graph, k, sampler, ell=ell_adjusted, rng=source
             ).kpt_star
@@ -259,7 +299,7 @@ class SketchIndex:
         theta = theta_from_kpt(
             lambda_param(self.num_nodes, k, epsilon, ell_adjusted), kpt_star
         )
-        added = self.ensure_theta(theta, rng=source)
+        added = self.ensure_theta(theta, rng=source, jobs=jobs)
         if added:
             self.meta["epsilon"] = epsilon
         return added

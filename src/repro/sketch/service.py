@@ -90,13 +90,17 @@ class InfluenceService:
         Build parameters for cold misses (θ derived the TIM way from
         ``epsilon`` at budget ``default_k``); ``theta`` overrides the
         derivation with a fixed sketch size.
+    jobs:
+        Worker processes for cold builds and warm-start extensions
+        (``0`` = all cores, ``None`` = single stream).  Sketch bytes are
+        worker-count invariant, so the cache key needs no ``jobs`` term.
     rng:
         Seed/source for cold builds, so a service run is reproducible.
     """
 
     def __init__(self, max_indexes: int = 4, *, default_k: int = 10,
                  epsilon: float = 0.3, ell: float = 1.0, theta: int | None = None,
-                 engine: str = "vectorized", rng=None):
+                 engine: str = "vectorized", jobs: int | None = None, rng=None):
         require(max_indexes >= 1, "max_indexes must be >= 1")
         self.max_indexes = int(max_indexes)
         self.default_k = int(default_k)
@@ -104,6 +108,7 @@ class InfluenceService:
         self.ell = float(ell)
         self.theta = theta
         self.engine = engine
+        self.jobs = jobs
         self._rng = resolve_rng(rng)
         self._indexes: "OrderedDict[tuple[str, str], SketchIndex]" = OrderedDict()
         self.stats = ServiceStats()
@@ -147,6 +152,7 @@ class InfluenceService:
             ell=self.ell,
             rng=self._rng.spawn(),
             engine=self.engine,
+            jobs=self.jobs,
         )
         self._indexes[key] = index
         self._evict()
@@ -154,8 +160,14 @@ class InfluenceService:
 
     def _evict(self) -> None:
         while len(self._indexes) > self.max_indexes:
-            self._indexes.popitem(last=False)
+            _, evicted = self._indexes.popitem(last=False)
+            evicted.close()  # release any worker pool with the sketch
             self.stats.evictions += 1
+
+    def close(self) -> None:
+        """Shut down every cached index's sampling pool (queries still work)."""
+        for index in self._indexes.values():
+            index.close()
 
     def __len__(self) -> int:
         return len(self._indexes)

@@ -1,0 +1,236 @@
+"""Tests for the sharded worker-pool RR engine (repro.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnm_random_digraph, uniform_random_lt, weighted_cascade
+from repro.parallel import (
+    MAX_SHARDS,
+    MIN_SHARD,
+    ParallelSampler,
+    maybe_parallel,
+    resolve_jobs,
+    shard_sizes,
+)
+from repro.rrset import make_rr_sampler
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(1500, 9000, rng=17))
+
+
+@pytest.fixture(scope="module")
+def lt_graph():
+    return uniform_random_lt(gnm_random_digraph(1000, 6000, rng=18), rng=1)
+
+
+def collection_arrays(collection):
+    return (
+        collection.ptr_array,
+        collection.nodes_array,
+        collection.roots_array,
+        collection.widths_array,
+        collection.costs_array,
+    )
+
+
+def assert_collections_identical(a, b):
+    for left, right in zip(collection_arrays(a), collection_arrays(b)):
+        assert np.array_equal(left, right)
+
+
+class TestShardLayout:
+    def test_sizes_sum_to_count(self):
+        for count in (1, 7, MIN_SHARD, MIN_SHARD + 1, 50_000, 10**6):
+            sizes = shard_sizes(count)
+            assert sum(sizes) == count
+            assert all(size >= 1 for size in sizes)
+
+    def test_small_batches_are_one_shard(self):
+        assert shard_sizes(MIN_SHARD) == [MIN_SHARD]
+        assert len(shard_sizes(MIN_SHARD - 1)) == 1
+
+    def test_shard_count_capped(self):
+        assert len(shard_sizes(10**7)) == MAX_SHARDS
+
+    def test_balanced_within_one(self):
+        sizes = shard_sizes(10_001)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty(self):
+        assert shard_sizes(0) == []
+        assert shard_sizes(-5) == []
+
+    def test_layout_is_worker_count_free(self):
+        # The layout API deliberately has no jobs parameter: this pins the
+        # determinism contract at the signature level.
+        import inspect
+
+        assert "jobs" not in inspect.signature(shard_sizes).parameters
+
+
+class TestResolveJobs:
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_literal(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+
+    def test_rejects_negative_and_bool(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+        with pytest.raises(ValueError):
+            resolve_jobs(True)
+        with pytest.raises(ValueError):
+            resolve_jobs(1.5)
+
+
+class TestMaybeParallel:
+    def test_none_passes_through(self, wc_graph):
+        sampler = make_rr_sampler(wc_graph, "IC")
+        wrapped, owned = maybe_parallel(sampler, None)
+        assert wrapped is sampler and not owned
+
+    def test_wraps_on_explicit_jobs(self, wc_graph):
+        sampler = make_rr_sampler(wc_graph, "IC")
+        wrapped, owned = maybe_parallel(sampler, 1)
+        assert isinstance(wrapped, ParallelSampler) and owned
+        wrapped.close()
+
+    def test_already_wrapped_passes_through(self, wc_graph):
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as wrapped:
+            again, owned = maybe_parallel(wrapped, None)
+            assert again is wrapped and not owned
+            same, owned = maybe_parallel(wrapped, 1)
+            assert same is wrapped and not owned
+
+    def test_conflicting_jobs_on_wrapped_sampler_warns(self, wc_graph):
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as wrapped:
+            with pytest.warns(RuntimeWarning, match="conflicting jobs=4"):
+                again, owned = maybe_parallel(wrapped, 4)
+            assert again is wrapped and not owned
+
+
+class TestDeterminism:
+    def test_random_batch_identical_across_jobs(self, wc_graph):
+        results = {}
+        for jobs in (1, 2, 4):
+            with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=jobs) as sampler:
+                results[jobs] = sampler.sample_random_batch(3000, rng=101)
+        assert_collections_identical(results[1], results[2])
+        assert_collections_identical(results[1], results[4])
+
+    def test_explicit_roots_identical_across_jobs(self, wc_graph):
+        roots = np.arange(0, wc_graph.n, 1, dtype=np.int64)
+        batches = []
+        for jobs in (1, 3):
+            with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=jobs) as sampler:
+                batches.append(sampler.sample_batch(roots, rng=5))
+        assert_collections_identical(*batches)
+        assert np.array_equal(batches[0].roots_array, roots.astype(np.int32))
+
+    def test_lt_identical_across_jobs(self, lt_graph):
+        results = []
+        for jobs in (1, 2):
+            with ParallelSampler(make_rr_sampler(lt_graph, "LT"), jobs=jobs) as sampler:
+                results.append(sampler.sample_random_batch(2500, rng=7))
+        assert_collections_identical(*results)
+
+    def test_same_seed_same_result_repeated(self, wc_graph):
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2) as sampler:
+            first = sampler.sample_random_batch(2000, rng=9)
+            second = sampler.sample_random_batch(2000, rng=9)
+        assert_collections_identical(first, second)
+
+    def test_transports_agree(self, wc_graph):
+        with ParallelSampler(
+            make_rr_sampler(wc_graph, "IC"), jobs=2, transport="shared_memory"
+        ) as shm_sampler:
+            via_shm = shm_sampler.sample_random_batch(2000, rng=13)
+        with ParallelSampler(
+            make_rr_sampler(wc_graph, "IC"), jobs=2, transport="memmap"
+        ) as mm_sampler:
+            via_memmap = mm_sampler.sample_random_batch(2000, rng=13)
+        assert_collections_identical(via_shm, via_memmap)
+
+    def test_distribution_matches_serial_engine(self, wc_graph):
+        # Different RNG consumption than the legacy stream, but the same
+        # distribution: compare mean RR-set sizes.
+        base = make_rr_sampler(wc_graph, "IC")
+        serial = base.sample_random_batch(4000, RandomSource(1))
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as sampler:
+            sharded = sampler.sample_random_batch(4000, rng=2)
+        assert sharded.set_sizes().mean() == pytest.approx(
+            serial.set_sizes().mean(), rel=0.15
+        )
+
+
+class TestPoolLifecycle:
+    def test_pool_is_lazy(self, wc_graph):
+        sampler = ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2)
+        assert sampler._state.get("executor") is None
+        sampler.sample_random_batch(1500, rng=3)
+        assert sampler._state.get("executor") is not None
+        sampler.close()
+        assert sampler._state.get("executor") is None
+
+    def test_jobs_one_never_spawns(self, wc_graph):
+        inline = ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1)
+        inline.sample_random_batch(5000, rng=3)
+        assert inline._state.get("executor") is None
+        inline.close()
+
+    def test_reuse_after_close_respawns(self, wc_graph):
+        sampler = ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2)
+        first = sampler.sample_random_batch(2000, rng=21)
+        sampler.close()
+        second = sampler.sample_random_batch(2000, rng=21)
+        sampler.close()
+        assert_collections_identical(first, second)
+
+    def test_crashed_pool_recovers(self, wc_graph):
+        sampler = ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2)
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as reference:
+            expected = reference.sample_random_batch(3000, rng=31)
+        sampler.sample_random_batch(2000, rng=30)  # spawn the pool
+        for process in sampler._state["executor"]._processes.values():
+            process.kill()  # simulate an OOM-killed / crashed worker
+        survived = sampler.sample_random_batch(3000, rng=31)
+        sampler.close()
+        assert_collections_identical(survived, expected)
+
+    def test_context_manager_closes(self, wc_graph):
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2) as sampler:
+            sampler.sample_random_batch(1500, rng=1)
+        assert sampler._state.get("executor") is None
+
+
+class TestDegradation:
+    def test_unsupported_sampler_warns_once_and_stays_correct(self, wc_graph):
+        from repro.diffusion.triggering import ICTriggering, TriggeringModel
+        from repro.rrset import make_rr_sampler as make
+
+        model = TriggeringModel(ICTriggering(wc_graph))
+        with pytest.warns(RuntimeWarning, match="cannot be rebuilt in worker"):
+            with ParallelSampler(make(wc_graph, model), jobs=2) as sampler:
+                degraded = sampler.sample_random_batch(1200, rng=4)
+        with ParallelSampler(make(wc_graph, model), jobs=1) as sampler:
+            inline = sampler.sample_random_batch(1200, rng=4)
+        assert_collections_identical(degraded, inline)
+
+    def test_delegated_scalar_surface(self, wc_graph):
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as sampler:
+            rr = sampler.sample_rooted(3, RandomSource(2))
+            assert rr.root == 3
+            assert sampler.model_name == "IC"
+            assert sampler.graph is wc_graph
+            assert sampler.width_of([3]) == wc_graph.in_degree(3)
+            # Tuning knobs read through to the base sampler.
+            assert sampler.use_fast_path is True

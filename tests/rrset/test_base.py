@@ -1,5 +1,7 @@
 """Tests for the RR-set interface and sampler dispatch."""
 
+import warnings
+
 import pytest
 
 from repro.diffusion import ICTriggering, TriggeringModel
@@ -54,3 +56,33 @@ class TestUniformRootSampling:
         sampler = make_rr_sampler(small_wc_graph, "IC")
         in_degrees = small_wc_graph.in_degrees()
         assert sampler.width_of([0, 1]) == int(in_degrees[0] + in_degrees[1])
+
+
+class TestBatchFallbackWarning:
+    def test_unvectorized_sampler_warns_once(self, small_wc_graph):
+        from repro.rrset.base import RRSampler
+        from repro.rrset.ic_sampler import ICRRSampler
+
+        class SlowpokeSampler(RRSampler):
+            model_name = "slowpoke"
+
+            def __init__(self, graph):
+                super().__init__(graph)
+                self._inner = ICRRSampler(graph)
+
+            def sample_rooted(self, root, rng):
+                return self._inner.sample_rooted(root, rng)
+
+        sampler = SlowpokeSampler(small_wc_graph)
+        with pytest.warns(RuntimeWarning, match="no vectorized sample_batch"):
+            sampler.sample_batch([0, 1, 2], RandomSource(1))
+        # Warned once per class, not once per call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sampler.sample_batch([0, 1, 2], RandomSource(2))
+
+    def test_vectorized_samplers_do_not_warn(self, small_wc_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_rr_sampler(small_wc_graph, "IC").sample_batch([0, 1], RandomSource(3))
+            make_rr_sampler(small_wc_graph, "LT").sample_batch([0, 1], RandomSource(4))

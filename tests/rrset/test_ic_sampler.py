@@ -80,20 +80,21 @@ class TestFastPathEquivalence:
 
     def test_fast_path_flag_detection(self, small_wc_graph):
         sampler = ICRRSampler(small_wc_graph)
+        uniform = sampler._uniform_prob_list()
         in_adj, in_probs = small_wc_graph.in_adjacency()
         for v in range(small_wc_graph.n):
             if in_probs[v]:
                 # WC: all in-probs of a node are equal -> uniform everywhere.
-                assert sampler._uniform_prob[v] == pytest.approx(in_probs[v][0])
+                assert uniform[v] == pytest.approx(in_probs[v][0])
             else:
-                assert sampler._uniform_prob[v] is None
+                assert uniform[v] is None
 
     def test_non_uniform_nodes_use_slow_path(self):
         from repro.graphs import DiGraph
 
         g = DiGraph(3, [0, 1], [2, 2], [0.2, 0.9])
         sampler = ICRRSampler(g)
-        assert sampler._uniform_prob[2] is None
+        assert sampler._uniform_prob_list()[2] is None
 
 
 class TestSampleMany:

@@ -1,8 +1,11 @@
 """Tests for the LT RR-set sampler."""
 
+import warnings
+
+import numpy as np
 import pytest
 
-from repro.graphs import DiGraph, path_digraph
+from repro.graphs import DiGraph, gnm_random_digraph, path_digraph, uniform_random_lt
 from repro.graphs.transforms import reverse_reachable_to
 from repro.rrset import LTRRSampler
 from repro.utils.rng import RandomSource
@@ -103,3 +106,98 @@ class TestCycleTermination:
         rr = sampler.sample_rooted(0, RandomSource(10))
         # Walks the full cycle then stops on revisit.
         assert set(rr.nodes) == {0, 1, 2, 3, 4}
+
+
+class TestVectorizedBatch:
+    """The numpy-batched walk waves of LTRRSampler.sample_batch."""
+
+    @pytest.fixture(scope="class")
+    def lt_graph(self):
+        return uniform_random_lt(gnm_random_digraph(800, 5000, rng=31), rng=2)
+
+    def test_no_python_fallback_warning(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sampler.sample_batch(np.arange(50), RandomSource(1))
+
+    def test_roots_order_and_membership(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        roots = np.array([5, 5, 17, 0, 799], dtype=np.int64)
+        batch = sampler.sample_batch(roots, RandomSource(2))
+        assert np.array_equal(batch.roots_array, roots.astype(np.int32))
+        in_adj, _ = lt_graph.in_adjacency()
+        ptr, nodes = batch.ptr_array, batch.nodes_array
+        for i in range(len(batch)):
+            members = nodes[ptr[i] : ptr[i + 1]].tolist()
+            assert members[0] == roots[i]
+            assert len(set(members)) == len(members)
+            # Each member is a step of an in-walk from its predecessor.
+            for a, b in zip(members, members[1:]):
+                assert b in in_adj[a]
+
+    def test_width_and_cost_invariants(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        batch = sampler.sample_random_batch(500, RandomSource(3))
+        assert np.array_equal(batch.costs_array, 2 * batch.set_sizes())
+        in_deg = lt_graph.in_degrees()
+        ptr, nodes = batch.ptr_array, batch.nodes_array
+        for i in range(0, len(batch), 37):
+            members = nodes[ptr[i] : ptr[i + 1]]
+            assert batch.widths_array[i] == in_deg[members].sum()
+
+    def test_distribution_matches_scalar(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        rng = RandomSource(4)
+        scalar = [sampler.sample(rng) for _ in range(3000)]
+        batch = sampler.sample_random_batch(3000, RandomSource(5))
+        scalar_mean = sum(len(rr) for rr in scalar) / len(scalar)
+        assert batch.set_sizes().mean() == pytest.approx(scalar_mean, rel=0.1)
+        scalar_width = sum(rr.width for rr in scalar) / len(scalar)
+        assert batch.widths_array.mean() == pytest.approx(scalar_width, rel=0.1)
+
+    def test_single_edge_inclusion_rate_batched(self):
+        g = DiGraph(2, [0], [1], [0.4])
+        sampler = LTRRSampler(g)
+        batch = sampler.sample_batch(np.ones(4000, dtype=np.int64), RandomSource(6))
+        hits = int(np.count_nonzero(batch.set_sizes() == 2))
+        assert hits / 4000 == pytest.approx(0.4, abs=0.03)
+
+    def test_weight_one_chain_batched(self):
+        g = path_digraph(6, prob=1.0)
+        sampler = LTRRSampler(g)
+        batch = sampler.sample_batch(np.array([5, 3]), RandomSource(7))
+        ptr, nodes = batch.ptr_array, batch.nodes_array
+        assert nodes[ptr[0] : ptr[1]].tolist() == [5, 4, 3, 2, 1, 0]
+        assert nodes[ptr[1] : ptr[2]].tolist() == [3, 2, 1, 0]
+
+    def test_cycle_terminates_batched(self):
+        from repro.graphs import cycle_digraph
+
+        g = cycle_digraph(5, prob=1.0)
+        sampler = LTRRSampler(g)
+        batch = sampler.sample_batch(np.zeros(8, dtype=np.int64), RandomSource(8))
+        assert np.all(batch.set_sizes() == 5)
+
+    def test_deterministic_same_seed(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        a = sampler.sample_random_batch(1000, RandomSource(9))
+        b = sampler.sample_random_batch(1000, RandomSource(9))
+        assert np.array_equal(a.nodes_array, b.nodes_array)
+        assert np.array_equal(a.ptr_array, b.ptr_array)
+
+    def test_empty_roots(self, lt_graph):
+        sampler = LTRRSampler(lt_graph)
+        batch = sampler.sample_batch(np.empty(0, dtype=np.int64), RandomSource(10))
+        assert len(batch) == 0
+
+    def test_chunking_matches_single_chunk(self, lt_graph, monkeypatch):
+        roots = np.arange(0, 600, dtype=np.int64) % lt_graph.n
+        whole = LTRRSampler(lt_graph).sample_batch(roots, RandomSource(11))
+        monkeypatch.setattr(LTRRSampler, "BATCH_CHUNK_MAX", 128)
+        chunked = LTRRSampler(lt_graph).sample_batch(roots, RandomSource(12))
+        # Different chunking => different RNG consumption, same distribution.
+        assert chunked.set_sizes().mean() == pytest.approx(
+            whole.set_sizes().mean(), rel=0.25
+        )
+        assert np.array_equal(chunked.roots_array, whole.roots_array)
