@@ -64,6 +64,7 @@ from repro.rrset import (
     greedy_max_coverage,
     make_rr_sampler,
 )
+from repro.dynamic import DynamicDiGraph, EdgeUpdate
 from repro.parallel import ParallelSampler
 from repro.sketch import InfluenceService, SketchIndex
 
@@ -103,6 +104,8 @@ __all__ = [
     "RRSet",
     "greedy_max_coverage",
     "make_rr_sampler",
+    "DynamicDiGraph",
+    "EdgeUpdate",
     "InfluenceService",
     "ParallelSampler",
     "SketchIndex",

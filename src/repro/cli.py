@@ -7,7 +7,11 @@ Subcommands:
 * ``spread`` — Monte-Carlo spread of a given seed set.
 * ``experiment`` — regenerate a paper table/figure and print it.
 * ``sketch`` — build a persistent RR-sketch index and save it as ``.npz``.
-* ``serve`` — answer JSONL influence queries from a sketch (build-or-load).
+* ``serve`` — answer JSONL influence queries from a sketch (build-or-load);
+  the stream may carry ``update`` ops that mutate the graph and repair the
+  cached sketch incrementally.
+* ``update`` — apply a JSONL stream of edge updates to a persisted sketch,
+  repairing it in place of a cold rebuild, and save the result.
 """
 
 from __future__ import annotations
@@ -99,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the build (0 = all cores; the sketch "
         "file is byte-identical for any worker count)",
     )
+    sketch.add_argument(
+        "--trace-edges",
+        action="store_true",
+        help="record live-edge traces (enables precise incremental repair "
+        "via the update subcommand / serve update ops)",
+    )
     sketch.add_argument("--out", required=True, help="output .npz sketch path")
 
     serve = sub.add_parser("serve", help="serve influence queries from an RR sketch")
@@ -125,6 +135,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for cold sketch builds and warm extensions "
         "(0 = all cores)",
+    )
+    serve.add_argument(
+        "--trace-edges",
+        action="store_true",
+        help="build cold indexes with live-edge traces so update ops "
+        "invalidate precisely",
+    )
+
+    update = sub.add_parser(
+        "update", help="repair a persisted sketch across a stream of edge updates"
+    )
+    update.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
+    update.add_argument("--scale", type=float, default=1.0)
+    update.add_argument("--model", default="IC", choices=["IC", "LT"])
+    update.add_argument("--sketch", required=True, help="sketch (.npz) built for the dataset")
+    update.add_argument(
+        "--updates",
+        required=True,
+        help="JSONL edge updates ('-' = stdin): "
+        '{"action": "insert"|"delete"|"reweight", "u": .., "v": .., "p": ..}',
+    )
+    update.add_argument("--out", required=True, help="repaired sketch output path")
+    update.add_argument("--save-graph", default=None, help="write the updated edge list here")
+    update.add_argument("--seed", type=int, default=0)
+    update.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for resampling invalidated RR sets "
+        "(0 = all cores; repaired bytes are worker-count invariant)",
     )
 
     return parser
@@ -233,6 +273,7 @@ def _command_sketch(args) -> int:
         rng=args.seed,
         engine=args.engine,
         jobs=args.jobs,
+        trace_edges=args.trace_edges,
     )
     build_seconds = time.perf_counter() - started
     index.close()
@@ -241,11 +282,14 @@ def _command_sketch(args) -> int:
     print(f"graph       : n={graph.n} m={graph.m} fingerprint={graph.fingerprint()[:16]}…")
     print(f"model       : {index.meta['model']}")
     print(f"rr sets     : {index.num_sets} (θ), {index.collection.nbytes()} array bytes")
+    if index.collection.has_traces:
+        print(f"edge traces : {index.collection.trace_edges_array.size} live edges recorded")
     print(f"build time  : {build_seconds:.3f}s")
     return 0
 
 
 def _command_serve(args) -> int:
+    from repro.dynamic import DynamicDiGraph
     from repro.sketch import InfluenceService, SketchIndex
 
     graph = _load_graph(args.dataset, args.scale, args.model)
@@ -256,6 +300,7 @@ def _command_serve(args) -> int:
         ell=args.ell,
         theta=args.theta,
         jobs=args.jobs,
+        trace_edges=args.trace_edges,
         rng=args.seed,
     )
     loaded_index = None
@@ -264,12 +309,15 @@ def _command_serve(args) -> int:
         loaded_index = SketchIndex.load(args.sketch, graph=graph, mmap=args.mmap)
         service.add_index(loaded_index)
 
+    # The dynamic wrapper lets the stream carry "update" ops; for purely
+    # read-only batches it is a zero-cost pass-through to the snapshot.
+    dynamic = DynamicDiGraph(graph)
     if args.batch is None or args.batch == "-":
         lines = sys.stdin
     else:
         lines = open(args.batch, "r", encoding="utf-8")
     try:
-        responses = service.run_batch(graph, lines, model=args.model)
+        responses = service.run_batch(dynamic, lines, model=args.model)
     finally:
         if lines is not sys.stdin:
             lines.close()
@@ -284,7 +332,8 @@ def _command_serve(args) -> int:
         sys.stdout = open(os.devnull, "w", encoding="utf-8")
 
     if args.save_sketch is not None:
-        index, _ = service.get_index(graph, args.model)
+        # After updates, the index is keyed by the *current* snapshot.
+        index, _ = service.get_index(dynamic, args.model)
         index.save(args.save_sketch)
     service.close()
     stats = service.stats
@@ -299,6 +348,56 @@ def _command_serve(args) -> int:
     except BrokenPipeError:
         pass
     return 1 if stats.errors else 0
+
+
+def _command_update(args) -> int:
+    from repro.dynamic import DynamicDiGraph, parse_update
+    from repro.graphs import save_edge_list
+    from repro.sketch import SketchIndex
+
+    graph = _load_graph(args.dataset, args.scale, args.model)
+    index = SketchIndex.load(args.sketch, graph=graph, model=args.model, jobs=args.jobs)
+    dynamic = DynamicDiGraph(graph)
+
+    if args.updates == "-":
+        lines = sys.stdin
+    else:
+        lines = open(args.updates, "r", encoding="utf-8")
+    total_affected = 0
+    num_updates = 0
+    started = time.perf_counter()
+    try:
+        for line_number, line in enumerate(lines, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                update = parse_update(json.loads(text))
+                delta = dynamic.apply(update)
+                report = index.apply_update(delta, rng=args.seed + line_number)
+            except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                raise SystemExit(f"{args.updates}:{line_number}: {exc}")
+            num_updates += 1
+            total_affected += report.num_affected
+            print(
+                f"update {num_updates:4d}: {report.op:8s} {report.u}->{report.v} | "
+                f"resampled {report.num_affected}/{report.num_sets} RR sets "
+                f"({100.0 * report.affected_fraction:.2f}%), patched {report.num_patched}"
+            )
+    finally:
+        if lines is not sys.stdin:
+            lines.close()
+    repair_seconds = time.perf_counter() - started
+    index.close()
+    index.save(args.out)
+    if args.save_graph is not None:
+        save_edge_list(dynamic.graph, args.save_graph)
+        print(f"graph       : {args.save_graph} (n={dynamic.n} m={dynamic.m})")
+    print(f"sketch      : {args.out} ({index.num_sets} RR sets, "
+          f"fingerprint {dynamic.fingerprint()[:16]}…)")
+    print(f"repairs     : {num_updates} updates, {total_affected} RR sets resampled "
+          f"in {repair_seconds:.3f}s")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -316,6 +415,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_sketch(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "update":
+        return _command_update(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

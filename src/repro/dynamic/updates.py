@@ -1,0 +1,77 @@
+"""Edge-update descriptions: the wire format of the dynamic subsystem.
+
+An :class:`EdgeUpdate` is the operation *request* ("insert 3 -> 7 at
+p = 0.2"); applying it to a :class:`~repro.dynamic.graph.DynamicDiGraph`
+yields a :class:`~repro.graphs.delta.GraphDelta` (the realised transition
+between snapshots).  The JSON shape mirrors the service's JSONL query
+protocol::
+
+    {"op": "update", "action": "insert",   "u": 3, "v": 7, "p": 0.2}
+    {"op": "update", "action": "delete",   "u": 3, "v": 7}
+    {"op": "update", "action": "reweight", "u": 3, "v": 7, "p": 0.05}
+
+(The outer ``"op": "update"`` envelope belongs to the service protocol;
+:func:`parse_update` accepts dictionaries with or without it.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = ["EdgeUpdate", "parse_update", "UPDATE_ACTIONS"]
+
+#: The supported mutation kinds.
+UPDATE_ACTIONS = ("insert", "delete", "reweight")
+
+
+def _is_int(value) -> bool:
+    """A genuine integer — JSON ``true`` is a bool and bool is an int
+    subclass, so a malformed request could otherwise address node 1."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One requested edge mutation (validated on construction)."""
+
+    action: str
+    u: int
+    v: int
+    prob: float | None = None
+
+    def __post_init__(self):
+        require(self.action in UPDATE_ACTIONS,
+                f"unknown update action {self.action!r}; expected one of {UPDATE_ACTIONS}")
+        require(_is_int(self.u) and _is_int(self.v),
+                "update endpoints u/v must be integers")
+        if self.action == "delete":
+            require(self.prob is None, "delete takes no probability")
+        else:
+            require(isinstance(self.prob, (int, float)) and not isinstance(self.prob, bool),
+                    f"{self.action} needs a probability p")
+            require(0.0 <= float(self.prob) <= 1.0,
+                    f"edge probability must lie in [0, 1]; got {self.prob}")
+
+    def as_dict(self) -> dict:
+        """JSONL-ready representation (without the service envelope)."""
+        out = {"action": self.action, "u": self.u, "v": self.v}
+        if self.prob is not None:
+            out["p"] = float(self.prob)
+        return out
+
+
+def parse_update(request: dict) -> EdgeUpdate:
+    """Build an :class:`EdgeUpdate` from a JSONL request dictionary."""
+    require(isinstance(request, dict), "update request must be a JSON object")
+    action = request.get("action")
+    require(isinstance(action, str), "update request needs an 'action' string")
+    u, v = request.get("u"), request.get("v")
+    require(_is_int(u) and _is_int(v), "update request needs integer 'u' and 'v'")
+    prob = request.get("p", request.get("prob"))
+    if prob is not None:
+        require(isinstance(prob, (int, float)) and not isinstance(prob, bool),
+                "update probability 'p' must be a number")
+        prob = float(prob)
+    return EdgeUpdate(action=action, u=u, v=v, prob=prob)

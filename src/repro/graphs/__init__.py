@@ -1,6 +1,13 @@
 """Graph substrate: CSR digraph, builders, generators, weights, transforms."""
 
 from repro.graphs.builder import GraphBuilder, from_edges
+from repro.graphs.delta import (
+    GraphDelta,
+    delete_edge,
+    insert_edge,
+    locate_edge,
+    reweight_edge,
+)
 from repro.graphs.digraph import DiGraph
 from repro.graphs.fingerprint import graph_fingerprint
 from repro.graphs.generators import (
@@ -53,8 +60,13 @@ from repro.graphs.weights import (
 __all__ = [
     "DiGraph",
     "GraphBuilder",
+    "GraphDelta",
     "from_edges",
     "graph_fingerprint",
+    "insert_edge",
+    "delete_edge",
+    "reweight_edge",
+    "locate_edge",
     "complete_digraph",
     "cycle_digraph",
     "forest_fire_digraph",

@@ -246,9 +246,11 @@ class ParallelSampler:
 
     def _merge(self, shards) -> FlatRRCollection:
         graph = self._sampler.graph
-        out = FlatRRCollection(graph.n, graph.m)
-        for ptr, nodes, roots, widths, costs in shards:
-            out.extend_arrays(roots=roots, ptr=ptr, nodes=nodes, widths=widths, costs=costs)
+        track = bool(getattr(self._sampler, "trace_edges", False))
+        out = FlatRRCollection(graph.n, graph.m, track_traces=track)
+        for ptr, nodes, roots, widths, costs, trace_ptr, trace_edges in shards:
+            out.extend_arrays(roots=roots, ptr=ptr, nodes=nodes, widths=widths,
+                              costs=costs, trace_ptr=trace_ptr, trace_edges=trace_edges)
         return out
 
     # ------------------------------------------------------------------

@@ -53,9 +53,10 @@ def sampler_spec(sampler) -> dict | None:
             "fast_path_min_degree": sampler.fast_path_min_degree,
             "max_depth": sampler.max_depth,
             "use_geometric_skip": sampler.use_geometric_skip,
+            "trace_edges": sampler.trace_edges,
         }
     if type(sampler) is LTRRSampler:
-        return {"kind": "lt"}
+        return {"kind": "lt", "trace_edges": sampler.trace_edges}
     return None
 
 
@@ -71,11 +72,12 @@ def build_sampler(graph, spec: dict):
             fast_path_min_degree=spec["fast_path_min_degree"],
             max_depth=spec["max_depth"],
             use_geometric_skip=spec["use_geometric_skip"],
+            trace_edges=spec.get("trace_edges", False),
         )
     if kind == "lt":
         from repro.rrset.lt_sampler import LTRRSampler
 
-        return LTRRSampler(graph)
+        return LTRRSampler(graph, trace_edges=spec.get("trace_edges", False))
     raise ValueError(f"unknown sampler spec kind {kind!r}")
 
 
@@ -83,9 +85,11 @@ def run_shard_with(sampler, task):
     """Execute one shard task against ``sampler``; returns packed arrays.
 
     The returned tuple mirrors ``FlatRRCollection.extend_arrays`` inputs:
-    ``(ptr, nodes, roots, widths, costs)`` with ``ptr`` local (starting at
-    0).  Arrays are copied out of the collection's over-allocated buffers so
-    the IPC payload is exactly the shard's live data.
+    ``(ptr, nodes, roots, widths, costs, trace_ptr, trace_edges)`` with
+    ``ptr`` local (starting at 0); the trace members are ``None`` unless the
+    sampler records edge traces.  Arrays are copied out of the collection's
+    over-allocated buffers so the IPC payload is exactly the shard's live
+    data.
     """
     mode, seed, payload = task
     source = RandomSource(seed)
@@ -96,12 +100,15 @@ def run_shard_with(sampler, task):
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown shard mode {mode!r}")
     batch = sampler.sample_batch(roots, source)
+    has_traces = batch.has_traces
     return (
         batch.ptr_array.copy(),
         batch.nodes_array.copy(),
         batch.roots_array.copy(),
         batch.widths_array.copy(),
         batch.costs_array.copy(),
+        batch.trace_ptr_array.copy() if has_traces else None,
+        batch.trace_edges_array.copy() if has_traces else None,
     )
 
 

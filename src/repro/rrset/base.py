@@ -34,12 +34,21 @@ __all__ = ["RRSet", "RRSampler", "make_rr_sampler"]
 
 @dataclass(frozen=True, slots=True)
 class RRSet:
-    """One sampled reverse-reachable set."""
+    """One sampled reverse-reachable set.
+
+    ``trace`` is only populated by samplers constructed with
+    ``trace_edges=True``: the ids (positions in the graph's in-CSR arrays)
+    of the *live* edges the generation examined — every successful coin for
+    IC, the single chosen in-edge per visited node for LT.  It is the
+    per-set dependency record that lets :mod:`repro.dynamic` invalidate
+    precisely the sets an edge update could have changed.
+    """
 
     root: int
     nodes: tuple[int, ...]
     width: int
     cost: int
+    trace: tuple[int, ...] | None = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -56,6 +65,10 @@ class RRSampler(ABC):
 
     #: Display name of the diffusion model the sampler targets.
     model_name: str = "abstract"
+
+    #: Whether samples record live-edge traces (overridden per instance by
+    #: samplers that support the ``trace_edges`` constructor flag).
+    trace_edges: bool = False
 
     #: Sampler classes that already warned about lacking a vectorized batch
     #: path (one warning per class per process, not one per call).
@@ -110,7 +123,7 @@ class RRSampler(ABC):
                 stacklevel=2,
             )
         source = resolve_rng(rng)
-        out = FlatRRCollection(self.graph.n, self.graph.m)
+        out = FlatRRCollection(self.graph.n, self.graph.m, track_traces=self.trace_edges)
         for root in roots:
             out.append(self.sample_rooted(int(root), source))
         return out
@@ -129,12 +142,14 @@ class RRSampler(ABC):
         return sum(in_degrees[v] for v in nodes)
 
 
-def make_rr_sampler(graph: DiGraph, model) -> RRSampler:
+def make_rr_sampler(graph: DiGraph, model, trace_edges: bool = False) -> RRSampler:
     """Build the right sampler for a diffusion model (instance or name).
 
     Dispatches on the resolved model type: IC and LT get their specialised
     samplers; :class:`~repro.diffusion.triggering.TriggeringModel` gets the
-    generic triggering sampler driven by its distribution.
+    generic triggering sampler driven by its distribution.  ``trace_edges``
+    asks for live-edge traces on every sample (IC/LT only — the generic
+    triggering sampler has no edge identity to record and raises).
     """
     from repro.diffusion.base import resolve_model
     from repro.diffusion.bounded import BoundedIndependentCascade
@@ -148,11 +163,16 @@ def make_rr_sampler(graph: DiGraph, model) -> RRSampler:
     resolved = resolve_model(model)
     resolved.validate_graph(graph)
     if isinstance(resolved, BoundedIndependentCascade):
-        return ICRRSampler(graph, max_depth=resolved.max_steps)
+        return ICRRSampler(graph, max_depth=resolved.max_steps, trace_edges=trace_edges)
     if isinstance(resolved, IndependentCascade):
-        return ICRRSampler(graph)
+        return ICRRSampler(graph, trace_edges=trace_edges)
     if isinstance(resolved, LinearThreshold):
-        return LTRRSampler(graph)
+        return LTRRSampler(graph, trace_edges=trace_edges)
+    if trace_edges:
+        raise ValueError(
+            f"edge tracing is not supported for model {resolved!r}; "
+            "only the IC and LT samplers record live-edge traces"
+        )
     if isinstance(resolved, TriggeringModel):
         return TriggeringRRSampler(graph, resolved.distribution)
     raise TypeError(f"no RR sampler registered for model {resolved!r}")

@@ -35,6 +35,10 @@ __all__ = ["FlatRRCollection"]
 
 _NODE_DTYPE = np.int32
 _PTR_DTYPE = np.int64
+#: Edge-trace entries are positions into the graph's in-CSR arrays; int32
+#: caps the graph at 2^31 edges, the same universe the int32 ``nodes``
+#: payload already implies for node ids.
+_TRACE_DTYPE = np.int32
 
 
 def _grow(array: np.ndarray, needed: int) -> np.ndarray:
@@ -69,9 +73,13 @@ class FlatRRCollection:
         "_roots",
         "_costs",
         "_total_cost",
+        "_track_traces",
+        "_trace_ptr",
+        "_trace_edges",
+        "_num_trace_entries",
     )
 
-    def __init__(self, num_nodes: int, graph_edges: int):
+    def __init__(self, num_nodes: int, graph_edges: int, track_traces: bool = False):
         require(num_nodes > 0, "num_nodes must be positive")
         self.num_nodes = int(num_nodes)
         self.graph_edges = int(graph_edges)
@@ -83,16 +91,29 @@ class FlatRRCollection:
         self._roots = np.empty(16, dtype=_NODE_DTYPE)
         self._costs = np.empty(16, dtype=np.int64)
         self._total_cost = 0
+        # Edge traces (the live in-CSR edge ids each set's generation
+        # examined successfully) are the substrate of incremental repair
+        # (repro.dynamic); tracking is all-or-nothing per collection so a
+        # repair can trust every stored set to carry its trace.
+        self._track_traces = bool(track_traces)
+        self._num_trace_entries = 0
+        if self._track_traces:
+            self._trace_ptr = np.zeros(16, dtype=_PTR_DTYPE)
+            self._trace_edges = np.empty(64, dtype=_TRACE_DTYPE)
+        else:
+            self._trace_ptr = None
+            self._trace_edges = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_rrsets(
-        cls, num_nodes: int, graph_edges: int, rr_sets: Iterable[RRSet]
+        cls, num_nodes: int, graph_edges: int, rr_sets: Iterable[RRSet],
+        track_traces: bool = False,
     ) -> "FlatRRCollection":
         """Build a flat collection from materialised :class:`RRSet` objects."""
-        collection = cls(num_nodes, graph_edges)
+        collection = cls(num_nodes, graph_edges, track_traces=track_traces)
         collection.extend(rr_sets)
         return collection
 
@@ -106,6 +127,8 @@ class FlatRRCollection:
         roots: np.ndarray,
         widths: np.ndarray,
         costs: np.ndarray,
+        trace_ptr: np.ndarray | None = None,
+        trace_edges: np.ndarray | None = None,
     ) -> "FlatRRCollection":
         """Adopt already-packed arrays as a collection *without copying*.
 
@@ -132,7 +155,9 @@ class FlatRRCollection:
         if nodes.size:
             lo, hi = int(nodes.min()), int(nodes.max())
             require(0 <= lo and hi < num_nodes, "node id out of range for num_nodes")
-        collection = cls(num_nodes, graph_edges)
+        require((trace_ptr is None) == (trace_edges is None),
+                "trace_ptr and trace_edges must be given together")
+        collection = cls(num_nodes, graph_edges, track_traces=trace_ptr is not None)
         collection._ptr = ptr
         collection._nodes = nodes
         collection._widths = widths
@@ -141,15 +166,39 @@ class FlatRRCollection:
         collection._num_sets = num_sets
         collection._num_entries = int(nodes.size)
         collection._total_cost = int(costs.sum()) if num_sets else 0
+        if trace_ptr is not None:
+            trace_ptr = np.asanyarray(trace_ptr)
+            trace_edges = np.asanyarray(trace_edges)
+            require(trace_ptr.ndim == 1 and trace_ptr.size == num_sets + 1,
+                    "trace_ptr/roots length mismatch")
+            require(int(trace_ptr[0]) == 0, "trace_ptr must start at 0")
+            require(int(trace_ptr[-1]) == int(trace_edges.size),
+                    "trace_ptr does not span the trace_edges array")
+            require(bool(np.all(np.diff(trace_ptr) >= 0)),
+                    "trace_ptr must be non-decreasing")
+            if trace_edges.size:
+                lo, hi = int(trace_edges.min()), int(trace_edges.max())
+                require(0 <= lo and hi < graph_edges,
+                        "trace edge id out of range for graph_edges")
+            collection._trace_ptr = trace_ptr
+            collection._trace_edges = trace_edges
+            collection._num_trace_entries = int(trace_edges.size)
         return collection
 
     def append(self, rr: RRSet) -> None:
         """Add one sampled RR set (compatibility with :class:`RRCollection`)."""
+        trace = None
+        if self._track_traces:
+            require(rr.trace is not None,
+                    "this collection tracks edge traces; the RR set carries none "
+                    "(sample with trace_edges=True)")
+            trace = np.asarray(rr.trace, dtype=_TRACE_DTYPE)
         self.append_arrays(
             root=rr.root,
             members=np.asarray(rr.nodes, dtype=_NODE_DTYPE),
             width=rr.width,
             cost=rr.cost,
+            trace=trace,
         )
 
     def extend(self, rr_sets: Iterable[RRSet]) -> None:
@@ -157,10 +206,13 @@ class FlatRRCollection:
         for rr in rr_sets:
             self.append(rr)
 
-    def append_arrays(self, root: int, members: np.ndarray, width: int, cost: int) -> None:
+    def append_arrays(self, root: int, members: np.ndarray, width: int, cost: int,
+                      trace: np.ndarray | None = None) -> None:
         """Add one RR set given its member array directly (no tuple detour)."""
         count = int(members.size)
-        self._reserve(self._num_sets + 1, self._num_entries + count)
+        trace_count = self._check_trace(trace, int(trace.size) if trace is not None else 0)
+        self._reserve(self._num_sets + 1, self._num_entries + count,
+                      self._num_trace_entries + trace_count)
         self._nodes[self._num_entries : self._num_entries + count] = members
         index = self._num_sets
         self._widths[index] = width
@@ -170,6 +222,25 @@ class FlatRRCollection:
         self._num_entries += count
         self._num_sets += 1
         self._ptr[self._num_sets] = self._num_entries
+        if self._track_traces:
+            if trace_count:
+                self._trace_edges[
+                    self._num_trace_entries : self._num_trace_entries + trace_count
+                ] = trace
+            self._num_trace_entries += trace_count
+            self._trace_ptr[self._num_sets] = self._num_trace_entries
+
+    def _check_trace(self, trace, extra_entries: int) -> int:
+        """Enforce the all-or-nothing trace contract; returns entry count."""
+        if self._track_traces:
+            require(trace is not None,
+                    "this collection tracks edge traces; appended sets must "
+                    "carry trace arrays")
+        else:
+            require(trace is None,
+                    "this collection does not track edge traces; rebuild it "
+                    "with track_traces=True to store them")
+        return extra_entries if self._track_traces else 0
 
     def extend_flat(self, other: "FlatRRCollection") -> None:
         """Append every RR set of another flat collection (array-level copy)."""
@@ -183,6 +254,8 @@ class FlatRRCollection:
             nodes=other.nodes_array,
             widths=other.widths_array,
             costs=other.costs_array,
+            trace_ptr=other.trace_ptr_array if self._track_traces else None,
+            trace_edges=other.trace_edges_array if self._track_traces else None,
         )
 
     def extend_arrays(
@@ -192,19 +265,32 @@ class FlatRRCollection:
         nodes: np.ndarray,
         widths: np.ndarray,
         costs: np.ndarray,
+        trace_ptr: np.ndarray | None = None,
+        trace_edges: np.ndarray | None = None,
     ) -> None:
         """Bulk-append a whole batch of RR sets given in flat form.
 
         ``ptr`` is a local offset array of length ``len(roots) + 1`` indexing
         into ``nodes``; this is the entry point the vectorised samplers use to
         commit one expansion chunk with a handful of array copies.
+        ``trace_ptr``/``trace_edges`` carry the batch's edge traces in the
+        same local-offset form and are mandatory iff the collection tracks
+        traces.
         """
         extra_sets = int(roots.size)
         extra_entries = int(nodes.size)
         require(ptr.size == extra_sets + 1, "ptr/roots length mismatch")
+        require((trace_ptr is None) == (trace_edges is None),
+                "trace_ptr and trace_edges must be given together")
         if extra_sets == 0:
             return
-        self._reserve(self._num_sets + extra_sets, self._num_entries + extra_entries)
+        extra_trace = self._check_trace(
+            trace_ptr, int(trace_edges.size) if trace_edges is not None else 0
+        )
+        if self._track_traces:
+            require(trace_ptr.size == extra_sets + 1, "trace_ptr/roots length mismatch")
+        self._reserve(self._num_sets + extra_sets, self._num_entries + extra_entries,
+                      self._num_trace_entries + extra_trace)
         self._nodes[self._num_entries : self._num_entries + extra_entries] = nodes
         self._ptr[self._num_sets + 1 : self._num_sets + 1 + extra_sets] = (
             np.asarray(ptr[1:], dtype=_PTR_DTYPE) + self._num_entries
@@ -213,6 +299,15 @@ class FlatRRCollection:
         self._roots[self._num_sets : self._num_sets + extra_sets] = roots
         self._costs[self._num_sets : self._num_sets + extra_sets] = costs
         self._total_cost += int(np.asarray(costs).sum()) if extra_sets else 0
+        if self._track_traces:
+            if extra_trace:
+                self._trace_edges[
+                    self._num_trace_entries : self._num_trace_entries + extra_trace
+                ] = trace_edges
+            self._trace_ptr[self._num_sets + 1 : self._num_sets + 1 + extra_sets] = (
+                np.asarray(trace_ptr[1:], dtype=_PTR_DTYPE) + self._num_trace_entries
+            )
+            self._num_trace_entries += extra_trace
         self._num_sets += extra_sets
         self._num_entries += extra_entries
 
@@ -222,13 +317,18 @@ class FlatRRCollection:
         self._num_sets = num_sets
         self._num_entries = int(self._ptr[num_sets])
         self._total_cost = int(self._costs[:num_sets].sum()) if num_sets else 0
+        if self._track_traces:
+            self._num_trace_entries = int(self._trace_ptr[num_sets])
 
-    def _reserve(self, num_sets: int, num_entries: int) -> None:
+    def _reserve(self, num_sets: int, num_entries: int, num_trace_entries: int = 0) -> None:
         self._ptr = _grow(self._ptr, num_sets + 1)
         self._nodes = _grow(self._nodes, num_entries)
         self._widths = _grow(self._widths, num_sets)
         self._roots = _grow(self._roots, num_sets)
         self._costs = _grow(self._costs, num_sets)
+        if self._track_traces:
+            self._trace_ptr = _grow(self._trace_ptr, num_sets + 1)
+            self._trace_edges = _grow(self._trace_edges, num_trace_entries)
 
     # ------------------------------------------------------------------
     # Array views (the vectorised hot-path surface)
@@ -261,6 +361,44 @@ class FlatRRCollection:
     def set_sizes(self) -> np.ndarray:
         """``|R|`` per stored set."""
         return np.diff(self.ptr_array)
+
+    # ------------------------------------------------------------------
+    # Edge traces (incremental-repair substrate)
+    # ------------------------------------------------------------------
+    @property
+    def has_traces(self) -> bool:
+        """Whether every stored set carries its live-edge trace."""
+        return self._track_traces
+
+    @property
+    def trace_ptr_array(self) -> np.ndarray | None:
+        """``int64`` offsets; set ``i``'s trace is
+        ``trace_edges_array[trace_ptr[i]:trace_ptr[i+1]]`` (``None`` when
+        the collection does not track traces)."""
+        if not self._track_traces:
+            return None
+        return self._trace_ptr[: self._num_sets + 1]
+
+    @property
+    def trace_edges_array(self) -> np.ndarray | None:
+        """Packed live in-CSR edge ids, concatenated in set order.
+
+        For IC these are the edges whose coin succeeded during generation
+        (including successes into already-visited members); for LT, the
+        single chosen in-edge of each visited node.  They address positions
+        in the *sampled graph's* ``in_idx``/``in_prob`` arrays, so a graph
+        mutation must remap them (:meth:`repro.graphs.delta.GraphDelta
+        .remap_edge_ids`) before they are reused.
+        """
+        if not self._track_traces:
+            return None
+        return self._trace_edges[: self._num_trace_entries]
+
+    def trace_of(self, index: int) -> np.ndarray:
+        """The live-edge trace of set ``index`` (view into the packed array)."""
+        require(self._track_traces, "this collection does not track edge traces")
+        require(0 <= index < self._num_sets, "set index out of range")
+        return self._trace_edges[self._trace_ptr[index] : self._trace_ptr[index + 1]]
 
     # ------------------------------------------------------------------
     # RRCollection-compatible accessors
@@ -311,12 +449,17 @@ class FlatRRCollection:
         widths = self.widths_array.tolist()
         roots = self.roots_array.tolist()
         costs = self.costs_array.tolist()
+        traces = tptr = None
+        if self._track_traces:
+            traces = self.trace_edges_array.tolist()
+            tptr = self.trace_ptr_array.tolist()
         return [
             RRSet(
                 root=roots[i],
                 nodes=tuple(nodes[ptr[i] : ptr[i + 1]]),
                 width=widths[i],
                 cost=costs[i],
+                trace=tuple(traces[tptr[i] : tptr[i + 1]]) if traces is not None else None,
             )
             for i in range(self._num_sets)
         ]
@@ -333,11 +476,15 @@ class FlatRRCollection:
         """
         itemsize_nodes = self._nodes.itemsize
         itemsize_ptr = self._ptr.itemsize
-        return (
+        total = (
             (self._num_sets + 1) * itemsize_ptr
             + self._num_entries * itemsize_nodes
             + self._num_sets * (self._widths.itemsize + self._roots.itemsize + self._costs.itemsize)
         )
+        if self._track_traces:
+            total += (self._num_sets + 1) * self._trace_ptr.itemsize
+            total += self._num_trace_entries * self._trace_edges.itemsize
+        return total
 
     # ------------------------------------------------------------------
     # Estimators (vectorised)

@@ -113,8 +113,15 @@ class ICRRSampler(RRSampler):
         fast_path_min_degree: int | None = None,
         max_depth: int | None = None,
         use_geometric_skip: bool = True,
+        trace_edges: bool = False,
     ):
         super().__init__(graph)
+        #: Record the in-CSR ids of every successful coin on each sample
+        #: (the live-edge trace incremental repair depends on).  Tracing
+        #: never touches the RNG stream: every code path below derives the
+        #: edge id from state it already computes, so a traced run samples
+        #: the exact same sets as an untraced one.
+        self.trace_edges = bool(trace_edges)
         self.use_fast_path = use_fast_path
         if fast_path_min_degree is None:
             fast_path_min_degree = self.DEFAULT_FAST_PATH_MIN_DEGREE
@@ -186,6 +193,9 @@ class ICRRSampler(RRSampler):
         if self.max_depth is not None:
             return self._sample_rooted_bounded(root, rng)
 
+        in_ptr = self.graph.in_ptr
+        trace: list[int] | None = [] if self.trace_edges else None
+
         visited = {root}
         # A LIFO frontier is fine: traversal order does not change the set of
         # nodes whose coins succeed, only the order coins are consumed.
@@ -198,13 +208,20 @@ class ICRRSampler(RRSampler):
             width += degree
             if degree == 0:
                 continue
+            edge_base = int(in_ptr[current])
             shared = uniform_prob[current]
             if use_fast_path and shared is not None and degree >= min_degree:
                 successes = int(binomial(degree, shared))
                 if successes == 0:
                     continue
-                chosen = sample_distinct(neighbors, successes)
-                for source_node in chosen:
+                # Sampling *positions* instead of neighbour values consumes
+                # the RNG identically (random.sample depends only on the
+                # population length), while also yielding the edge ids.
+                chosen = sample_distinct(range(degree), successes)
+                if trace is not None:
+                    trace.extend(edge_base + index for index in chosen)
+                for index in chosen:
+                    source_node = neighbors[index]
                     if source_node not in visited:
                         visited.add(source_node)
                         frontier.append(source_node)
@@ -212,13 +229,21 @@ class ICRRSampler(RRSampler):
                 probs = in_probs[current]
                 for index in range(degree):
                     if random01() < probs[index]:
+                        if trace is not None:
+                            trace.append(edge_base + index)
                         source_node = neighbors[index]
                         if source_node not in visited:
                             visited.add(source_node)
                             frontier.append(source_node)
         # Every in-edge of every visited node was (conceptually) examined, so
         # the generation cost is |R| nodes + w(R) edges.
-        return RRSet(root=root, nodes=tuple(visited), width=width, cost=len(visited) + width)
+        return RRSet(
+            root=root,
+            nodes=tuple(visited),
+            width=width,
+            cost=len(visited) + width,
+            trace=None if trace is None else tuple(trace),
+        )
 
     def _sample_rooted_bounded(self, root: int, rng: RandomSource) -> RRSet:
         """Depth-truncated variant for bounded-horizon IC.
@@ -234,7 +259,9 @@ class ICRRSampler(RRSampler):
 
         random01 = rng.py.random
         in_adj, in_probs = self._adjacency()
+        in_ptr = self.graph.in_ptr
         max_depth = self.max_depth
+        trace: list[int] | None = [] if self.trace_edges else None
 
         visited = {root}
         queue = deque([(root, 0)])
@@ -245,14 +272,23 @@ class ICRRSampler(RRSampler):
                 continue
             neighbors = in_adj[current]
             probs = in_probs[current]
+            edge_base = int(in_ptr[current])
             width += len(neighbors)
             for index in range(len(neighbors)):
                 if random01() < probs[index]:
+                    if trace is not None:
+                        trace.append(edge_base + index)
                     source_node = neighbors[index]
                     if source_node not in visited:
                         visited.add(source_node)
                         queue.append((source_node, depth + 1))
-        return RRSet(root=root, nodes=tuple(visited), width=width, cost=len(visited) + width)
+        return RRSet(
+            root=root,
+            nodes=tuple(visited),
+            width=width,
+            cost=len(visited) + width,
+            trace=None if trace is None else tuple(trace),
+        )
 
     # ------------------------------------------------------------------
     # Vectorised batch path
@@ -281,7 +317,7 @@ class ICRRSampler(RRSampler):
         self._ensure_vector_state()
         roots = np.ascontiguousarray(roots, dtype=np.int64)
         n = self.graph.n
-        out = FlatRRCollection(n, self.graph.m)
+        out = FlatRRCollection(n, self.graph.m, track_traces=self.trace_edges)
         if roots.size == 0:
             return out
         rows = max(1, min(self.BATCH_CHUNK_MAX, self.BATCH_CHUNK_CELLS // max(n, 1)))
@@ -316,6 +352,8 @@ class ICRRSampler(RRSampler):
         free_rows: list[int] = list(range(num_rows - 1, -1, -1))
         member_samples: list[np.ndarray] = []
         member_nodes: list[np.ndarray] = []
+        trace_samples: list[np.ndarray] | None = [] if self.trace_edges else None
+        trace_edge_ids: list[np.ndarray] | None = [] if self.trace_edges else None
         next_root = 0
         active_s = np.empty(0, dtype=np.int64)
         active_v = np.empty(0, dtype=np.int64)
@@ -344,10 +382,16 @@ class ICRRSampler(RRSampler):
             if active_v.size <= self.TAIL_CUTOVER_PAIRS and next_root >= total:
                 self._finish_tail(
                     active_s, active_r, active_v, 0, visited, None, source,
-                    member_samples, member_nodes,
+                    member_samples, member_nodes, trace_samples, trace_edge_ids,
                 )
                 break
-            hit_pos, hit_v = self._expand_wave(active_v, source)
+            hit_pos, hit_v, hit_e = self._expand_wave(active_v, source)
+            if trace_samples is not None and hit_pos.size:
+                # Traces record every successful coin — captured before the
+                # visited filter and the within-wave dedup, because a success
+                # into an already-reached member is still a live edge.
+                trace_samples.append(sample_of_row[active_r[hit_pos]])
+                trace_edge_ids.append(hit_e)
             key = np.empty(0, dtype=id_dtype)
             if hit_pos.size:
                 # One flat (row·n + node) key drives everything: the visited
@@ -383,7 +427,8 @@ class ICRRSampler(RRSampler):
             row_live = still_live
             active_s, active_v, active_r = cand_s, cand_v, cand_r
 
-        self._commit(roots, member_samples, member_nodes, None, out)
+        self._commit(roots, member_samples, member_nodes, None, out,
+                     trace_samples, trace_edge_ids)
 
     def _expand_chunk(
         self,
@@ -408,6 +453,8 @@ class ICRRSampler(RRSampler):
         visited[sample_ids, chunk_roots] = True
         member_samples = [sample_ids]
         member_nodes = [chunk_roots]
+        trace_samples: list[np.ndarray] | None = [] if self.trace_edges else None
+        trace_edge_ids: list[np.ndarray] | None = [] if self.trace_edges else None
         # Depth-truncated width needs the running per-wave total: members
         # sitting exactly at the horizon contribute no examined edges.
         widths = np.zeros(batch, dtype=np.int64)
@@ -420,16 +467,19 @@ class ICRRSampler(RRSampler):
             if active_v.size <= self.TAIL_CUTOVER_PAIRS:
                 self._finish_tail(
                     active_s, active_s, active_v, depth, visited, widths, source,
-                    member_samples, member_nodes,
+                    member_samples, member_nodes, trace_samples, trace_edge_ids,
                 )
                 break
             # w(R) counts every in-edge of every expanded member (Equation 1).
             widths += np.bincount(
                 active_s, weights=in_deg[active_v], minlength=batch
             ).astype(np.int64)
-            hit_pos, hit_v = self._expand_wave(active_v, source)
+            hit_pos, hit_v, hit_e = self._expand_wave(active_v, source)
             if hit_pos.size == 0:
                 break
+            if trace_samples is not None:
+                trace_samples.append(active_s[hit_pos])
+                trace_edge_ids.append(hit_e)
             hit_s = active_s[hit_pos]
             fresh = ~visited[hit_s, hit_v]
             hit_s, hit_v = hit_s[fresh], hit_v[fresh]
@@ -450,7 +500,8 @@ class ICRRSampler(RRSampler):
         all_s = np.concatenate(member_samples)
         all_v = np.concatenate(member_nodes)
         visited[all_s, all_v] = False  # reset scratch for the next chunk
-        self._commit(chunk_roots, [all_s], [all_v], widths, out)
+        self._commit(chunk_roots, [all_s], [all_v], widths, out,
+                     trace_samples, trace_edge_ids)
 
     def _commit(
         self,
@@ -459,6 +510,8 @@ class ICRRSampler(RRSampler):
         member_nodes: list[np.ndarray],
         widths: np.ndarray | None,
         out: FlatRRCollection,
+        trace_samples: list[np.ndarray] | None = None,
+        trace_edge_ids: list[np.ndarray] | None = None,
     ) -> None:
         """Sort membership by sample and bulk-append the batch to ``out``."""
         batch = int(roots.size)
@@ -473,12 +526,27 @@ class ICRRSampler(RRSampler):
         sizes = np.bincount(all_s, minlength=batch)
         local_ptr = np.zeros(batch + 1, dtype=np.int64)
         np.cumsum(sizes, out=local_ptr[1:])
+        trace_ptr = trace_edges = None
+        if trace_samples is not None:
+            if trace_samples:
+                t_s = np.concatenate(trace_samples)
+                t_e = np.concatenate(trace_edge_ids)
+            else:
+                t_s = np.empty(0, dtype=np.int64)
+                t_e = np.empty(0, dtype=np.int64)
+            t_order = np.argsort(t_s, kind="stable")
+            t_sizes = np.bincount(t_s, minlength=batch)
+            trace_ptr = np.zeros(batch + 1, dtype=np.int64)
+            np.cumsum(t_sizes, out=trace_ptr[1:])
+            trace_edges = t_e[t_order].astype(np.int32, copy=False)
         out.extend_arrays(
             roots=roots,
             ptr=local_ptr,
             nodes=all_v[order].astype(np.int32, copy=False),
             widths=widths,
             costs=sizes + widths,
+            trace_ptr=trace_ptr,
+            trace_edges=trace_edges,
         )
 
     def _finish_tail(
@@ -492,6 +560,8 @@ class ICRRSampler(RRSampler):
         source: RandomSource,
         member_samples: list[np.ndarray],
         member_nodes: list[np.ndarray],
+        trace_samples: list[np.ndarray] | None = None,
+        trace_edge_ids: list[np.ndarray] | None = None,
     ) -> None:
         """Finish the few remaining frontiers with the scalar BFS.
 
@@ -517,6 +587,9 @@ class ICRRSampler(RRSampler):
         max_depth = self.max_depth
         extra_s: list[int] = []
         extra_v: list[int] = []
+        tracing = trace_samples is not None
+        extra_ts: list[int] = []
+        extra_te: list[int] = []
         queue = deque(
             (int(s), int(r), int(v), depth)
             for s, r, v in zip(active_s.tolist(), active_r.tolist(), active_v.tolist())
@@ -533,6 +606,9 @@ class ICRRSampler(RRSampler):
             row = visited[row_id]
             for index in range(len(neighbors)):
                 if random01() < probs[index]:
+                    if tracing:
+                        extra_ts.append(sample)
+                        extra_te.append(lo + index)
                     source_node = neighbors[index]
                     if not row[source_node]:
                         row[source_node] = True
@@ -542,24 +618,30 @@ class ICRRSampler(RRSampler):
         if extra_s:
             member_samples.append(np.asarray(extra_s, dtype=np.int64))
             member_nodes.append(np.asarray(extra_v, dtype=np.int64))
+        if tracing and extra_ts:
+            trace_samples.append(np.asarray(extra_ts, dtype=np.int64))
+            trace_edge_ids.append(np.asarray(extra_te, dtype=np.int64))
 
     def _expand_wave(
         self, active_v: np.ndarray, source: RandomSource
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """One frontier wave: flip every in-edge coin of ``active_v`` at once.
 
-        Returns ``(positions, source_nodes)`` of the successful flips —
-        ``positions`` index into ``active_v`` so callers can recover the
-        owning sample/row — undeduplicated.  Uniform-probability frontier
-        groups with enough edges go through geometric-skip sampling; the
-        rest use one batched uniform draw over the concatenated CSR edge
+        Returns ``(positions, source_nodes, edge_ids)`` of the successful
+        flips — ``positions`` index into ``active_v`` so callers can recover
+        the owning sample/row — undeduplicated.  ``edge_ids`` are the
+        successful coins' in-CSR positions when ``trace_edges`` is on
+        (``None`` otherwise; both sub-paths already compute them, so tracing
+        costs one extra gather and no extra randomness).  Uniform-probability
+        frontier groups with enough edges go through geometric-skip sampling;
+        the rest use one batched uniform draw over the concatenated CSR edge
         slices.
         """
         deg = self._np_in_deg[active_v]
         positions = np.flatnonzero(deg > 0)
         if positions.size == 0:
             empty = np.empty(0, dtype=np.int64)
-            return empty, empty
+            return empty, empty, (empty if self.trace_edges else None)
         if positions.size < active_v.size:
             active_v, deg = active_v[positions], deg[positions]
 
@@ -581,10 +663,12 @@ class ICRRSampler(RRSampler):
             skip_mask = np.isfinite(self._np_unif_p[active_v])
         out_pos: list[np.ndarray] = []
         out_v: list[np.ndarray] = []
+        out_e: list[np.ndarray] | None = [] if self.trace_edges else None
         if skip_mask.any():
             chosen = np.flatnonzero(skip_mask)
             demoted = self._expand_uniform_groups(
-                positions[chosen], active_v[chosen], deg[chosen], source, out_pos, out_v
+                positions[chosen], active_v[chosen], deg[chosen], source,
+                out_pos, out_v, out_e,
             )
             if demoted is not None:
                 # Groups too small for skip sampling rejoin the flip path.
@@ -593,14 +677,19 @@ class ICRRSampler(RRSampler):
         if flip_mask.any():
             self._expand_per_edge(
                 positions[flip_mask], active_v[flip_mask], deg[flip_mask],
-                source, out_pos, out_v,
+                source, out_pos, out_v, out_e,
             )
         if not out_pos:
             empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        return np.concatenate(out_pos), np.concatenate(out_v)
+            return empty, empty, (empty if self.trace_edges else None)
+        return (
+            np.concatenate(out_pos),
+            np.concatenate(out_v),
+            np.concatenate(out_e) if out_e is not None else None,
+        )
 
-    def _expand_per_edge(self, positions, frontier_v, deg, source, out_pos, out_v) -> None:
+    def _expand_per_edge(self, positions, frontier_v, deg, source, out_pos, out_v,
+                         out_e=None) -> None:
         """Batched per-edge coin flips over the frontier's CSR edge slices."""
         graph = self.graph
         total = int(deg.sum())
@@ -619,11 +708,14 @@ class ICRRSampler(RRSampler):
         if success_at.size == 0:
             return
         # Map successful edge positions back to their frontier entry.
+        success_edges = edge_idx[success_at]
         out_pos.append(positions[np.searchsorted(ends, success_at, side="right")])
-        out_v.append(graph.in_idx[edge_idx[success_at]])
+        out_v.append(graph.in_idx[success_edges])
+        if out_e is not None:
+            out_e.append(success_edges)
 
     def _expand_uniform_groups(
-        self, positions, frontier_v, deg, source, out_pos, out_v
+        self, positions, frontier_v, deg, source, out_pos, out_v, out_e=None
     ) -> np.ndarray | None:
         """Geometric-skip expansion for uniform-probability frontier nodes.
 
@@ -655,8 +747,11 @@ class ICRRSampler(RRSampler):
             segment = np.searchsorted(cum, success_at, side="right")
             local = success_at - (cum[segment] - group_deg[segment])
             nodes = frontier_v[members]
+            success_edges = graph.in_ptr[nodes][segment] + local
             out_pos.append(positions[members][segment])
-            out_v.append(graph.in_idx[graph.in_ptr[nodes][segment] + local])
+            out_v.append(graph.in_idx[success_edges])
+            if out_e is not None:
+                out_e.append(success_edges)
         if not demoted:
             return None
         return np.concatenate(demoted)

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.diffusion.linear_threshold import sample_lt_in_edge
 from repro.graphs.digraph import DiGraph
 from repro.graphs.weights import validate_lt_weights
 from repro.rrset.base import RRSampler, RRSet
@@ -32,6 +31,25 @@ from repro.rrset.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomSource, resolve_rng
 
 __all__ = ["LTRRSampler"]
+
+
+def _pick_in_edge_index(in_weights, random01) -> int | None:
+    """Index-returning twin of :func:`sample_lt_in_edge`.
+
+    Identical RNG consumption (no draw for in-degree-0 nodes, one uniform
+    otherwise) and identical cumulative float arithmetic, so it picks the
+    same in-edge — but returns its *position* in the CSR slice, which is
+    what edge tracing records.
+    """
+    if not in_weights:
+        return None
+    draw = random01()
+    cumulative = 0.0
+    for index in range(len(in_weights)):
+        cumulative += in_weights[index]
+        if draw < cumulative:
+            return index
+    return None
 
 
 class LTRRSampler(RRSampler):
@@ -50,9 +68,14 @@ class LTRRSampler(RRSampler):
     #: otherwise pay it once per hop.
     TAIL_CUTOVER_WALKS = 64
 
-    def __init__(self, graph: DiGraph):
+    def __init__(self, graph: DiGraph, trace_edges: bool = False):
         super().__init__(graph)
         validate_lt_weights(graph)
+        #: Record the chosen live in-edge (in-CSR id) of every visited node.
+        #: The traced pick consumes the RNG exactly like the untraced one
+        #: (one uniform per visited node, same cumulative scan), so traced
+        #: and untraced runs walk identical chains.
+        self.trace_edges = bool(trace_edges)
         # Lazy caches: Python adjacency for the scalar walk only (pool
         # workers drive the vectorised path and never materialise it),
         # plus the vectorised-path arrays built on first sample_batch call.
@@ -69,22 +92,35 @@ class LTRRSampler(RRSampler):
     def sample_rooted(self, root: int, rng: RandomSource) -> RRSet:
         random01 = rng.py.random
         in_adj, in_weights = self._adjacency()
+        in_ptr = self.graph.in_ptr
+        trace: list[int] | None = [] if self.trace_edges else None
 
         visited = {root}
         order = [root]
         current = root
         steps = 0
         while True:
-            parent = sample_lt_in_edge(in_adj[current], in_weights[current], random01)
+            index = _pick_in_edge_index(in_weights[current], random01)
             steps += 1
-            if parent is None or parent in visited:
+            if index is None:
+                break
+            if trace is not None:
+                trace.append(int(in_ptr[current]) + index)
+            parent = in_adj[current][index]
+            if parent in visited:
                 break
             visited.add(parent)
             order.append(parent)
             current = parent
         width = self.width_of(order)
         # One draw (≈ one edge examined) per visited node, plus the nodes.
-        return RRSet(root=root, nodes=tuple(order), width=width, cost=len(order) + steps)
+        return RRSet(
+            root=root,
+            nodes=tuple(order),
+            width=width,
+            cost=len(order) + steps,
+            trace=None if trace is None else tuple(trace),
+        )
 
     # ------------------------------------------------------------------
     # Vectorised batch path
@@ -109,7 +145,7 @@ class LTRRSampler(RRSampler):
         self._ensure_vector_state()
         roots = np.ascontiguousarray(roots, dtype=np.int64)
         n = self.graph.n
-        out = FlatRRCollection(n, self.graph.m)
+        out = FlatRRCollection(n, self.graph.m, track_traces=self.trace_edges)
         if roots.size == 0:
             return out
         rows = max(1, min(self.BATCH_CHUNK_MAX, self.BATCH_CHUNK_CELLS // max(n, 1)))
@@ -141,12 +177,15 @@ class LTRRSampler(RRSampler):
         visited[sample_ids, chunk_roots] = True
         member_samples = [sample_ids]
         member_nodes = [chunk_roots]
+        trace_samples: list[np.ndarray] | None = [] if self.trace_edges else None
+        trace_edge_ids: list[np.ndarray] | None = [] if self.trace_edges else None
 
         active_s, active_v = sample_ids, chunk_roots
         while active_v.size:
             if active_v.size <= self.TAIL_CUTOVER_WALKS:
                 self._finish_tail(
-                    active_s, active_v, visited, source, member_samples, member_nodes
+                    active_s, active_v, visited, source, member_samples, member_nodes,
+                    trace_samples, trace_edge_ids,
                 )
                 break
             draws = source.np.random(active_v.size)
@@ -167,6 +206,12 @@ class LTRRSampler(RRSampler):
             # such a draw takes the last in-edge instead of a neighbour
             # node's edge (or an out-of-bounds index at the array end).
             np.minimum(edge, hi[cont] - 1, out=edge)
+            if trace_samples is not None:
+                # The chosen edge is live even when it lands on an already
+                # visited node (the revisit that ends the walk), so capture
+                # before the freshness filter.
+                trace_samples.append(walk_s)
+                trace_edge_ids.append(edge)
             parent = graph.in_idx[edge]
             fresh = ~visited[walk_s, parent]
             walk_s, parent = walk_s[fresh], parent[fresh]
@@ -180,7 +225,7 @@ class LTRRSampler(RRSampler):
         all_s = np.concatenate(member_samples)
         all_v = np.concatenate(member_nodes)
         visited[all_s, all_v] = False  # reset scratch for the next chunk
-        self._commit_chunk(chunk_roots, all_s, all_v, out)
+        self._commit_chunk(chunk_roots, all_s, all_v, out, trace_samples, trace_edge_ids)
 
     def _finish_tail(
         self,
@@ -190,6 +235,8 @@ class LTRRSampler(RRSampler):
         source,
         member_samples: list[np.ndarray],
         member_nodes: list[np.ndarray],
+        trace_samples: list[np.ndarray] | None = None,
+        trace_edge_ids: list[np.ndarray] | None = None,
     ) -> None:
         """Walk the few remaining chains to completion with the scalar hop.
 
@@ -202,16 +249,23 @@ class LTRRSampler(RRSampler):
         in_ptr = graph.in_ptr
         in_idx = graph.in_idx
         in_prob = graph.in_prob
+        tracing = trace_samples is not None
         extra_s: list[int] = []
         extra_v: list[int] = []
+        extra_ts: list[int] = []
+        extra_te: list[int] = []
         for sample, current in zip(active_s.tolist(), active_v.tolist()):
             row = visited[sample]
             while True:
                 lo, hi = int(in_ptr[current]), int(in_ptr[current + 1])
-                parent = sample_lt_in_edge(
-                    in_idx[lo:hi].tolist(), in_prob[lo:hi].tolist(), random01
-                )
-                if parent is None or row[parent]:
+                index = _pick_in_edge_index(in_prob[lo:hi].tolist(), random01)
+                if index is None:
+                    break
+                if tracing:
+                    extra_ts.append(sample)
+                    extra_te.append(lo + index)
+                parent = int(in_idx[lo + index])
+                if row[parent]:
                     break
                 row[parent] = True
                 extra_s.append(sample)
@@ -220,10 +274,15 @@ class LTRRSampler(RRSampler):
         if extra_s:
             member_samples.append(np.asarray(extra_s, dtype=np.int64))
             member_nodes.append(np.asarray(extra_v, dtype=np.int64))
+        if tracing and extra_ts:
+            trace_samples.append(np.asarray(extra_ts, dtype=np.int64))
+            trace_edge_ids.append(np.asarray(extra_te, dtype=np.int64))
 
     def _commit_chunk(
         self, chunk_roots: np.ndarray, all_s: np.ndarray, all_v: np.ndarray,
         out: FlatRRCollection,
+        trace_samples: list[np.ndarray] | None = None,
+        trace_edge_ids: list[np.ndarray] | None = None,
     ) -> None:
         batch = int(chunk_roots.size)
         sizes = np.bincount(all_s, minlength=batch)
@@ -233,6 +292,19 @@ class LTRRSampler(RRSampler):
         widths = np.bincount(
             all_s, weights=self._np_in_deg[all_v], minlength=batch
         ).astype(np.int64)
+        trace_ptr = trace_edges = None
+        if trace_samples is not None:
+            if trace_samples:
+                t_s = np.concatenate(trace_samples)
+                t_e = np.concatenate(trace_edge_ids)
+            else:
+                t_s = np.empty(0, dtype=np.int64)
+                t_e = np.empty(0, dtype=np.int64)
+            t_order = np.argsort(t_s, kind="stable")
+            t_sizes = np.bincount(t_s, minlength=batch)
+            trace_ptr = np.zeros(batch + 1, dtype=np.int64)
+            np.cumsum(t_sizes, out=trace_ptr[1:])
+            trace_edges = t_e[t_order].astype(np.int32, copy=False)
         # The scalar walk draws exactly |R| times (one per member, the last
         # draw being the one that stops it), so cost = |R| + draws = 2|R|.
         out.extend_arrays(
@@ -241,4 +313,6 @@ class LTRRSampler(RRSampler):
             nodes=all_v[order].astype(np.int32, copy=False),
             widths=widths,
             costs=2 * sizes,
+            trace_ptr=trace_ptr,
+            trace_edges=trace_edges,
         )

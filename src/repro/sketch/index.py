@@ -125,7 +125,8 @@ class SketchIndex:
     @classmethod
     def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
               epsilon: float = 0.1, ell: float = 1.0, rng=None,
-              engine: str = "vectorized", jobs: int | None = None) -> "SketchIndex":
+              engine: str = "vectorized", jobs: int | None = None,
+              trace_edges: bool = False) -> "SketchIndex":
         """Cold-build a sketch: sample θ random RR sets and index them.
 
         Either pass ``theta`` directly, or pass ``k`` and the sketch size is
@@ -137,6 +138,11 @@ class SketchIndex:
         cores); the resulting sketch — and therefore its saved file — is
         byte-identical for every worker count.  The pool stays on the index
         for warm-start extensions.
+
+        ``trace_edges`` records each RR set's live-edge trace (IC/LT only),
+        the dependency record :meth:`apply_update` uses for precise
+        invalidation under graph updates.  Tracing changes neither the
+        sampled sets nor the RNG stream — only the extra arrays stored.
         """
         require(engine in ("vectorized", "python"),
                 f"engine must be 'vectorized' or 'python'; got {engine!r}")
@@ -144,7 +150,9 @@ class SketchIndex:
         resolved.validate_graph(graph)
         source = resolve_rng(rng)
         jobs = jobs_for_engine(engine, jobs)
-        sampler, _ = maybe_parallel(make_rr_sampler(graph, resolved), jobs)
+        sampler, _ = maybe_parallel(
+            make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
+        )
         meta: dict = {"rng_seed": source.seed, "engine": engine}
         if theta is None:
             require(k is not None, "build needs theta, or k to derive theta from epsilon")
@@ -161,7 +169,7 @@ class SketchIndex:
         if engine == "vectorized":
             collection = sampler.sample_random_batch(theta, source)
         else:
-            collection = FlatRRCollection(graph.n, graph.m)
+            collection = FlatRRCollection(graph.n, graph.m, track_traces=trace_edges)
             randrange = source.py.randrange
             for _ in range(theta):
                 collection.append(sampler.sample_rooted(randrange(graph.n), source))
@@ -235,8 +243,12 @@ class SketchIndex:
             self._sampler = None
             self._jobs = jobs
         if self._sampler is None:
+            # Tracing must follow the collection: extending a traced sketch
+            # with untraced batches (or vice versa) is rejected downstream.
             self._sampler, _ = maybe_parallel(
-                make_rr_sampler(self.graph, self._model), self._jobs
+                make_rr_sampler(self.graph, self._model,
+                                trace_edges=self.collection.has_traces),
+                self._jobs,
             )
         return self._sampler
 
@@ -303,6 +315,66 @@ class SketchIndex:
         if added:
             self.meta["epsilon"] = epsilon
         return added
+
+    # ------------------------------------------------------------------
+    # Incremental repair (dynamic graphs)
+    # ------------------------------------------------------------------
+    def apply_update(self, delta, rng=None, jobs: int | None = None):
+        """Repair the sketch across one edge update instead of rebuilding.
+
+        ``delta`` is the :class:`~repro.graphs.delta.GraphDelta` produced by
+        a :class:`~repro.dynamic.graph.DynamicDiGraph` mutation (or the
+        :mod:`repro.graphs.delta` primitives) whose *old* side is the graph
+        this index currently serves.  Only the RR sets the update could have
+        changed are resampled — with their original roots, through a fresh
+        sampler bound to the new snapshot (sharded across ``jobs`` workers
+        with ``SeedSequence.spawn`` streams, so the repaired bytes are
+        worker-count invariant).  The index then rebinds to the new graph:
+        fingerprint metadata moves forward, stale KPT caches drop, and the
+        postings/selection state invalidates.
+
+        Returns the :class:`~repro.dynamic.repair.RepairReport`.
+        """
+        from repro.dynamic.repair import repair_collection
+
+        require(self.graph is not None,
+                "this index has no graph attached; re-load the sketch with "
+                "graph=... to enable repair")
+        require(self._model.name in ("IC", "LT"),
+                f"incremental repair supports IC and LT; the index serves "
+                f"{self._model.name!r} (rebuild instead)")
+        require(self.graph.fingerprint() == delta.old_fingerprint,
+                "update was produced against a different graph snapshot than "
+                "this index serves")
+        # Build the post-update sampler *before* touching index state, so a
+        # rejected update (e.g. an LT insert breaking the Σ in-weight <= 1
+        # invariant) leaves the index fully serving the old snapshot.
+        sampler, _ = maybe_parallel(
+            make_rr_sampler(delta.new_graph, self._model,
+                            trace_edges=self.collection.has_traces),
+            jobs if jobs is not None else self._jobs,
+        )
+        repaired, report = repair_collection(
+            self.collection, delta, sampler, rng=resolve_rng(rng)
+        )
+        if jobs is not None:
+            self._jobs = jobs
+        # The old pool (if any) broadcast the old graph's arrays — retire it
+        # and hand the index the fresh sampler bound to the new snapshot.
+        self.close()
+        self._sampler = sampler
+        self.graph = delta.new_graph
+        self.collection = repaired
+        self.meta["graph_fingerprint"] = delta.new_fingerprint
+        self.meta["theta"] = len(self.collection)
+        self.meta["dynamic_updates"] = int(self.meta.get("dynamic_updates", 0)) + 1
+        # KPT/κ statistics were estimated on the old graph; they no longer
+        # certify θ for the new one.  Drop them so the next ensure_epsilon
+        # re-estimates instead of silently trusting stale numbers.
+        for stale in ("kpt_cache", "kpt_star_by_k", "kpt_star"):
+            self.meta.pop(stale, None)
+        self.invalidate()
+        return report
 
     # ------------------------------------------------------------------
     # KPT cache (lets a warm `tim` call skip Algorithm 2 entirely)

@@ -55,9 +55,30 @@ __all__ = [
 ]
 
 #: Current on-disk format version; bump on any incompatible layout change.
+#: (Edge traces were added as *optional* members — old readers ignore the
+#: extra arrays and old files simply load without traces — so the version
+#: stays at 1.)
 SKETCH_FORMAT_VERSION = 1
 
 _ARRAY_KEYS = ("ptr", "nodes", "roots", "widths", "costs")
+_TRACE_KEYS = ("trace_ptr", "trace_edges")
+
+#: Everything the zip/npy parsing stack is known to raise on damaged bytes.
+#: Truncation surfaces as EOFError (np.load's magic read) or OSError;
+#: bit-flipped framing as BadZipFile, ValueError, struct.error (a subclass
+#: of ValueError is NOT guaranteed — it aliases to Exception-level
+#: struct.error), or NotImplementedError (zipfile on bogus version /
+#: flag / compression fields).
+_READ_ERRORS = (
+    zipfile.BadZipFile,
+    zipfile.LargeZipFile,
+    OSError,
+    ValueError,
+    EOFError,
+    NotImplementedError,
+    struct.error,
+    IndexError,
+)
 
 
 class SketchFileError(ValueError):
@@ -85,6 +106,7 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
         "num_nodes": collection.num_nodes,
         "graph_edges": collection.graph_edges,
         "num_sets": len(collection),
+        "has_traces": collection.has_traces,
     }
     for key, value in stamped.items():
         if key in full_meta and full_meta[key] != value:
@@ -95,20 +117,22 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
     meta_bytes = np.frombuffer(
         json.dumps(full_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
+    arrays = {
+        "ptr": collection.ptr_array,
+        "nodes": collection.nodes_array,
+        "roots": collection.roots_array,
+        "widths": collection.widths_array,
+        "costs": collection.costs_array,
+    }
+    if collection.has_traces:
+        arrays["trace_ptr"] = collection.trace_ptr_array
+        arrays["trace_edges"] = collection.trace_edges_array
     # np.savez (not savez_compressed): ZIP_STORED members are what makes the
     # mmap load path possible.  Writing through an open handle keeps the
     # caller's exact path — np.savez(path, ...) would silently append
     # ".npz" and strand the file somewhere the caller never asked for.
     with open(path, "wb") as handle:
-        np.savez(
-            handle,
-            ptr=collection.ptr_array,
-            nodes=collection.nodes_array,
-            roots=collection.roots_array,
-            widths=collection.widths_array,
-            costs=collection.costs_array,
-            meta_json=meta_bytes,
-        )
+        np.savez(handle, meta_json=meta_bytes, **arrays)
 
 
 def read_sketch_meta(path) -> dict:
@@ -118,7 +142,7 @@ def read_sketch_meta(path) -> dict:
             if "meta_json" not in data.files:
                 raise SketchFileError(f"{path}: missing meta_json — not a sketch file")
             raw = bytes(np.asarray(data["meta_json"], dtype=np.uint8))
-    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+    except _READ_ERRORS as exc:
         if isinstance(exc, SketchFileError):
             raise
         raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
@@ -162,16 +186,17 @@ def load_sketch(
                 f"{path}: sketch was built for graph {recorded!r}, "
                 f"not the given graph {expected_fingerprint!r}; rebuild the sketch"
             )
+    keys = _ARRAY_KEYS + _TRACE_KEYS if meta.get("has_traces") else _ARRAY_KEYS
     try:
         if mmap:
-            arrays = _mmap_npz_members(path, _ARRAY_KEYS)
+            arrays = _mmap_npz_members(path, keys)
         else:
             with np.load(path, allow_pickle=False) as data:
-                missing = [key for key in _ARRAY_KEYS if key not in data.files]
+                missing = [key for key in keys if key not in data.files]
                 if missing:
                     raise SketchFileError(f"{path}: sketch archive missing arrays {missing}")
-                arrays = {key: data[key] for key in _ARRAY_KEYS}
-    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+                arrays = {key: data[key] for key in keys}
+    except _READ_ERRORS as exc:
         if isinstance(exc, SketchFileError):
             raise
         raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
@@ -184,6 +209,8 @@ def load_sketch(
             roots=arrays["roots"],
             widths=arrays["widths"],
             costs=arrays["costs"],
+            trace_ptr=arrays.get("trace_ptr"),
+            trace_edges=arrays.get("trace_edges"),
         )
     except ValueError as exc:
         raise SketchFileError(f"{path}: inconsistent sketch arrays ({exc})") from exc

@@ -15,7 +15,18 @@ Request format (one JSON object per line)::
     {"op": "select", "k": 10, "include": [3], "exclude": [7]}
     {"op": "spread", "seeds": [3, 17, 42]}
     {"op": "marginal_gain", "seeds": [3, 17], "candidate": 42}
+    {"op": "update", "action": "insert", "u": 3, "v": 7, "p": 0.2}
+    {"op": "update", "action": "delete", "u": 3, "v": 7}
+    {"op": "update", "action": "reweight", "u": 3, "v": 7, "p": 0.05}
     {"op": "stats"}
+
+``update`` requires the service to be driven with a
+:class:`~repro.dynamic.graph.DynamicDiGraph` (the CLI's ``serve`` wraps the
+loaded graph in one): the edge mutation lands on the dynamic graph and every
+cached index for the pre-update snapshot is *repaired in place* — only the
+affected RR sets resampled — then re-keyed under the new fingerprint, so
+the stale key vacates the cache atomically instead of lingering until LRU
+pressure evicts it.
 
 Responses echo ``op`` (and ``id`` when the request carries one) and add
 ``result``, ``latency_ms`` and ``cache`` (``"hit"``/``"miss"``).  Failures
@@ -49,6 +60,8 @@ class ServiceStats:
     cache_misses: int = 0
     evictions: int = 0
     builds: int = 0
+    repairs: int = 0
+    sets_resampled: int = 0
     total_latency_seconds: float = 0.0
     per_op: dict = field(default_factory=dict)
 
@@ -72,6 +85,8 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "evictions": self.evictions,
             "builds": self.builds,
+            "repairs": self.repairs,
+            "sets_resampled": self.sets_resampled,
             "mean_latency_ms": self.mean_latency_ms,
             "queries_per_second": self.queries_per_second,
             "per_op": dict(self.per_op),
@@ -94,13 +109,18 @@ class InfluenceService:
         Worker processes for cold builds and warm-start extensions
         (``0`` = all cores, ``None`` = single stream).  Sketch bytes are
         worker-count invariant, so the cache key needs no ``jobs`` term.
+    trace_edges:
+        Build cold indexes with live-edge traces so ``update`` requests
+        invalidate precisely (IC/LT).  Untraced indexes still repair, but
+        with the coarser membership-based invalidation.
     rng:
         Seed/source for cold builds, so a service run is reproducible.
     """
 
     def __init__(self, max_indexes: int = 4, *, default_k: int = 10,
                  epsilon: float = 0.3, ell: float = 1.0, theta: int | None = None,
-                 engine: str = "vectorized", jobs: int | None = None, rng=None):
+                 engine: str = "vectorized", jobs: int | None = None,
+                 trace_edges: bool = False, rng=None):
         require(max_indexes >= 1, "max_indexes must be >= 1")
         self.max_indexes = int(max_indexes)
         self.default_k = int(default_k)
@@ -109,6 +129,7 @@ class InfluenceService:
         self.theta = theta
         self.engine = engine
         self.jobs = jobs
+        self.trace_edges = bool(trace_edges)
         self._rng = resolve_rng(rng)
         self._indexes: "OrderedDict[tuple[str, str], SketchIndex]" = OrderedDict()
         self.stats = ServiceStats()
@@ -117,8 +138,14 @@ class InfluenceService:
     # Index cache
     # ------------------------------------------------------------------
     @staticmethod
-    def _key(graph, model) -> tuple[str, str]:
-        return (graph.fingerprint(), resolve_model(model).name)
+    def _resolve_graph(graph):
+        """Accept either a plain snapshot or a dynamic overlay."""
+        current = getattr(graph, "graph", None)
+        return current if current is not None else graph
+
+    @classmethod
+    def _key(cls, graph, model) -> tuple[str, str]:
+        return (cls._resolve_graph(graph).fingerprint(), resolve_model(model).name)
 
     def add_index(self, index: SketchIndex, graph=None) -> tuple[str, str]:
         """Register a pre-built/loaded index (e.g. from a sketch file)."""
@@ -144,7 +171,7 @@ class InfluenceService:
         self.stats.cache_misses += 1
         self.stats.builds += 1
         index = SketchIndex.build(
-            graph,
+            self._resolve_graph(graph),
             model,
             theta=self.theta,
             k=None if self.theta is not None else self.default_k,
@@ -153,6 +180,7 @@ class InfluenceService:
             rng=self._rng.spawn(),
             engine=self.engine,
             jobs=self.jobs,
+            trace_edges=self.trace_edges,
         )
         self._indexes[key] = index
         self._evict()
@@ -168,6 +196,64 @@ class InfluenceService:
         """Shut down every cached index's sampling pool (queries still work)."""
         for index in self._indexes.values():
             index.close()
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def apply_update(self, dynamic, update) -> dict:
+        """Apply one edge update and repair every cached index it staled.
+
+        ``dynamic`` must be a :class:`~repro.dynamic.graph.DynamicDiGraph`;
+        ``update`` an :class:`~repro.dynamic.updates.EdgeUpdate` or its
+        request-dict form.  The update is *previewed* first: the post-update
+        snapshot is validated against every cached model before anything
+        mutates, so a rejected update (missing edge, LT weight-sum
+        violation, ...) leaves the dynamic graph, the cache, and every
+        index — pools included — exactly as they were.  On success each
+        cached index keyed by the pre-update fingerprint (one per model) is
+        repaired and re-keyed under the new fingerprint — the stale key
+        leaves the cache in the same step, so no query can ever hit an
+        index whose fingerprint no longer matches the graph.  Models
+        without a cached index cost nothing now and cold-build on their
+        next query, as usual.
+        """
+        from repro.dynamic.graph import DynamicDiGraph
+        from repro.dynamic.updates import EdgeUpdate, parse_update
+
+        require(isinstance(dynamic, DynamicDiGraph),
+                "updates need a DynamicDiGraph (got a plain graph; wrap it "
+                "in repro.dynamic.DynamicDiGraph to enable mutation)")
+        if not isinstance(update, EdgeUpdate):
+            update = parse_update(update)
+        delta = dynamic.preview(update)
+        keys = [k for k in self._indexes if k[0] == delta.old_fingerprint]
+        for _, model_name in keys:
+            # Fail the whole op before any index is touched if the new
+            # snapshot is invalid for a cached model.
+            resolve_model(model_name).validate_graph(delta.new_graph)
+        repaired: list[dict] = []
+        for key in keys:
+            index = self._indexes[key]
+            report = index.apply_update(delta, rng=self._rng.spawn())
+            # Only re-key once the repair has succeeded; a raise above
+            # leaves the index cached (and closeable) under its old key.
+            del self._indexes[key]
+            new_key = (delta.new_fingerprint, key[1])
+            self._indexes[new_key] = index
+            self._indexes.move_to_end(new_key)
+            self.stats.repairs += 1
+            self.stats.sets_resampled += report.num_affected
+            repaired.append(report.as_dict())
+        dynamic.commit(delta)
+        return {
+            "action": update.action,
+            "u": update.u,
+            "v": update.v,
+            "version": dynamic.version,
+            "fingerprint": delta.new_fingerprint,
+            "num_edges": dynamic.m,
+            "repaired_indexes": repaired,
+        }
 
     def __len__(self) -> int:
         return len(self._indexes)
@@ -194,6 +280,10 @@ class InfluenceService:
             response["op"] = op
             if op == "stats":
                 response.update(ok=True, result=self.stats.as_dict(), cache="n/a")
+                return response
+            if op == "update":
+                response.update(ok=True, result=self.apply_update(graph, request),
+                                cache="n/a")
                 return response
             resolved_model = request.get("model", model or "IC")
             index, was_cached = self.get_index(graph, resolved_model)
@@ -231,7 +321,8 @@ class InfluenceService:
                 })
             else:
                 raise ValueError(
-                    f"unknown op {op!r}; expected select, spread, marginal_gain, or stats"
+                    f"unknown op {op!r}; expected select, spread, marginal_gain, "
+                    "update, or stats"
                 )
         except (ValueError, KeyError, TypeError) as exc:
             response.update(ok=False, error=str(exc))

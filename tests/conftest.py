@@ -1,8 +1,26 @@
-"""Shared fixtures: small deterministic graphs used across the suite."""
+"""Shared fixtures: small deterministic graphs used across the suite.
+
+Also pins the Hypothesis profiles so property tests are reproducible:
+
+* ``ci`` — derandomized (the database-free fixed seed Hypothesis derives
+  from each test), deadline disabled (shared runners have noisy clocks),
+  and verbose enough to replay failures from the CI log alone;
+* ``dev`` (default) — the stock randomized exploration, deadline disabled
+  for parity with CI timing behaviour.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest ...`` (the CI workflow does).
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None, max_examples=50)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.graphs import (
     DiGraph,

@@ -1,0 +1,101 @@
+"""DynamicDiGraph overlay: versioning, lineage, update parsing."""
+
+import pytest
+
+from repro.dynamic import DynamicDiGraph, EdgeUpdate, parse_update
+from repro.graphs import gnm_random_digraph, weighted_cascade
+
+
+@pytest.fixture
+def dyn():
+    return DynamicDiGraph(weighted_cascade(gnm_random_digraph(25, 100, rng=9)))
+
+
+class TestVersioning:
+    def test_initial_state(self, dyn):
+        assert dyn.version == 0
+        assert dyn.lineage == [(0, dyn.fingerprint())]
+        assert dyn.n == 25 and dyn.m == 100
+
+    def test_mutations_bump_version_and_lineage(self, dyn):
+        fp0 = dyn.fingerprint()
+        d1 = dyn.insert_edge(0, 5, 0.4)
+        assert dyn.version == 1
+        assert dyn.m == 101
+        d2 = dyn.delete_edge(0, 5)
+        assert dyn.version == 2
+        assert dyn.m == 100
+        assert [v for v, _ in dyn.lineage] == [0, 1, 2]
+        assert dyn.lineage[0][1] == fp0
+        assert dyn.lineage[1][1] == d1.new_fingerprint
+        assert dyn.lineage[2][1] == d2.new_fingerprint
+        # Deltas chain: each old side is the previous new side.
+        assert d2.old_fingerprint == d1.new_fingerprint
+
+    def test_snapshot_is_immutable_digraph(self, dyn):
+        before = dyn.graph
+        dyn.insert_edge(1, 2, 0.3)
+        assert before.m == 100  # the old snapshot is untouched
+        assert dyn.graph is not before
+
+    def test_preview_does_not_commit(self, dyn):
+        delta = dyn.preview(EdgeUpdate("insert", 3, 4, 0.2))
+        assert dyn.version == 0 and dyn.m == 100
+        dyn.commit(delta)
+        assert dyn.version == 1 and dyn.m == 101
+        # A delta that does not chain off the current snapshot is refused.
+        with pytest.raises(ValueError, match="does not chain"):
+            dyn.commit(delta)
+
+    def test_apply_dispatches_all_actions(self, dyn):
+        d = dyn.apply(EdgeUpdate("insert", 3, 4, 0.2))
+        assert d.op == "insert"
+        d = dyn.apply(EdgeUpdate("reweight", 3, 4, 0.1))
+        assert d.op == "reweight" and d.new_prob == pytest.approx(0.1)
+        d = dyn.apply(EdgeUpdate("delete", 3, 4))
+        assert d.op == "delete"
+        assert dyn.version == 3
+
+
+class TestEdgeUpdateValidation:
+    def test_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown update action"):
+            EdgeUpdate("toggle", 0, 1, 0.5)
+
+    def test_insert_needs_probability(self):
+        with pytest.raises(ValueError, match="needs a probability"):
+            EdgeUpdate("insert", 0, 1)
+
+    def test_delete_takes_no_probability(self):
+        with pytest.raises(ValueError, match="no probability"):
+            EdgeUpdate("delete", 0, 1, 0.5)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            EdgeUpdate("reweight", 0, 1, -0.1)
+
+    def test_boolean_endpoints_rejected(self):
+        # JSON true parses to Python True, which is an int subclass and
+        # would silently address node 1.
+        with pytest.raises(ValueError, match="must be integers"):
+            EdgeUpdate("delete", True, 0)
+        with pytest.raises(ValueError, match="integer 'u' and 'v'"):
+            parse_update({"action": "delete", "u": 1, "v": False})
+
+
+class TestParseUpdate:
+    def test_roundtrip(self):
+        update = EdgeUpdate("insert", 3, 7, 0.25)
+        assert parse_update(update.as_dict()) == update
+
+    def test_accepts_service_envelope(self):
+        update = parse_update({"op": "update", "action": "delete", "u": 1, "v": 2})
+        assert update == EdgeUpdate("delete", 1, 2)
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="integer 'u' and 'v'"):
+            parse_update({"action": "insert", "u": 1, "p": 0.5})
+
+    def test_rejects_non_numeric_probability(self):
+        with pytest.raises(ValueError, match="must be a number"):
+            parse_update({"action": "insert", "u": 1, "v": 2, "p": "high"})

@@ -1,0 +1,124 @@
+"""Corruption fuzzing: damaged sketch files must fail loudly and typed.
+
+Closes the PR 2 test gap: every way a sketch file can arrive damaged —
+truncated at an arbitrary byte, bit-flipped in the zip/npy framing, or
+inconsistent between metadata and arrays — must surface as
+:class:`SketchFileError` (or a subclass) from *both* load paths.  The mmap
+path is the dangerous one: it does manual zip-offset arithmetic, so an
+unchecked header would turn into an out-of-bounds ``np.memmap`` instead of
+a catchable error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.rrset import make_rr_sampler
+from repro.sketch.persistence import SketchFileError, load_sketch, save_sketch
+from repro.utils.rng import RandomSource
+
+#: Truncation points as fractions of the file: inside the zip magic, the
+#: first local header, early/mid/late array payloads, and the central
+#: directory / EOCD tail.
+TRUNCATION_FRACTIONS = (0.001, 0.01, 0.05, 0.15, 0.33, 0.5, 0.66, 0.8, 0.95, 0.999)
+
+
+@pytest.fixture(scope="module")
+def sketch_bytes(tmp_path_factory):
+    graph = weighted_cascade(gnm_random_digraph(80, 320, rng=31))
+    sampler = make_rr_sampler(graph, "IC", trace_edges=True)
+    collection = sampler.sample_random_batch(400, RandomSource(2))
+    path = tmp_path_factory.mktemp("sketch") / "full.npz"
+    save_sketch(path, collection, {"model": "IC", "graph_fingerprint": graph.fingerprint()})
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+class TestTruncationSweep:
+    @pytest.mark.parametrize("fraction", TRUNCATION_FRACTIONS)
+    def test_truncated_file_raises_sketch_file_error(self, tmp_path, sketch_bytes,
+                                                     fraction, mmap):
+        cut = max(1, int(len(sketch_bytes) * fraction))
+        path = tmp_path / "truncated.npz"
+        path.write_bytes(sketch_bytes[:cut])
+        with pytest.raises(SketchFileError):
+            load_sketch(path, mmap=mmap)
+
+    def test_empty_file_raises(self, tmp_path, sketch_bytes, mmap):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(SketchFileError):
+            load_sketch(path, mmap=mmap)
+
+
+@pytest.mark.parametrize("mmap", [False, True], ids=["eager", "mmap"])
+class TestBitFlips:
+    def test_header_region_flips_never_leak_raw_errors(self, tmp_path, sketch_bytes, mmap):
+        """Flip one byte at a time through the framing-heavy first kilobyte:
+        each variant must either load (the byte was slack) or raise a typed
+        SketchFileError — never an uncaught zip/struct/numpy error."""
+        for offset in range(0, min(1024, len(sketch_bytes)), 37):
+            mutated = bytearray(sketch_bytes)
+            mutated[offset] ^= 0xFF
+            path = tmp_path / "flip.npz"
+            path.write_bytes(bytes(mutated))
+            try:
+                collection, meta = load_sketch(path, mmap=mmap)
+            except SketchFileError:
+                continue
+            # Loaded despite the flip: the collection must still be sane.
+            assert len(collection) == meta["num_sets"]
+
+    def test_tail_flips_never_leak_raw_errors(self, tmp_path, sketch_bytes, mmap):
+        """Same sweep through the central directory / EOCD tail."""
+        start = max(0, len(sketch_bytes) - 512)
+        for offset in range(start, len(sketch_bytes), 23):
+            mutated = bytearray(sketch_bytes)
+            mutated[offset] ^= 0xFF
+            path = tmp_path / "flip.npz"
+            path.write_bytes(bytes(mutated))
+            try:
+                collection, meta = load_sketch(path, mmap=mmap)
+            except SketchFileError:
+                continue
+            assert len(collection) == meta["num_sets"]
+
+
+class TestTraceMembers:
+    def test_trace_arrays_roundtrip_both_paths(self, tmp_path, sketch_bytes):
+        path = tmp_path / "full.npz"
+        path.write_bytes(sketch_bytes)
+        eager, meta_eager = load_sketch(path)
+        mapped, meta_mapped = load_sketch(path, mmap=True)
+        assert meta_eager["has_traces"] and meta_mapped["has_traces"]
+        assert eager.has_traces and mapped.has_traces
+        assert np.array_equal(eager.trace_edges_array, mapped.trace_edges_array)
+        assert np.array_equal(eager.trace_ptr_array, mapped.trace_ptr_array)
+
+    def test_missing_trace_member_raises(self, tmp_path, sketch_bytes):
+        """A file whose metadata promises traces but lacks the arrays is
+        corrupt, not silently untraced."""
+        import zipfile
+
+        src = tmp_path / "full.npz"
+        src.write_bytes(sketch_bytes)
+        stripped = tmp_path / "stripped.npz"
+        with zipfile.ZipFile(src) as zin, zipfile.ZipFile(stripped, "w") as zout:
+            for item in zin.infolist():
+                if item.filename != "trace_edges.npy":
+                    zout.writestr(item, zin.read(item.filename))
+        for mmap in (False, True):
+            with pytest.raises(SketchFileError):
+                load_sketch(stripped, mmap=mmap)
+
+    def test_untraced_file_loads_without_traces(self, tmp_path):
+        graph = weighted_cascade(gnm_random_digraph(40, 160, rng=5))
+        collection = make_rr_sampler(graph, "IC").sample_random_batch(
+            100, RandomSource(1)
+        )
+        path = tmp_path / "plain.npz"
+        save_sketch(path, collection, {"model": "IC"})
+        loaded, meta = load_sketch(path)
+        assert meta["has_traces"] is False
+        assert not loaded.has_traces
+        assert loaded.trace_ptr_array is None

@@ -135,3 +135,81 @@ class TestRobustness:
             json.dumps({"op": "select", "k": 2}),
         ])
         assert [r["ok"] for r in responses] == [False, False, False, True]
+
+
+class TestEvictionClosesPools:
+    """PR 3 gap: evicting an index must release its worker pool and shared
+    graph segments — no fd/SHM leak behind the LRU (asserted via spies on
+    close(), plus the live pool state for a real multi-worker index)."""
+
+    def _spy(self, index, calls, tag):
+        original = index.close
+
+        def spying_close():
+            calls.append(tag)
+            original()
+
+        index.close = spying_close
+
+    def test_eviction_closes_exactly_the_evicted_index(self, service):
+        graphs = [
+            weighted_cascade(gnm_random_digraph(40, 160, rng=seed)) for seed in (1, 2, 3)
+        ]
+        calls = []
+        service.query(graphs[0], {"op": "select", "k": 2})
+        service.query(graphs[1], {"op": "select", "k": 2})
+        for tag, index in enumerate(service._indexes.values()):
+            self._spy(index, calls, tag)
+        service.query(graphs[2], {"op": "select", "k": 2})  # evicts index 0
+        assert calls == [0]
+
+    def test_service_close_closes_every_cached_index(self, service):
+        graphs = [
+            weighted_cascade(gnm_random_digraph(40, 160, rng=seed)) for seed in (4, 5)
+        ]
+        for graph in graphs:
+            service.query(graph, {"op": "select", "k": 2})
+        calls = []
+        for tag, index in enumerate(service._indexes.values()):
+            self._spy(index, calls, tag)
+        service.close()
+        assert calls == [0, 1]
+
+    def test_eviction_shuts_down_a_live_worker_pool(self):
+        from repro.parallel import ParallelSampler
+
+        service = InfluenceService(max_indexes=1, theta=300, jobs=2, rng=6)
+        first = weighted_cascade(gnm_random_digraph(40, 160, rng=7))
+        second = weighted_cascade(gnm_random_digraph(40, 160, rng=8))
+        service.query(first, {"op": "select", "k": 2})
+        index = next(iter(service._indexes.values()))
+        sampler = index._sampler
+        assert isinstance(sampler, ParallelSampler)
+        assert sampler._state.get("executor") is not None  # pool is live
+        service.query(second, {"op": "select", "k": 2})  # evicts `index`
+        assert service.stats.evictions == 1
+        # The evicted index's pool and shared-graph pack are both released.
+        assert sampler._state.get("executor") is None
+        assert sampler._state.get("pack") is None
+
+    def test_update_repair_does_not_leak_the_old_pool(self):
+        from repro.dynamic import DynamicDiGraph
+        from repro.parallel import ParallelSampler
+
+        service = InfluenceService(max_indexes=2, theta=300, jobs=2,
+                                   trace_edges=True, rng=6)
+        graph = weighted_cascade(gnm_random_digraph(40, 160, rng=7))
+        dynamic = DynamicDiGraph(graph)
+        service.query(dynamic, {"op": "select", "k": 2})
+        index = next(iter(service._indexes.values()))
+        old_sampler = index._sampler
+        assert isinstance(old_sampler, ParallelSampler)
+        assert old_sampler._state.get("executor") is not None
+        service.apply_update(
+            dynamic, {"action": "delete", "u": int(graph.src[0]), "v": int(graph.dst[0])}
+        )
+        # The pre-update pool (broadcasting the old graph) is gone; the
+        # repaired index owns a fresh sampler bound to the new snapshot.
+        assert old_sampler._state.get("executor") is None
+        assert index._sampler is not old_sampler
+        service.close()
