@@ -33,6 +33,7 @@ import time
 
 import pytest
 
+from repro.api import ExecutionPolicy
 from repro.rrset import make_rr_sampler
 from repro.utils.rng import RandomSource
 
@@ -80,7 +81,8 @@ def bench_tim(graph, k: int, epsilon: float, seed: int = 3) -> dict[str, float]:
     results = {}
     for engine in ("python", "vectorized"):
         started = time.perf_counter()
-        result = tim(graph, k, epsilon=epsilon, rng=seed, engine=engine)
+        result = tim(graph, k, epsilon=epsilon, rng=seed,
+                 policy=ExecutionPolicy(engine=engine))
         results[engine] = {
             "seconds": time.perf_counter() - started,
             "spread": result.estimated_spread,
@@ -174,7 +176,8 @@ def run_jobs_sweep(args) -> int:
         batch = sampler.sample_random_batch(args.num_sets, RandomSource(args.seed + 1))
         seconds = time.perf_counter() - started
         sampler.close()
-        tim_result = tim(graph, args.k, epsilon=args.epsilon, rng=args.seed, jobs=jobs)
+        tim_result = tim(graph, args.k, epsilon=args.epsilon, rng=args.seed,
+                         policy=ExecutionPolicy(jobs=jobs))
 
         arrays = (
             batch.ptr_array, batch.nodes_array, batch.roots_array,

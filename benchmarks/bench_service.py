@@ -45,7 +45,7 @@ def bench_cold_vs_warm(graph, identity_ks, epsilon: float, seed: int) -> list[di
         # Re-run the identical call through a fresh index: same RNG seed ⇒
         # the index captures exactly the cold run's RR collection and seeds.
         index = SketchIndex(graph=graph, model="IC")
-        captured = tim(graph, k, epsilon=epsilon, rng=seed, sketch_index=index)
+        captured = tim(graph, k, epsilon=epsilon, rng=seed, index=index)
         if captured.seeds != cold.seeds:
             raise SystemExit(f"k={k}: capture run diverged from cold run (rng plumbing bug)")
         index.select(1)  # warm the postings once; build cost is amortized

@@ -7,11 +7,15 @@ evaluation depends on.
 
 Quickstart::
 
-    from repro import build_dataset, tim_plus, estimate_spread
+    from repro import ExecutionPolicy, InfluenceSession, build_dataset
 
     graph = build_dataset("nethept").weighted_for("IC")
-    result = tim_plus(graph, k=50, epsilon=0.2, rng=0)
-    print(result.seeds, estimate_spread(graph, result.seeds, rng=1).mean)
+    with InfluenceSession(graph, "IC", policy=ExecutionPolicy(epsilon=0.2),
+                          rng=0) as session:
+        picked = session.select(50)
+        print(picked.seeds, session.spread(picked.seeds))
+
+(or the one-shot drivers: ``tim_plus(graph, k=50, epsilon=0.2, rng=0)``.)
 
 Package map (see DESIGN.md for the full inventory):
 
@@ -20,11 +24,17 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.rrset` — reverse-reachable set sampling and max coverage;
 * :mod:`repro.core` — Algorithms 1-3, TIM and TIM+;
 * :mod:`repro.algorithms` — Greedy, CELF, CELF++, RIS, IRIE, SIMPATH, ...;
+* :mod:`repro.api` — the unified typed surface: :class:`ExecutionPolicy`
+  (one validated object for engine/jobs/tracing/ε/ℓ),
+  :class:`InfluenceSession` (graph + sketch + pool facade), and the
+  versioned request/response ops behind the query service and CLI;
 * :mod:`repro.analysis` — Chernoff bounds, exact oracles, cost models;
 * :mod:`repro.datasets` — scaled stand-ins for the paper's five datasets;
 * :mod:`repro.sketch` — persistent RR-sketch index + influence query service;
-* :mod:`repro.parallel` — multicore sharded RR generation (the ``jobs=``
-  worker pool; byte-identical results for any worker count);
+* :mod:`repro.parallel` — multicore sharded RR generation (the worker pool
+  behind ``ExecutionPolicy.jobs``; byte-identical results for any count);
+* :mod:`repro.dynamic` — evolving graphs: edge updates + incremental
+  RR-sketch repair;
 * :mod:`repro.experiments` — regeneration of every evaluation table/figure.
 """
 
@@ -64,11 +74,21 @@ from repro.rrset import (
     greedy_max_coverage,
     make_rr_sampler,
 )
+from repro.api import (
+    SCHEMA_VERSION,
+    ExecutionPolicy,
+    InfluenceSession,
+    MarginalRequest,
+    SelectRequest,
+    SpreadRequest,
+    StatsRequest,
+    UpdateRequest,
+)
 from repro.dynamic import DynamicDiGraph, EdgeUpdate
 from repro.parallel import ParallelSampler
 from repro.sketch import InfluenceService, SketchIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -106,7 +126,15 @@ __all__ = [
     "make_rr_sampler",
     "DynamicDiGraph",
     "EdgeUpdate",
+    "ExecutionPolicy",
     "InfluenceService",
+    "InfluenceSession",
+    "MarginalRequest",
     "ParallelSampler",
+    "SCHEMA_VERSION",
+    "SelectRequest",
     "SketchIndex",
+    "SpreadRequest",
+    "StatsRequest",
+    "UpdateRequest",
 ]

@@ -12,6 +12,7 @@ from repro.algorithms.base import (
     get_algorithm,
     maximize_influence,
     register_algorithm,
+    supports_policy,
 )
 from repro.algorithms.celf import celf
 from repro.algorithms.celfpp import celf_plus_plus
@@ -35,6 +36,7 @@ __all__ = [
     "get_algorithm",
     "maximize_influence",
     "register_algorithm",
+    "supports_policy",
     "celf",
     "celf_plus_plus",
     "degree_discount",

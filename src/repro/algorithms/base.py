@@ -9,22 +9,59 @@ contender).
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable
 
 from repro.core.results import InfluenceMaxResult
 from repro.graphs.digraph import DiGraph
 
-__all__ = ["register_algorithm", "algorithm_names", "get_algorithm", "maximize_influence"]
+__all__ = [
+    "register_algorithm",
+    "algorithm_names",
+    "get_algorithm",
+    "maximize_influence",
+    "supports_policy",
+]
 
 _REGISTRY: dict[str, Callable] = {}
 
 
-def register_algorithm(name: str, fn: Callable) -> None:
-    """Register ``fn`` under ``name`` (case-insensitive, unique)."""
+def _same_identity(a: Callable, b: Callable) -> bool:
+    """Two callables that are (re)definitions of the same function.
+
+    A module re-import (interactive reload, importlib.reload, a second
+    ``import repro.algorithms`` under a fresh module object) re-executes the
+    registration calls with *new* function objects for the *same* source
+    definitions; matching on module + qualname recognises that case.
+    """
+    if a is b:
+        return True
+    return (
+        getattr(a, "__module__", None) is not None
+        and getattr(a, "__module__", None) == getattr(b, "__module__", None)
+        and getattr(a, "__qualname__", None) == getattr(b, "__qualname__", None)
+    )
+
+
+def register_algorithm(name: str, fn: Callable, *, replace: bool = False) -> None:
+    """Register ``fn`` under ``name`` (case-insensitive).
+
+    Re-registering the *same* definition (same module and qualified name —
+    the module-reimport / interactive-reload case) is idempotent and never
+    raises.  Registering a genuinely different callable under a taken name
+    raises unless ``replace=True`` — silent clobbering hides typos, but an
+    explicit replacement (a benchmark shimming ``tim`` with an
+    instrumented wrapper, say) is a legitimate move.
+    """
     key = name.lower()
-    if key in _REGISTRY:
-        raise ValueError(f"algorithm {name!r} already registered")
+    existing = _REGISTRY.get(key)
+    if existing is not None and not replace and not _same_identity(existing, fn):
+        raise ValueError(
+            f"algorithm {name!r} already registered (to "
+            f"{getattr(existing, '__qualname__', existing)!r}); pass "
+            f"replace=True to override it"
+        )
     _REGISTRY[key] = fn
 
 
@@ -41,14 +78,35 @@ def get_algorithm(name: str) -> Callable:
     return _REGISTRY[key]
 
 
+def supports_policy(algorithm: str) -> bool:
+    """Whether the registered algorithm accepts ``policy=ExecutionPolicy``."""
+    try:
+        parameters = inspect.signature(get_algorithm(algorithm)).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C callables etc.
+        return False
+    return "policy" in parameters
+
+
 def maximize_influence(
-    graph: DiGraph, k: int, algorithm: str = "tim+", model="IC", rng=None, **kwargs
+    graph: DiGraph, k: int, algorithm: str = "tim+", model="IC", rng=None,
+    policy=None, **kwargs
 ) -> InfluenceMaxResult:
     """Run any registered algorithm; wall-clock is measured if it doesn't.
 
     ``kwargs`` are forwarded verbatim (ε, ℓ, r, heuristic tunables, ...).
+    ``policy`` — an :class:`~repro.api.policy.ExecutionPolicy` — forwards
+    to algorithms that understand execution policies (the TIM family and
+    RIS); passing one to a heuristic that cannot honour it raises
+    immediately rather than silently ignoring the request.
     """
     fn = get_algorithm(algorithm)
+    if policy is not None:
+        if not supports_policy(algorithm):
+            raise ValueError(
+                f"algorithm {algorithm!r} does not accept an execution "
+                f"policy; drop policy= or pick one of the RR-set algorithms"
+            )
+        kwargs["policy"] = policy
     started = time.perf_counter()
     result = fn(graph, k, model=model, rng=rng, **kwargs)
     if result.runtime_seconds == 0.0:

@@ -22,6 +22,7 @@ import time
 import numpy as np
 
 from repro.algorithms.base import register_algorithm
+from repro.api.policy import DEPRECATED, ExecutionPolicy, resolve_call_policy
 from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
@@ -52,13 +53,16 @@ def ris(
     k: int,
     model="IC",
     rng=None,
-    epsilon: float = 0.2,
-    ell: float = 1.0,
+    epsilon: float | None = None,
+    ell: float | None = None,
     tau_constant: float = 1.0,
     max_rr_sets: int | None = None,
-    engine: str = "vectorized",
-    sketch_index=None,
-    jobs: int | None = None,
+    engine=DEPRECATED,
+    sketch_index=DEPRECATED,
+    jobs=DEPRECATED,
+    *,
+    policy: ExecutionPolicy | None = None,
+    index=None,
 ) -> InfluenceMaxResult:
     """Borgs et al.'s RIS with a cost-threshold stopping rule.
 
@@ -79,12 +83,25 @@ def ris(
     index's prebuilt postings.  Note this departs from Borgs et al.'s
     strictly coupled sampling exactly as much as reusing a sketch does.
 
-    ``jobs`` shards each vectorized batch across worker processes (``0`` =
-    all cores) with worker-count-invariant results; ``None`` keeps the
-    legacy single stream.
+    ``policy=`` (an :class:`~repro.api.policy.ExecutionPolicy`) is the
+    modern way to set engine/jobs — and, like every policy-aware entry
+    point, a passed policy's ``epsilon``/``ell`` govern the τ budget.
+    Without a policy, ``epsilon`` keeps RIS's historical ``0.2`` default
+    (coarser than the library-wide ``0.1``: RIS pays ε⁻³).  The legacy
+    ``engine=`` / ``jobs=`` / ``sketch_index=`` keywords still work behind
+    a :class:`DeprecationWarning` with identical results.
     """
+    resolved_policy, index = resolve_call_policy(
+        "ris()", policy, engine=engine, jobs=jobs, sketch_index=sketch_index,
+        index=index,
+    )
+    sketch_index = index
+    if epsilon is None:
+        epsilon = resolved_policy.epsilon if policy is not None else 0.2
+    ell = resolved_policy.ell if ell is None else ell
+    engine = resolved_policy.engine
+    jobs = resolved_policy.jobs
     check_k(k, graph.n)
-    require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
     resolved = resolve_model(model)
     resolved.validate_graph(graph)
     source = resolve_rng(rng)

@@ -1,0 +1,296 @@
+"""`ExecutionPolicy` — one validated object for every execution knob.
+
+Four subsystems (vectorized engine, sketch index, parallel sharding,
+dynamic repair) each grew their own keyword on every entry point:
+``engine=``, ``jobs=``, ``sketch_index=``, ``trace_edges=``, plus the
+accuracy pair ``epsilon``/``ell``.  The policy consolidates them into a
+single frozen, validated value object that the TIM drivers, the sketch
+subsystem, :class:`~repro.api.session.InfluenceSession`, the
+:class:`~repro.sketch.service.InfluenceService` and the CLI all share —
+so a configuration is constructed (and validated) once and means the same
+thing at every layer.
+
+Resolution layers compose explicitly::
+
+    policy = ExecutionPolicy()                      # library defaults
+    policy = ExecutionPolicy.from_env()             # + REPRO_* environment
+    policy = ExecutionPolicy.from_args(args)        # + CLI flags (env-layered)
+    policy = policy.merge(jobs=8)                   # + call-site overrides
+
+Every field is *total*: a policy always carries a concrete value, so code
+consuming one never needs a fallback chain.  ``merge`` skips ``None``
+overrides, which is what lets optional CLI flags / function arguments layer
+over a base policy without clobbering it.
+
+The legacy per-call keywords (``tim(..., engine=..., jobs=...,
+sketch_index=...)``) keep working through the :data:`DEPRECATED` sentinel
+and :func:`warn_legacy_kwargs`: explicit use emits a
+:class:`DeprecationWarning` and folds into a policy internally, producing
+byte-identical results for identical seeds.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.utils.validation import check_ell, check_epsilon, require
+
+__all__ = [
+    "DEPRECATED",
+    "ENGINES",
+    "ExecutionPolicy",
+    "resolve_call_policy",
+    "warn_legacy_kwargs",
+]
+
+#: The RR sampling/storage engines the library implements.
+ENGINES = ("vectorized", "python")
+
+
+class _Deprecated:
+    """Sentinel default for keywords kept only for backward compatibility.
+
+    Distinguishes "caller never passed this" from every real value
+    (including ``None``, which is meaningful for ``jobs``).
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<deprecated>"
+
+    def __reduce__(self):
+        return (_Deprecated, ())
+
+
+#: Default for deprecated keywords; never pass it explicitly.
+DEPRECATED = _Deprecated()
+
+
+def warn_legacy_kwargs(where: str, names, *, stacklevel: int = 3) -> None:
+    """Emit the uniform deprecation message for legacy execution keywords."""
+    listed = ", ".join(sorted(names))
+    warnings.warn(
+        f"{where}: the {listed} keyword(s) are deprecated; pass "
+        f"policy=ExecutionPolicy(...) instead (and route sketch reuse "
+        f"through repro.api.InfluenceSession or the index= keyword). "
+        f"Results are identical either way.",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def resolve_call_policy(where: str, policy, *, engine=DEPRECATED, jobs=DEPRECATED,
+                        sketch_index=DEPRECATED, index=None, stacklevel: int = 4):
+    """Fold a call's legacy keywords into an :class:`ExecutionPolicy`.
+
+    The shared shim behind ``tim``/``tim_plus``/``ris``: sentinel-guarded
+    ``engine=``/``jobs=``/``sketch_index=`` keywords emit one
+    :class:`DeprecationWarning` (naming every legacy keyword used) and then
+    merge into the policy, so the legacy path and the policy path are the
+    *same* path — byte-identical results by construction.  Returns
+    ``(policy, index)`` with the legacy ``sketch_index`` routed to
+    ``index`` when the caller did not pass the modern keyword.
+    """
+    legacy = {}
+    if engine is not DEPRECATED:
+        legacy["engine"] = engine
+    if jobs is not DEPRECATED:
+        legacy["jobs"] = jobs
+    if sketch_index is not DEPRECATED:
+        legacy["sketch_index"] = sketch_index
+    if legacy:
+        warn_legacy_kwargs(where, legacy, stacklevel=stacklevel)
+    resolved = ExecutionPolicy.coerce(policy).merge(engine=legacy.get("engine"))
+    if "jobs" in legacy and legacy["jobs"] != resolved.jobs:
+        # Unlike merge(), an explicitly passed legacy jobs=None must win:
+        # it is the old API's spelling of "single stream".
+        resolved = replace(resolved, jobs=legacy["jobs"])
+    if index is None:
+        index = legacy.get("sketch_index")
+    return resolved, index
+
+
+_TRUE_STRINGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_STRINGS = frozenset({"0", "false", "no", "off"})
+
+#: Environment variables :meth:`ExecutionPolicy.from_env` understands.
+_ENV_VARS = {
+    "engine": "REPRO_ENGINE",
+    "jobs": "REPRO_JOBS",
+    "trace_edges": "REPRO_TRACE_EDGES",
+    "epsilon": "REPRO_EPSILON",
+    "ell": "REPRO_ELL",
+}
+
+
+def _parse_bool(text: str, variable: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in _TRUE_STRINGS:
+        return True
+    if lowered in _FALSE_STRINGS:
+        return False
+    raise ValueError(
+        f"{variable} must be a boolean "
+        f"({'/'.join(sorted(_TRUE_STRINGS))} or {'/'.join(sorted(_FALSE_STRINGS))}); "
+        f"got {text!r}"
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a run executes — never *what* it computes.
+
+    Two policies that differ only in ``engine``/``jobs`` produce
+    byte-identical seed sets, KPT estimates, and sketch bytes for equal
+    seeds; ``trace_edges`` changes only the extra arrays stored.  The
+    accuracy pair ``epsilon``/``ell`` *does* change θ (and therefore the
+    sample), exactly as the per-call keywords always did.
+
+    Fields
+    ------
+    engine:
+        ``"vectorized"`` (numpy-batched flat RR engine, default) or
+        ``"python"`` (scalar ablation baseline).
+    jobs:
+        Worker processes for RR generation: ``None`` = legacy single
+        stream (default), ``0`` = all cores, ``n >= 1`` = that many.
+    trace_edges:
+        Record live-edge traces during sampling so dynamic updates
+        invalidate precisely (IC/LT).
+    epsilon, ell:
+        Approximation slack and failure exponent — the TIM guarantee is
+        ``(1 − 1/e − ε)`` with probability ``≥ 1 − n^{−ℓ}``.
+    reuse_sketch:
+        Whether sketch-owning layers (:class:`InfluenceSession`) keep and
+        warm-extend one RR sketch across calls (default) or rebuild cold
+        every time (ablation / strict-independence runs).
+    """
+
+    engine: str = "vectorized"
+    jobs: int | None = None
+    trace_edges: bool = False
+    epsilon: float = 0.1
+    ell: float = 1.0
+    reuse_sketch: bool = True
+
+    def __post_init__(self):
+        require(self.engine in ENGINES,
+                f"engine must be one of {ENGINES}; got {self.engine!r}")
+        if self.jobs is not None:
+            require(isinstance(self.jobs, int) and not isinstance(self.jobs, bool),
+                    f"jobs must be an integer or None; got {self.jobs!r}")
+            require(self.jobs >= 0, f"jobs must be >= 0 (0 = all cores); got {self.jobs}")
+        require(isinstance(self.trace_edges, bool),
+                f"trace_edges must be a bool; got {self.trace_edges!r}")
+        require(isinstance(self.reuse_sketch, bool),
+                f"reuse_sketch must be a bool; got {self.reuse_sketch!r}")
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "ell", float(self.ell))
+        check_epsilon(self.epsilon)
+        check_ell(self.ell)
+
+    # ------------------------------------------------------------------
+    # Construction / resolution
+    # ------------------------------------------------------------------
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, base: "ExecutionPolicy | None" = None, **kwargs) -> "ExecutionPolicy":
+        """Build a policy from keyword overrides, rejecting unknown keys.
+
+        ``None`` values mean "unset" and fall through to ``base`` (or the
+        library default), so optional call-site arguments forward directly.
+        """
+        unknown = sorted(set(kwargs) - set(cls.field_names()))
+        require(not unknown,
+                f"unknown execution-policy field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(cls.field_names())}")
+        return (base if base is not None else cls()).merge(**kwargs)
+
+    @classmethod
+    def coerce(cls, value) -> "ExecutionPolicy":
+        """Accept a policy, a mapping of fields, or ``None`` (defaults)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_kwargs(**value)
+        raise ValueError(
+            f"policy must be an ExecutionPolicy, a dict of its fields, or None; "
+            f"got {type(value).__name__}"
+        )
+
+    def merge(self, **overrides) -> "ExecutionPolicy":
+        """A new policy with the non-``None`` overrides applied.
+
+        ``None`` means "keep the current value" — which also means a merge
+        cannot reset ``jobs`` to the single-stream default; construct a
+        fresh policy for that.
+        """
+        unknown = sorted(set(overrides) - set(self.field_names()))
+        require(not unknown,
+                f"unknown execution-policy field(s): {', '.join(unknown)}; "
+                f"known: {', '.join(self.field_names())}")
+        effective = {key: value for key, value in overrides.items() if value is not None}
+        return replace(self, **effective) if effective else self
+
+    @classmethod
+    def from_env(cls, env=None, base: "ExecutionPolicy | None" = None) -> "ExecutionPolicy":
+        """Resolve ``REPRO_ENGINE`` / ``REPRO_JOBS`` / ``REPRO_TRACE_EDGES``
+        / ``REPRO_EPSILON`` / ``REPRO_ELL`` over ``base`` (or defaults)."""
+        env = os.environ if env is None else env
+        overrides: dict = {}
+        for field_name, variable in _ENV_VARS.items():
+            raw = env.get(variable)
+            if raw is None or raw == "":
+                continue
+            try:
+                if field_name == "jobs":
+                    overrides[field_name] = int(raw)
+                elif field_name == "trace_edges":
+                    overrides[field_name] = _parse_bool(raw, variable)
+                elif field_name in ("epsilon", "ell"):
+                    overrides[field_name] = float(raw)
+                else:
+                    overrides[field_name] = raw
+            except ValueError as exc:
+                raise ValueError(f"invalid {variable}={raw!r}: {exc}") from None
+        return (base if base is not None else cls()).merge(**overrides)
+
+    @classmethod
+    def from_args(cls, args, base: "ExecutionPolicy | None" = None,
+                  *, env=None) -> "ExecutionPolicy":
+        """Resolve CLI flags over the environment over ``base``.
+
+        ``args`` is any object with optional ``engine`` / ``jobs`` /
+        ``trace_edges`` / ``epsilon`` / ``ell`` attributes (an argparse
+        namespace); missing or ``None`` attributes stay unset so absent
+        flags never clobber the environment layer.
+        """
+        resolved = cls.from_env(env=env, base=base)
+        overrides = {
+            name: getattr(args, name, None)
+            for name in ("engine", "jobs", "trace_edges", "epsilon", "ell")
+        }
+        return resolved.merge(**overrides)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.field_names()}
+
+    def sampling_kwargs(self) -> dict:
+        """The subset every sampling entry point understands."""
+        return {"engine": self.engine, "jobs": self.jobs}

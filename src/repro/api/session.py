@@ -1,0 +1,349 @@
+"""`InfluenceSession` — one object that owns a whole influence workload.
+
+The facade over everything the library grew subsystem by subsystem: the
+graph (with a :class:`~repro.dynamic.graph.DynamicDiGraph` overlay so it
+can evolve), one RR sketch (:class:`~repro.sketch.index.SketchIndex`) that
+is built lazily, reused, warm-extended and repaired in place, and the
+worker-pool lifecycle behind it — all configured by a single
+:class:`~repro.api.policy.ExecutionPolicy`.
+
+Where :class:`~repro.sketch.service.InfluenceService` is the *multi-graph
+LRU server* (JSONL front, cache statistics), the session is the *Python
+caller's* surface: one graph, one model, typed results, deterministic under
+a seed, and a context manager so the pool can never leak::
+
+    from repro import ExecutionPolicy, InfluenceSession
+
+    with InfluenceSession(graph, "IC", policy=ExecutionPolicy(jobs=0),
+                          rng=0) as session:
+        picked = session.select(50)                  # SelectResponse
+        reach = session.spread(picked.seeds)         # float
+        lift = session.marginal(picked.seeds, 7)     # float
+        session.apply_update(action="insert", u=3, v=7, p=0.2)
+        tightened = session.ensure(epsilon=0.1)      # grow the sketch
+
+Determinism: the session draws every sampling wave from spawned children of
+its ``rng``, so a session constructed with the same seed, policy, and call
+sequence reproduces byte-identical sketches and seed sets — including
+across worker counts (``policy.jobs`` never changes results).
+"""
+
+from __future__ import annotations
+
+from repro.api.ops import (
+    SelectRequest,
+    SpreadRequest,
+    MarginalRequest,
+    UpdateRequest,
+    StatsRequest,
+    Request,
+    Response,
+    SelectResponse,
+    SpreadResponse,
+    MarginalResponse,
+    UpdateResponse,
+    StatsResponse,
+    ApiError,
+    parse_request,
+)
+from repro.api.policy import ExecutionPolicy
+from repro.diffusion.base import resolve_model
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import require
+
+__all__ = ["InfluenceSession"]
+
+
+class InfluenceSession:
+    """Facade owning graph + dynamic overlay + sketch + pool lifecycle.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.graphs.digraph.DiGraph` snapshot or an existing
+        :class:`~repro.dynamic.graph.DynamicDiGraph` overlay (adopted, not
+        copied — updates applied here are visible to other holders).
+    model:
+        Diffusion model name or instance for every query in this session.
+    policy:
+        The :class:`ExecutionPolicy` (or a dict of its fields / ``None``
+        for defaults) governing engine, worker pool, tracing, accuracy,
+        and sketch reuse.
+    rng:
+        Seed or source; all sampling determinism flows from it.
+    default_k:
+        Budget used to derive the first sketch's θ when a query arrives
+        before any explicit :meth:`ensure` (the TIM derivation at
+        ``policy.epsilon``); later ``select(k)`` calls re-ensure for their
+        own ``k``.
+    index:
+        Adopt a pre-built/loaded :class:`SketchIndex` instead of building
+        lazily.  It must serve this session's graph and model.
+    """
+
+    def __init__(self, graph, model="IC", *, policy=None, rng=None,
+                 default_k: int = 10, index=None):
+        from repro.dynamic.graph import DynamicDiGraph
+
+        self.policy = ExecutionPolicy.coerce(policy)
+        self._dynamic = graph if isinstance(graph, DynamicDiGraph) else DynamicDiGraph(graph)
+        self._model = resolve_model(model)
+        self._model.validate_graph(self._dynamic.graph)
+        self._rng = resolve_rng(rng)
+        self.default_k = int(default_k)
+        require(self.default_k >= 1, "default_k must be >= 1")
+        self._index = None
+        if index is not None:
+            require(index.meta.get("model") == self._model.name,
+                    f"adopted index serves model {index.meta.get('model')!r}, "
+                    f"not {self._model.name!r}")
+            recorded = index.meta.get("graph_fingerprint")
+            require(recorded is None or recorded == self._dynamic.fingerprint(),
+                    "adopted index was built for a different graph snapshot")
+            if index.graph is None:
+                index.graph = self._dynamic.graph
+            self._index = index
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The current (post-update) immutable snapshot."""
+        return self._dynamic.graph
+
+    @property
+    def dynamic_graph(self):
+        """The mutable overlay; versioned by fingerprint."""
+        return self._dynamic
+
+    @property
+    def model(self) -> str:
+        return self._model.name
+
+    @property
+    def index(self):
+        """The owned sketch index, or ``None`` before the first query."""
+        return self._index
+
+    @property
+    def num_rr_sets(self) -> int:
+        return 0 if self._index is None else self._index.num_sets
+
+    # ------------------------------------------------------------------
+    # Sketch lifecycle
+    # ------------------------------------------------------------------
+    def _build_index(self, k: int):
+        from repro.sketch.index import SketchIndex
+
+        return SketchIndex.build(
+            self.graph,
+            self._model,
+            k=k,
+            epsilon=self.policy.epsilon,
+            ell=self.policy.ell,
+            rng=self._rng.spawn(),
+            policy=self.policy,
+        )
+
+    def _ensure_index(self, k: int | None = None):
+        """Build (or rebuild, when reuse is off) the sketch for budget ``k``."""
+        require(not self._closed, "session is closed")
+        k = self.default_k if k is None else int(k)
+        if self._index is None:
+            self._index = self._build_index(k)
+        elif not self.policy.reuse_sketch:
+            self._index.close()
+            self._index = self._build_index(k)
+        else:
+            # Warm path: grow (never resample) until ε-adequate for this k.
+            self._index.ensure_epsilon(
+                k, self.policy.epsilon, ell=self.policy.ell,
+                rng=self._rng.spawn(), jobs=self.policy.jobs,
+            )
+        return self._index
+
+    def ensure(self, *, epsilon: float | None = None, theta: int | None = None,
+               k: int | None = None) -> int:
+        """Grow the sketch to a target accuracy or size; returns sets added.
+
+        Exactly one of ``epsilon`` (ε-adequacy for budget ``k``, defaulting
+        to ``default_k``) or ``theta`` (absolute RR-set count) must be
+        given.  Existing RR sets are never resampled — i.i.d. sets extend.
+        On a fresh session the first sketch is built straight to the
+        requested target (never to ``policy.epsilon`` first), so
+        ``ensure(theta=100)`` samples exactly 100 sets.
+        """
+        from repro.sketch.index import SketchIndex
+
+        require((epsilon is None) != (theta is None),
+                "ensure() takes exactly one of epsilon= or theta=")
+        require(not self._closed, "session is closed")
+        k = self.default_k if k is None else int(k)
+        if self._index is None:
+            if theta is not None:
+                self._index = SketchIndex.build(
+                    self.graph, self._model, theta=int(theta),
+                    rng=self._rng.spawn(), policy=self.policy,
+                )
+            else:
+                self._index = SketchIndex.build(
+                    self.graph, self._model, k=k, epsilon=float(epsilon),
+                    ell=self.policy.ell, rng=self._rng.spawn(),
+                    policy=self.policy,
+                )
+            return self._index.num_sets
+        if theta is not None:
+            return self._index.ensure_theta(int(theta), rng=self._rng.spawn(),
+                                            jobs=self.policy.jobs)
+        return self._index.ensure_epsilon(
+            k, float(epsilon),
+            ell=self.policy.ell, rng=self._rng.spawn(), jobs=self.policy.jobs,
+        )
+
+    def close(self) -> None:
+        """Release the sketch's worker pool and end the session.
+
+        Idempotent.  A closed session rejects further queries and updates
+        (``ValueError: session is closed``) — the strict lifecycle keeps
+        the facade's surface uniform; query the owned :attr:`index`
+        directly if read-only access past close is needed.
+        """
+        if self._index is not None:
+            self._index.close()
+        self._closed = True
+
+    def __enter__(self) -> "InfluenceSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Queries (typed results)
+    # ------------------------------------------------------------------
+    def select(self, k: int, include=(), exclude=()) -> SelectResponse:
+        """Greedy seed selection for budget ``k`` over the (ensured) sketch."""
+        index = self._ensure_index(k)
+        result = index.select(k, forced_include=include, forced_exclude=exclude)
+        return SelectResponse(
+            seeds=list(result.seeds),
+            coverage_fraction=result.fraction,
+            estimated_spread=index.num_nodes * result.fraction,
+            num_rr_sets=index.num_sets,
+        )
+
+    def spread(self, seeds) -> float:
+        """``n · F_R(S)`` — the Corollary 1 estimate over the sketch."""
+        return self._ensure_index().spread(seeds)
+
+    def marginal(self, seeds, candidate: int) -> float:
+        """Estimated spread lift from adding ``candidate`` to ``seeds``."""
+        return self._ensure_index().marginal_gain(seeds, candidate)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def apply_update(self, update=None, *, action: str | None = None,
+                     u: int | None = None, v: int | None = None,
+                     p: float | None = None) -> UpdateResponse:
+        """Apply one edge mutation and repair the owned sketch in place.
+
+        Accepts an :class:`~repro.dynamic.updates.EdgeUpdate`, an
+        :class:`~repro.api.ops.UpdateRequest`, a request dict, or the bare
+        ``action=``/``u=``/``v=``/``p=`` keywords.  Validation happens on a
+        *preview* — a rejected update (missing edge, LT weight violation)
+        leaves graph and sketch untouched.
+        """
+        from repro.dynamic.updates import EdgeUpdate, parse_update
+
+        require(not self._closed, "session is closed")
+        if update is None:
+            require(action is not None and u is not None and v is not None,
+                    "apply_update needs an update object or action=/u=/v= keywords")
+            update = EdgeUpdate(action=action, u=int(u), v=int(v),
+                                prob=None if p is None else float(p))
+        elif isinstance(update, UpdateRequest):
+            update = update.to_edge_update()
+        elif not isinstance(update, EdgeUpdate):
+            update = parse_update(update)
+
+        delta = self._dynamic.preview(update)
+        # Validate unconditionally — an update that breaks the model's
+        # invariants (e.g. LT in-weight sums) must be rejected even before
+        # the first sketch exists, or it would wedge every later query.
+        self._model.validate_graph(delta.new_graph)
+        repaired = []
+        if self._index is not None:
+            report = self._index.apply_update(delta, rng=self._rng.spawn(),
+                                              jobs=self.policy.jobs)
+            repaired.append(report.as_dict())
+        self._dynamic.commit(delta)
+        return UpdateResponse(
+            action=update.action,
+            u=update.u,
+            v=update.v,
+            version=self._dynamic.version,
+            fingerprint=delta.new_fingerprint,
+            num_edges=self._dynamic.m,
+            repaired_indexes=repaired,
+        )
+
+    # ------------------------------------------------------------------
+    # Typed-op front (the same protocol the service speaks)
+    # ------------------------------------------------------------------
+    def execute(self, request) -> Response:
+        """Answer one typed request (or wire dict) against this session.
+
+        The session has no LRU, so ``stats`` reports the sketch shape
+        rather than cache counters.  Raises :class:`ApiError` on protocol
+        failures — unlike the service front, the session is a Python API
+        and failing loudly is the right default here.
+        """
+        request = parse_request(request)
+        requested_model = getattr(request, "model", None)
+        if requested_model is not None and requested_model != self.model:
+            raise ApiError(
+                "bad_request",
+                f"this session serves model {self.model!r}; per-request model "
+                f"overrides ({requested_model!r}) need an InfluenceService",
+            )
+        if isinstance(request, SelectRequest):
+            response = self.select(request.k, include=request.include,
+                                   exclude=request.exclude)
+        elif isinstance(request, SpreadRequest):
+            index = self._ensure_index()
+            response = SpreadResponse(
+                spread=index.spread(request.seeds),
+                coverage_fraction=index.coverage_fraction(request.seeds),
+                num_rr_sets=index.num_sets,
+            )
+        elif isinstance(request, MarginalRequest):
+            index = self._ensure_index()
+            response = MarginalResponse(
+                gain=index.marginal_gain(request.seeds, request.candidate),
+                num_rr_sets=index.num_sets,
+            )
+        elif isinstance(request, UpdateRequest):
+            response = self.apply_update(request)
+        elif isinstance(request, StatsRequest):
+            response = StatsResponse(stats={
+                "model": self.model,
+                "num_rr_sets": self.num_rr_sets,
+                "num_nodes": self._dynamic.n,
+                "num_edges": self._dynamic.m,
+                "graph_version": self._dynamic.version,
+                "policy": self.policy.as_dict(),
+            })
+        else:  # pragma: no cover - parse_request exhausts the op set
+            raise ApiError("unknown_op", f"unhandled request type {type(request).__name__}")
+        response.id = request.id
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InfluenceSession(model={self.model!r}, n={self._dynamic.n}, "
+            f"m={self._dynamic.m}, rr_sets={self.num_rr_sets}, "
+            f"policy={self.policy!r})"
+        )

@@ -21,7 +21,8 @@ import json
 import sys
 import time
 
-from repro.algorithms import algorithm_names, maximize_influence
+from repro.algorithms import algorithm_names, maximize_influence, supports_policy
+from repro.api import ExecutionPolicy
 from repro.datasets import build_dataset, dataset_names, dataset_spec
 from repro.diffusion import estimate_spread
 from repro.experiments import EXPERIMENTS, render
@@ -29,8 +30,41 @@ from repro.graphs import load_edge_list, summarize, uniform_random_lt, weighted_
 
 __all__ = ["main", "build_parser"]
 
-#: Algorithms that accept the ``engine=`` keyword (TIM family + RIS).
-_ENGINE_ALGORITHMS = {"tim", "tim+", "timplus", "ris"}
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """The shared ``--engine`` / ``--jobs`` / ``--trace-edges`` flags.
+
+    One parent parser serves ``run``/``sketch``/``serve``/``update`` so the
+    flags (names, choices, defaults) cannot drift between subcommands.
+    Every default is ``None`` = "unset": resolution happens in
+    :meth:`repro.api.ExecutionPolicy.from_args`, layering CLI flags over
+    ``REPRO_ENGINE`` / ``REPRO_JOBS`` / ``REPRO_TRACE_EDGES`` environment
+    variables over library defaults.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution policy")
+    group.add_argument(
+        "--engine",
+        choices=["vectorized", "python"],
+        default=None,
+        help="RR sampling/storage engine (default: vectorized; "
+        "python = scalar ablation baseline)",
+    )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for RR generation (0 = all cores; results "
+        "are byte-identical for any worker count)",
+    )
+    group.add_argument(
+        "--trace-edges",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="record live-edge traces while sampling so edge updates "
+        "invalidate precisely (sketch/serve/update)",
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,11 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-im",
         description="TIM/TIM+ influence maximization (SIGMOD 2014 reproduction)",
     )
+    execution = _execution_parent()
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list stand-in datasets")
 
-    run = sub.add_parser("run", help="run an influence-maximization algorithm")
+    run = sub.add_parser(
+        "run", help="run an influence-maximization algorithm", parents=[execution]
+    )
     run.add_argument("--algorithm", default="tim+", choices=algorithm_names())
     run.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
     run.add_argument("--scale", type=float, default=1.0)
@@ -60,20 +97,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--score-samples", type=int, default=0, help="MC re-score of result (0=off)")
-    run.add_argument(
-        "--engine",
-        choices=["vectorized", "python"],
-        default=None,
-        help="RR sampling/storage engine for the TIM family and RIS "
-        "(default: the library's vectorized engine)",
-    )
-    run.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for RR generation (TIM family / RIS; "
-        "0 = all cores; results are identical for any worker count)",
-    )
 
     spread = sub.add_parser("spread", help="estimate spread of a seed set")
     spread.add_argument("--dataset", default="nethept")
@@ -86,32 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
 
-    sketch = sub.add_parser("sketch", help="build and persist an RR-sketch index")
+    sketch = sub.add_parser(
+        "sketch", help="build and persist an RR-sketch index", parents=[execution]
+    )
     sketch.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
     sketch.add_argument("--scale", type=float, default=1.0)
     sketch.add_argument("--model", default="IC", choices=["IC", "LT"])
     sketch.add_argument("-k", type=int, default=10, help="budget used to derive theta")
-    sketch.add_argument("--epsilon", type=float, default=0.3)
-    sketch.add_argument("--ell", type=float, default=1.0)
+    sketch.add_argument("--epsilon", type=float, default=None,
+                        help="build accuracy (default 0.3; REPRO_EPSILON layers under)")
+    sketch.add_argument("--ell", type=float, default=None,
+                        help="failure exponent (default 1.0; REPRO_ELL layers under)")
     sketch.add_argument("--theta", type=int, default=None, help="fixed sketch size (skips derivation)")
     sketch.add_argument("--seed", type=int, default=0)
-    sketch.add_argument("--engine", choices=["vectorized", "python"], default="vectorized")
-    sketch.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the build (0 = all cores; the sketch "
-        "file is byte-identical for any worker count)",
-    )
-    sketch.add_argument(
-        "--trace-edges",
-        action="store_true",
-        help="record live-edge traces (enables precise incremental repair "
-        "via the update subcommand / serve update ops)",
-    )
     sketch.add_argument("--out", required=True, help="output .npz sketch path")
 
-    serve = sub.add_parser("serve", help="serve influence queries from an RR sketch")
+    serve = sub.add_parser(
+        "serve", help="serve influence queries from an RR sketch", parents=[execution]
+    )
     serve.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
     serve.add_argument("--scale", type=float, default=1.0)
     serve.add_argument("--model", default="IC", choices=["IC", "LT"])
@@ -124,27 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--save-sketch", default=None, help="persist the (possibly grown) sketch on exit")
     serve.add_argument("-k", type=int, default=10, help="budget for cold sketch builds")
-    serve.add_argument("--epsilon", type=float, default=0.3)
-    serve.add_argument("--ell", type=float, default=1.0)
+    serve.add_argument("--epsilon", type=float, default=None,
+                       help="cold-build accuracy (default 0.3; REPRO_EPSILON layers under)")
+    serve.add_argument("--ell", type=float, default=None,
+                       help="failure exponent (default 1.0; REPRO_ELL layers under)")
     serve.add_argument("--theta", type=int, default=None, help="fixed size for cold sketch builds")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-indexes", type=int, default=4)
-    serve.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for cold sketch builds and warm extensions "
-        "(0 = all cores)",
-    )
-    serve.add_argument(
-        "--trace-edges",
-        action="store_true",
-        help="build cold indexes with live-edge traces so update ops "
-        "invalidate precisely",
-    )
 
     update = sub.add_parser(
-        "update", help="repair a persisted sketch across a stream of edge updates"
+        "update",
+        help="repair a persisted sketch across a stream of edge updates",
+        parents=[execution],
     )
     update.add_argument("--dataset", default="nethept", help="stand-in name or @/path/to/edgelist")
     update.add_argument("--scale", type=float, default=1.0)
@@ -159,13 +165,6 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--out", required=True, help="repaired sketch output path")
     update.add_argument("--save-graph", default=None, help="write the updated edge list here")
     update.add_argument("--seed", type=int, default=0)
-    update.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for resampling invalidated RR sets "
-        "(0 = all cores; repaired bytes are worker-count invariant)",
-    )
 
     return parser
 
@@ -194,6 +193,24 @@ def _command_datasets() -> int:
     return 0
 
 
+def _resolve_policy(args, base: ExecutionPolicy | None = None) -> ExecutionPolicy:
+    """CLI flags over REPRO_* environment over ``base`` (library defaults).
+
+    ``base`` carries subcommand-specific defaults — the sketch/serve builds
+    default to the coarser ε = 0.3 — so the env vars still layer between
+    the default and any explicit flag.
+    """
+    return ExecutionPolicy.from_args(args, base=base)
+
+
+#: Serving sketches trade tightness for build time (see InfluenceService).
+_SERVING_DEFAULTS = ExecutionPolicy(epsilon=0.3)
+
+#: RIS pays ε⁻³, so its historical default is coarser than the library-wide
+#: 0.1; the CLI keeps it as the base layer under REPRO_EPSILON / --epsilon.
+_RIS_DEFAULTS = ExecutionPolicy(epsilon=0.2)
+
+
 def _command_run(args) -> int:
     graph = _load_graph(args.dataset, args.scale, args.model)
     kwargs = {}
@@ -203,18 +220,25 @@ def _command_run(args) -> int:
         kwargs["ell"] = args.ell
     if args.num_runs is not None:
         kwargs["num_runs"] = args.num_runs
-    if args.engine is not None:
-        if args.algorithm.lower() not in _ENGINE_ALGORITHMS:
-            raise SystemExit(
-                f"--engine applies to {sorted(_ENGINE_ALGORITHMS)}, not {args.algorithm!r}"
-            )
-        kwargs["engine"] = args.engine
-    if args.jobs is not None:
-        if args.algorithm.lower() not in _ENGINE_ALGORITHMS:
-            raise SystemExit(
-                f"--jobs applies to {sorted(_ENGINE_ALGORITHMS)}, not {args.algorithm!r}"
-            )
-        kwargs["jobs"] = args.jobs
+    if args.trace_edges is not None:
+        # run never persists a sketch, so tracing would be a silent no-op.
+        raise SystemExit(
+            "--trace-edges applies to the sketch/serve/update subcommands; "
+            "run does not persist a sketch"
+        )
+    if supports_policy(args.algorithm):
+        base = _RIS_DEFAULTS if args.algorithm.lower() == "ris" else None
+        kwargs["policy"] = _resolve_policy(args, base=base)
+    else:
+        for flag in ("engine", "jobs"):
+            if getattr(args, flag) is not None:
+                policy_aware = sorted(
+                    name for name in algorithm_names() if supports_policy(name)
+                )
+                raise SystemExit(
+                    f"--{flag.replace('_', '-')} applies to "
+                    f"{policy_aware}, not {args.algorithm!r}"
+                )
     model = args.model
     if args.horizon is not None:
         if args.model != "IC":
@@ -262,18 +286,17 @@ def _command_sketch(args) -> int:
     from repro.sketch import SketchIndex
 
     graph = _load_graph(args.dataset, args.scale, args.model)
+    policy = _resolve_policy(args, base=_SERVING_DEFAULTS)
     started = time.perf_counter()
     index = SketchIndex.build(
         graph,
         args.model,
         theta=args.theta,
         k=None if args.theta is not None else args.k,
-        epsilon=args.epsilon,
-        ell=args.ell,
+        epsilon=policy.epsilon,
+        ell=policy.ell,
         rng=args.seed,
-        engine=args.engine,
-        jobs=args.jobs,
-        trace_edges=args.trace_edges,
+        policy=policy,
     )
     build_seconds = time.perf_counter() - started
     index.close()
@@ -293,14 +316,14 @@ def _command_serve(args) -> int:
     from repro.sketch import InfluenceService, SketchIndex
 
     graph = _load_graph(args.dataset, args.scale, args.model)
+    policy = _resolve_policy(args, base=_SERVING_DEFAULTS)
     service = InfluenceService(
         max_indexes=args.max_indexes,
         default_k=args.k,
-        epsilon=args.epsilon,
-        ell=args.ell,
+        epsilon=policy.epsilon,
+        ell=policy.ell,
         theta=args.theta,
-        jobs=args.jobs,
-        trace_edges=args.trace_edges,
+        policy=policy,
         rng=args.seed,
     )
     loaded_index = None
@@ -356,7 +379,8 @@ def _command_update(args) -> int:
     from repro.sketch import SketchIndex
 
     graph = _load_graph(args.dataset, args.scale, args.model)
-    index = SketchIndex.load(args.sketch, graph=graph, model=args.model, jobs=args.jobs)
+    policy = _resolve_policy(args)
+    index = SketchIndex.load(args.sketch, graph=graph, model=args.model, jobs=policy.jobs)
     dynamic = DynamicDiGraph(graph)
 
     if args.updates == "-":

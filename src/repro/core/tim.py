@@ -15,6 +15,7 @@ triggering model, in ``O((k + ℓ)(m + n) log n / ε²)`` expected time.
 
 from __future__ import annotations
 
+from repro.api.policy import DEPRECATED, ExecutionPolicy, resolve_call_policy
 from repro.core.kpt_estimation import estimate_kpt
 from repro.core.node_selection import node_selection
 from repro.core.parameters import (
@@ -40,17 +41,20 @@ __all__ = ["tim", "tim_plus"]
 def tim(
     graph: DiGraph,
     k: int,
-    epsilon: float = 0.1,
-    ell: float = 1.0,
+    epsilon: float | None = None,
+    ell: float | None = None,
     model="IC",
     rng=None,
     refine: bool = False,
     epsilon_prime: float | None = None,
     coverage: str = "exact",
     max_theta: int | None = None,
-    engine: str = "vectorized",
-    sketch_index=None,
-    jobs: int | None = None,
+    engine=DEPRECATED,
+    sketch_index=DEPRECATED,
+    jobs=DEPRECATED,
+    *,
+    policy: ExecutionPolicy | None = None,
+    index=None,
 ) -> TIMResult:
     """Two-phase Influence Maximization.
 
@@ -62,9 +66,10 @@ def tim(
         Seed-set size.
     epsilon:
         Approximation slack; the result is ``(1 − 1/e − ε)``-approximate.
+        Defaults to ``policy.epsilon`` (library default ``0.1``).
     ell:
         Failure exponent: success probability at least ``1 − n^{−ℓ}``.
-        Theorem 2 assumes ``ℓ ≥ 1/2``.
+        Theorem 2 assumes ``ℓ ≥ 1/2``.  Defaults to ``policy.ell``.
     model:
         ``"IC"``, ``"LT"``, or a :class:`~repro.diffusion.base.DiffusionModel`
         instance (e.g. a configured TriggeringModel).
@@ -78,12 +83,12 @@ def tim(
         Optional hard cap on θ.  **Voids the approximation guarantee**; it
         exists so exploratory runs on tiny budgets cannot run away.  The
         result records whether the cap bit via ``extras["theta_capped"]``.
-    engine:
-        ``"vectorized"`` (default) runs every sampling phase through the
-        numpy-batched flat RR engine; ``"python"`` keeps the original scalar
-        loops (ablation baseline).  Identical output distribution either
-        way — only the constant factors differ.
-    sketch_index:
+    policy:
+        The :class:`~repro.api.policy.ExecutionPolicy` governing execution
+        (engine, worker pool, accuracy defaults).  Two policies differing
+        only in ``engine``/``jobs`` return byte-identical seed sets for
+        equal seeds.
+    index:
         Optional :class:`~repro.sketch.index.SketchIndex` to run the call
         *through* (build-or-reuse).  Node selection draws on the index's
         sketch — RR sets it already holds are reused and only the shortfall
@@ -92,14 +97,13 @@ def tim(
         entirely (reusing an earlier KPT* is statistically sound: any value
         in ``[KPT/4, OPT]`` validates θ, and the cached one was produced by
         the same procedure, independently of the selection samples).  A
-        first call populates the index; later calls amortize it.
-    jobs:
-        Worker processes for RR generation (``0`` = all cores).  One
-        :class:`~repro.parallel.ParallelSampler` pool is spawned lazily and
-        reused across every phase of the run, then shut down.  Seed sets,
-        KPT estimates, and sampled collections are byte-identical for every
-        worker count; ``None`` (default) keeps the legacy single-stream
-        path.
+        first call populates the index; later calls amortize it.  Prefer
+        :class:`~repro.api.session.InfluenceSession` for whole-workload
+        sketch ownership.
+    engine, sketch_index, jobs:
+        **Deprecated** legacy keywords; still honoured (with a
+        :class:`DeprecationWarning` and identical results) but superseded
+        by ``policy=`` / ``index=``.
 
     Returns
     -------
@@ -107,20 +111,26 @@ def tim(
         Seeds plus every diagnostic the paper plots: KPT*, KPT⁺, θ,
         per-phase RR-set counts, per-phase wall-clock, RR-collection bytes.
     """
+    resolved_policy, index = resolve_call_policy(
+        "tim()", policy, engine=engine, jobs=jobs, sketch_index=sketch_index,
+        index=index,
+    )
+    epsilon = resolved_policy.epsilon if epsilon is None else epsilon
+    ell = resolved_policy.ell if ell is None else ell
+    engine = resolved_policy.engine
     require(graph.n >= 2, "influence maximization needs at least two nodes")
-    require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
     check_k(k, graph.n)
     check_epsilon(epsilon)
     check_ell(ell)
     resolved_model = resolve_model(model)
     resolved_model.validate_graph(graph)
     source = resolve_rng(rng)
-    jobs = jobs_for_engine(engine, jobs, stacklevel=2)
+    jobs = jobs_for_engine(engine, resolved_policy.jobs, stacklevel=2)
     sampler, owned_pool = maybe_parallel(make_rr_sampler(graph, resolved_model), jobs)
     try:
         return _tim_run(
             graph, k, epsilon, ell, resolved_model, source, sampler, refine,
-            epsilon_prime, coverage, max_theta, engine, sketch_index,
+            epsilon_prime, coverage, max_theta, engine, index,
         )
     finally:
         if owned_pool:
@@ -234,18 +244,25 @@ def _tim_run(
 def tim_plus(
     graph: DiGraph,
     k: int,
-    epsilon: float = 0.1,
-    ell: float = 1.0,
+    epsilon: float | None = None,
+    ell: float | None = None,
     model="IC",
     rng=None,
     epsilon_prime: float | None = None,
     coverage: str = "exact",
     max_theta: int | None = None,
-    engine: str = "vectorized",
-    sketch_index=None,
-    jobs: int | None = None,
+    engine=DEPRECATED,
+    sketch_index=DEPRECATED,
+    jobs=DEPRECATED,
+    *,
+    policy: ExecutionPolicy | None = None,
+    index=None,
 ) -> TIMResult:
     """TIM+ — TIM with the Algorithm 3 refinement step (Section 4.1)."""
+    resolved_policy, index = resolve_call_policy(
+        "tim_plus()", policy, engine=engine, jobs=jobs,
+        sketch_index=sketch_index, index=index,
+    )
     return tim(
         graph,
         k,
@@ -257,7 +274,6 @@ def tim_plus(
         epsilon_prime=epsilon_prime,
         coverage=coverage,
         max_theta=max_theta,
-        engine=engine,
-        sketch_index=sketch_index,
-        jobs=jobs,
+        policy=resolved_policy,
+        index=index,
     )

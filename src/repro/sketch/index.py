@@ -30,6 +30,7 @@ import heapq
 
 import numpy as np
 
+from repro.api.policy import ExecutionPolicy
 from repro.core.kpt_estimation import estimate_kpt
 from repro.core.parameters import adjusted_ell_tim, lambda_param, theta_from_kpt
 from repro.diffusion.base import resolve_model
@@ -124,9 +125,9 @@ class SketchIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
-              epsilon: float = 0.1, ell: float = 1.0, rng=None,
-              engine: str = "vectorized", jobs: int | None = None,
-              trace_edges: bool = False) -> "SketchIndex":
+              epsilon: float | None = None, ell: float | None = None, rng=None,
+              engine: str | None = None, jobs: int | None = None,
+              trace_edges: bool | None = None, policy=None) -> "SketchIndex":
         """Cold-build a sketch: sample θ random RR sets and index them.
 
         Either pass ``theta`` directly, or pass ``k`` and the sketch size is
@@ -143,7 +144,18 @@ class SketchIndex:
         the dependency record :meth:`apply_update` uses for precise
         invalidation under graph updates.  Tracing changes neither the
         sampled sets nor the RNG stream — only the extra arrays stored.
+
+        ``policy`` (an :class:`~repro.api.policy.ExecutionPolicy`) supplies
+        defaults for ``engine``/``jobs``/``trace_edges``/``epsilon``/``ell``;
+        explicit keyword arguments override it, so existing call shapes are
+        unchanged.
         """
+        resolved_policy = ExecutionPolicy.coerce(policy)
+        engine = resolved_policy.engine if engine is None else engine
+        jobs = resolved_policy.jobs if jobs is None else jobs
+        trace_edges = resolved_policy.trace_edges if trace_edges is None else trace_edges
+        epsilon = resolved_policy.epsilon if epsilon is None else epsilon
+        ell = resolved_policy.ell if ell is None else ell
         require(engine in ("vectorized", "python"),
                 f"engine must be 'vectorized' or 'python'; got {engine!r}")
         resolved = resolve_model(model)

@@ -29,19 +29,45 @@ the stale key vacates the cache atomically instead of lingering until LRU
 pressure evicts it.
 
 Responses echo ``op`` (and ``id`` when the request carries one) and add
-``result``, ``latency_ms`` and ``cache`` (``"hit"``/``"miss"``).  Failures
-come back as ``{"ok": false, "error": ...}`` instead of raising, so one bad
-request cannot take down a batch.
+``result``, ``latency_ms``, ``cache`` (``"hit"``/``"miss"``) and
+``schema_version``.  Failures come back as structured payloads —
+``{"ok": false, "error": {"code": ..., "message": ...}}`` — instead of
+raising, so one bad request cannot take down a batch; unknown request
+fields are rejected (``unknown_field``) rather than silently ignored.
+
+The protocol itself lives in :mod:`repro.api.ops`: :meth:`execute` is the
+typed front (``SelectRequest`` in, ``SelectResponse`` out) and is what
+``run_batch`` and the CLI speak; the dict-in/dict-out :meth:`query` is a
+deprecated shim over it with byte-identical payloads.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.api.ops import (
+    ApiError,
+    ErrorResponse,
+    MarginalRequest,
+    MarginalResponse,
+    Request,
+    Response,
+    SelectRequest,
+    SelectResponse,
+    SpreadRequest,
+    SpreadResponse,
+    StatsRequest,
+    StatsResponse,
+    UpdateRequest,
+    UpdateResponse,
+    parse_request,
+)
+from repro.api.policy import ExecutionPolicy
 from repro.diffusion.base import resolve_model
 from repro.sketch.index import SketchIndex
 from repro.utils.rng import resolve_rng
@@ -113,23 +139,35 @@ class InfluenceService:
         Build cold indexes with live-edge traces so ``update`` requests
         invalidate precisely (IC/LT).  Untraced indexes still repair, but
         with the coarser membership-based invalidation.
+    policy:
+        An :class:`~repro.api.policy.ExecutionPolicy` supplying defaults
+        for ``engine``/``jobs``/``trace_edges``/``epsilon``/``ell`` in one
+        validated object; the explicit keyword arguments above override
+        its fields.  Without a policy, ``epsilon`` keeps the service's
+        historical ``0.3`` default (coarser than the library-wide ``0.1``
+        because a serving sketch trades tightness for build time).
     rng:
         Seed/source for cold builds, so a service run is reproducible.
     """
 
     def __init__(self, max_indexes: int = 4, *, default_k: int = 10,
-                 epsilon: float = 0.3, ell: float = 1.0, theta: int | None = None,
-                 engine: str = "vectorized", jobs: int | None = None,
-                 trace_edges: bool = False, rng=None):
+                 epsilon: float | None = None, ell: float | None = None,
+                 theta: int | None = None,
+                 engine: str | None = None, jobs: int | None = None,
+                 trace_edges: bool | None = None,
+                 policy: ExecutionPolicy | None = None, rng=None):
         require(max_indexes >= 1, "max_indexes must be >= 1")
+        resolved = ExecutionPolicy.coerce(policy)
         self.max_indexes = int(max_indexes)
         self.default_k = int(default_k)
+        if epsilon is None:
+            epsilon = resolved.epsilon if policy is not None else 0.3
         self.epsilon = float(epsilon)
-        self.ell = float(ell)
+        self.ell = float(resolved.ell if ell is None else ell)
         self.theta = theta
-        self.engine = engine
-        self.jobs = jobs
-        self.trace_edges = bool(trace_edges)
+        self.engine = resolved.engine if engine is None else engine
+        self.jobs = resolved.jobs if jobs is None else jobs
+        self.trace_edges = bool(resolved.trace_edges if trace_edges is None else trace_edges)
         self._rng = resolve_rng(rng)
         self._indexes: "OrderedDict[tuple[str, str], SketchIndex]" = OrderedDict()
         self.stats = ServiceStats()
@@ -223,7 +261,9 @@ class InfluenceService:
         require(isinstance(dynamic, DynamicDiGraph),
                 "updates need a DynamicDiGraph (got a plain graph; wrap it "
                 "in repro.dynamic.DynamicDiGraph to enable mutation)")
-        if not isinstance(update, EdgeUpdate):
+        if isinstance(update, UpdateRequest):
+            update = update.to_edge_update()
+        elif not isinstance(update, EdgeUpdate):
             update = parse_update(update)
         delta = dynamic.preview(update)
         keys = [k for k in self._indexes if k[0] == delta.old_fingerprint]
@@ -264,77 +304,95 @@ class InfluenceService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, graph, request: dict, model=None) -> dict:
-        """Answer one request dict; never raises on bad input.
+    def _dispatch(self, graph, request: Request, model) -> Response:
+        """Route one *typed* request to its handler; may raise."""
+        if isinstance(request, StatsRequest):
+            return StatsResponse(stats=self.stats.as_dict(), cache="n/a")
+        if isinstance(request, UpdateRequest):
+            report = self.apply_update(graph, request)
+            return UpdateResponse(cache="n/a", **report)
+        resolved_model = getattr(request, "model", None) or model or "IC"
+        index, was_cached = self.get_index(graph, resolved_model)
+        cache = "hit" if was_cached else "miss"
+        if isinstance(request, SelectRequest):
+            result = index.select(
+                request.k,
+                forced_include=request.include,
+                forced_exclude=request.exclude,
+            )
+            return SelectResponse(
+                seeds=result.seeds,
+                coverage_fraction=result.fraction,
+                estimated_spread=index.num_nodes * result.fraction,
+                num_rr_sets=index.num_sets,
+                cache=cache,
+            )
+        if isinstance(request, SpreadRequest):
+            return SpreadResponse(
+                spread=index.spread(request.seeds),
+                coverage_fraction=index.coverage_fraction(request.seeds),
+                num_rr_sets=index.num_sets,
+                cache=cache,
+            )
+        if isinstance(request, MarginalRequest):
+            return MarginalResponse(
+                gain=index.marginal_gain(request.seeds, request.candidate),
+                num_rr_sets=index.num_sets,
+                cache=cache,
+            )
+        raise ApiError("unknown_op",  # pragma: no cover - parse_request exhausts ops
+                       f"unhandled request type {type(request).__name__}")
 
-        ``model`` in the request overrides the call-level default, which
-        overrides ``"IC"``.
+    def execute(self, graph, request, model=None) -> Response:
+        """Answer one typed request (or wire dict); never raises on bad input.
+
+        The single protocol front: :class:`~repro.api.ops.Request` in,
+        :class:`~repro.api.ops.Response` out, with latency and hit/miss
+        bookkeeping.  ``model`` on the request overrides the call-level
+        default, which overrides ``"IC"``.  Failures — protocol errors and
+        domain rejections alike — come back as
+        :class:`~repro.api.ops.ErrorResponse` with a stable ``code``.
         """
         started = time.perf_counter()
-        response: dict = {}
-        if isinstance(request, dict) and "id" in request:
-            response["id"] = request["id"]
+        op: str | None = None
+        request_id = None
+        response: Response | None = None
+        if isinstance(request, dict):
+            # Best-effort envelope echo even when parsing fails.
+            op = request.get("op") if isinstance(request.get("op"), str) else None
+            request_id = request.get("id")
         try:
-            require(isinstance(request, dict), "request must be a JSON object")
-            op = request.get("op")
-            response["op"] = op
-            if op == "stats":
-                response.update(ok=True, result=self.stats.as_dict(), cache="n/a")
-                return response
-            if op == "update":
-                response.update(ok=True, result=self.apply_update(graph, request),
-                                cache="n/a")
-                return response
-            resolved_model = request.get("model", model or "IC")
-            index, was_cached = self.get_index(graph, resolved_model)
-            response["cache"] = "hit" if was_cached else "miss"
-            if op == "select":
-                k = request.get("k")
-                require(isinstance(k, int) and k >= 1, "select needs an integer k >= 1")
-                result = index.select(
-                    k,
-                    forced_include=request.get("include", ()),
-                    forced_exclude=request.get("exclude", ()),
-                )
-                response.update(ok=True, result={
-                    "seeds": result.seeds,
-                    "coverage_fraction": result.fraction,
-                    "estimated_spread": index.num_nodes * result.fraction,
-                    "num_rr_sets": index.num_sets,
-                })
-            elif op == "spread":
-                seeds = request.get("seeds")
-                require(isinstance(seeds, list) and seeds, "spread needs a non-empty seeds list")
-                response.update(ok=True, result={
-                    "spread": index.spread(seeds),
-                    "coverage_fraction": index.coverage_fraction(seeds),
-                    "num_rr_sets": index.num_sets,
-                })
-            elif op == "marginal_gain":
-                seeds = request.get("seeds")
-                candidate = request.get("candidate")
-                require(isinstance(seeds, list), "marginal_gain needs a seeds list")
-                require(isinstance(candidate, int), "marginal_gain needs an integer candidate")
-                response.update(ok=True, result={
-                    "gain": index.marginal_gain(seeds, candidate),
-                    "num_rr_sets": index.num_sets,
-                })
-            else:
-                raise ValueError(
-                    f"unknown op {op!r}; expected select, spread, marginal_gain, "
-                    "update, or stats"
-                )
-        except (ValueError, KeyError, TypeError) as exc:
-            response.update(ok=False, error=str(exc))
+            typed = parse_request(request)
+            op, request_id = typed.op, typed.id
+            response = self._dispatch(graph, typed, model)
+            response.id = request_id
+        except (ApiError, ValueError, KeyError, TypeError) as exc:
+            response = ErrorResponse.from_exception(exc, op=op, id=request_id)
             self.stats.errors += 1
         finally:
             elapsed = time.perf_counter() - started
-            response["latency_ms"] = 1000.0 * elapsed
+            if response is not None:
+                response.latency_ms = 1000.0 * elapsed
             self.stats.queries += 1
             self.stats.total_latency_seconds += elapsed
-            op_name = response.get("op") or "<missing>"
+            op_name = op or "<missing>"
             self.stats.per_op[op_name] = self.stats.per_op.get(op_name, 0) + 1
         return response
+
+    def query(self, graph, request: dict, model=None) -> dict:
+        """Deprecated dict front: parse → :meth:`execute` → wire dict.
+
+        Kept for backward compatibility; the payload is byte-identical to
+        ``execute(graph, request, model).to_wire()`` (it *is* that call).
+        """
+        warnings.warn(
+            "InfluenceService.query(dict) is deprecated; use "
+            "execute(graph, SelectRequest(k=...)) (repro.api.ops) for typed "
+            "calls, or run_batch for JSONL streams. Payloads are identical.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(graph, request, model=model).to_wire()
 
     def run_batch(self, graph, lines: Iterable[str], model=None) -> list[dict]:
         """Answer a JSONL request stream; blank lines and ``#`` comments skip."""
@@ -348,12 +406,11 @@ class InfluenceService:
             except json.JSONDecodeError as exc:
                 self.stats.queries += 1
                 self.stats.errors += 1
-                responses.append({
-                    "ok": False,
-                    "line": line_number,
-                    "error": f"invalid JSON: {exc}",
-                    "latency_ms": 0.0,
-                })
+                responses.append(ErrorResponse(
+                    code="invalid_json",
+                    message=f"invalid JSON: {exc}",
+                    line=line_number,
+                ).to_wire())
                 continue
-            responses.append(self.query(graph, request, model=model))
+            responses.append(self.execute(graph, request, model=model).to_wire())
         return responses

@@ -36,6 +36,29 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_algorithm("tim", lambda *a, **k: None)
 
+    def test_reregistering_same_definition_is_idempotent(self):
+        # The module-reimport / interactive-reload shape: same module and
+        # qualname, possibly a fresh function object.  Must never raise.
+        from repro.core.tim import tim
+
+        before = get_algorithm("tim")
+        register_algorithm("tim", tim)
+        register_algorithm("tim", tim)
+        assert get_algorithm("tim") is before
+
+    def test_replace_true_swaps_and_restores(self):
+        original = get_algorithm("tim")
+
+        def stub(*args, **kwargs):  # pragma: no cover - never called
+            raise AssertionError
+
+        register_algorithm("tim", stub, replace=True)
+        try:
+            assert get_algorithm("tim") is stub
+        finally:
+            register_algorithm("tim", original, replace=True)
+        assert get_algorithm("tim") is original
+
 
 class TestMaximizeInfluence:
     def test_dispatch_and_result_type(self, small_wc_graph):

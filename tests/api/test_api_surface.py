@@ -1,0 +1,104 @@
+"""Snapshot of the public API surface: symbols + signatures.
+
+Guards against *accidental* breaks: renaming a keyword, dropping a default,
+or losing an export now fails a test instead of shipping silently.  An
+intentional change regenerates the snapshot::
+
+    PYTHONPATH=src python tests/api/test_api_surface.py --update
+
+and the resulting diff of ``api_surface.txt`` is reviewed like any other
+wire-format change.
+
+Annotations are stripped before rendering (their string forms vary across
+Python versions); default values are rendered by ``repr`` and are part of
+the contract — a changed default is an API change.
+"""
+
+import inspect
+import pathlib
+import sys
+
+SNAPSHOT = pathlib.Path(__file__).parent / "api_surface.txt"
+
+#: Classes whose public methods are part of the pinned surface.
+_EXPANDED_CLASSES = (
+    "ExecutionPolicy",
+    "InfluenceSession",
+    "InfluenceService",
+    "SketchIndex",
+    "DynamicDiGraph",
+)
+
+
+def _clean_signature(obj) -> str:
+    signature = inspect.signature(obj)
+    parameters = [
+        parameter.replace(annotation=inspect.Parameter.empty)
+        for parameter in signature.parameters.values()
+    ]
+    return str(signature.replace(parameters=parameters,
+                                 return_annotation=inspect.Signature.empty))
+
+
+def _render_symbol(prefix: str, name: str, obj) -> list[str]:
+    qualified = f"{prefix}.{name}"
+    if inspect.isclass(obj):
+        try:
+            signature = _clean_signature(obj)
+        except (TypeError, ValueError):
+            signature = "(...)"
+        lines = [f"class {qualified}{signature}"]
+        if name in _EXPANDED_CLASSES:
+            for method_name, member in sorted(vars(obj).items()):
+                if method_name.startswith("_"):
+                    continue
+                if isinstance(member, property):
+                    lines.append(f"  {qualified}.{method_name} <property>")
+                    continue
+                if isinstance(member, (classmethod, staticmethod)):
+                    member = member.__func__
+                if callable(member):
+                    try:
+                        lines.append(
+                            f"  {qualified}.{method_name}{_clean_signature(member)}")
+                    except (TypeError, ValueError):  # pragma: no cover
+                        lines.append(f"  {qualified}.{method_name}(...)")
+        return lines
+    if callable(obj):
+        try:
+            return [f"{qualified}{_clean_signature(obj)}"]
+        except (TypeError, ValueError):  # pragma: no cover
+            return [f"{qualified}(...)"]
+    return [f"{qualified} = {obj!r}"]
+
+
+def render_api_surface() -> str:
+    import repro
+    import repro.api as repro_api
+
+    lines = []
+    for module, prefix in ((repro, "repro"), (repro_api, "repro.api")):
+        for name in sorted(set(module.__all__)):
+            if prefix == "repro.api" and name in repro.__all__:
+                continue  # already pinned at the top level
+            lines.extend(_render_symbol(prefix, name, getattr(module, name)))
+    return "\n".join(lines) + "\n"
+
+
+def test_api_surface_matches_snapshot():
+    expected = SNAPSHOT.read_text(encoding="utf-8")
+    actual = render_api_surface()
+    assert actual == expected, (
+        "public API surface drifted from tests/api/api_surface.txt; if the "
+        "change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/api/test_api_surface.py --update` "
+        "and review the diff"
+    )
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        SNAPSHOT.write_text(render_api_surface(), encoding="utf-8")
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print(render_api_surface(), end="")

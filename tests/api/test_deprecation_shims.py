@@ -1,0 +1,173 @@
+"""Legacy call shapes: still working, warning, and byte-identical.
+
+The acceptance bar for the unified API: ``tim_plus(graph, k, engine=...,
+jobs=..., sketch_index=...)`` and dict-based ``InfluenceService.query``
+must keep producing byte-identical seed sets / sketch bytes to the new
+``ExecutionPolicy`` / typed-request path at equal seeds, under a
+``DeprecationWarning``.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import InfluenceService, SketchIndex, maximize_influence, ris, tim, tim_plus
+from repro.algorithms import register_algorithm, supports_policy
+from repro.api import ExecutionPolicy, SelectRequest
+from repro.graphs import gnm_random_digraph, weighted_cascade
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(60, 240, rng=11))
+
+
+def _legacy(call, *args, **kwargs):
+    """Run a legacy-shaped call, asserting it warns, and return its result."""
+    with pytest.warns(DeprecationWarning):
+        return call(*args, **kwargs)
+
+
+class TestTimFamilyShims:
+    def test_tim_plus_engine_jobs_kwargs_byte_identical(self, wc_graph):
+        legacy = _legacy(tim_plus, wc_graph, 4, epsilon=0.5, rng=13,
+                         engine="vectorized", jobs=1)
+        modern = tim_plus(wc_graph, 4, epsilon=0.5, rng=13,
+                          policy=ExecutionPolicy(engine="vectorized", jobs=1))
+        assert legacy.seeds == modern.seeds
+        assert legacy.theta == modern.theta
+        assert legacy.kpt_star == modern.kpt_star
+        assert legacy.rr_collection_bytes == modern.rr_collection_bytes
+
+    def test_tim_python_engine_kwarg_byte_identical(self, wc_graph):
+        legacy = _legacy(tim, wc_graph, 3, epsilon=0.6, rng=19, engine="python")
+        modern = tim(wc_graph, 3, epsilon=0.6, rng=19,
+                     policy=ExecutionPolicy(engine="python"))
+        assert legacy.seeds == modern.seeds
+        assert legacy.theta == modern.theta
+
+    def test_tim_sketch_index_kwarg_byte_identical(self, wc_graph):
+        def build():
+            return SketchIndex.build(wc_graph, "IC", theta=800, rng=23)
+
+        legacy = _legacy(tim, wc_graph, 4, epsilon=0.6, rng=29,
+                         sketch_index=build())
+        modern = tim(wc_graph, 4, epsilon=0.6, rng=29, index=build())
+        assert legacy.seeds == modern.seeds
+        assert legacy.theta == modern.theta
+
+    def test_ris_legacy_kwargs_byte_identical(self, wc_graph):
+        legacy = _legacy(ris, wc_graph, 3, rng=5, epsilon=0.4,
+                         engine="vectorized", jobs=1)
+        modern = ris(wc_graph, 3, rng=5, epsilon=0.4,
+                     policy=ExecutionPolicy(jobs=1))
+        assert legacy.seeds == modern.seeds
+
+    def test_default_paths_do_not_warn(self, wc_graph, recwarn):
+        tim(wc_graph, 2, epsilon=0.6, rng=1)
+        tim_plus(wc_graph, 2, epsilon=0.6, rng=1)
+        ris(wc_graph, 2, rng=1, epsilon=0.5)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_ris_honours_policy_epsilon(self, wc_graph):
+        # A passed policy's epsilon governs the tau budget; without one,
+        # RIS keeps its historical coarser 0.2 default.
+        coarse = ris(wc_graph, 3, rng=5, policy=ExecutionPolicy(epsilon=0.5))
+        tight = ris(wc_graph, 3, rng=5, policy=ExecutionPolicy(epsilon=0.2))
+        default = ris(wc_graph, 3, rng=5)
+        baseline = ris(wc_graph, 3, rng=5, epsilon=0.2)
+        assert default.seeds == baseline.seeds  # bare call keeps 0.2
+        assert tight.seeds == baseline.seeds    # policy epsilon applied
+        assert coarse.extras["num_rr_sets"] <= tight.extras["num_rr_sets"]
+
+    def test_policy_epsilon_is_the_default_layer(self, wc_graph):
+        explicit = tim(wc_graph, 3, epsilon=0.5, rng=7)
+        via_policy = tim(wc_graph, 3, rng=7, policy=ExecutionPolicy(epsilon=0.5))
+        assert explicit.seeds == via_policy.seeds
+        assert explicit.epsilon == via_policy.epsilon == 0.5
+        # explicit argument beats the policy field
+        override = tim(wc_graph, 3, epsilon=0.5, rng=7,
+                       policy=ExecutionPolicy(epsilon=0.3))
+        assert override.epsilon == 0.5
+        assert override.seeds == explicit.seeds
+
+
+class TestSketchBytesShim:
+    def test_sketch_file_bytes_identical_across_paths(self, wc_graph, tmp_path):
+        a = SketchIndex.build(wc_graph, "IC", theta=600, rng=31,
+                              engine="vectorized", jobs=None)
+        b = SketchIndex.build(wc_graph, "IC", theta=600, rng=31,
+                              policy=ExecutionPolicy())
+        path_a, path_b = tmp_path / "a.npz", tmp_path / "b.npz"
+        a.save(path_a)
+        b.save(path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+
+class TestServiceQueryShim:
+    def test_dict_query_warns_and_matches_typed_execute(self, wc_graph):
+        # Two identically-seeded services: cold builds are deterministic, so
+        # the typed path and the dict shim must agree byte for byte.
+        typed = InfluenceService(theta=500, rng=0).execute(
+            wc_graph, SelectRequest(k=3, id="q")).to_wire()
+        legacy = _legacy(InfluenceService(theta=500, rng=0).query,
+                         wc_graph, {"op": "select", "k": 3, "id": "q"})
+        # identical payloads modulo wall-clock
+        typed.pop("latency_ms")
+        legacy.pop("latency_ms")
+        assert legacy == typed
+        assert typed["cache"] == "miss"
+
+    def test_run_batch_does_not_warn(self, wc_graph, recwarn):
+        service = InfluenceService(theta=300, rng=0)
+        responses = service.run_batch(
+            wc_graph, [json.dumps({"op": "select", "k": 2})])
+        assert responses[0]["ok"]
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestMaximizeInfluencePolicy:
+    def test_policy_forwards_to_tim_family(self, wc_graph):
+        result = maximize_influence(wc_graph, 3, algorithm="tim+", rng=3,
+                                    epsilon=0.5, policy=ExecutionPolicy(jobs=1))
+        baseline = maximize_influence(wc_graph, 3, algorithm="tim+", rng=3,
+                                      epsilon=0.5, policy=ExecutionPolicy(jobs=2))
+        assert result.seeds == baseline.seeds
+
+    def test_policy_rejected_for_heuristics(self, wc_graph):
+        with pytest.raises(ValueError, match="does not accept an execution"):
+            maximize_influence(wc_graph, 2, algorithm="degree",
+                               policy=ExecutionPolicy())
+
+    def test_supports_policy_probe(self):
+        assert supports_policy("tim")
+        assert supports_policy("tim+")
+        assert supports_policy("ris")
+        assert not supports_policy("degree")
+
+
+class TestRegistryReload:
+    def test_reregistering_same_definition_is_idempotent(self):
+        register_algorithm("tim", tim)  # the reimport / reload shape
+        register_algorithm("tim+", tim_plus)
+
+    def test_different_callable_still_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("tim", lambda *a, **k: None)
+
+    def test_replace_true_overrides_and_restores(self, wc_graph):
+        shim_called = []
+
+        def shim(graph, k, *, model="IC", rng=None, **kwargs):
+            shim_called.append(k)
+            return tim(graph, k, model=model, rng=rng, **kwargs)
+
+        register_algorithm("tim", shim, replace=True)
+        try:
+            maximize_influence(wc_graph, 2, algorithm="tim", rng=0, epsilon=0.6)
+            assert shim_called == [2]
+        finally:
+            register_algorithm("tim", tim, replace=True)

@@ -1,0 +1,161 @@
+"""The versioned op layer: strict parsing, wire round-trips, golden fixtures."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api.ops import (
+    SCHEMA_VERSION,
+    ApiError,
+    ErrorResponse,
+    MarginalRequest,
+    MarginalResponse,
+    SelectRequest,
+    SelectResponse,
+    SpreadRequest,
+    SpreadResponse,
+    StatsRequest,
+    StatsResponse,
+    UpdateRequest,
+    UpdateResponse,
+    parse_request,
+    response_from_wire,
+)
+
+FIXTURES = pathlib.Path(__file__).parent
+
+
+def _load_jsonl(name):
+    with open(FIXTURES / name, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestGoldenRequests:
+    """The checked-in fixtures pin the wire format; regenerating them is a
+    deliberate (versioned) act, not a side effect of a refactor."""
+
+    @pytest.mark.parametrize("case", _load_jsonl("golden_requests.jsonl"),
+                             ids=lambda case: json.dumps(case["request"])[:60])
+    def test_parse_then_serialize_matches_golden_wire(self, case):
+        parsed = parse_request(case["request"])
+        assert parsed.to_wire() == case["wire"]
+
+    @pytest.mark.parametrize("case", _load_jsonl("golden_requests.jsonl"),
+                             ids=lambda case: json.dumps(case["request"])[:60])
+    def test_wire_form_reparses_to_equal_request(self, case):
+        parsed = parse_request(case["request"])
+        assert parse_request(parsed.to_wire()) == parsed
+
+    @pytest.mark.parametrize("case", _load_jsonl("golden_requests.jsonl"),
+                             ids=lambda case: json.dumps(case["request"])[:60])
+    def test_wire_form_is_json_clean(self, case):
+        wire = parse_request(case["request"]).to_wire()
+        assert json.loads(json.dumps(wire)) == wire
+
+
+class TestGoldenErrors:
+    @pytest.mark.parametrize("case", _load_jsonl("golden_errors.jsonl"),
+                             ids=lambda case: json.dumps(case["request"])[:60])
+    def test_rejected_with_stable_code(self, case):
+        with pytest.raises(ApiError) as info:
+            parse_request(case["request"])
+        assert info.value.code == case["code"]
+
+    def test_non_dict_request(self):
+        with pytest.raises(ApiError) as info:
+            parse_request(["op", "select"])
+        assert info.value.code == "bad_request"
+
+    def test_error_payload_shape(self):
+        try:
+            parse_request({"op": "select", "k": 3, "includ": [1]})
+        except ApiError as exc:
+            wire = ErrorResponse.from_exception(exc, op="select", id="x").to_wire()
+        assert wire["ok"] is False
+        assert wire["id"] == "x"
+        assert wire["op"] == "select"
+        assert wire["schema_version"] == SCHEMA_VERSION
+        assert wire["error"]["code"] == "unknown_field"
+        assert "includ" in wire["error"]["message"]
+
+
+class TestTypedPassthrough:
+    def test_typed_requests_pass_through_unparsed(self):
+        request = SelectRequest(k=3, id="a")
+        assert parse_request(request) is request
+
+    def test_update_request_to_edge_update(self):
+        update = UpdateRequest(action="insert", u=1, v=2, p=0.5).to_edge_update()
+        assert (update.action, update.u, update.v, update.prob) == ("insert", 1, 2, 0.5)
+
+    def test_request_equality_and_normalization(self):
+        a = parse_request({"op": "select", "k": 3, "include": [1, 2]})
+        b = SelectRequest(k=3, include=(1, 2))
+        assert a == b
+        assert isinstance(a.include, tuple)
+
+
+class TestResponseRoundTrips:
+    RESPONSES = [
+        SelectResponse(seeds=[1, 2], coverage_fraction=0.5, estimated_spread=10.0,
+                       num_rr_sets=100, cache="hit", id="q"),
+        SpreadResponse(spread=12.5, coverage_fraction=0.25, num_rr_sets=200,
+                       cache="miss"),
+        MarginalResponse(gain=1.5, num_rr_sets=50, cache="hit"),
+        UpdateResponse(action="insert", u=1, v=2, version=3,
+                       fingerprint="abc", num_edges=10,
+                       repaired_indexes=[{"num_affected": 4}], cache="n/a"),
+        StatsResponse(stats={"queries": 5, "per_op": {"select": 5}}, cache="n/a"),
+        ErrorResponse(code="unknown_field", message="nope", failed_op="select",
+                      id=9),
+        ErrorResponse(code="invalid_json", message="bad line", line=4),
+    ]
+
+    @pytest.mark.parametrize("response", RESPONSES,
+                             ids=lambda response: type(response).__name__)
+    def test_wire_round_trip(self, response):
+        assert response_from_wire(response.to_wire()) == response
+
+    def test_schema_version_stamped_on_every_response(self):
+        for response in self.RESPONSES:
+            assert response.to_wire()["schema_version"] == SCHEMA_VERSION
+
+    def test_legacy_string_error_payloads_still_parse(self):
+        legacy = {"op": "select", "ok": False, "error": "boom", "latency_ms": 1.0}
+        parsed = response_from_wire(legacy)
+        assert isinstance(parsed, ErrorResponse)
+        assert parsed.code == "bad_request"
+        assert parsed.message == "boom"
+
+    def test_future_schema_version_rejected(self):
+        with pytest.raises(ApiError) as info:
+            response_from_wire({"op": "stats", "ok": True, "result": {},
+                                "schema_version": SCHEMA_VERSION + 1})
+        assert info.value.code == "unsupported_schema_version"
+
+
+class TestRequestConstructorsValidate:
+    def test_select_validates_eagerly(self):
+        with pytest.raises(ApiError):
+            SelectRequest(k=0)
+        with pytest.raises(ApiError):
+            SelectRequest(k=3, include=[1.5])
+
+    def test_spread_requires_seeds(self):
+        with pytest.raises(ApiError):
+            SpreadRequest(seeds=())
+
+    def test_marginal_requires_int_candidate(self):
+        with pytest.raises(ApiError):
+            MarginalRequest(seeds=(1,), candidate=True)
+
+    def test_update_validates_through_edge_update(self):
+        with pytest.raises(ApiError):
+            UpdateRequest(action="insert", u=1, v=2)  # missing p
+        with pytest.raises(ApiError):
+            UpdateRequest(action="insert", u=1, v=2, p=1.5)
+
+    def test_stats_takes_only_an_id(self):
+        assert StatsRequest(id="s").to_wire() == {
+            "op": "stats", "schema_version": SCHEMA_VERSION, "id": "s"}

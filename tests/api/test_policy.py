@@ -1,0 +1,188 @@
+"""ExecutionPolicy: validation, merging, and env/CLI resolution."""
+
+import argparse
+
+import pytest
+
+from repro.api import ExecutionPolicy
+from repro.api.policy import DEPRECATED, resolve_call_policy
+
+
+class TestValidation:
+    def test_defaults_match_legacy_call_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.engine == "vectorized"
+        assert policy.jobs is None
+        assert policy.trace_edges is False
+        assert policy.epsilon == 0.1
+        assert policy.ell == 1.0
+        assert policy.reuse_sketch is True
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionPolicy().engine = "python"
+
+    @pytest.mark.parametrize("bad", [
+        {"engine": "turbo"},
+        {"jobs": -1},
+        {"jobs": 1.5},
+        {"jobs": True},
+        {"trace_edges": 1},
+        {"epsilon": 0.0},
+        {"epsilon": 1.5},
+        {"ell": 0.0},
+        {"reuse_sketch": "yes"},
+    ])
+    def test_rejects_invalid_fields(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            ExecutionPolicy(**bad)
+
+    def test_jobs_zero_means_all_cores_and_is_valid(self):
+        assert ExecutionPolicy(jobs=0).jobs == 0
+
+    def test_numeric_coercion(self):
+        policy = ExecutionPolicy(epsilon="0.2", ell=2)
+        assert policy.epsilon == 0.2 and isinstance(policy.epsilon, float)
+        assert policy.ell == 2.0 and isinstance(policy.ell, float)
+
+    def test_epsilon_one_is_the_paper_boundary(self):
+        assert ExecutionPolicy(epsilon=1).epsilon == 1.0
+
+
+class TestMerge:
+    def test_merge_skips_none(self):
+        base = ExecutionPolicy(engine="python", jobs=4)
+        merged = base.merge(engine=None, jobs=None, epsilon=0.2)
+        assert merged.engine == "python"
+        assert merged.jobs == 4
+        assert merged.epsilon == 0.2
+
+    def test_merge_applies_explicit_false(self):
+        base = ExecutionPolicy(trace_edges=True)
+        assert base.merge(trace_edges=False).trace_edges is False
+
+    def test_merge_no_overrides_returns_self(self):
+        base = ExecutionPolicy()
+        assert base.merge() is base
+        assert base.merge(engine=None) is base
+
+    def test_merge_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown execution-policy field"):
+            ExecutionPolicy().merge(engin="python")
+
+    def test_from_kwargs_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown execution-policy field"):
+            ExecutionPolicy.from_kwargs(threads=4)
+
+    def test_from_kwargs_layers_over_base(self):
+        base = ExecutionPolicy(engine="python")
+        policy = ExecutionPolicy.from_kwargs(base=base, jobs=2)
+        assert (policy.engine, policy.jobs) == ("python", 2)
+
+    def test_coerce(self):
+        assert ExecutionPolicy.coerce(None) == ExecutionPolicy()
+        policy = ExecutionPolicy(jobs=3)
+        assert ExecutionPolicy.coerce(policy) is policy
+        assert ExecutionPolicy.coerce({"engine": "python"}).engine == "python"
+        with pytest.raises(ValueError, match="policy must be"):
+            ExecutionPolicy.coerce("vectorized")
+
+    def test_as_dict_roundtrip(self):
+        policy = ExecutionPolicy(engine="python", jobs=2, trace_edges=True,
+                                 epsilon=0.25, ell=1.5, reuse_sketch=False)
+        assert ExecutionPolicy(**policy.as_dict()) == policy
+
+
+class TestEnvResolution:
+    def test_reads_all_variables(self):
+        env = {"REPRO_ENGINE": "python", "REPRO_JOBS": "4",
+               "REPRO_TRACE_EDGES": "yes", "REPRO_EPSILON": "0.2",
+               "REPRO_ELL": "2.0"}
+        policy = ExecutionPolicy.from_env(env)
+        assert policy == ExecutionPolicy(engine="python", jobs=4,
+                                         trace_edges=True, epsilon=0.2, ell=2.0)
+
+    def test_empty_and_missing_are_unset(self):
+        assert ExecutionPolicy.from_env({"REPRO_ENGINE": ""}) == ExecutionPolicy()
+        assert ExecutionPolicy.from_env({}) == ExecutionPolicy()
+
+    @pytest.mark.parametrize("env, message", [
+        ({"REPRO_JOBS": "many"}, "REPRO_JOBS"),
+        ({"REPRO_TRACE_EDGES": "maybe"}, "REPRO_TRACE_EDGES"),
+        ({"REPRO_EPSILON": "tight"}, "REPRO_EPSILON"),
+        ({"REPRO_ENGINE": "turbo"}, "engine must be"),
+    ])
+    def test_invalid_values_fail_loudly(self, env, message):
+        with pytest.raises(ValueError, match=message):
+            ExecutionPolicy.from_env(env)
+
+    def test_bool_spellings(self):
+        for text, expected in [("1", True), ("true", True), ("ON", True),
+                               ("0", False), ("no", False), ("Off", False)]:
+            assert ExecutionPolicy.from_env(
+                {"REPRO_TRACE_EDGES": text}).trace_edges is expected
+
+    def test_real_environ_is_the_default_source(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert ExecutionPolicy.from_env().jobs == 3
+
+
+class TestArgsResolution:
+    def _args(self, **kwargs):
+        namespace = argparse.Namespace(engine=None, jobs=None, trace_edges=None,
+                                       epsilon=None, ell=None)
+        for key, value in kwargs.items():
+            setattr(namespace, key, value)
+        return namespace
+
+    def test_cli_flags_override_env(self):
+        policy = ExecutionPolicy.from_args(
+            self._args(engine="python", jobs=2),
+            env={"REPRO_ENGINE": "vectorized", "REPRO_JOBS": "8"},
+        )
+        assert (policy.engine, policy.jobs) == ("python", 2)
+
+    def test_absent_flags_keep_env_layer(self):
+        policy = ExecutionPolicy.from_args(
+            self._args(), env={"REPRO_TRACE_EDGES": "1", "REPRO_JOBS": "8"}
+        )
+        assert policy.trace_edges is True
+        assert policy.jobs == 8
+
+    def test_namespace_without_policy_attributes(self):
+        policy = ExecutionPolicy.from_args(argparse.Namespace(), env={})
+        assert policy == ExecutionPolicy()
+
+
+class TestLegacyResolution:
+    def test_no_legacy_kwargs_no_warning(self, recwarn):
+        policy, index = resolve_call_policy("f()", None)
+        assert policy == ExecutionPolicy()
+        assert index is None
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_kwargs_warn_and_merge(self):
+        with pytest.warns(DeprecationWarning, match="engine, jobs"):
+            policy, index = resolve_call_policy(
+                "f()", None, engine="python", jobs=2, sketch_index="IDX")
+        assert (policy.engine, policy.jobs) == ("python", 2)
+        assert index == "IDX"
+
+    def test_explicit_legacy_jobs_none_overrides_policy(self):
+        # jobs=None is the old API's spelling of "single stream"; passing
+        # it explicitly must win over a policy's worker count.
+        with pytest.warns(DeprecationWarning):
+            policy, _ = resolve_call_policy(
+                "f()", ExecutionPolicy(jobs=4), jobs=None)
+        assert policy.jobs is None
+
+    def test_modern_index_wins_over_legacy(self):
+        with pytest.warns(DeprecationWarning):
+            _, index = resolve_call_policy(
+                "f()", None, sketch_index="OLD", index="NEW")
+        assert index == "NEW"
+
+    def test_sentinel_repr_and_singleton(self):
+        assert repr(DEPRECATED) == "<deprecated>"
+        assert type(DEPRECATED)() is DEPRECATED

@@ -9,6 +9,9 @@ from repro.dynamic import DynamicDiGraph
 from repro.graphs import gnm_random_digraph, save_edge_list, weighted_cascade
 from repro.sketch import InfluenceService
 
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")  # this module deliberately exercises the deprecated legacy surface
+
+
 
 @pytest.fixture
 def wc_graph():
@@ -54,7 +57,7 @@ class TestServiceApplyUpdate:
             wc_graph, {"op": "update", "action": "delete", "u": 0, "v": 1}
         )
         assert response["ok"] is False
-        assert "DynamicDiGraph" in response["error"]
+        assert "DynamicDiGraph" in response["error"]["message"]
         assert service.stats.errors == 1
 
     def test_run_batch_mixes_queries_and_updates(self, service, wc_graph):
@@ -103,7 +106,7 @@ class TestServiceApplyUpdate:
             "u": (heavy + 1) % graph.n, "v": heavy, "p": 1.0,
         })
         assert response["ok"] is False
-        assert "LT weights invalid" in response["error"]
+        assert "LT weights invalid" in response["error"]["message"]
         assert dynamic.version == 0
         assert service.cached_keys() == cached_before
         assert next(iter(service._indexes.values())) is index_before
@@ -116,7 +119,7 @@ class TestServiceApplyUpdate:
             dynamic, {"op": "update", "action": "delete", "u": True, "v": 0}
         )
         assert response["ok"] is False
-        assert "integer" in response["error"]
+        assert "integer" in response["error"]["message"]
         assert dynamic.version == 0
 
 

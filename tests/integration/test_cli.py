@@ -179,6 +179,112 @@ class TestEngineFlag:
             build_parser().parse_args(["run", "--engine", "turbo"])
 
 
+class TestSharedExecutionFlags:
+    """--engine/--jobs/--trace-edges come from one parent parser, so the
+    flag set (names, choices, defaults) is identical on every subcommand
+    that samples RR sets."""
+
+    SUBCOMMANDS = {
+        "run": [],
+        "sketch": ["--out", "x.npz"],
+        "serve": [],
+        "update": ["--sketch", "s.npz", "--updates", "u.jsonl", "--out", "x.npz"],
+    }
+
+    def test_every_sampling_subcommand_has_the_flags(self):
+        parser = build_parser()
+        for command, extra in self.SUBCOMMANDS.items():
+            args = parser.parse_args(
+                [command, *extra, "--engine", "python", "--jobs", "2",
+                 "--trace-edges"]
+            )
+            assert args.engine == "python"
+            assert args.jobs == 2
+            assert args.trace_edges is True
+
+    def test_unset_flags_default_to_none_for_env_layering(self):
+        for command, extra in self.SUBCOMMANDS.items():
+            args = build_parser().parse_args([command, *extra])
+            assert args.engine is None
+            assert args.jobs is None
+            assert args.trace_edges is None
+
+    def test_no_trace_edges_is_an_explicit_false(self):
+        args = build_parser().parse_args(["sketch", "--out", "x.npz",
+                                          "--no-trace-edges"])
+        assert args.trace_edges is False
+
+    def test_env_layer_feeds_run(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        code = main(
+            ["run", "--dataset", "nethept", "--scale", "0.05", "-k", "2",
+             "--epsilon", "0.5", "--seed", "3"]
+        )
+        assert code == 0
+        assert "seeds" in capsys.readouterr().out
+
+    def test_cli_flag_beats_env(self, monkeypatch):
+        from repro.api import ExecutionPolicy
+
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        monkeypatch.setenv("REPRO_ENGINE", "vectorized")
+        args = build_parser().parse_args(
+            ["run", "--jobs", "2", "--engine", "python"])
+        policy = ExecutionPolicy.from_args(args)
+        assert policy.jobs == 2
+        assert policy.engine == "python"
+
+    def test_env_epsilon_reaches_sketch_and_serve(self, monkeypatch):
+        from repro.cli import _SERVING_DEFAULTS, _resolve_policy
+
+        monkeypatch.setenv("REPRO_EPSILON", "0.05")
+        args = build_parser().parse_args(["sketch", "--out", "x.npz"])
+        assert _resolve_policy(args, base=_SERVING_DEFAULTS).epsilon == 0.05
+        # the explicit flag still wins over the environment
+        args = build_parser().parse_args(
+            ["serve", "--epsilon", "0.4"])
+        assert _resolve_policy(args, base=_SERVING_DEFAULTS).epsilon == 0.4
+        # and without either, the serving default holds
+        monkeypatch.delenv("REPRO_EPSILON")
+        args = build_parser().parse_args(["sketch", "--out", "x.npz"])
+        assert _resolve_policy(args, base=_SERVING_DEFAULTS).epsilon == 0.3
+
+    def test_trace_edges_rejected_on_run(self):
+        import pytest
+
+        # run never persists a sketch: the flag would be a silent no-op,
+        # so it is rejected for every algorithm, TIM family included.
+        for algorithm in ("degree", "tim+"):
+            with pytest.raises(SystemExit, match="--trace-edges"):
+                main(
+                    ["run", "--algorithm", algorithm, "--dataset", "nethept",
+                     "--scale", "0.05", "-k", "2", "--trace-edges"]
+                )
+
+    def test_ris_keeps_its_historical_epsilon_default(self, monkeypatch, capsys):
+        # No flags/env: the run policy for ris is based at epsilon 0.2, so
+        # the CLI default matches the bare ris() library call.
+        from repro.cli import _RIS_DEFAULTS, _resolve_policy
+
+        assert _RIS_DEFAULTS.epsilon == 0.2
+        args = build_parser().parse_args(["run", "--algorithm", "ris"])
+        assert _resolve_policy(args, base=_RIS_DEFAULTS).epsilon == 0.2
+        monkeypatch.setenv("REPRO_EPSILON", "0.45")
+        assert _resolve_policy(args, base=_RIS_DEFAULTS).epsilon == 0.45
+
+    def test_run_seeds_identical_with_and_without_flags(self, capsys):
+        """The policy path resolves to the same execution as the old
+        per-flag path: equal seeds for equal CLI seeds."""
+        argv = ["run", "--dataset", "nethept", "--scale", "0.05", "-k", "2",
+                "--epsilon", "0.5", "--seed", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main([*argv, "--engine", "vectorized"]) == 0
+        flagged = capsys.readouterr().out
+        seeds = [line for line in plain.splitlines() if "seeds" in line]
+        assert seeds == [line for line in flagged.splitlines() if "seeds" in line]
+
+
 class TestSketchAndServe:
     def _build_sketch(self, tmp_path, capsys):
         out = tmp_path / "nh.npz"

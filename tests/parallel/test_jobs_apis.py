@@ -19,6 +19,9 @@ from repro.graphs import gnm_random_digraph, weighted_cascade
 from repro.rrset import make_rr_sampler
 from repro.sketch import InfluenceService, SketchIndex
 
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")  # this module deliberately exercises the deprecated legacy surface
+
+
 
 @pytest.fixture(scope="module")
 def wc_graph():

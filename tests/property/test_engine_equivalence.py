@@ -12,6 +12,7 @@ seed.
 import numpy as np
 import pytest
 
+from repro.api import ExecutionPolicy
 from repro.core import estimate_kpt, node_selection, tim, tim_plus
 from repro.graphs import gnm_random_digraph, star_digraph, weighted_cascade
 from repro.rrset import make_rr_sampler
@@ -144,26 +145,26 @@ class TestAlgorithmEquivalence:
         assert vec.estimated_spread == pytest.approx(py.estimated_spread, rel=0.1)
 
     def test_tim_engines_agree_on_spread(self, wc_graph):
-        vec = tim(wc_graph, 5, epsilon=0.5, rng=24, engine="vectorized")
-        py = tim(wc_graph, 5, epsilon=0.5, rng=24, engine="python")
+        vec = tim(wc_graph, 5, epsilon=0.5, rng=24, policy=ExecutionPolicy(engine="vectorized"))
+        py = tim(wc_graph, 5, epsilon=0.5, rng=24, policy=ExecutionPolicy(engine="python"))
         assert vec.extras["engine"] == "vectorized"
         assert py.extras["engine"] == "python"
         assert vec.estimated_spread == pytest.approx(py.estimated_spread, rel=0.1)
 
     def test_tim_plus_engines_agree_on_spread(self, wc_graph):
-        vec = tim_plus(wc_graph, 4, epsilon=0.5, rng=25, engine="vectorized")
-        py = tim_plus(wc_graph, 4, epsilon=0.5, rng=25, engine="python")
+        vec = tim_plus(wc_graph, 4, epsilon=0.5, rng=25, policy=ExecutionPolicy(engine="vectorized"))
+        py = tim_plus(wc_graph, 4, epsilon=0.5, rng=25, policy=ExecutionPolicy(engine="python"))
         assert vec.estimated_spread == pytest.approx(py.estimated_spread, rel=0.1)
 
     def test_engines_find_same_obvious_seed(self):
         g = star_digraph(40, prob=1.0, outward=True)
-        vec = tim(g, 1, epsilon=0.5, rng=26, engine="vectorized")
-        py = tim(g, 1, epsilon=0.5, rng=26, engine="python")
+        vec = tim(g, 1, epsilon=0.5, rng=26, policy=ExecutionPolicy(engine="vectorized"))
+        py = tim(g, 1, epsilon=0.5, rng=26, policy=ExecutionPolicy(engine="python"))
         assert vec.seeds == py.seeds == [0]
 
     def test_rejects_unknown_engine(self, wc_graph):
         with pytest.raises(ValueError, match="engine"):
-            tim(wc_graph, 2, epsilon=0.5, rng=1, engine="turbo")
+            tim(wc_graph, 2, epsilon=0.5, rng=1, policy=ExecutionPolicy(engine="turbo"))
         sampler = make_rr_sampler(wc_graph, "IC")
         with pytest.raises(ValueError, match="engine"):
             node_selection(wc_graph, 2, theta=10, sampler=sampler, engine="turbo")
@@ -175,5 +176,5 @@ class TestAlgorithmEquivalence:
         from repro.graphs import uniform_random_lt
 
         g = uniform_random_lt(gnm_random_digraph(80, 400, rng=30), rng=31)
-        result = tim(g, 3, epsilon=0.5, model="LT", rng=32, engine="vectorized")
+        result = tim(g, 3, epsilon=0.5, model="LT", rng=32, policy=ExecutionPolicy(engine="vectorized"))
         assert len(result.seeds) == 3

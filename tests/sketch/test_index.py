@@ -162,15 +162,15 @@ class TestTimThroughIndex:
     def test_capture_run_matches_cold_run(self, wc_graph):
         cold = tim(wc_graph, 5, epsilon=0.6, rng=42)
         index = SketchIndex(graph=wc_graph, model="IC")
-        captured = tim(wc_graph, 5, epsilon=0.6, rng=42, sketch_index=index)
+        captured = tim(wc_graph, 5, epsilon=0.6, rng=42, index=index)
         assert captured.seeds == cold.seeds
         assert captured.theta == cold.theta
         assert len(index.collection) >= cold.theta
 
     def test_warm_run_reuses_sketch_and_kpt(self, wc_graph):
         index = SketchIndex(graph=wc_graph, model="IC")
-        first = tim(wc_graph, 5, epsilon=0.6, rng=42, sketch_index=index)
-        warm = tim(wc_graph, 5, epsilon=0.6, rng=43, sketch_index=index)
+        first = tim(wc_graph, 5, epsilon=0.6, rng=42, index=index)
+        warm = tim(wc_graph, 5, epsilon=0.6, rng=43, index=index)
         assert warm.extras["kpt_cache_hit"]
         assert warm.rr_sets_per_phase["parameter_estimation"] == 0
         assert warm.rr_sets_per_phase["node_selection"] == 0  # sketch already >= theta

@@ -7,6 +7,9 @@ import pytest
 from repro.graphs import gnm_random_digraph, weighted_cascade
 from repro.sketch import InfluenceService, SketchIndex
 
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")  # this module deliberately exercises the deprecated legacy surface
+
+
 
 @pytest.fixture
 def wc_graph():
@@ -106,6 +109,39 @@ class TestQueries:
             assert not response["ok"]
             assert "error" in response
         assert service.stats.errors == 6
+
+    def test_errors_are_structured_payloads(self, service, wc_graph):
+        response = service.query(wc_graph, {"op": "warp", "k": 1})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown_op"
+        assert "warp" in response["error"]["message"]
+        assert response["schema_version"] == 1
+
+    def test_unknown_fields_rejected_not_ignored(self, service, wc_graph):
+        """A typo'd key used to be silently dropped — a healthy-looking
+        wrong answer.  Now it is a structured error."""
+        response = service.query(
+            wc_graph, {"op": "select", "k": 2, "includ": [1]})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unknown_field"
+        assert "includ" in response["error"]["message"]
+        assert service.stats.errors == 1
+
+    def test_schema_version_negotiation(self, service, wc_graph):
+        ok = service.query(wc_graph, {"op": "select", "k": 2, "schema_version": 1})
+        assert ok["ok"] and ok["schema_version"] == 1
+        future = service.query(wc_graph, {"op": "select", "k": 2, "schema_version": 99})
+        assert future["ok"] is False
+        assert future["error"]["code"] == "unsupported_schema_version"
+
+    def test_typed_execute_front(self, service, wc_graph):
+        from repro.api import SelectRequest, SelectResponse
+
+        response = service.execute(wc_graph, SelectRequest(k=2, id="t1"))
+        assert isinstance(response, SelectResponse)
+        assert response.id == "t1"
+        assert len(response.seeds) == 2
+        assert response.to_wire()["result"]["seeds"] == response.seeds
 
 
 class TestBatch:
