@@ -13,7 +13,6 @@ import math
 import time
 
 from repro.algorithms.base import register_algorithm
-from repro.core.parameters import log_binomial
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph

@@ -18,6 +18,8 @@ dict-based ``InfluenceService.query`` keep working behind deprecation
 shims with byte-identical results for identical seeds.
 """
 
+from typing import Any
+
 from repro.api.ops import (
     SCHEMA_VERSION,
     ApiError,
@@ -65,7 +67,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     # InfluenceSession pulls in the sketch/dynamic stacks; importing it
     # lazily keeps `repro.api.policy` importable from low-level modules
     # (core.tim, sketch.index) without a cycle.

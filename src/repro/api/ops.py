@@ -33,9 +33,12 @@ which the golden-fixture suite in ``tests/api`` pins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import ClassVar
+from typing import TYPE_CHECKING, Any, ClassVar
 
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.dynamic.updates import EdgeUpdate
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -70,7 +73,7 @@ class ApiError(ValueError):
     ``invalid_json`` (JSONL decode failures).
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
 
@@ -79,16 +82,16 @@ class ApiError(ValueError):
         return self.args[0]
 
 
-def _is_int(value) -> bool:
+def _is_int(value: object) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
-def _int_tuple(value, what: str) -> tuple[int, ...]:
+def _int_tuple(value: object, what: str) -> tuple[int, ...]:
     if value is None:
         return ()
     if not isinstance(value, (list, tuple)):
         raise ApiError("bad_request", f"{what} must be a list of integers; got {value!r}")
-    out = []
+    out: list[int] = []
     for item in value:
         if not _is_int(item):
             raise ApiError("bad_request", f"{what} must contain only integers; got {item!r}")
@@ -105,21 +108,21 @@ class Request:
 
     op: ClassVar[str] = ""
     #: Wire keys this op accepts beyond its dataclass fields.
-    _extra_keys: ClassVar[frozenset] = frozenset()
+    _extra_keys: ClassVar[frozenset[str]] = frozenset()
 
     id: object = None
 
     @classmethod
-    def allowed_keys(cls) -> frozenset:
+    def allowed_keys(cls) -> frozenset[str]:
         own = {f.name for f in fields(cls)}
         return frozenset(own | {"op", "schema_version"} | cls._extra_keys)
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         """Op-specific wire keys (compact: defaults are omitted)."""
         return {}
 
-    def to_wire(self) -> dict:
-        wire: dict = {"op": self.op, "schema_version": SCHEMA_VERSION}
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {"op": self.op, "schema_version": SCHEMA_VERSION}
         if self.id is not None:
             wire["id"] = self.id
         wire.update(self._payload())
@@ -132,7 +135,7 @@ class _ModelRequest(Request):
 
     model: str | None = None
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         return {"model": self.model} if self.model is not None else {}
 
 
@@ -146,13 +149,13 @@ class SelectRequest(_ModelRequest):
     include: tuple[int, ...] = ()
     exclude: tuple[int, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not _is_int(self.k) or self.k < 1:
             raise ApiError("bad_request", f"select needs an integer k >= 1; got {self.k!r}")
         object.__setattr__(self, "include", _int_tuple(self.include, "include"))
         object.__setattr__(self, "exclude", _int_tuple(self.exclude, "exclude"))
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         payload = super()._payload()
         payload["k"] = self.k
         if self.include:
@@ -170,12 +173,12 @@ class SpreadRequest(_ModelRequest):
 
     seeds: tuple[int, ...]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", _int_tuple(self.seeds, "seeds"))
         if not self.seeds:
             raise ApiError("bad_request", "spread needs a non-empty seeds list")
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         payload = super()._payload()
         payload["seeds"] = list(self.seeds)
         return payload
@@ -190,13 +193,13 @@ class MarginalRequest(_ModelRequest):
     seeds: tuple[int, ...]
     candidate: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", _int_tuple(self.seeds, "seeds"))
         if not _is_int(self.candidate):
             raise ApiError("bad_request",
                            f"marginal_gain needs an integer candidate; got {self.candidate!r}")
 
-    def _payload(self) -> dict:
+    def _payload(self) -> dict[str, Any]:
         payload = super()._payload()
         payload["seeds"] = list(self.seeds)
         payload["candidate"] = self.candidate
@@ -208,14 +211,14 @@ class UpdateRequest(Request):
     """One edge mutation: insert / delete / reweight."""
 
     op: ClassVar[str] = "update"
-    _extra_keys: ClassVar[frozenset] = frozenset({"prob"})  # legacy alias of "p"
+    _extra_keys: ClassVar[frozenset[str]] = frozenset({"prob"})  # legacy alias of "p"
 
     action: str
     u: int
     v: int
     p: float | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # EdgeUpdate owns the domain validation (action set, probability
         # range, delete-takes-no-p); surface its message under bad_request.
         try:
@@ -223,14 +226,14 @@ class UpdateRequest(Request):
         except ValueError as exc:
             raise ApiError("bad_request", str(exc)) from None
 
-    def to_edge_update(self):
+    def to_edge_update(self) -> "EdgeUpdate":
         from repro.dynamic.updates import EdgeUpdate
 
         return EdgeUpdate(action=self.action, u=self.u, v=self.v,
                           prob=None if self.p is None else float(self.p))
 
-    def _payload(self) -> dict:
-        payload = {"action": self.action, "u": self.u, "v": self.v}
+    def _payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"action": self.action, "u": self.u, "v": self.v}
         if self.p is not None:
             payload["p"] = float(self.p)
         return payload
@@ -243,13 +246,13 @@ class StatsRequest(Request):
     op: ClassVar[str] = "stats"
 
 
-_REQUEST_TYPES: dict[str, type] = {
+_REQUEST_TYPES: dict[str, type[Request]] = {
     cls.op: cls
     for cls in (SelectRequest, SpreadRequest, MarginalRequest, UpdateRequest, StatsRequest)
 }
 
 
-def _check_schema_version(wire: dict) -> None:
+def _check_schema_version(wire: dict[str, Any]) -> None:
     version = wire.get("schema_version")
     if version is not None and version != SCHEMA_VERSION:
         raise ApiError(
@@ -259,7 +262,7 @@ def _check_schema_version(wire: dict) -> None:
         )
 
 
-def parse_request(request) -> Request:
+def parse_request(request: object) -> Request:
     """Typed, strictly-validated request from a wire dict (or passthrough).
 
     Raises :class:`ApiError` — never a bare ``ValueError`` — so callers can
@@ -321,12 +324,12 @@ class Response:
     latency_ms: float = 0.0
     schema_version: int = SCHEMA_VERSION
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         """The op-specific ``"result"`` payload."""
         return {}
 
-    def to_wire(self) -> dict:
-        wire: dict = {}
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {}
         if self.id is not None:
             wire["id"] = self.id
         wire["op"] = self.op
@@ -343,12 +346,12 @@ class Response:
 class SelectResponse(Response):
     op: ClassVar[str] = "select"
 
-    seeds: list = field(default_factory=list)
+    seeds: list[int] = field(default_factory=list)
     coverage_fraction: float = 0.0
     estimated_spread: float = 0.0
     num_rr_sets: int = 0
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         return {
             "seeds": list(self.seeds),
             "coverage_fraction": self.coverage_fraction,
@@ -365,7 +368,7 @@ class SpreadResponse(Response):
     coverage_fraction: float = 0.0
     num_rr_sets: int = 0
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         return {
             "spread": self.spread,
             "coverage_fraction": self.coverage_fraction,
@@ -380,7 +383,7 @@ class MarginalResponse(Response):
     gain: float = 0.0
     num_rr_sets: int = 0
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         return {"gain": self.gain, "num_rr_sets": self.num_rr_sets}
 
 
@@ -394,9 +397,9 @@ class UpdateResponse(Response):
     version: int = 0
     fingerprint: str = ""
     num_edges: int = 0
-    repaired_indexes: list = field(default_factory=list)
+    repaired_indexes: list[Any] = field(default_factory=list)
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         return {
             "action": self.action,
             "u": self.u,
@@ -412,9 +415,9 @@ class UpdateResponse(Response):
 class StatsResponse(Response):
     op: ClassVar[str] = "stats"
 
-    stats: dict = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
 
-    def result(self) -> dict:
+    def result(self) -> dict[str, Any]:
         return dict(self.stats)
 
 
@@ -431,15 +434,15 @@ class ErrorResponse(Response):
 
     @classmethod
     def from_exception(cls, exc: Exception, *, op: str | None = None,
-                       id=None, line: int | None = None) -> "ErrorResponse":
+                       id: Any = None, line: int | None = None) -> "ErrorResponse":
         code = exc.code if isinstance(exc, ApiError) else "bad_request"
         # str(KeyError) is the repr of its argument — unwrap the quotes.
         message = (str(exc.args[0]) if isinstance(exc, KeyError) and exc.args
                    else str(exc))
         return cls(code=code, message=message, failed_op=op, id=id, line=line)
 
-    def to_wire(self) -> dict:
-        wire: dict = {}
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {}
         if self.id is not None:
             wire["id"] = self.id
         if self.failed_op is not None:
@@ -453,18 +456,18 @@ class ErrorResponse(Response):
         return wire
 
 
-_RESPONSE_TYPES: dict[str, type] = {
+_RESPONSE_TYPES: dict[str, type[Response]] = {
     cls.op: cls
     for cls in (SelectResponse, SpreadResponse, MarginalResponse,
                 UpdateResponse, StatsResponse)
 }
 
 
-def response_from_wire(wire: dict) -> Response:
+def response_from_wire(wire: dict[str, Any]) -> Response:
     """Rebuild a typed response from its JSONL form (client-side helper)."""
     require(isinstance(wire, dict), "response wire form must be a JSON object")
     _check_schema_version(wire)
-    common = {
+    common: dict[str, Any] = {
         "id": wire.get("id"),
         "latency_ms": wire.get("latency_ms", 0.0),
         "schema_version": wire.get("schema_version", SCHEMA_VERSION),

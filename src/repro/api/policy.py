@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import os
 import warnings
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, fields, replace
+from typing import Any
 
 from repro.utils.validation import check_ell, check_epsilon, require
 
@@ -56,9 +58,9 @@ class _Deprecated:
     (including ``None``, which is meaningful for ``jobs``).
     """
 
-    _instance = None
+    _instance: "_Deprecated | None" = None
 
-    def __new__(cls):
+    def __new__(cls) -> "_Deprecated":
         if cls._instance is None:
             cls._instance = super().__new__(cls)
         return cls._instance
@@ -66,7 +68,7 @@ class _Deprecated:
     def __repr__(self) -> str:
         return "<deprecated>"
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (_Deprecated, ())
 
 
@@ -74,7 +76,7 @@ class _Deprecated:
 DEPRECATED = _Deprecated()
 
 
-def warn_legacy_kwargs(where: str, names, *, stacklevel: int = 3) -> None:
+def warn_legacy_kwargs(where: str, names: Iterable[str], *, stacklevel: int = 3) -> None:
     """Emit the uniform deprecation message for legacy execution keywords."""
     listed = ", ".join(sorted(names))
     warnings.warn(
@@ -87,8 +89,16 @@ def warn_legacy_kwargs(where: str, names, *, stacklevel: int = 3) -> None:
     )
 
 
-def resolve_call_policy(where: str, policy, *, engine=DEPRECATED, jobs=DEPRECATED,
-                        sketch_index=DEPRECATED, index=None, stacklevel: int = 4):
+def resolve_call_policy(
+    where: str,
+    policy: "ExecutionPolicy | dict[str, Any] | None",
+    *,
+    engine: Any = DEPRECATED,
+    jobs: Any = DEPRECATED,
+    sketch_index: Any = DEPRECATED,
+    index: Any = None,
+    stacklevel: int = 4,
+) -> "tuple[ExecutionPolicy, Any]":
     """Fold a call's legacy keywords into an :class:`ExecutionPolicy`.
 
     The shared shim behind ``tim``/``tim_plus``/``ris``: sentinel-guarded
@@ -99,7 +109,7 @@ def resolve_call_policy(where: str, policy, *, engine=DEPRECATED, jobs=DEPRECATE
     ``(policy, index)`` with the legacy ``sketch_index`` routed to
     ``index`` when the caller did not pass the modern keyword.
     """
-    legacy = {}
+    legacy: dict[str, Any] = {}
     if engine is not DEPRECATED:
         legacy["engine"] = engine
     if jobs is not DEPRECATED:
@@ -181,7 +191,7 @@ class ExecutionPolicy:
     ell: float = 1.0
     reuse_sketch: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         require(self.engine in ENGINES,
                 f"engine must be one of {ENGINES}; got {self.engine!r}")
         if self.jobs is not None:
@@ -205,7 +215,8 @@ class ExecutionPolicy:
         return tuple(f.name for f in fields(cls))
 
     @classmethod
-    def from_kwargs(cls, base: "ExecutionPolicy | None" = None, **kwargs) -> "ExecutionPolicy":
+    def from_kwargs(cls, base: "ExecutionPolicy | None" = None,
+                    **kwargs: Any) -> "ExecutionPolicy":
         """Build a policy from keyword overrides, rejecting unknown keys.
 
         ``None`` values mean "unset" and fall through to ``base`` (or the
@@ -218,7 +229,7 @@ class ExecutionPolicy:
         return (base if base is not None else cls()).merge(**kwargs)
 
     @classmethod
-    def coerce(cls, value) -> "ExecutionPolicy":
+    def coerce(cls, value: Any) -> "ExecutionPolicy":
         """Accept a policy, a mapping of fields, or ``None`` (defaults)."""
         if value is None:
             return cls()
@@ -231,7 +242,7 @@ class ExecutionPolicy:
             f"got {type(value).__name__}"
         )
 
-    def merge(self, **overrides) -> "ExecutionPolicy":
+    def merge(self, **overrides: Any) -> "ExecutionPolicy":
         """A new policy with the non-``None`` overrides applied.
 
         ``None`` means "keep the current value" — which also means a merge
@@ -246,11 +257,12 @@ class ExecutionPolicy:
         return replace(self, **effective) if effective else self
 
     @classmethod
-    def from_env(cls, env=None, base: "ExecutionPolicy | None" = None) -> "ExecutionPolicy":
+    def from_env(cls, env: Mapping[str, str] | None = None,
+                 base: "ExecutionPolicy | None" = None) -> "ExecutionPolicy":
         """Resolve ``REPRO_ENGINE`` / ``REPRO_JOBS`` / ``REPRO_TRACE_EDGES``
         / ``REPRO_EPSILON`` / ``REPRO_ELL`` over ``base`` (or defaults)."""
         env = os.environ if env is None else env
-        overrides: dict = {}
+        overrides: dict[str, Any] = {}
         for field_name, variable in _ENV_VARS.items():
             raw = env.get(variable)
             if raw is None or raw == "":
@@ -269,8 +281,8 @@ class ExecutionPolicy:
         return (base if base is not None else cls()).merge(**overrides)
 
     @classmethod
-    def from_args(cls, args, base: "ExecutionPolicy | None" = None,
-                  *, env=None) -> "ExecutionPolicy":
+    def from_args(cls, args: Any, base: "ExecutionPolicy | None" = None,
+                  *, env: Mapping[str, str] | None = None) -> "ExecutionPolicy":
         """Resolve CLI flags over the environment over ``base``.
 
         ``args`` is any object with optional ``engine`` / ``jobs`` /
@@ -288,9 +300,9 @@ class ExecutionPolicy:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {name: getattr(self, name) for name in self.field_names()}
 
-    def sampling_kwargs(self) -> dict:
+    def sampling_kwargs(self) -> dict[str, Any]:
         """The subset every sampling entry point understands."""
         return {"engine": self.engine, "jobs": self.jobs}

@@ -30,6 +30,9 @@ across worker counts (``policy.jobs`` never changes results).
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Any
+
 from repro.api.ops import (
     SelectRequest,
     SpreadRequest,
@@ -50,6 +53,11 @@ from repro.api.policy import ExecutionPolicy
 from repro.diffusion.base import resolve_model
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import require
+
+if TYPE_CHECKING:
+    from repro.dynamic.graph import DynamicDiGraph
+    from repro.graphs.digraph import DiGraph
+    from repro.sketch.index import SketchIndex
 
 __all__ = ["InfluenceSession"]
 
@@ -81,8 +89,10 @@ class InfluenceSession:
         lazily.  It must serve this session's graph and model.
     """
 
-    def __init__(self, graph, model="IC", *, policy=None, rng=None,
-                 default_k: int = 10, index=None):
+    def __init__(self, graph: DiGraph | DynamicDiGraph, model: Any = "IC", *,
+                 policy: ExecutionPolicy | dict[str, Any] | None = None,
+                 rng: Any = None, default_k: int = 10,
+                 index: SketchIndex | None = None) -> None:
         from repro.dynamic.graph import DynamicDiGraph
 
         self.policy = ExecutionPolicy.coerce(policy)
@@ -92,7 +102,7 @@ class InfluenceSession:
         self._rng = resolve_rng(rng)
         self.default_k = int(default_k)
         require(self.default_k >= 1, "default_k must be >= 1")
-        self._index = None
+        self._index: SketchIndex | None = None
         if index is not None:
             require(index.meta.get("model") == self._model.name,
                     f"adopted index serves model {index.meta.get('model')!r}, "
@@ -109,12 +119,12 @@ class InfluenceSession:
     # State
     # ------------------------------------------------------------------
     @property
-    def graph(self):
+    def graph(self) -> DiGraph:
         """The current (post-update) immutable snapshot."""
         return self._dynamic.graph
 
     @property
-    def dynamic_graph(self):
+    def dynamic_graph(self) -> DynamicDiGraph:
         """The mutable overlay; versioned by fingerprint."""
         return self._dynamic
 
@@ -123,7 +133,7 @@ class InfluenceSession:
         return self._model.name
 
     @property
-    def index(self):
+    def index(self) -> SketchIndex | None:
         """The owned sketch index, or ``None`` before the first query."""
         return self._index
 
@@ -134,7 +144,7 @@ class InfluenceSession:
     # ------------------------------------------------------------------
     # Sketch lifecycle
     # ------------------------------------------------------------------
-    def _build_index(self, k: int):
+    def _build_index(self, k: int) -> SketchIndex:
         from repro.sketch.index import SketchIndex
 
         return SketchIndex.build(
@@ -147,7 +157,7 @@ class InfluenceSession:
             policy=self.policy,
         )
 
-    def _ensure_index(self, k: int | None = None):
+    def _ensure_index(self, k: int | None = None) -> SketchIndex:
         """Build (or rebuild, when reuse is off) the sketch for budget ``k``."""
         require(not self._closed, "session is closed")
         k = self.default_k if k is None else int(k)
@@ -217,13 +227,14 @@ class InfluenceSession:
     def __enter__(self) -> "InfluenceSession":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # Queries (typed results)
     # ------------------------------------------------------------------
-    def select(self, k: int, include=(), exclude=()) -> SelectResponse:
+    def select(self, k: int, include: Iterable[int] = (),
+               exclude: Iterable[int] = ()) -> SelectResponse:
         """Greedy seed selection for budget ``k`` over the (ensured) sketch."""
         index = self._ensure_index(k)
         result = index.select(k, forced_include=include, forced_exclude=exclude)
@@ -234,18 +245,18 @@ class InfluenceSession:
             num_rr_sets=index.num_sets,
         )
 
-    def spread(self, seeds) -> float:
+    def spread(self, seeds: Iterable[int]) -> float:
         """``n · F_R(S)`` — the Corollary 1 estimate over the sketch."""
-        return self._ensure_index().spread(seeds)
+        return float(self._ensure_index().spread(seeds))
 
-    def marginal(self, seeds, candidate: int) -> float:
+    def marginal(self, seeds: Iterable[int], candidate: int) -> float:
         """Estimated spread lift from adding ``candidate`` to ``seeds``."""
-        return self._ensure_index().marginal_gain(seeds, candidate)
+        return float(self._ensure_index().marginal_gain(seeds, candidate))
 
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------
-    def apply_update(self, update=None, *, action: str | None = None,
+    def apply_update(self, update: Any = None, *, action: str | None = None,
                      u: int | None = None, v: int | None = None,
                      p: float | None = None) -> UpdateResponse:
         """Apply one edge mutation and repair the owned sketch in place.
@@ -274,7 +285,7 @@ class InfluenceSession:
         # invariants (e.g. LT in-weight sums) must be rejected even before
         # the first sketch exists, or it would wedge every later query.
         self._model.validate_graph(delta.new_graph)
-        repaired = []
+        repaired: list[Any] = []
         if self._index is not None:
             report = self._index.apply_update(delta, rng=self._rng.spawn(),
                                               jobs=self.policy.jobs)
@@ -293,7 +304,7 @@ class InfluenceSession:
     # ------------------------------------------------------------------
     # Typed-op front (the same protocol the service speaks)
     # ------------------------------------------------------------------
-    def execute(self, request) -> Response:
+    def execute(self, request: Request | dict[str, Any]) -> Response:
         """Answer one typed request (or wire dict) against this session.
 
         The session has no LRU, so ``stats`` reports the sketch shape
@@ -303,6 +314,7 @@ class InfluenceSession:
         """
         request = parse_request(request)
         requested_model = getattr(request, "model", None)
+        response: Response
         if requested_model is not None and requested_model != self.model:
             raise ApiError(
                 "bad_request",

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.policy import DEPRECATED, ExecutionPolicy, resolve_call_policy
 from repro.core.parameters import lambda_prime, theta_from_kpt
 from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.rrset.base import RRSampler
@@ -50,20 +51,28 @@ def refine_kpt(
     epsilon_prime: float,
     ell: float = 1.0,
     rng=None,
-    engine: str = "vectorized",
-    jobs: int | None = None,
+    engine=DEPRECATED,
+    jobs=DEPRECATED,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> RefineKptResult:
     """Run Algorithm 3 and return KPT⁺ = max(KPT′, KPT*).
 
     ``last_iteration_sets`` is Algorithm 2's final batch — either a list of
     :class:`RRSet` or a :class:`~repro.rrset.flat_collection
     .FlatRRCollection` (whichever engine :func:`~repro.core.kpt_estimation
-    .estimate_kpt` ran with).  ``engine`` selects how the θ′ fresh RR sets
-    are generated and covered: numpy-batched (``"vectorized"``, default) or
-    the original scalar loop (``"python"``).  ``jobs`` shards the θ′ batch
-    across worker processes (``0`` = all cores) with worker-count-invariant
-    results; ``None`` keeps the legacy single stream.
+    .estimate_kpt` ran with).  ``policy.engine`` selects how the θ′ fresh RR
+    sets are generated and covered: numpy-batched (``"vectorized"``, default)
+    or the original scalar loop (``"python"``).  ``policy.jobs`` shards the θ′
+    batch across worker processes (``0`` = all cores) with
+    worker-count-invariant results; ``None`` keeps the single stream.
+
+    ``engine=`` / ``jobs=`` remain accepted as deprecated aliases and warn.
     """
+    resolved, _ = resolve_call_policy(
+        "refine_kpt()", policy, engine=engine, jobs=jobs
+    )
+    run_engine = resolved.engine
     n = graph.n
     require(n >= 2, "refine_kpt needs at least two nodes")
     check_k(k, n)
@@ -71,10 +80,13 @@ def refine_kpt(
     require(kpt_star >= 1.0, "KPT* must be >= 1 (a seed activates itself)")
     require(epsilon_prime > 0.0, "epsilon_prime must be positive")
     require(len(last_iteration_sets) > 0, "need Algorithm 2's last-iteration RR sets")
-    require(engine in ("vectorized", "python"), f"engine must be 'vectorized' or 'python'; got {engine!r}")
+    require(
+        run_engine in ("vectorized", "python"),
+        f"engine must be 'vectorized' or 'python'; got {run_engine!r}",
+    )
 
     source = resolve_rng(rng)
-    jobs = jobs_for_engine(engine, jobs)
+    run_jobs = jobs_for_engine(run_engine, resolved.jobs)
     # Lines 2-6: greedy max coverage over R' to get the interim seed set.
     # greedy_max_coverage consumes a flat collection directly; lists of
     # RRSet objects are converted to their node tuples first.
@@ -88,8 +100,8 @@ def refine_kpt(
     seed_set = set(interim.seeds)
     covered = 0
     total_cost = 0
-    if engine == "vectorized":
-        sampler, owned_pool = maybe_parallel(sampler, jobs)
+    if run_engine == "vectorized":
+        sampler, owned_pool = maybe_parallel(sampler, run_jobs)
         try:
             remaining = theta_prime
             while remaining > 0:

@@ -150,6 +150,10 @@ def _tim_run(
 
     timer = PhaseTimer()
     rr_counts: dict[str, int] = {}
+    # The sampler is already pool-wrapped at the tim() level when jobs ask
+    # for it, so the sub-algorithms get the engine only — never a jobs value
+    # that would double-wrap.
+    inner_policy = ExecutionPolicy(engine=engine)
 
     cached_kpt = sketch_index.cached_kpt(k, refine) if sketch_index is not None else None
     interim_seeds: list[int] = []
@@ -166,7 +170,7 @@ def _tim_run(
     else:
         with timer.phase("parameter_estimation"):
             kpt_result = estimate_kpt(
-                graph, k, sampler, ell=ell_adjusted, rng=source, engine=engine
+                graph, k, sampler, ell=ell_adjusted, rng=source, policy=inner_policy
             )
         rr_counts["parameter_estimation"] = kpt_result.num_rr_sets
         kpt_iterations = kpt_result.iterations_run
@@ -187,7 +191,7 @@ def _tim_run(
                     epsilon_prime=epsilon_prime,
                     ell=ell_adjusted,
                     rng=source,
-                    engine=engine,
+                    policy=inner_policy,
                 )
             kpt_plus = refined.kpt_plus
             kpt = refined.kpt_plus
@@ -206,8 +210,8 @@ def _tim_run(
     sketch_sets_reused = len(sketch_index.collection) if sketch_index is not None else 0
     with timer.phase("node_selection"):
         selection = node_selection(
-            graph, k, theta, sampler, rng=source, coverage=coverage, engine=engine,
-            index=sketch_index,
+            graph, k, theta, sampler, rng=source, coverage=coverage,
+            index=sketch_index, policy=inner_policy,
         )
     # Freshly sampled sets only; anything the sketch already held is reuse.
     rr_counts["node_selection"] = selection.num_rr_sets - sketch_sets_reused

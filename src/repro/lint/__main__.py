@@ -1,0 +1,9 @@
+"""Entry point: ``python -m repro.lint [paths...]``."""
+
+import sys
+
+import repro.lint  # noqa: F401  — imports register every rule
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""``python -m repro.lint`` — the command-line front end.
+
+Exit-code contract (stable; CI depends on it):
+
+* ``0`` — no findings (after baseline suppression);
+* ``1`` — at least one finding;
+* ``2`` — usage error (unknown path, malformed baseline, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.findings import Baseline, Finding, LintUsageError
+from repro.lint.framework import lint_paths, registered_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis: determinism, resource "
+                    "safety, exception policy, ExecutionPolicy discipline, and "
+                    "wire-schema sync.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings recorded in this baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings to FILE as a baseline and exit 0")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--root", metavar="DIR",
+                        help="project root (default: nearest pyproject.toml)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def _parse_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _render(findings: Sequence[Finding], fmt: str) -> str:
+    if fmt == "json":
+        payload = {
+            "version": 1,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        return json.dumps(payload, indent=2)
+    lines = [finding.render() for finding in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, rule_cls in sorted(registered_rules().items()):
+            print(f"{code}  {rule_cls.name}: {rule_cls.description}")
+        return EXIT_CLEAN
+
+    try:
+        findings = lint_paths(
+            args.paths,
+            root=args.root,
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+        )
+        if args.write_baseline:
+            Baseline.from_findings(findings).save(args.write_baseline)
+            print(f"wrote {len(findings)} fingerprint(s) to {args.write_baseline}")
+            return EXIT_CLEAN
+        if args.baseline:
+            findings = Baseline.load(args.baseline).filter(findings)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    output = _render(findings, args.format)
+    if output:
+        print(output)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,110 @@
+"""Findings and baselines — the analyzer's output vocabulary.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  Its
+:meth:`~Finding.fingerprint` deliberately omits the line number so a
+:class:`Baseline` (the ratchet file for pre-existing violations) survives
+unrelated edits that shift code up or down; a suppressed finding only
+resurfaces when its file, rule, or message changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+
+class LintUsageError(Exception):
+    """Bad invocation (unknown path, malformed baseline, unknown rule code).
+
+    The CLI maps this to exit code 2, distinct from exit code 1 (findings).
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by baseline suppression."""
+        return f"{self.path}::{self.code}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+class Baseline:
+    """A set of accepted-for-now finding fingerprints.
+
+    Generated with ``python -m repro.lint --write-baseline FILE`` and applied
+    with ``--baseline FILE``: findings whose fingerprint is recorded are
+    suppressed, everything new still fails the gate.  The file is JSON so it
+    diffs cleanly and survives hand-editing (delete a line to re-arm it).
+    """
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.fingerprints = frozenset(fingerprints)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(finding.fingerprint() for finding in findings)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintUsageError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintUsageError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "fingerprints" not in payload:
+            raise LintUsageError(
+                f"baseline {path} must be a JSON object with a 'fingerprints' list"
+            )
+        version = payload.get("version", cls.VERSION)
+        if version != cls.VERSION:
+            raise LintUsageError(
+                f"baseline {path} has version {version!r}; this linter writes "
+                f"version {cls.VERSION} — regenerate with --write-baseline"
+            )
+        fingerprints = payload["fingerprints"]
+        if not isinstance(fingerprints, list) or not all(
+            isinstance(item, str) for item in fingerprints
+        ):
+            raise LintUsageError(f"baseline {path}: 'fingerprints' must be a list of strings")
+        return cls(fingerprints)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": self.VERSION,
+            "fingerprints": sorted(self.fingerprints),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def filter(self, findings: Iterable[Finding]) -> list[Finding]:
+        """The findings not covered by this baseline."""
+        return [finding for finding in findings if finding not in self]

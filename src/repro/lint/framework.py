@@ -1,0 +1,277 @@
+"""The rule framework: parsed modules, rule registry, and the lint runner.
+
+Two rule kinds:
+
+* :class:`FileRule` — checks one parsed module at a time (the common case);
+  scoped so repo-convention rules only fire on library code under
+  ``src/repro`` while fixture snippets can opt in via a virtual path.
+* :class:`ProjectRule` — runs once per invocation against the repository
+  root; used for cross-file consistency checks (the wire-schema rule reads
+  ``src/repro/api/ops.py``, the golden JSONL fixtures, and the API-surface
+  snapshot together).
+
+Rules register themselves with :func:`register_rule` at import time
+(:mod:`repro.lint` imports every rule module), carry a stable ``code``
+(``RL1xx`` RNG, ``RL2xx`` resources, ``RL3xx`` exceptions, ``RL4xx`` policy,
+``RL5xx`` schema), and yield :class:`~repro.lint.findings.Finding` objects.
+A trailing ``# repro-lint: disable=RLxxx`` comment suppresses a finding on
+that physical line — the sanctioned escape hatch for the rare legitimate
+violation, visible in the diff it annotates.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+from repro.lint.findings import Finding, LintUsageError
+
+#: Reserved code for files the analyzer cannot parse at all.
+PARSE_ERROR_CODE = "RL000"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Directories never descended into during file collection.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def find_project_root(start: Path) -> Path:
+    """The nearest ancestor of ``start`` holding a ``pyproject.toml``.
+
+    Falls back to ``start`` itself (or its parent for files) when no marker
+    is found, so the linter still runs on loose files.
+    """
+    candidate = start if start.is_dir() else start.parent
+    for directory in (candidate, *candidate.parents):
+        if (directory / "pyproject.toml").is_file():
+            return directory
+    return candidate
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed and indexed for rule consumption."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    _parents: dict[ast.AST, ast.AST] | None = field(default=None, repr=False)
+    _suppressions: dict[int, frozenset[str]] | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_source(cls, source: str, rel_path: str) -> "ParsedModule":
+        """Parse ``source``; raises ``SyntaxError`` on unparsable input."""
+        tree = ast.parse(source, filename=rel_path)
+        return cls(rel_path=PurePosixPath(rel_path).as_posix(), source=source, tree=tree)
+
+    @property
+    def in_repro_src(self) -> bool:
+        """True when the module lives under the library tree ``src/repro``."""
+        return self.rel_path.startswith("src/repro/")
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (lazily building the parent map)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for inner in ast.iter_child_nodes(outer):
+                    parents[inner] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from the innermost outward."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when ``line`` carries ``# repro-lint: disable=`` for ``code``."""
+        if self._suppressions is None:
+            table: dict[int, frozenset[str]] = {}
+            for number, text in enumerate(self.source.splitlines(), start=1):
+                match = _SUPPRESS_RE.search(text)
+                if match:
+                    codes = frozenset(
+                        part.strip() for part in match.group(1).split(",") if part.strip()
+                    )
+                    table[number] = codes
+            self._suppressions = table
+        return code in self._suppressions.get(line, frozenset())
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(path=self.rel_path, line=int(line), col=int(col),
+                       code=code, message=message)
+
+
+@dataclass
+class ProjectContext:
+    """What a :class:`ProjectRule` sees: the repo root and the linted set."""
+
+    root: Path
+    modules: Sequence[ParsedModule]
+
+    def read_text(self, rel_path: str) -> str | None:
+        """Contents of a repo-root-relative file, or ``None`` if absent."""
+        target = self.root / rel_path
+        if not target.is_file():
+            return None
+        return target.read_text(encoding="utf-8")
+
+
+class Rule:
+    """Base for all rules.  Subclasses set the class attributes below."""
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    #: ``"repro"`` restricts the rule to modules under ``src/repro``;
+    #: ``"all"`` runs it on every linted file.
+    scope: ClassVar[str] = "repro"
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each parsed module."""
+
+    def applies(self, module: ParsedModule) -> bool:
+        return self.scope == "all" or module.in_repro_src
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once per invocation against the repository root."""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (idempotent)."""
+    code = rule_cls.code
+    if not code:
+        raise ValueError(f"rule {rule_cls.__name__} must define a code")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(f"rule code {code} already registered by {existing.__name__}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    """Code → rule class for every registered rule (a copy)."""
+    return dict(_REGISTRY)
+
+
+def select_rules(select: Iterable[str] | None = None,
+                 ignore: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, honouring ``--select``/``--ignore``."""
+    chosen = set(select) if select is not None else set(_REGISTRY)
+    dropped = set(ignore) if ignore is not None else set()
+    unknown = sorted((chosen | dropped) - set(_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(_REGISTRY))
+        raise LintUsageError(f"unknown rule code(s): {', '.join(unknown)}; known: {known}")
+    return [rule_cls() for code, rule_cls in sorted(_REGISTRY.items())
+            if code in chosen and code not in dropped]
+
+
+def collect_files(paths: Sequence[str | Path], root: Path) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            files.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate.resolve())
+        else:
+            raise LintUsageError(f"no such file or directory: {raw}")
+    return sorted(files)
+
+
+def _relativize(file_path: Path, root: Path) -> str:
+    try:
+        return file_path.relative_to(root).as_posix()
+    except ValueError:
+        return file_path.as_posix()
+
+
+def lint_source(source: str, path: str = "src/repro/_snippet.py",
+                rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint an in-memory snippet under a virtual path (the test harness).
+
+    Only file rules run — there is no project root to give a project rule.
+    ``path`` decides rule scoping: the default puts the snippet inside the
+    library tree so every repo-convention rule applies.
+    """
+    try:
+        module = ParsedModule.from_source(source, path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                        code=PARSE_ERROR_CODE, message=f"cannot parse: {exc.msg}")]
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else select_rules():
+        if isinstance(rule, FileRule) and rule.applies(module):
+            findings.extend(rule.check(module))
+    return sorted(
+        finding for finding in findings
+        if not module.suppressed(finding.line, finding.code)
+    )
+
+
+def lint_paths(paths: Sequence[str | Path], *, root: str | Path | None = None,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None) -> list[Finding]:
+    """Run every applicable rule over ``paths``; returns sorted findings.
+
+    ``root`` anchors path relativization and project rules; by default it is
+    discovered by walking up from the first path to the nearest
+    ``pyproject.toml``.
+    """
+    if not paths:
+        raise LintUsageError("no paths given")
+    first = Path(paths[0])
+    resolved_root = (Path(root).resolve() if root is not None
+                     else find_project_root(first.resolve()))
+    rules = select_rules(select, ignore)
+    files = collect_files(paths, resolved_root)
+    modules: list[ParsedModule] = []
+    findings: list[Finding] = []
+    for file_path in files:
+        rel = _relativize(file_path, resolved_root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            module = ParsedModule.from_source(source, rel)
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintUsageError(f"cannot read {rel}: {exc}") from exc
+        except SyntaxError as exc:
+            findings.append(Finding(path=rel, line=exc.lineno or 1,
+                                    col=(exc.offset or 0) + 1, code=PARSE_ERROR_CODE,
+                                    message=f"cannot parse: {exc.msg}"))
+            continue
+        modules.append(module)
+        for rule in rules:
+            if isinstance(rule, FileRule) and rule.applies(module):
+                for finding in rule.check(module):
+                    if not module.suppressed(finding.line, finding.code):
+                        findings.append(finding)
+    project = ProjectContext(root=resolved_root, modules=modules)
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+    return sorted(findings)

@@ -1,0 +1,86 @@
+"""RL301 — exception policy.
+
+A bare ``except:`` or a broad ``except Exception:`` that silently swallows
+is how a corrupt sketch file or a crashed worker turns into a wrong answer
+that looks healthy.  The repo's convention (established when persistence
+hardening mapped every zip/npy failure mode onto ``SketchFileError``): a
+broad handler must either *re-raise* (possibly translating into a typed
+error such as ``SketchFileError`` or ``ApiError``) or visibly *use* the
+caught exception (e.g. ``ErrorResponse.from_exception(exc)`` on the JSONL
+service front, which is translation into a structured error payload).
+
+Flagged:
+
+* ``except:`` with no re-raise in the handler body;
+* ``except Exception:`` / ``except BaseException:`` (alone or in a tuple)
+  whose body neither raises nor references the bound exception name.
+
+Narrow handlers (``except OSError:`` ...) are not this rule's business.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileRule, ParsedModule, register_rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_name(handler: ast.ExceptHandler) -> str | None:
+    """The broad exception name a handler catches, or ``None`` if narrow."""
+    if handler.type is None:
+        return "<bare>"
+    candidates = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                  else [handler.type])
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return candidate.id
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD:
+            return candidate.attr
+    return None
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for stmt in handler.body
+               for node in ast.walk(stmt))
+
+
+def _handler_uses_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    return any(
+        isinstance(node, ast.Name) and node.id == handler.name
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+@register_rule
+class ExceptionPolicyRule(FileRule):
+    code = "RL301"
+    name = "exception-policy"
+    description = ("No bare/broad except that swallows: broad handlers must "
+                   "re-raise, translate into a typed error "
+                   "(SketchFileError, ApiError, ...), or use the caught "
+                   "exception.")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node)
+            if broad is None:
+                continue
+            if _handler_reraises(node) or _handler_uses_exception(node):
+                continue
+            what = ("bare except:" if broad == "<bare>"
+                    else f"except {broad}:")
+            yield module.finding(
+                node, self.code,
+                f"{what} swallows the exception — re-raise, translate it into "
+                f"a typed error (e.g. SketchFileError / ApiError), or narrow "
+                f"the handler to the exceptions this code can actually handle",
+            )

@@ -1,0 +1,193 @@
+"""RL201 — resource lifecycle.
+
+:class:`~repro.parallel.engine.ParallelSampler`,
+:class:`~repro.sketch.index.SketchIndex`,
+:class:`~repro.api.session.InfluenceSession`,
+:class:`~repro.sketch.service.InfluenceService`, and the
+``SharedMemoryPack``/``MemmapPack`` transports all own OS resources: worker
+pools, shared-memory segments, scratch memmap files.  An instance created
+and dropped on the floor leaks those until GC (or forever, for POSIX shared
+memory on an unclean exit) — on a serving host that is eventual resource
+exhaustion.
+
+The rule flags a construction (``Cls(...)``, ``Cls.build(...)``,
+``Cls.load(...)``) unless ownership is syntactically visible:
+
+* it is the context expression of a ``with`` statement;
+* it is returned (ownership transfers to the caller — factory pattern);
+* it is assigned to a local name that the enclosing function later
+  ``.close()``\\ s (the ``try``/``finally`` idiom);
+* it is assigned to ``self.<attr>`` inside a class that defines ``close``
+  (an owner-that-closes);
+* it is assigned to a local name that visibly *escapes* — passed as an
+  argument to another call (``service.add_index(index)``) or stored into a
+  container or attribute (``self._indexes[key] = index``).  Ownership has
+  transferred; the receiving owner is responsible from there.
+
+The rare legitimate exception carries a visible
+``# repro-lint: disable=RL201`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileRule, ParsedModule, register_rule
+
+#: Classes whose instances own pools / shared memory / file handles.
+TRACKED_CLASSES = frozenset({
+    "ParallelSampler",
+    "SketchIndex",
+    "InfluenceSession",
+    "InfluenceService",
+    "SharedMemoryPack",
+    "MemmapPack",
+})
+
+#: Alternate constructors that also hand back an owning instance.
+_FACTORY_METHODS = frozenset({"build", "load"})
+
+
+def _constructed_class(call: ast.Call) -> str | None:
+    """The tracked class a call constructs, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in TRACKED_CLASSES:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        if func.attr in TRACKED_CLASSES:
+            return func.attr
+        if func.attr in _FACTORY_METHODS:
+            owner = func.value
+            if isinstance(owner, ast.Name) and owner.id in TRACKED_CLASSES:
+                return owner.id
+            if isinstance(owner, ast.Attribute) and owner.attr in TRACKED_CLASSES:
+                return owner.attr
+    return None
+
+
+def _within(node: ast.AST, candidates: list[ast.AST]) -> bool:
+    return any(node is c or node in ast.walk(c) for c in candidates)
+
+
+def _closes_name(scope: ast.AST, name: str) -> bool:
+    """True when ``scope`` contains ``name.close`` (call or reference)."""
+    for node in ast.walk(scope):
+        if (isinstance(node, ast.Attribute) and node.attr == "close"
+                and isinstance(node.value, ast.Name) and node.value.id == name):
+            return True
+    return False
+
+
+def _escapes_name(scope: ast.AST, name: str) -> bool:
+    """True when ``name`` is visibly handed to another owner.
+
+    Either passed as an argument to some call, or stored into a container /
+    attribute slot (``obj[key] = name`` / ``obj.attr = name``).  Method calls
+    *on* the name (``name.select(...)``) do not count — the instance is still
+    held locally and still needs a close.
+    """
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                if isinstance(argument, ast.Starred):
+                    argument = argument.value
+                if isinstance(argument, ast.Name) and argument.id == name:
+                    return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if (isinstance(value, ast.Name) and value.id == name
+                    and any(isinstance(t, (ast.Subscript, ast.Attribute))
+                            for t in targets)):
+                return True
+    return False
+
+
+def _class_defines_close(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and stmt.name in ("close", "__exit__")
+        for stmt in cls.body
+    )
+
+
+@register_rule
+class ResourceLifecycleRule(FileRule):
+    code = "RL201"
+    name = "resource-lifecycle"
+    description = ("Pool/shared-memory owners (ParallelSampler, SketchIndex, "
+                   "InfluenceSession, InfluenceService, SharedMemoryPack, "
+                   "MemmapPack) must be constructed under a with block, a "
+                   "close()-ing owner, or returned to the caller.")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            cls_name = _constructed_class(node)
+            if cls_name is None:
+                continue
+            if self._ownership_visible(module, node):
+                continue
+            yield module.finding(
+                node, self.code,
+                f"{cls_name} instance created without visible ownership — it "
+                f"holds OS resources (worker pool / shared memory); construct "
+                f"it in a `with` block, `return` it, or assign it to an owner "
+                f"that close()s it",
+            )
+
+    def _ownership_visible(self, module: ParsedModule, call: ast.Call) -> bool:
+        enclosing_class: ast.ClassDef | None = None
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.Return):
+                return True
+            if isinstance(ancestor, ast.withitem):
+                if _within(call, [ancestor.context_expr]):
+                    return True
+            if isinstance(ancestor, ast.ClassDef) and enclosing_class is None:
+                enclosing_class = ancestor
+            if isinstance(ancestor, (ast.Assign, ast.AnnAssign, ast.NamedExpr)):
+                if self._assignment_owned(module, ancestor, enclosing_class):
+                    return True
+        return False
+
+    def _assignment_owned(self, module: ParsedModule, assign: ast.AST,
+                          enclosing_class: ast.ClassDef | None) -> bool:
+        if isinstance(assign, ast.Assign):
+            targets = assign.targets
+        elif isinstance(assign, ast.AnnAssign):
+            targets = [assign.target]
+        elif isinstance(assign, ast.NamedExpr):
+            targets = [assign.target]
+        else:  # pragma: no cover - callers pass assignment nodes only
+            return False
+        scope = self._enclosing_scope(module, assign)
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, ast.Name):
+                    if scope is not None and (_closes_name(scope, leaf.id)
+                                              or _escapes_name(scope, leaf.id)):
+                        return True
+                elif isinstance(leaf, ast.Attribute):
+                    value = leaf.value
+                    if isinstance(value, ast.Name) and value.id == "self":
+                        owner = enclosing_class or self._enclosing_class(module, assign)
+                        if owner is not None and _class_defines_close(owner):
+                            return True
+        return False
+
+    def _enclosing_scope(self, module: ParsedModule, node: ast.AST) -> ast.AST | None:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                return ancestor
+        return None
+
+    def _enclosing_class(self, module: ParsedModule, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None

@@ -1,0 +1,171 @@
+"""RL101 — RNG discipline.
+
+Every byte of RR-sketch reproducibility rests on one convention: entropy
+enters through :mod:`repro.utils.rng` (``resolve_rng``/``RandomSource``/
+``spawn_seed_streams``) or an explicitly seeded ``numpy.random.SeedSequence``
+— never through module-level global streams.  A single
+``np.random.default_rng()`` (unseeded) or ``random.random()`` call inside
+``src/repro`` silently breaks the jobs-invariance and replay guarantees, so
+this rule flags:
+
+* ``np.random.default_rng()`` called with **no arguments** (fresh OS
+  entropy — seeded calls are allowed);
+* any draw/mutation on numpy's module-level global generator
+  (``np.random.rand``, ``np.random.seed``, ``np.random.shuffle``, ...);
+* any draw on the stdlib ``random`` module's global stream
+  (``random.random``, ``random.randint``, ``random.seed``, ...), including
+  importing those functions directly (``from random import random``).
+
+``random.Random(seed)`` / ``random.SystemRandom()`` instances and
+``np.random.Generator``/``SeedSequence`` objects are fine: they are
+explicit, seedable, and local.  :mod:`repro.utils.rng` itself is the
+sanctioned entry point and is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileRule, ParsedModule, register_rule
+
+#: Functions on ``numpy.random`` that touch the module-level global
+#: generator (draws, and ``seed`` which mutates it).
+NUMPY_GLOBAL_DRAWS = frozenset({
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "f", "gamma", "geometric", "gumbel", "hypergeometric",
+    "laplace", "logistic", "lognormal", "logseries", "multinomial",
+    "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "normal", "pareto", "permutation", "poisson", "power",
+    "rand", "randint", "randn", "random", "random_integers", "random_sample",
+    "ranf", "rayleigh", "sample", "seed", "shuffle", "standard_cauchy",
+    "standard_exponential", "standard_gamma", "standard_normal", "standard_t",
+    "triangular", "uniform", "vonmises", "wald", "weibull", "zipf",
+})
+
+#: Functions on the stdlib ``random`` module that use its global stream.
+STDLIB_GLOBAL_DRAWS = frozenset({
+    "betavariate", "binomialvariate", "choice", "choices", "expovariate",
+    "gammavariate", "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange", "sample",
+    "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+})
+
+_GUIDANCE = ("route entropy through repro.utils.rng (resolve_rng / RandomSource / "
+             "spawn_seed_streams) or an explicitly seeded np.random.SeedSequence")
+
+#: The sanctioned entry-point module, exempt by definition.
+_SANCTIONED = "src/repro/utils/rng.py"
+
+
+def _dotted_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+@register_rule
+class RngDisciplineRule(FileRule):
+    code = "RL101"
+    name = "rng-discipline"
+    description = ("No unseeded default_rng() or module-level np.random/random "
+                   "draws inside src/repro; entropy flows through "
+                   "repro.utils.rng or an explicit SeedSequence.")
+
+    def applies(self, module: ParsedModule) -> bool:
+        if module.rel_path == _SANCTIONED:
+            return False
+        return super().applies(module)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        numpy_aliases: set[str] = set()        # names bound to the numpy package
+        numpy_random_aliases: set[str] = set()  # names bound to numpy.random
+        stdlib_random_aliases: set[str] = set()
+        default_rng_aliases: set[str] = set()
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            numpy_random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+                    elif alias.name == "random":
+                        stdlib_random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name == "default_rng":
+                            default_rng_aliases.add(alias.asname or "default_rng")
+                elif node.module == "random":
+                    for alias in node.names:
+                        if alias.name in STDLIB_GLOBAL_DRAWS:
+                            yield module.finding(
+                                node, self.code,
+                                f"importing {alias.name} from random binds the "
+                                f"module-level global stream — {_GUIDANCE}",
+                            )
+
+        def is_numpy_random(prefix: list[str]) -> bool:
+            if len(prefix) == 1:
+                return prefix[0] in numpy_random_aliases
+            if len(prefix) == 2:
+                return prefix[0] in numpy_aliases and prefix[1] == "random"
+            return False
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            if chain is None:
+                if (isinstance(node.func, ast.Name)
+                        and node.func.id in default_rng_aliases
+                        and not node.args and not node.keywords):
+                    yield module.finding(
+                        node, self.code,
+                        f"unseeded default_rng() — {_GUIDANCE}",
+                    )
+                continue
+            if len(chain) >= 2 and is_numpy_random(chain[:-1]):
+                attr = chain[-1]
+                if attr == "default_rng" and not node.args and not node.keywords:
+                    yield module.finding(
+                        node, self.code,
+                        f"unseeded np.random.default_rng() — {_GUIDANCE}",
+                    )
+                elif attr in NUMPY_GLOBAL_DRAWS:
+                    yield module.finding(
+                        node, self.code,
+                        f"np.random.{attr}() draws from numpy's module-level "
+                        f"global generator — {_GUIDANCE}",
+                    )
+            elif (len(chain) == 2 and chain[0] in stdlib_random_aliases
+                    and chain[1] in STDLIB_GLOBAL_DRAWS):
+                yield module.finding(
+                    node, self.code,
+                    f"random.{chain[1]}() draws from the stdlib module-level "
+                    f"global stream — {_GUIDANCE}",
+                )
+            elif (len(chain) == 1 and chain[0] in default_rng_aliases
+                    and not node.args and not node.keywords):
+                yield module.finding(
+                    node, self.code,
+                    f"unseeded default_rng() — {_GUIDANCE}",
+                )

@@ -1,0 +1,207 @@
+"""RL501 — wire-schema sync.
+
+The typed op layer in ``src/repro/api/ops.py`` is pinned by two fixtures:
+``tests/api/golden_requests.jsonl`` (byte-for-byte request/wire shapes) and
+``tests/api/api_surface.txt`` (the public-symbol signature snapshot).  When a
+field is added to a request dataclass without touching the fixtures — or a
+golden grows a key the dataclass would reject at runtime — the protocol has
+silently forked.  This project rule cross-checks all three statically:
+
+* every request ``op`` declared in ``ops.py`` appears in at least one golden
+  line (schema changes must extend the goldens);
+* every key used by a golden ``request``/``wire`` dict is accepted by the
+  op's dataclass (fields + ``_extra_keys`` + ``op``/``schema_version``);
+* every public Request/Response class is present in the API-surface
+  snapshot, and each of its wire fields appears in the recorded signature
+  (a stale snapshot means ``test_api_surface.py --update`` was skipped).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import ProjectContext, ProjectRule, register_rule
+
+OPS_PATH = "src/repro/api/ops.py"
+GOLDEN_PATH = "tests/api/golden_requests.jsonl"
+SURFACE_PATH = "tests/api/api_surface.txt"
+
+
+class _OpsClass:
+    """Statically collected shape of one dataclass in ops.py."""
+
+    def __init__(self, name: str, node: ast.ClassDef) -> None:
+        self.name = name
+        self.node = node
+        self.bases = [base.id for base in node.bases if isinstance(base, ast.Name)]
+        self.op: str | None = None
+        self.fields: list[str] = []
+        self.extra_keys: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                target = stmt.target.id
+                annotation = ast.unparse(stmt.annotation)
+                if annotation.startswith("ClassVar"):
+                    if target == "op" and isinstance(stmt.value, ast.Constant):
+                        self.op = str(stmt.value.value)
+                    elif target == "_extra_keys" and stmt.value is not None:
+                        for leaf in ast.walk(stmt.value):
+                            if isinstance(leaf, ast.Constant) and isinstance(leaf.value, str):
+                                self.extra_keys.add(leaf.value)
+                else:
+                    self.fields.append(target)
+
+
+def _collect_ops_classes(tree: ast.Module) -> dict[str, _OpsClass]:
+    classes: dict[str, _OpsClass] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            classes[stmt.name] = _OpsClass(stmt.name, stmt)
+    return classes
+
+
+def _transitive(classes: dict[str, _OpsClass], cls: _OpsClass,
+                root: str) -> tuple[bool, list[str], set[str]]:
+    """(descends from ``root``, inherited+own fields, extra keys)."""
+    fields: list[str] = []
+    extra: set[str] = set()
+    seen: set[str] = set()
+
+    def visit(current: _OpsClass) -> bool:
+        if current.name in seen:
+            return False
+        seen.add(current.name)
+        is_root = current.name == root
+        for base in current.bases:
+            if base == root:
+                is_root = True
+            if base in classes and visit(classes[base]):
+                is_root = True
+        fields.extend(f for f in current.fields if f not in fields)
+        extra.update(current.extra_keys)
+        return is_root
+
+    descends = visit(cls) or cls.name == root
+    return descends, fields, extra
+
+
+@register_rule
+class WireSchemaSyncRule(ProjectRule):
+    code = "RL501"
+    name = "wire-schema-sync"
+    description = ("ops.py request/response dataclasses, the golden request "
+                   "fixtures, and the API-surface snapshot must agree.")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        ops_source = project.read_text(OPS_PATH)
+        if ops_source is None:
+            return  # not this repository layout; nothing to check
+        try:
+            tree = ast.parse(ops_source, filename=OPS_PATH)
+        except SyntaxError:
+            return  # the parse-error finding is RL000's job
+        classes = _collect_ops_classes(tree)
+
+        requests: dict[str, _OpsClass] = {}
+        responses: list[_OpsClass] = []
+        allowed: dict[str, set[str]] = {}
+        surface_fields: dict[str, list[str]] = {}
+        for cls in classes.values():
+            descends_req, fields, extra = _transitive(classes, cls, "Request")
+            if descends_req and cls.op:
+                requests[cls.op] = cls
+                allowed[cls.op] = set(fields) | extra | {"op", "schema_version"}
+                surface_fields[cls.name] = fields
+                continue
+            descends_resp, fields, _ = _transitive(classes, cls, "Response")
+            if descends_resp and not cls.name.startswith("_"):
+                responses.append(cls)
+                surface_fields[cls.name] = fields
+
+        golden_text = project.read_text(GOLDEN_PATH)
+        if golden_text is None:
+            yield Finding(path=OPS_PATH, line=1, col=1, code=self.code,
+                          message=f"golden fixture file {GOLDEN_PATH} is missing — "
+                                  f"the wire schema is unpinned")
+        else:
+            yield from self._check_goldens(golden_text, requests, allowed)
+
+        surface_text = project.read_text(SURFACE_PATH)
+        if surface_text is None:
+            yield Finding(path=OPS_PATH, line=1, col=1, code=self.code,
+                          message=f"API-surface snapshot {SURFACE_PATH} is missing")
+        else:
+            public = [cls for cls in (*requests.values(), *responses)
+                      if not cls.name.startswith("_")]
+            yield from self._check_surface(surface_text, public, surface_fields)
+
+    def _check_goldens(self, golden_text: str, requests: dict[str, _OpsClass],
+                       allowed: dict[str, set[str]]) -> Iterator[Finding]:
+        seen_ops: set[str] = set()
+        for line_no, line in enumerate(golden_text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                yield Finding(path=GOLDEN_PATH, line=line_no, col=1, code=self.code,
+                              message=f"golden line is not valid JSON: {exc.msg}")
+                continue
+            for section in ("request", "wire"):
+                payload = entry.get(section)
+                if not isinstance(payload, dict):
+                    yield Finding(path=GOLDEN_PATH, line=line_no, col=1, code=self.code,
+                                  message=f"golden line lacks a '{section}' object")
+                    continue
+                op = payload.get("op")
+                if op not in requests:
+                    yield Finding(path=GOLDEN_PATH, line=line_no, col=1, code=self.code,
+                                  message=f"golden {section} uses unknown op {op!r} — "
+                                          f"ops.py declares {sorted(requests)}")
+                    continue
+                seen_ops.add(str(op))
+                unknown = sorted(set(payload) - allowed[str(op)])
+                if unknown:
+                    yield Finding(
+                        path=GOLDEN_PATH, line=line_no, col=1, code=self.code,
+                        message=f"golden {section} for op '{op}' carries key(s) "
+                                f"{', '.join(unknown)} that {requests[str(op)].name} "
+                                f"rejects — schema drift between ops.py and goldens",
+                    )
+        for op, cls in sorted(requests.items()):
+            if op not in seen_ops:
+                yield Finding(
+                    path=OPS_PATH, line=cls.node.lineno, col=cls.node.col_offset + 1,
+                    code=self.code,
+                    message=f"request op '{op}' ({cls.name}) has no golden fixture in "
+                            f"{GOLDEN_PATH} — every op must be pinned",
+                )
+
+    def _check_surface(self, surface_text: str, public: list[_OpsClass],
+                       surface_fields: dict[str, list[str]]) -> Iterator[Finding]:
+        for cls in public:
+            pattern = re.compile(
+                rf"^class repro(?:\.api)?\.{re.escape(cls.name)}\((.*)\)$", re.MULTILINE
+            )
+            match = pattern.search(surface_text)
+            if match is None:
+                yield Finding(
+                    path=OPS_PATH, line=cls.node.lineno, col=cls.node.col_offset + 1,
+                    code=self.code,
+                    message=f"{cls.name} is missing from {SURFACE_PATH} — regenerate "
+                            f"the snapshot (tests/api/test_api_surface.py --update)",
+                )
+                continue
+            signature = match.group(1)
+            for field_name in surface_fields.get(cls.name, []):
+                if re.search(rf"\b{re.escape(field_name)}\b", signature) is None:
+                    yield Finding(
+                        path=OPS_PATH, line=cls.node.lineno,
+                        col=cls.node.col_offset + 1, code=self.code,
+                        message=f"{cls.name}.{field_name} is absent from its "
+                                f"{SURFACE_PATH} signature — the snapshot is stale",
+                    )

@@ -41,7 +41,7 @@ from repro.parallel.shared_graph import graph_payload
 from repro.parallel.shm import pack_arrays
 from repro.parallel.worker import init_worker, run_shard, run_shard_with, sampler_spec
 from repro.rrset.flat_collection import FlatRRCollection
-from repro.utils.rng import resolve_rng
+from repro.utils.rng import resolve_rng, spawn_seed_streams
 from repro.utils.validation import require
 
 __all__ = [
@@ -239,10 +239,7 @@ class ParallelSampler:
         stream identically for every ``jobs`` value.
         """
         entropy = source.py.getrandbits(63)
-        if num_shards == 0:
-            return []
-        children = np.random.SeedSequence(entropy).spawn(num_shards)
-        return [int(child.generate_state(1, np.uint64)[0] % (2**63)) for child in children]
+        return spawn_seed_streams(entropy, num_shards)
 
     def _merge(self, shards) -> FlatRRCollection:
         graph = self._sampler.graph

@@ -171,7 +171,7 @@ class SketchIndex:
             check_k(k, graph.n)
             ell_adjusted = adjusted_ell_tim(ell, graph.n)
             kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted,
-                                      rng=source, engine=engine)
+                                      rng=source, policy=ExecutionPolicy(engine=engine))
             theta = theta_from_kpt(
                 lambda_param(graph.n, k, epsilon, ell_adjusted), kpt_result.kpt_star
             )

@@ -2,7 +2,7 @@
 
 from repro.utils.lazy_heap import LazyMaxHeap, lazy_greedy_maximize
 from repro.utils.memory import PeakTracker, deep_size_of_rr_sets, track_peak
-from repro.utils.rng import RandomSource, resolve_rng, spawn_children
+from repro.utils.rng import RandomSource, resolve_rng, spawn_children, spawn_seed_streams
 from repro.utils.timer import PhaseTimer, Timer, timed
 from repro.utils.validation import (
     check_ell,
@@ -23,6 +23,7 @@ __all__ = [
     "RandomSource",
     "resolve_rng",
     "spawn_children",
+    "spawn_seed_streams",
     "PhaseTimer",
     "Timer",
     "timed",

@@ -16,7 +16,7 @@ import random
 
 import numpy as np
 
-__all__ = ["RandomSource", "resolve_rng", "spawn_children"]
+__all__ = ["RandomSource", "resolve_rng", "spawn_children", "spawn_seed_streams"]
 
 # Large odd constant used to decorrelate the two underlying generators while
 # keeping them a pure function of the user-supplied seed.
@@ -35,7 +35,7 @@ class RandomSource:
 
     __slots__ = ("seed", "py", "np")
 
-    def __init__(self, seed: int | None = None):
+    def __init__(self, seed: int | None = None) -> None:
         if seed is None:
             seed = random.SystemRandom().getrandbits(63)
         self.seed = int(seed)
@@ -94,3 +94,19 @@ def spawn_children(rng: object, count: int) -> list[RandomSource]:
     """``count`` independent child sources, e.g. one per repetition."""
     source = resolve_rng(rng)
     return [source.spawn() for _ in range(count)]
+
+
+def spawn_seed_streams(entropy: int, count: int) -> list[int]:
+    """``count`` deterministic 63-bit seeds derived from ``entropy``.
+
+    The canonical shard-seed derivation used by the parallel engine: a
+    :class:`numpy.random.SeedSequence` rooted at ``entropy`` spawns ``count``
+    children, and each child's first 64-bit state word is folded into the
+    63-bit range :class:`RandomSource` accepts.  The expansion is a pure
+    function of ``(entropy, count)``, so shard streams — and therefore
+    sharded sampling results — are byte-identical across runs, platforms,
+    and worker counts.  Keep any new shard/worker seeding on this helper so
+    the derivation can never silently fork.
+    """
+    children = np.random.SeedSequence(entropy).spawn(count)
+    return [int(child.generate_state(1, np.uint64)[0] % (2**63)) for child in children]

@@ -9,7 +9,7 @@ from repro.analysis import (
     exact_spread_lt,
 )
 from repro.diffusion import estimate_spread
-from repro.graphs import DiGraph, GraphBuilder, paper_figure1_graph, path_digraph
+from repro.graphs import DiGraph, GraphBuilder, path_digraph
 
 
 class TestExactSpreadIC:

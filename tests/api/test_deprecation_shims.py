@@ -8,7 +8,6 @@ must keep producing byte-identical seed sets / sketch bytes to the new
 """
 
 import json
-import warnings
 
 import pytest
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import tim, tim_plus
 from repro.diffusion import ICTriggering, LTTriggering, TriggeringModel
-from repro.graphs import paper_figure1_graph, path_digraph, star_digraph
+from repro.graphs import path_digraph, star_digraph
 
 
 class TestResultContract:

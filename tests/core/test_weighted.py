@@ -45,8 +45,6 @@ class TestWeightedRootSampler:
 
     def test_weighted_estimator_unbiased(self):
         """W * F_R(S) estimates the weighted spread (weighted Corollary 1)."""
-        from repro.analysis import exact_spread_ic
-
         g = path_digraph(4, prob=0.5)
         # Weight only the tail node: weighted spread of {0} =
         # w3 * P(0 activates 3) + w0 * 1 = 8 * 0.125 + 1.

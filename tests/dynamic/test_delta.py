@@ -5,7 +5,6 @@ import pytest
 
 from repro.graphs import (
     DiGraph,
-    GraphBuilder,
     delete_edge,
     gnm_random_digraph,
     insert_edge,

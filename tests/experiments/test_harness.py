@@ -1,6 +1,5 @@
 """Tests for the experiment harness."""
 
-import pytest
 
 from repro.experiments import run_algorithm
 

@@ -1,6 +1,5 @@
 """Tests for structural graph metrics."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import (

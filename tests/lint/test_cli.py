@@ -1,0 +1,126 @@
+"""The ``python -m repro.lint`` front end: exit codes, formats, baselines.
+
+Ends with the self-check the CI gate runs: the linter over the real
+``src/`` tree (and this test package) must come back clean.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.lint.findings import Baseline, Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def mini_project(tmp_path):
+    """A tiny repo with one RL101 violation and one clean module."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname = 'mini'\n")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("import numpy as np\nVALUES = np.random.rand(3)\n")
+    (pkg / "good.py").write_text("ANSWER = 42\n")
+    return tmp_path
+
+
+def run_cli(*argv):
+    return main([str(part) for part in argv])
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, mini_project, capsys):
+        (mini_project / "src" / "repro" / "bad.py").unlink()
+        assert run_cli(mini_project / "src") == EXIT_CLEAN
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one(self, mini_project, capsys):
+        assert run_cli(mini_project / "src") == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "src/repro/bad.py:2:" in out
+        assert "RL101" in out
+        assert "1 finding(s)" in out
+
+    def test_unknown_path_exits_two(self, mini_project, capsys):
+        assert run_cli(mini_project / "nowhere") == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_code_exits_two(self, mini_project, capsys):
+        assert run_cli(mini_project / "src", "--select", "RL999") == EXIT_USAGE
+        assert "RL999" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_other_rule_sees_nothing(self, mini_project):
+        assert run_cli(mini_project / "src", "--select", "RL301") == EXIT_CLEAN
+
+    def test_ignore_suppresses_the_finding(self, mini_project):
+        assert run_cli(mini_project / "src", "--ignore", "RL101") == EXIT_CLEAN
+
+    def test_list_rules(self, mini_project, capsys):
+        assert run_cli("--list-rules") == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("RL101", "RL201", "RL301", "RL401", "RL402", "RL501"):
+            assert code in out
+
+
+class TestJsonFormat:
+    def test_findings_as_json(self, mini_project, capsys):
+        assert run_cli(mini_project / "src", "--format", "json") == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        [finding] = payload["findings"]
+        assert finding["code"] == "RL101"
+        assert finding["path"] == "src/repro/bad.py"
+        assert finding["line"] == 2
+
+
+class TestBaseline:
+    def test_write_then_apply_round_trip(self, mini_project, capsys):
+        baseline = mini_project / "lint-baseline.json"
+        assert run_cli(mini_project / "src", "--write-baseline", baseline) == EXIT_CLEAN
+        assert "1 fingerprint(s)" in capsys.readouterr().out
+        assert run_cli(mini_project / "src", "--baseline", baseline) == EXIT_CLEAN
+
+    def test_new_violation_still_fails_under_baseline(self, mini_project):
+        baseline = mini_project / "lint-baseline.json"
+        run_cli(mini_project / "src", "--write-baseline", baseline)
+        extra = mini_project / "src" / "repro" / "worse.py"
+        extra.write_text("import random\nV = random.random()\n")
+        assert run_cli(mini_project / "src", "--baseline", baseline) == EXIT_FINDINGS
+
+    def test_malformed_baseline_exits_two(self, mini_project, capsys):
+        baseline = mini_project / "broken.json"
+        baseline.write_text("not json at all")
+        assert run_cli(mini_project / "src", "--baseline", baseline) == EXIT_USAGE
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_wrong_version_exits_two(self, mini_project):
+        baseline = mini_project / "old.json"
+        baseline.write_text(json.dumps({"version": 99, "fingerprints": []}))
+        assert run_cli(mini_project / "src", "--baseline", baseline) == EXIT_USAGE
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        a = Finding(path="src/repro/x.py", line=3, col=1, code="RL101", message="m")
+        moved = Finding(path="src/repro/x.py", line=99, col=5, code="RL101", message="m")
+        baseline = Baseline.from_findings([a])
+        path = tmp_path / "b.json"
+        baseline.save(path)
+        assert moved in Baseline.load(path)
+
+
+class TestSelfCheck:
+    def test_library_and_lint_tests_are_clean(self):
+        """The CI gate: `python -m repro.lint src tests/lint` exits 0."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "tests/lint"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr

@@ -1,0 +1,100 @@
+"""RL301 exception-policy: swallowing broad handlers fire; the rest don't."""
+
+from repro.lint.framework import lint_source
+
+
+def rl301(source, path="src/repro/_fixture.py"):
+    return [f for f in lint_source(source, path=path) if f.code == "RL301"]
+
+
+class TestSwallowing:
+    def test_bare_except_pass(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        findings = rl301(source)
+        assert len(findings) == 1
+        assert (findings[0].line, findings[0].code) == (4, "RL301")
+        assert "bare except:" in findings[0].message
+
+    def test_broad_exception_pass(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        findings = rl301(source)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "except Exception:" in findings[0].message
+
+    def test_base_exception_in_tuple(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, BaseException):\n"
+            "        log()\n"
+        )
+        findings = rl301(source)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_bound_name_never_used(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        cleanup()\n"
+        )
+        assert len(rl301(source)) == 1
+
+
+class TestSanctionedHandlers:
+    def test_narrow_handler_out_of_scope(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        assert rl301(source) == []
+
+    def test_broad_handler_that_reraises(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert rl301(source) == []
+
+    def test_translation_into_typed_error(self):
+        source = (
+            "def f(path):\n"
+            "    try:\n"
+            "        return load(path)\n"
+            "    except Exception as exc:\n"
+            "        raise SketchFileError(str(exc)) from exc\n"
+        )
+        assert rl301(source) == []
+
+    def test_structured_error_payload_uses_exception(self):
+        source = (
+            "def f(request):\n"
+            "    try:\n"
+            "        return handle(request)\n"
+            "    except Exception as exc:\n"
+            "        return ErrorResponse.from_exception(exc)\n"
+        )
+        assert rl301(source) == []

@@ -1,0 +1,127 @@
+"""RL201 resource-lifecycle: leaked owners fire; visible ownership doesn't."""
+
+from repro.lint.framework import lint_source
+
+
+def rl201(source, path="src/repro/_fixture.py"):
+    return [f for f in lint_source(source, path=path) if f.code == "RL201"]
+
+
+class TestLeaks:
+    def test_dropped_constructor_call(self):
+        source = (
+            "from repro.parallel import ParallelSampler\n"
+            "\n"
+            "def leak(sampler, jobs):\n"
+            "    ParallelSampler(sampler, jobs)\n"
+        )
+        findings = rl201(source)
+        assert len(findings) == 1
+        assert (findings[0].line, findings[0].code) == (4, "RL201")
+        assert "ParallelSampler" in findings[0].message
+
+    def test_local_never_closed(self):
+        source = (
+            "def leak(graph, k):\n"
+            "    index = SketchIndex.build(graph, k)\n"
+            "    return index.select(k)\n"
+        )
+        findings = rl201(source)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_method_call_on_name_is_not_ownership(self):
+        # session.select() uses the instance; nobody ever closes it.
+        source = (
+            "def leak(graph):\n"
+            "    session = InfluenceSession(graph)\n"
+            "    return session.select(5)\n"
+        )
+        assert len(rl201(source)) == 1
+
+    def test_self_attribute_in_closeless_class(self):
+        source = (
+            "class Holder:\n"
+            "    def __init__(self, graph):\n"
+            "        self._index = SketchIndex(graph)\n"
+        )
+        findings = rl201(source)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_factory_method_construction_tracked(self):
+        source = (
+            "def leak(path):\n"
+            "    pack = MemmapPack.load(path)\n"
+            "    return pack.arrays[0]\n"
+        )
+        findings = rl201(source)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+
+class TestVisibleOwnership:
+    def test_with_block(self):
+        source = (
+            "def ok(sampler, jobs):\n"
+            "    with ParallelSampler(sampler, jobs) as pool:\n"
+            "        return pool.sample(10)\n"
+        )
+        assert rl201(source) == []
+
+    def test_returned_to_caller(self):
+        source = (
+            "def make(graph, k):\n"
+            "    return SketchIndex.build(graph, k)\n"
+        )
+        assert rl201(source) == []
+
+    def test_local_closed_in_finally(self):
+        source = (
+            "def ok(graph):\n"
+            "    session = InfluenceSession(graph)\n"
+            "    try:\n"
+            "        return session.select(5)\n"
+            "    finally:\n"
+            "        session.close()\n"
+        )
+        assert rl201(source) == []
+
+    def test_self_attribute_in_closing_class(self):
+        source = (
+            "class Owner:\n"
+            "    def __init__(self, graph):\n"
+            "        self._index = SketchIndex(graph)\n"
+            "\n"
+            "    def close(self):\n"
+            "        self._index.close()\n"
+        )
+        assert rl201(source) == []
+
+    def test_escape_as_call_argument(self):
+        # Ownership transfer: the service's eviction path closes it.
+        source = (
+            "def ok(service, graph, k):\n"
+            "    index = SketchIndex.build(graph, k)\n"
+            "    service.add_index(index)\n"
+        )
+        assert rl201(source) == []
+
+    def test_escape_into_container_slot(self):
+        source = (
+            "class Cache:\n"
+            "    def add(self, key, graph):\n"
+            "        index = SketchIndex(graph)\n"
+            "        self._indexes[key] = index\n"
+        )
+        assert rl201(source) == []
+
+    def test_untracked_class_ignored(self):
+        assert rl201("def f():\n    Widget()\n") == []
+
+    def test_inline_suppression(self):
+        source = (
+            "def special(graph):\n"
+            "    InfluenceSession(graph)  # repro-lint: disable=RL201\n"
+        )
+        assert rl201(source) == []

@@ -1,0 +1,95 @@
+"""RL101 rng-discipline: every bad shape fires; the sanctioned shapes don't."""
+
+from repro.lint.framework import lint_source
+
+
+def rl101(source, path="src/repro/_fixture.py"):
+    return [f for f in lint_source(source, path=path) if f.code == "RL101"]
+
+
+class TestBadShapes:
+    def test_unseeded_default_rng(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings = rl101(source)
+        assert len(findings) == 1
+        assert (findings[0].line, findings[0].code) == (3, "RL101")
+        assert "unseeded" in findings[0].message
+
+    def test_unseeded_default_rng_via_from_import(self):
+        source = (
+            "from numpy.random import default_rng\n"
+            "\n"
+            "rng = default_rng()\n"
+        )
+        findings = rl101(source)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+    def test_numpy_global_draw(self):
+        findings = rl101("import numpy as np\nv = np.random.rand(3)\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert "np.random.rand" in findings[0].message
+
+    def test_numpy_global_seed_mutation(self):
+        findings = rl101("import numpy\nnumpy.random.seed(0)\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_numpy_random_submodule_alias(self):
+        findings = rl101("import numpy.random as npr\nv = npr.shuffle([1])\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_stdlib_global_draw(self):
+        findings = rl101("import random\nv = random.random()\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert "module-level global stream" in findings[0].message
+
+    def test_stdlib_from_import_of_global_draw(self):
+        findings = rl101("from random import randint\n")
+        assert len(findings) == 1
+        assert findings[0].line == 1
+
+    def test_aliased_stdlib_module(self):
+        findings = rl101("import random as rnd\nv = rnd.choice([1, 2])\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+
+class TestSanctionedShapes:
+    def test_seeded_default_rng_ok(self):
+        assert rl101("import numpy as np\nrng = np.random.default_rng(42)\n") == []
+
+    def test_seed_sequence_ok(self):
+        assert rl101("import numpy as np\nss = np.random.SeedSequence(7)\n") == []
+
+    def test_random_instance_ok(self):
+        assert rl101("import random\nr = random.Random(3)\nv = r.random()\n") == []
+
+    def test_system_random_ok(self):
+        assert rl101("import random\nr = random.SystemRandom()\n") == []
+
+    def test_resolve_rng_helper_ok(self):
+        source = (
+            "from repro.utils.rng import resolve_rng\n"
+            "\n"
+            "def f(rng=None):\n"
+            "    return resolve_rng(rng).random()\n"
+        )
+        assert rl101(source) == []
+
+    def test_rule_skips_the_sanctioned_module_itself(self):
+        # repro/utils/rng.py legitimately touches SystemRandom etc.
+        source = "import random\nseed = random.getrandbits(63)\n"
+        assert rl101(source, path="src/repro/utils/rng.py") == []
+        assert len(rl101(source)) == 1
+
+    def test_out_of_scope_path_ok(self):
+        assert rl101("import random\nv = random.random()\n",
+                     path="benchmarks/bench.py") == []

@@ -1,0 +1,158 @@
+"""RL501 wire-schema sync: ops.py, goldens, and the surface snapshot agree."""
+
+import json
+from pathlib import Path
+
+from repro.lint.framework import ProjectContext
+from repro.lint.rules_schema import WireSchemaSyncRule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+OPS_SOURCE = '''\
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+
+@dataclass
+class Request:
+    id: Any = None
+    _extra_keys: ClassVar[frozenset] = frozenset()
+
+
+@dataclass
+class SelectRequest(Request):
+    op: ClassVar[str] = "select"
+    _extra_keys: ClassVar[frozenset] = frozenset({"include", "exclude"})
+    k: int = 10
+
+
+@dataclass
+class StatsRequest(Request):
+    op: ClassVar[str] = "stats"
+
+
+@dataclass
+class Response:
+    id: Any = None
+
+
+@dataclass
+class SelectResponse(Response):
+    seeds: list = field(default_factory=list)
+'''
+
+SURFACE = """\
+class repro.api.SelectRequest(k, id)
+class repro.api.StatsRequest(id)
+class repro.api.Response(id)
+class repro.api.SelectResponse(seeds, id)
+"""
+
+
+def write_project(tmp_path, *, ops=OPS_SOURCE, goldens=None, surface=SURFACE):
+    if goldens is None:
+        goldens = [
+            {"request": {"op": "select", "k": 3}, "wire": {"op": "select", "k": 3}},
+            {"request": {"op": "stats"}, "wire": {"op": "stats", "id": 7}},
+        ]
+    ops_file = tmp_path / "src" / "repro" / "api" / "ops.py"
+    ops_file.parent.mkdir(parents=True)
+    ops_file.write_text(ops)
+    fixtures = tmp_path / "tests" / "api"
+    fixtures.mkdir(parents=True)
+    if goldens is not False:
+        (fixtures / "golden_requests.jsonl").write_text(
+            "".join(json.dumps(entry) + "\n" for entry in goldens)
+        )
+    if surface is not False:
+        (fixtures / "api_surface.txt").write_text(surface)
+    return ProjectContext(root=tmp_path, modules=[])
+
+
+def run_rule(project):
+    return list(WireSchemaSyncRule().check_project(project))
+
+
+class TestConsistentProject:
+    def test_no_findings(self, tmp_path):
+        assert run_rule(write_project(tmp_path)) == []
+
+    def test_extra_keys_are_accepted(self, tmp_path):
+        goldens = [
+            {"request": {"op": "select", "k": 2, "include": [0]},
+             "wire": {"op": "select", "k": 2, "exclude": [1], "schema_version": 1}},
+            {"request": {"op": "stats"}, "wire": {"op": "stats"}},
+        ]
+        assert run_rule(write_project(tmp_path, goldens=goldens)) == []
+
+    def test_real_repository_is_in_sync(self):
+        # The live cross-check this rule exists for: the actual ops.py,
+        # goldens, and surface snapshot must agree right now.
+        project = ProjectContext(root=REPO_ROOT, modules=[])
+        assert run_rule(project) == []
+
+
+class TestDrift:
+    def test_golden_key_the_dataclass_rejects(self, tmp_path):
+        goldens = [
+            {"request": {"op": "select", "k": 2, "budget": 5},
+             "wire": {"op": "select", "k": 2}},
+            {"request": {"op": "stats"}, "wire": {"op": "stats"}},
+        ]
+        findings = run_rule(write_project(tmp_path, goldens=goldens))
+        assert len(findings) == 1
+        assert findings[0].code == "RL501"
+        assert findings[0].path == "tests/api/golden_requests.jsonl"
+        assert findings[0].line == 1
+        assert "budget" in findings[0].message
+
+    def test_op_without_golden_fixture(self, tmp_path):
+        goldens = [
+            {"request": {"op": "select", "k": 2}, "wire": {"op": "select", "k": 2}},
+        ]
+        findings = run_rule(write_project(tmp_path, goldens=goldens))
+        assert len(findings) == 1
+        assert "'stats'" in findings[0].message
+        assert findings[0].path == "src/repro/api/ops.py"
+
+    def test_unknown_op_in_golden(self, tmp_path):
+        goldens = [
+            {"request": {"op": "select", "k": 2}, "wire": {"op": "select", "k": 2}},
+            {"request": {"op": "stats"}, "wire": {"op": "stats"}},
+            {"request": {"op": "explode"}, "wire": {"op": "explode"}},
+        ]
+        findings = run_rule(write_project(tmp_path, goldens=goldens))
+        assert len(findings) == 2  # request + wire sections of line 3
+        assert all("explode" in f.message for f in findings)
+        assert {f.line for f in findings} == {3}
+
+    def test_class_missing_from_surface(self, tmp_path):
+        surface = SURFACE.replace("class repro.api.SelectResponse(seeds, id)\n", "")
+        findings = run_rule(write_project(tmp_path, surface=surface))
+        assert len(findings) == 1
+        assert "SelectResponse" in findings[0].message
+
+    def test_field_missing_from_surface_signature(self, tmp_path):
+        surface = SURFACE.replace("SelectRequest(k, id)", "SelectRequest(id)")
+        findings = run_rule(write_project(tmp_path, surface=surface))
+        assert len(findings) == 1
+        assert "SelectRequest.k" in findings[0].message
+
+    def test_missing_fixture_files(self, tmp_path):
+        findings = run_rule(write_project(tmp_path, goldens=False, surface=False))
+        messages = " | ".join(f.message for f in findings)
+        assert "golden_requests.jsonl is missing" in messages
+        assert "api_surface.txt is missing" in messages
+
+    def test_invalid_json_line(self, tmp_path):
+        project = write_project(tmp_path)
+        golden_file = tmp_path / "tests" / "api" / "golden_requests.jsonl"
+        golden_file.write_text(golden_file.read_text() + "{not json\n")
+        findings = run_rule(project)
+        assert len(findings) == 1
+        assert "not valid JSON" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_foreign_layout_is_silent(self, tmp_path):
+        # No ops.py at all: the rule has nothing to check and stays quiet.
+        assert run_rule(ProjectContext(root=tmp_path, modules=[])) == []

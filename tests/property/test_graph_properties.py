@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import DiGraph, from_edges, parse_edge_lines, save_edge_list, load_edge_list
+from repro.graphs import from_edges, save_edge_list, load_edge_list
 
 
 @st.composite

@@ -9,7 +9,6 @@ from repro.graphs import gnm_random_digraph, weighted_cascade
 from repro.rrset import make_rr_sampler
 from repro.rrset.coverage import greedy_max_coverage
 from repro.sketch import SketchGraphMismatchError, SketchIndex
-from repro.utils.rng import RandomSource
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for the lazy max-heap and generic lazy greedy."""
 
-import pytest
 
 from repro.utils.lazy_heap import LazyMaxHeap, lazy_greedy_maximize
 
