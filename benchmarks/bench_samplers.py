@@ -34,8 +34,22 @@ import time
 import pytest
 
 from repro.api import ExecutionPolicy
+from repro.obs import runtime as obs
 from repro.rrset import make_rr_sampler
 from repro.utils.rng import RandomSource
+
+
+def collect_obs_metrics(rr_sets_per_sec: dict[str, float]) -> dict:
+    """The per-phase rollup the tracer recorded, plus measured throughput.
+
+    ``rr_sets_per_sec`` carries the externally timed RR throughput per
+    configuration (worker pools count their RR sets in the workers, so the
+    parent-side counter alone would undercount there).
+    """
+    return {
+        "rr_sets_per_sec": rr_sets_per_sec,
+        "phases": obs.phase_breakdown(),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -122,6 +136,21 @@ def run_comparison(args) -> int:
     print(f"  spread rel diff: {timres['spread_rel_diff']*100:.3f}%")
 
     failed = False
+    if args.json_out:
+        summary = {
+            "graph": {"n": args.n, "m": args.m, "seed": args.seed, "model": "IC/WC"},
+            "num_sets": args.num_sets,
+            "generation": gen,
+            "tim": timres,
+            "metrics": collect_obs_metrics({
+                "python": args.num_sets / max(gen["python_seconds"], 1e-12),
+                "vectorized": args.num_sets / max(gen["vectorized_seconds"], 1e-12),
+            }),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"\nwrote {args.json_out}")
+
     if gen["speedup"] < args.min_speedup:
         print(
             f"FAIL: RR-generation speedup {gen['speedup']:.2f}x "
@@ -235,6 +264,9 @@ def run_jobs_sweep(args) -> int:
             "cpu_count": cpu_count,
             "rows": rows,
             "ok": not failed,
+            "metrics": collect_obs_metrics({
+                str(row["jobs"]): row["rr_sets_per_sec"] for row in rows
+            }),
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
@@ -287,6 +319,10 @@ def main(argv=None) -> int:
         args.num_sets = 5_000 if args.smoke else 20_000
     if args.min_speedup is None:
         args.min_speedup = 1.5 if args.smoke else 3.0
+    # Instrument the whole run so --json-out can report per-phase seconds
+    # alongside the externally timed throughput numbers.
+    obs.configure(enabled=True)
+    obs.reset()
     if args.jobs is not None:
         return run_jobs_sweep(args)
     return run_comparison(args)

@@ -28,7 +28,21 @@ import time
 
 from repro.core.tim import tim
 from repro.datasets import build_dataset
+from repro.obs import runtime as obs
 from repro.sketch import SketchIndex
+
+
+def collect_obs_metrics() -> dict:
+    """The per-phase rollup + RR throughput the tracer saw during the run."""
+    phases = obs.phase_breakdown()
+    rr_counter = obs.registry().get("rr.sets")
+    rr_total = int(rr_counter.value) if rr_counter is not None else 0
+    sampling_seconds = float(phases.get("sampling", {}).get("seconds", 0.0))
+    return {
+        "phases": phases,
+        "rr_sets_total": rr_total,
+        "rr_sets_per_sec": rr_total / sampling_seconds if sampling_seconds else 0.0,
+    }
 
 
 def _time(fn) -> tuple[float, object]:
@@ -105,6 +119,11 @@ def main(argv=None) -> int:
     kmax = min(args.kmax, 20) if args.smoke else args.kmax
     identity_ks = sorted({1, 5, kmax // 2, kmax})
 
+    # Instrument the whole run: the summary's "metrics" section carries the
+    # per-phase wall-clock rollup and RR throughput the tracer recorded.
+    obs.configure(enabled=True)
+    obs.reset()
+
     graph = build_dataset(args.dataset, scale).weighted_for("IC")
     print(f"graph: {args.dataset} stand-in @ scale {scale} (n={graph.n}, m={graph.m})")
     print(f"epsilon={args.epsilon}  identity checks at k={identity_ks}  kmax={kmax}")
@@ -135,6 +154,7 @@ def main(argv=None) -> int:
         "median_speedup": median_speedup,
         "min_speedup_required": args.min_speedup,
         "warm_throughput": throughput,
+        "metrics": collect_obs_metrics(),
     }
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:

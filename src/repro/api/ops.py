@@ -413,6 +413,18 @@ class UpdateResponse(Response):
 
 @dataclass(kw_only=True)
 class StatsResponse(Response):
+    """Service counters (``ServiceStats.as_dict()``) as one flat dict.
+
+    The payload grows **additively** under ``schema_version=1``: the
+    historical keys (``queries``, ``errors``, cache/build/repair counters,
+    ``total_latency_seconds``, ``mean_latency_ms``, ``queries_per_second``,
+    ``per_op``) stay byte-identical, and :mod:`repro.obs` appended
+    ``error_latency_seconds``, ``success_mean_latency_ms``, interpolated
+    ``latency_p50_ms`` / ``latency_p90_ms`` / ``latency_p99_ms``, and the
+    per-phase span rollup under ``phases`` (empty unless metrics are on).
+    Consumers must tolerate new keys.
+    """
+
     op: ClassVar[str] = "stats"
 
     stats: dict[str, Any] = field(default_factory=dict)

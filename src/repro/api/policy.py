@@ -138,6 +138,7 @@ _ENV_VARS = {
     "trace_edges": "REPRO_TRACE_EDGES",
     "epsilon": "REPRO_EPSILON",
     "ell": "REPRO_ELL",
+    "metrics": "REPRO_METRICS",
 }
 
 
@@ -182,6 +183,14 @@ class ExecutionPolicy:
         Whether sketch-owning layers (:class:`InfluenceSession`) keep and
         warm-extend one RR sketch across calls (default) or rebuild cold
         every time (ablation / strict-independence runs).
+    metrics:
+        The resolved :mod:`repro.obs` instrumentation switch (span tracing
+        + counters).  Like every policy field it layers library default →
+        ``REPRO_METRICS`` env → CLI (``--metrics-out`` implies it) →
+        call-site ``merge``; process entry points (the CLI, benchmarks)
+        apply the resolved value via ``obs.configure(enabled=...)``.
+        Instrumentation never touches RNG streams, so results are
+        byte-identical either way.
     """
 
     engine: str = "vectorized"
@@ -190,6 +199,7 @@ class ExecutionPolicy:
     epsilon: float = 0.1
     ell: float = 1.0
     reuse_sketch: bool = True
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         require(self.engine in ENGINES,
@@ -202,6 +212,8 @@ class ExecutionPolicy:
                 f"trace_edges must be a bool; got {self.trace_edges!r}")
         require(isinstance(self.reuse_sketch, bool),
                 f"reuse_sketch must be a bool; got {self.reuse_sketch!r}")
+        require(isinstance(self.metrics, bool),
+                f"metrics must be a bool; got {self.metrics!r}")
         object.__setattr__(self, "epsilon", float(self.epsilon))
         object.__setattr__(self, "ell", float(self.ell))
         check_epsilon(self.epsilon)
@@ -260,7 +272,8 @@ class ExecutionPolicy:
     def from_env(cls, env: Mapping[str, str] | None = None,
                  base: "ExecutionPolicy | None" = None) -> "ExecutionPolicy":
         """Resolve ``REPRO_ENGINE`` / ``REPRO_JOBS`` / ``REPRO_TRACE_EDGES``
-        / ``REPRO_EPSILON`` / ``REPRO_ELL`` over ``base`` (or defaults)."""
+        / ``REPRO_EPSILON`` / ``REPRO_ELL`` / ``REPRO_METRICS`` over
+        ``base`` (or defaults)."""
         env = os.environ if env is None else env
         overrides: dict[str, Any] = {}
         for field_name, variable in _ENV_VARS.items():
@@ -270,7 +283,7 @@ class ExecutionPolicy:
             try:
                 if field_name == "jobs":
                     overrides[field_name] = int(raw)
-                elif field_name == "trace_edges":
+                elif field_name in ("trace_edges", "metrics"):
                     overrides[field_name] = _parse_bool(raw, variable)
                 elif field_name in ("epsilon", "ell"):
                     overrides[field_name] = float(raw)
@@ -293,7 +306,7 @@ class ExecutionPolicy:
         resolved = cls.from_env(env=env, base=base)
         overrides = {
             name: getattr(args, name, None)
-            for name in ("engine", "jobs", "trace_edges", "epsilon", "ell")
+            for name in ("engine", "jobs", "trace_edges", "epsilon", "ell", "metrics")
         }
         return resolved.merge(**overrides)
 

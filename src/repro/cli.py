@@ -12,6 +12,9 @@ Subcommands:
   cached sketch incrementally.
 * ``update`` — apply a JSONL stream of edge updates to a persisted sketch,
   repairing it in place of a cold rebuild, and save the result.
+* ``obs`` — inspect a ``--metrics-out`` JSONL export: ``report`` renders the
+  human summary table, ``prom`` converts the final registry snapshot to
+  Prometheus text exposition, ``check`` validates Prometheus text.
 """
 
 from __future__ import annotations
@@ -19,8 +22,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 
+from repro import obs
 from repro.algorithms import algorithm_names, maximize_influence, supports_policy
 from repro.api import ExecutionPolicy
 from repro.datasets import build_dataset, dataset_names, dataset_spec
@@ -63,6 +66,14 @@ def _execution_parent() -> argparse.ArgumentParser:
         default=None,
         help="record live-edge traces while sampling so edge updates "
         "invalidate precisely (sketch/serve/update)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs instrumentation and write the span/metrics "
+        "JSONL stream here on exit (REPRO_METRICS=1 enables recording "
+        "without the export; results are byte-identical either way)",
     )
     return parent
 
@@ -166,6 +177,18 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--save-graph", default=None, help="write the updated edge list here")
     update.add_argument("--seed", type=int, default=0)
 
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect metrics exported with --metrics-out"
+    )
+    obs_cmd.add_argument(
+        "action",
+        choices=["report", "prom", "check"],
+        help="report = human summary table from a metrics JSONL; "
+        "prom = convert a metrics JSONL to Prometheus text exposition; "
+        "check = validate a Prometheus text file",
+    )
+    obs_cmd.add_argument("path", help="metrics JSONL (report/prom) or Prometheus text (check)")
+
     return parser
 
 
@@ -198,9 +221,13 @@ def _resolve_policy(args, base: ExecutionPolicy | None = None) -> ExecutionPolic
 
     ``base`` carries subcommand-specific defaults — the sketch/serve builds
     default to the coarser ε = 0.3 — so the env vars still layer between
-    the default and any explicit flag.
+    the default and any explicit flag.  ``--metrics-out PATH`` implies
+    ``metrics=True`` (the flag names the export; the switch rides along).
     """
-    return ExecutionPolicy.from_args(args, base=base)
+    policy = ExecutionPolicy.from_args(args, base=base)
+    if getattr(args, "metrics_out", None):
+        policy = policy.merge(metrics=True)
+    return policy
 
 
 #: Serving sketches trade tightness for build time (see InfluenceService).
@@ -287,7 +314,7 @@ def _command_sketch(args) -> int:
 
     graph = _load_graph(args.dataset, args.scale, args.model)
     policy = _resolve_policy(args, base=_SERVING_DEFAULTS)
-    started = time.perf_counter()
+    started = obs.now()
     index = SketchIndex.build(
         graph,
         args.model,
@@ -298,7 +325,7 @@ def _command_sketch(args) -> int:
         rng=args.seed,
         policy=policy,
     )
-    build_seconds = time.perf_counter() - started
+    build_seconds = obs.now() - started
     index.close()
     index.save(args.out)
     print(f"sketch      : {args.out} ({os.path.getsize(args.out)} bytes on disk)")
@@ -365,6 +392,8 @@ def _command_serve(args) -> int:
             f"served {stats.queries} queries ({stats.errors} errors) | "
             f"cache hits/misses {stats.cache_hits}/{stats.cache_misses} | "
             f"mean latency {stats.mean_latency_ms:.2f}ms | "
+            f"p50/p99 {stats.latency.percentile(0.5):.2f}/"
+            f"{stats.latency.percentile(0.99):.2f}ms | "
             f"{stats.queries_per_second:.0f} q/s",
             file=sys.stderr,
         )
@@ -389,7 +418,7 @@ def _command_update(args) -> int:
         lines = open(args.updates, "r", encoding="utf-8")
     total_affected = 0
     num_updates = 0
-    started = time.perf_counter()
+    started = obs.now()
     try:
         for line_number, line in enumerate(lines, start=1):
             text = line.strip()
@@ -411,7 +440,7 @@ def _command_update(args) -> int:
     finally:
         if lines is not sys.stdin:
             lines.close()
-    repair_seconds = time.perf_counter() - started
+    repair_seconds = obs.now() - started
     index.close()
     index.save(args.out)
     if args.save_graph is not None:
@@ -424,9 +453,46 @@ def _command_update(args) -> int:
     return 0
 
 
+def _command_obs(args) -> int:
+    if args.action == "check":
+        text = open(args.path, "r", encoding="utf-8").read()
+        errors = obs.validate_prometheus_text(text)
+        for error in errors:
+            print(f"{args.path}: {error}", file=sys.stderr)
+        if not errors:
+            print(f"{args.path}: valid Prometheus text exposition")
+        return 1 if errors else 0
+    data = obs.read_jsonl(args.path)
+    if args.action == "prom":
+        sys.stdout.write(obs.snapshot_to_prometheus(data["metrics"]))
+        return 0
+    sys.stdout.write(obs.render_report(data))
+    return 0
+
+
+def _metrics_wanted(args) -> str | None:
+    """The --metrics-out path when instrumentation should switch on."""
+    return getattr(args, "metrics_out", None)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # --metrics-out flips the process-global tracer for the command's
+    # duration and exports on the way out.  REPRO_METRICS=1 already enabled
+    # recording at import time (no export without a path); the flag layers
+    # on top exactly like every other ExecutionPolicy knob.
+    metrics_out = _metrics_wanted(args)
+    if metrics_out is not None:
+        obs.configure(enabled=True)
+        obs.reset()
+    code = _dispatch_command(args)
+    if metrics_out is not None:
+        obs.write_jsonl(metrics_out, meta={"command": args.command})
+    return code
+
+
+def _dispatch_command(args) -> int:
     if args.command == "datasets":
         return _command_datasets()
     if args.command == "run":
@@ -441,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "update":
         return _command_update(args)
+    if args.command == "obs":
+        return _command_obs(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

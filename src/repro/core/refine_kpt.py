@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.api.policy import DEPRECATED, ExecutionPolicy, resolve_call_policy
 from repro.core.parameters import lambda_prime, theta_from_kpt
+from repro.obs import runtime as obs
 from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.rrset.base import RRSampler
 from repro.rrset.coverage import greedy_max_coverage
@@ -87,40 +88,42 @@ def refine_kpt(
 
     source = resolve_rng(rng)
     run_jobs = jobs_for_engine(run_engine, resolved.jobs)
-    # Lines 2-6: greedy max coverage over R' to get the interim seed set.
-    # greedy_max_coverage consumes a flat collection directly; lists of
-    # RRSet objects are converted to their node tuples first.
-    if hasattr(last_iteration_sets, "ptr_array"):
-        interim = greedy_max_coverage(last_iteration_sets, n, k)
-    else:
-        interim = greedy_max_coverage([rr.nodes for rr in last_iteration_sets], n, k)
+    with obs.trace("kpt.refine", k=int(k)):
+        # Lines 2-6: greedy max coverage over R' to get the interim seed set.
+        # greedy_max_coverage consumes a flat collection directly; lists of
+        # RRSet objects are converted to their node tuples first.
+        if hasattr(last_iteration_sets, "ptr_array"):
+            interim = greedy_max_coverage(last_iteration_sets, n, k)
+        else:
+            interim = greedy_max_coverage([rr.nodes for rr in last_iteration_sets], n, k)
 
-    # Lines 7-9: θ' fresh RR sets.
-    theta_prime = theta_from_kpt(lambda_prime(epsilon_prime, ell, n), kpt_star)
-    seed_set = set(interim.seeds)
-    covered = 0
-    total_cost = 0
-    if run_engine == "vectorized":
-        sampler, owned_pool = maybe_parallel(sampler, run_jobs)
-        try:
-            remaining = theta_prime
-            while remaining > 0:
-                batch = sampler.sample_random_batch(min(_BATCH_SIZE, remaining), source)
-                total_cost += int(batch.costs_array.sum())
-                covered += batch.coverage_count(seed_set)
-                remaining -= len(batch)
-        finally:
-            if owned_pool:
-                sampler.close()
-    else:
-        randrange = source.py.randrange
-        for _ in range(theta_prime):
-            rr = sampler.sample_rooted(randrange(n), source)
-            total_cost += rr.cost
-            for node in rr.nodes:
-                if node in seed_set:
-                    covered += 1
-                    break
+        # Lines 7-9: θ' fresh RR sets.
+        theta_prime = theta_from_kpt(lambda_prime(epsilon_prime, ell, n), kpt_star)
+        seed_set = set(interim.seeds)
+        covered = 0
+        total_cost = 0
+        if run_engine == "vectorized":
+            sampler, owned_pool = maybe_parallel(sampler, run_jobs)
+            try:
+                remaining = theta_prime
+                while remaining > 0:
+                    batch = sampler.sample_random_batch(min(_BATCH_SIZE, remaining), source)
+                    total_cost += int(batch.costs_array.sum())
+                    covered += batch.coverage_count(seed_set)
+                    remaining -= len(batch)
+            finally:
+                if owned_pool:
+                    sampler.close()
+        else:
+            randrange = source.py.randrange
+            for _ in range(theta_prime):
+                rr = sampler.sample_rooted(randrange(n), source)
+                total_cost += rr.cost
+                for node in rr.nodes:
+                    if node in seed_set:
+                        covered += 1
+                        break
+        obs.add("kpt.refine_rr_sets", theta_prime)
 
     # Lines 10-12: deflate the unbiased estimate so KPT' <= OPT w.h.p.
     fraction = covered / theta_prime

@@ -28,6 +28,7 @@ from repro.core.parameters import (
 from repro.core.refine_kpt import refine_kpt
 from repro.core.results import TIMResult
 from repro.diffusion.base import resolve_model
+from repro.obs import runtime as obs
 from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.graphs.digraph import DiGraph
 from repro.rrset.base import make_rr_sampler
@@ -149,6 +150,7 @@ def _tim_run(
         ell_adjusted = adjusted_ell_tim(ell, graph.n)
 
     timer = PhaseTimer()
+    obs.add("tim.runs")
     rr_counts: dict[str, int] = {}
     # The sampler is already pool-wrapped at the tim() level when jobs ask
     # for it, so the sub-algorithms get the engine only — never a jobs value

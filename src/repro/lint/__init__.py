@@ -16,6 +16,8 @@ RL401    policy-kwarg-drift    public entry points take policy=, not bare
                                engine=/jobs=/trace_edges= keywords
 RL402    deprecation-hygiene   DEPRECATED-sentinel shims emit the warning
 RL501    wire-schema-sync      ops.py ↔ golden_requests.jsonl ↔ api_surface.txt
+RL601    timing-discipline     phase timing flows through repro.obs
+                               (trace()/now()) — no raw perf_counter outside it
 =======  ====================  =================================================
 
 Run it with ``python -m repro.lint [paths...]`` (exit 0 clean / 1 findings /
@@ -46,6 +48,7 @@ from repro.lint import rules_policy as _rules_policy
 from repro.lint import rules_resources as _rules_resources
 from repro.lint import rules_rng as _rules_rng
 from repro.lint import rules_schema as _rules_schema
+from repro.lint import rules_timing as _rules_timing
 
 __all__ = [
     "PARSE_ERROR_CODE",
@@ -64,4 +67,5 @@ __all__ = [
     "select_rules",
 ]
 
-del _rules_exceptions, _rules_policy, _rules_resources, _rules_rng, _rules_schema
+del (_rules_exceptions, _rules_policy, _rules_resources, _rules_rng, _rules_schema,
+     _rules_timing)

@@ -1,0 +1,107 @@
+"""RL601 — timing discipline.
+
+Phase accounting now lives in :mod:`repro.obs`: spans recorded through
+``obs.trace()`` land in the metrics registry, survive into the JSONL /
+Prometheus exports, and cost nothing when observability is off.  A raw
+``time.perf_counter()`` inside ``src/repro`` is a measurement the exporters
+never see — it fragments the timing story the moment someone asks "where did
+the wall-clock go?".  This rule flags:
+
+* ``time.perf_counter()`` / ``time.perf_counter_ns()`` and the monotonic
+  variants (``time.monotonic()`` / ``time.monotonic_ns()``) called through
+  the ``time`` module;
+* importing those clocks directly (``from time import perf_counter``),
+  which binds the same raw clock under a local name.
+
+``time.time()`` / ``time.sleep()`` are untouched — they are wall-clock /
+scheduling calls, not phase instrumentation.  :mod:`repro.obs` itself is the
+sanctioned wrapper (``obs.now()`` is the blessed passthrough for callers
+that need a bare timestamp next to an open span) and is exempt.  Legacy
+sites predating :mod:`repro.obs` are carried in the repository baseline
+rather than suppressed inline, so new code cannot add to them silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.framework import FileRule, ParsedModule, register_rule
+
+#: Clock functions on the stdlib ``time`` module that this rule polices.
+TIMING_CLOCKS = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+})
+
+_GUIDANCE = ("time phases through repro.obs — `with obs.trace(\"group.step\"): ...` "
+             "for spans, obs.now() for a bare timestamp")
+
+#: The sanctioned wrapper package, exempt by definition.
+_SANCTIONED_PREFIX = "src/repro/obs/"
+
+
+def _dotted_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` → ``["a", "b", "c"]``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+@register_rule
+class TimingDisciplineRule(FileRule):
+    code = "RL601"
+    name = "timing-discipline"
+    description = ("No raw time.perf_counter()/monotonic() inside src/repro "
+                   "outside repro.obs; phase timing flows through obs.trace() "
+                   "or obs.now() so exporters see it.")
+
+    def applies(self, module: ParsedModule) -> bool:
+        if module.rel_path.startswith(_SANCTIONED_PREFIX):
+            return False
+        return super().applies(module)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        time_aliases: set[str] = set()      # names bound to the time module
+        clock_aliases: set[str] = set()     # names bound to a raw clock
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in TIMING_CLOCKS:
+                            clock_aliases.add(alias.asname or alias.name)
+                            yield module.finding(
+                                node, self.code,
+                                f"importing {alias.name} from time binds a raw "
+                                f"clock — {_GUIDANCE}",
+                            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted_chain(node.func)
+            if chain is None:
+                continue
+            if (len(chain) == 2 and chain[0] in time_aliases
+                    and chain[1] in TIMING_CLOCKS):
+                yield module.finding(
+                    node, self.code,
+                    f"raw time.{chain[1]}() — {_GUIDANCE}",
+                )
+            elif len(chain) == 1 and chain[0] in clock_aliases:
+                yield module.finding(
+                    node, self.code,
+                    f"raw {chain[0]}() (imported from time) — {_GUIDANCE}",
+                )

@@ -1,0 +1,89 @@
+"""`repro.obs` — deterministic metrics, phase tracing, and exporters.
+
+The observability substrate for the sampling/serving stack: a typed
+:class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms with
+interpolated p50/p90/p99 — no reservoir sampling, so exports are
+deterministic), a span tracer (``with trace("kpt.estimate"): ...``) with a
+zero-overhead no-op path when disabled, and three exporters (JSONL event
+stream, Prometheus text exposition, human report table).
+
+Enable with ``REPRO_METRICS=1`` (or ``obs.configure(enabled=True)``, or
+the CLI's ``--metrics-out PATH``).  **Instrumentation never touches RNG
+streams**: sketch bytes and tim seeds are byte-identical metrics-on vs
+metrics-off (pinned by ``tests/obs/test_byte_identity.py``).
+
+Typical library use::
+
+    from repro import obs
+
+    obs.configure(enabled=True)
+    obs.reset()
+    ...                                     # run instrumented work
+    print(obs.phase_breakdown())            # {"kpt": {...}, "sampling": ...}
+    text = obs.to_prometheus()              # scrape-ready exposition
+    obs.write_jsonl("metrics.jsonl")        # spans + registry snapshot
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    render_report,
+    snapshot_to_prometheus,
+    to_prometheus,
+    validate_prometheus_text,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    LATENCY_MS_BUCKETS,
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.runtime import (
+    SpanRecord,
+    add,
+    configure,
+    dropped_spans,
+    enabled,
+    gauge_set,
+    now,
+    observe,
+    observe_many,
+    phase_breakdown,
+    registry,
+    reset,
+    spans,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_MS_BUCKETS",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "SIZE_BUCKETS",
+    "SpanRecord",
+    "add",
+    "configure",
+    "dropped_spans",
+    "enabled",
+    "gauge_set",
+    "now",
+    "observe",
+    "observe_many",
+    "phase_breakdown",
+    "read_jsonl",
+    "registry",
+    "render_report",
+    "reset",
+    "snapshot_to_prometheus",
+    "spans",
+    "to_prometheus",
+    "trace",
+    "validate_prometheus_text",
+    "write_jsonl",
+]

@@ -1,0 +1,360 @@
+"""Exporters: JSONL event stream, Prometheus text exposition, human report.
+
+Three ways the same numbers leave the process:
+
+* :func:`write_jsonl` — one JSON object per line: a ``meta`` header,
+  every completed span (``{"type": "span", ...}``), and a final
+  ``{"type": "metrics", "metrics": {...}}`` registry snapshot.  This is
+  what ``--metrics-out PATH`` writes and what ``repro obs report``/
+  ``repro obs prom`` read back.
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` / ``# HELP`` comments, ``_bucket{le=...}`` / ``_sum`` /
+  ``_count`` series for histograms), scrape-ready.
+  :func:`validate_prometheus_text` is the matching format checker CI runs.
+* :func:`render_report` — a deterministic human summary table: per-phase
+  rollup, span leaderboard, counters, histogram percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Any, Mapping, TextIO, Union
+
+from repro.obs import runtime
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "read_jsonl",
+    "render_report",
+    "snapshot_to_prometheus",
+    "to_prometheus",
+    "validate_prometheus_text",
+    "write_jsonl",
+]
+
+#: Schema version of the JSONL event stream.
+JSONL_VERSION = 1
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+_KNOWN_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_NAME_SANITIZE.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+# ----------------------------------------------------------------------
+def write_jsonl(target: Union[str, Path, TextIO], *,
+                registry: MetricsRegistry | None = None,
+                spans: list[runtime.SpanRecord] | None = None,
+                meta: Mapping[str, Any] | None = None) -> None:
+    """Serialize spans + a registry snapshot as one JSONL event stream.
+
+    Defaults to the live global runtime (what ``--metrics-out`` exports).
+    """
+    reg = registry if registry is not None else runtime.registry()
+    span_list = spans if spans is not None else runtime.spans()
+    header: dict[str, Any] = {
+        "type": "meta",
+        "version": JSONL_VERSION,
+        "spans": len(span_list),
+        "dropped_spans": runtime.dropped_spans() if spans is None else 0,
+    }
+    if meta:
+        header.update(meta)
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(span.as_dict(), sort_keys=True) for span in span_list)
+    lines.append(json.dumps(
+        {"type": "metrics", "metrics": reg.snapshot()}, sort_keys=True))
+    text = "\n".join(lines) + "\n"
+    if isinstance(target, (str, Path)):
+        Path(target).write_text(text, encoding="utf-8")
+    else:
+        target.write(text)
+
+
+def read_jsonl(path: Union[str, Path]) -> dict[str, Any]:
+    """Parse a metrics JSONL file back into ``{meta, spans, metrics}``."""
+    meta: dict[str, Any] = {}
+    spans: list[dict[str, Any]] = []
+    metrics: dict[str, Any] = {}
+    for line_number, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            event = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from None
+        kind = event.get("type")
+        if kind == "meta":
+            meta = event
+        elif kind == "span":
+            spans.append(event)
+        elif kind == "metrics":
+            metrics = event.get("metrics", {})
+        else:
+            raise ValueError(f"{path}:{line_number}: unknown event type {kind!r}")
+    return {"meta": meta, "spans": spans, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def to_prometheus(registry: MetricsRegistry | None = None, *,
+                  namespace: str = "repro") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    reg = registry if registry is not None else runtime.registry()
+    return snapshot_to_prometheus(reg.snapshot(), namespace=namespace)
+
+
+def snapshot_to_prometheus(snapshot: Mapping[str, Mapping[str, Any]], *,
+                           namespace: str = "repro") -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dict as Prometheus text."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("type")
+        prom = _prom_name(name, namespace)
+        if kind in ("counter", "gauge"):
+            lines.append(f"# HELP {prom} {name}")
+            lines.append(f"# TYPE {prom} {kind}")
+            lines.append(f"{prom} {_format_value(data['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {prom} {name}")
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(data["buckets"], data["counts"]):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_format_value(bound)}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {data["count"]}')
+            lines.append(f"{prom}_sum {_format_value(data['sum'])}")
+            lines.append(f"{prom}_count {data['count']}")
+        else:
+            raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_sample_value(text: str) -> float | None:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Check Prometheus text exposition syntax + histogram consistency.
+
+    Returns a list of error strings (empty = valid): malformed comment or
+    sample lines, unknown metric types, samples typed ``histogram`` missing
+    their ``_bucket``/``_sum``/``_count`` series, non-monotone cumulative
+    buckets, and ``+Inf`` buckets disagreeing with ``_count``.
+    """
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    seen_samples: set[str] = set()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    errors.append(f"line {line_number}: incomplete {parts[1]} comment")
+                continue  # free-form comments are legal
+            keyword, name = parts[1], parts[2]
+            if not _METRIC_NAME.match(name):
+                errors.append(f"line {line_number}: invalid metric name {name!r}")
+                continue
+            if keyword == "TYPE":
+                if len(parts) < 4 or parts[3] not in _KNOWN_TYPES:
+                    errors.append(
+                        f"line {line_number}: unknown metric type "
+                        f"{parts[3] if len(parts) > 3 else '<missing>'!r}")
+                elif name in seen_samples:
+                    errors.append(
+                        f"line {line_number}: TYPE for {name!r} after its samples")
+                else:
+                    types[name] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            errors.append(f"line {line_number}: malformed sample line {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_sample_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {line_number}: invalid sample value {match.group('value')!r}")
+            continue
+        label_text = match.group("labels")
+        le: float | None = None
+        if label_text:
+            for pair in label_text.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                if not _LABEL_PAIR.match(pair):
+                    errors.append(f"line {line_number}: malformed label {pair!r}")
+                    continue
+                key, _, quoted = pair.partition("=")
+                if key == "le":
+                    le = _parse_sample_value(quoted[1:-1])
+        family = _base_family(name)
+        seen_samples.add(family)
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                if le is None:
+                    errors.append(
+                        f"line {line_number}: histogram bucket missing le label")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif name.endswith("_count"):
+                counts[family] = value
+    for family, declared in types.items():
+        if declared != "histogram":
+            continue
+        series = buckets.get(family)
+        if not series:
+            errors.append(f"histogram {family!r} has no _bucket series")
+            continue
+        if family not in counts:
+            errors.append(f"histogram {family!r} has no _count sample")
+        previous = -math.inf
+        cumulative = -math.inf
+        for le, value in series:
+            if le < previous:
+                errors.append(f"histogram {family!r}: le bounds out of order")
+                break
+            if value < cumulative:
+                errors.append(
+                    f"histogram {family!r}: cumulative bucket counts decrease")
+                break
+            previous, cumulative = le, value
+        inf_buckets = [value for le, value in series if le == math.inf]
+        if not inf_buckets:
+            errors.append(f"histogram {family!r} is missing its +Inf bucket")
+        elif family in counts and inf_buckets[-1] != counts[family]:
+            errors.append(
+                f"histogram {family!r}: +Inf bucket {inf_buckets[-1]} != "
+                f"_count {counts[family]}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Human report
+# ----------------------------------------------------------------------
+def _aggregate_spans(spans: list[Mapping[str, Any]]) -> dict[str, dict[str, float]]:
+    rollup: dict[str, dict[str, float]] = {}
+    for span in spans:
+        entry = rollup.setdefault(
+            str(span["name"]), {"count": 0, "seconds": 0.0, "max": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(span["seconds"])
+        entry["max"] = max(entry["max"], float(span["seconds"]))
+    return rollup
+
+
+def render_report(data: Mapping[str, Any]) -> str:
+    """A human summary of a parsed metrics stream (see :func:`read_jsonl`)."""
+    spans = list(data.get("spans", []))
+    metrics: Mapping[str, Mapping[str, Any]] = data.get("metrics", {})
+    lines: list[str] = []
+
+    groups: dict[str, dict[str, float]] = {}
+    for span in spans:
+        group = str(span["name"]).split(".", 1)[0]
+        entry = groups.setdefault(group, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(span["seconds"])
+    if groups:
+        lines.append("== phases ==")
+        lines.append(f"{'phase':<12} {'spans':>8} {'total s':>12}")
+        for group in sorted(groups):
+            entry = groups[group]
+            lines.append(
+                f"{group:<12} {int(entry['count']):>8} {entry['seconds']:>12.4f}")
+        lines.append("")
+
+    rollup = _aggregate_spans(spans)
+    if rollup:
+        lines.append("== spans ==")
+        lines.append(
+            f"{'span':<28} {'count':>8} {'total s':>12} {'mean ms':>10} {'max ms':>10}")
+        for name in sorted(rollup):
+            entry = rollup[name]
+            mean_ms = 1000.0 * entry["seconds"] / entry["count"]
+            lines.append(
+                f"{name:<28} {int(entry['count']):>8} {entry['seconds']:>12.4f} "
+                f"{mean_ms:>10.3f} {1000.0 * entry['max']:>10.3f}")
+        lines.append("")
+
+    counters = {n: d for n, d in metrics.items() if d.get("type") == "counter"}
+    gauges = {n: d for n, d in metrics.items() if d.get("type") == "gauge"}
+    if counters or gauges:
+        lines.append("== counters / gauges ==")
+        for name in sorted(counters):
+            lines.append(f"{name:<40} {_format_value(counters[name]['value']):>14}")
+        for name in sorted(gauges):
+            lines.append(
+                f"{name:<40} {_format_value(gauges[name]['value']):>14} (gauge)")
+        lines.append("")
+
+    histograms = {n: d for n, d in metrics.items() if d.get("type") == "histogram"}
+    if histograms:
+        lines.append("== histograms ==")
+        lines.append(
+            f"{'histogram':<40} {'count':>8} {'p50':>10} {'p90':>10} {'p99':>10}")
+        for name in sorted(histograms):
+            data_h = histograms[name]
+            lines.append(
+                f"{name:<40} {data_h['count']:>8} {data_h['p50']:>10.4f} "
+                f"{data_h['p90']:>10.4f} {data_h['p99']:>10.4f}")
+        lines.append("")
+
+    if not lines:
+        return "no metrics recorded\n"
+    return "\n".join(lines).rstrip() + "\n"

@@ -37,6 +37,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 import numpy as np
 
+from repro.obs import runtime as obs
 from repro.parallel.shared_graph import graph_payload
 from repro.parallel.shm import pack_arrays
 from repro.parallel.worker import init_worker, run_shard, run_shard_with, sampler_spec
@@ -256,9 +257,14 @@ class ParallelSampler:
     def _run_shards(self, tasks) -> list:
         if not tasks:
             return []
+        with obs.trace("sampling.parallel_wave", shards=len(tasks), jobs=self.jobs):
+            return self._run_shards_inner(tasks)
+
+    def _run_shards_inner(self, tasks) -> list:
         executor = self._pool_available() if self.jobs > 1 else None
         if executor is None:
-            return [run_shard_with(self._sampler, task) for task in tasks]
+            return self._run_shards_inline(tasks)
+        obs.add("parallel.pool_waves")
         try:
             return list(executor.map(run_shard, tasks))
         except BrokenExecutor:
@@ -266,6 +272,7 @@ class ParallelSampler:
             # end the run when a fresh pool can redo the same shards (same
             # seeds, same bytes).
             self._teardown_pool()
+            obs.add("parallel.pool_respawns")
             try:
                 executor = self._pool_available()
                 if executor is not None:
@@ -275,7 +282,19 @@ class ParallelSampler:
             self._disable_pool(
                 "worker pool crashed twice; continuing with in-process shards"
             )
+            return self._run_shards_inline(tasks)
+
+    def _run_shards_inline(self, tasks) -> list:
+        """In-process shard execution (jobs=1 or a degraded pool)."""
+        if not obs.enabled():
             return [run_shard_with(self._sampler, task) for task in tasks]
+        results = []
+        for task in tasks:
+            started = obs.now()
+            results.append(run_shard_with(self._sampler, task))
+            obs.observe("parallel.shard_seconds", obs.now() - started)
+        obs.add("parallel.inline_shards", len(tasks))
+        return results
 
     def _pool_available(self) -> ProcessPoolExecutor | None:
         """The live executor, lazily spawning it; ``None`` when degraded."""
@@ -327,6 +346,7 @@ class ParallelSampler:
     def _disable_pool(self, reason: str) -> None:
         self._teardown_pool()
         self._pool_disabled = True
+        obs.add("parallel.pool_degraded")
         if not self._warned_inline:
             self._warned_inline = True
             warnings.warn(

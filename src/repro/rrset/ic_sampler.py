@@ -35,6 +35,8 @@ import math
 import numpy as np
 
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
+from repro.obs.registry import SIZE_BUCKETS
 from repro.rrset.base import RRSampler, RRSet
 from repro.rrset.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomSource, resolve_rng
@@ -323,11 +325,16 @@ class ICRRSampler(RRSampler):
         rows = max(1, min(self.BATCH_CHUNK_MAX, self.BATCH_CHUNK_CELLS // max(n, 1)))
         rows = min(rows, int(roots.size))
         visited = np.zeros((rows, n), dtype=bool)
-        if self.max_depth is None:
-            self._sample_stream(roots, source, out, visited)
-        else:
-            for start in range(0, roots.size, rows):
-                self._expand_chunk(roots[start : start + rows], source, out, visited)
+        with obs.trace("sampling.ic_batch", sets=int(roots.size)):
+            if self.max_depth is None:
+                self._sample_stream(roots, source, out, visited)
+            else:
+                for start in range(0, roots.size, rows):
+                    self._expand_chunk(roots[start : start + rows], source, out, visited)
+        if obs.enabled():
+            obs.add("rr.sets", int(roots.size))
+            obs.add("rr.cost", int(out.costs_array.sum()))
+            obs.observe_many("rr.width", out.widths_array, bounds=SIZE_BUCKETS)
         return out
 
     def _sample_stream(

@@ -26,6 +26,8 @@ import numpy as np
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.weights import validate_lt_weights
+from repro.obs import runtime as obs
+from repro.obs.registry import SIZE_BUCKETS
 from repro.rrset.base import RRSampler, RRSet
 from repro.rrset.flat_collection import FlatRRCollection
 from repro.utils.rng import RandomSource, resolve_rng
@@ -151,8 +153,13 @@ class LTRRSampler(RRSampler):
         rows = max(1, min(self.BATCH_CHUNK_MAX, self.BATCH_CHUNK_CELLS // max(n, 1)))
         rows = min(rows, int(roots.size))
         visited = np.zeros((rows, n), dtype=bool)
-        for start in range(0, roots.size, rows):
-            self._walk_chunk(roots[start : start + rows], source, out, visited)
+        with obs.trace("sampling.lt_batch", sets=int(roots.size)):
+            for start in range(0, roots.size, rows):
+                self._walk_chunk(roots[start : start + rows], source, out, visited)
+        if obs.enabled():
+            obs.add("rr.sets", int(roots.size))
+            obs.add("rr.cost", int(out.costs_array.sum()))
+            obs.observe_many("rr.width", out.widths_array, bounds=SIZE_BUCKETS)
         return out
 
     def _walk_chunk(

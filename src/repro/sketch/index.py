@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.api.policy import ExecutionPolicy
 from repro.core.kpt_estimation import estimate_kpt
+from repro.obs import runtime as obs
 from repro.core.parameters import adjusted_ell_tim, lambda_param, theta_from_kpt
 from repro.diffusion.base import resolve_model
 from repro.parallel import ParallelSampler, jobs_for_engine, maybe_parallel
@@ -162,31 +163,33 @@ class SketchIndex:
         resolved.validate_graph(graph)
         source = resolve_rng(rng)
         jobs = jobs_for_engine(engine, jobs)
-        sampler, _ = maybe_parallel(
-            make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
-        )
-        meta: dict = {"rng_seed": source.seed, "engine": engine}
-        if theta is None:
-            require(k is not None, "build needs theta, or k to derive theta from epsilon")
-            check_k(k, graph.n)
-            ell_adjusted = adjusted_ell_tim(ell, graph.n)
-            kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted,
-                                      rng=source, policy=ExecutionPolicy(engine=engine))
-            theta = theta_from_kpt(
-                lambda_param(graph.n, k, epsilon, ell_adjusted), kpt_result.kpt_star
+        with obs.trace("sketch.build", model=resolved.name):
+            sampler, _ = maybe_parallel(
+                make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
             )
-            meta.update(epsilon=epsilon, ell=ell, k=k, kpt_star=kpt_result.kpt_star)
-        theta = int(theta)
-        require(theta >= 1, "theta must be >= 1")
-        if engine == "vectorized":
-            collection = sampler.sample_random_batch(theta, source)
-        else:
-            collection = FlatRRCollection(graph.n, graph.m, track_traces=trace_edges)
-            randrange = source.py.randrange
-            for _ in range(theta):
-                collection.append(sampler.sample_rooted(randrange(graph.n), source))
-        index = cls(collection, graph=graph, model=resolved, meta=meta, jobs=jobs)
-        index._sampler = sampler
+            meta: dict = {"rng_seed": source.seed, "engine": engine}
+            if theta is None:
+                require(k is not None,
+                        "build needs theta, or k to derive theta from epsilon")
+                check_k(k, graph.n)
+                ell_adjusted = adjusted_ell_tim(ell, graph.n)
+                kpt_result = estimate_kpt(graph, k, sampler, ell=ell_adjusted,
+                                          rng=source, policy=ExecutionPolicy(engine=engine))
+                theta = theta_from_kpt(
+                    lambda_param(graph.n, k, epsilon, ell_adjusted), kpt_result.kpt_star
+                )
+                meta.update(epsilon=epsilon, ell=ell, k=k, kpt_star=kpt_result.kpt_star)
+            theta = int(theta)
+            require(theta >= 1, "theta must be >= 1")
+            if engine == "vectorized":
+                collection = sampler.sample_random_batch(theta, source)
+            else:
+                collection = FlatRRCollection(graph.n, graph.m, track_traces=trace_edges)
+                randrange = source.py.randrange
+                for _ in range(theta):
+                    collection.append(sampler.sample_rooted(randrange(graph.n), source))
+            index = cls(collection, graph=graph, model=resolved, meta=meta, jobs=jobs)
+            index._sampler = sampler
         return index
 
     @classmethod
@@ -275,9 +278,10 @@ class SketchIndex:
 
     def extend_flat(self, batch: FlatRRCollection) -> None:
         """Append pre-sampled RR sets (array-level) and invalidate caches."""
-        self.collection.extend_flat(batch)
-        self.meta["theta"] = len(self.collection)
-        self.invalidate()
+        with obs.trace("sketch.extend", sets=len(batch)):
+            self.collection.extend_flat(batch)
+            self.meta["theta"] = len(self.collection)
+            self.invalidate()
 
     def ensure_theta(self, theta: int, rng=None, jobs: int | None = None) -> int:
         """Grow the sketch to at least ``theta`` RR sets; returns the number added.
@@ -366,9 +370,11 @@ class SketchIndex:
                             trace_edges=self.collection.has_traces),
             jobs if jobs is not None else self._jobs,
         )
-        repaired, report = repair_collection(
-            self.collection, delta, sampler, rng=resolve_rng(rng)
-        )
+        with obs.trace("repair.apply_update", action=delta.op):
+            repaired, report = repair_collection(
+                self.collection, delta, sampler, rng=resolve_rng(rng)
+            )
+        obs.add("repair.sets_resampled", report.num_affected)
         if jobs is not None:
             self._jobs = jobs
         # The old pool (if any) broadcast the old graph's arrays — retire it
@@ -418,6 +424,11 @@ class SketchIndex:
         ``forced_include`` seeds are taken first (in the given order) and
         count toward ``k``; ``forced_exclude`` nodes are never selected.
         """
+        with obs.trace("sketch.select", k=int(k)):
+            return self._select(k, forced_include, forced_exclude, incremental)
+
+    def _select(self, k: int, forced_include, forced_exclude,
+                incremental: bool) -> CoverageResult:
         check_k(k, self.num_nodes)
         include = [int(v) for v in forced_include]
         exclude = {int(v) for v in forced_exclude}
@@ -453,6 +464,10 @@ class SketchIndex:
 
     def _run_greedy(self, k: int, state: _GreedyState) -> CoverageResult:
         """Advance ``state`` until it holds ``k`` seeds; return the answer."""
+        with obs.trace("selection.greedy", k=int(k)):
+            return self._run_greedy_inner(k, state)
+
+    def _run_greedy_inner(self, k: int, state: _GreedyState) -> CoverageResult:
         inv_ptr, inv_sets = self._ensure_postings()
         ptr = self.collection.ptr_array
         nodes = self.collection.nodes_array

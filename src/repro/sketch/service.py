@@ -44,11 +44,9 @@ deprecated shim over it with byte-identical payloads.
 from __future__ import annotations
 
 import json
-import time
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.api.ops import (
     ApiError,
@@ -69,27 +67,89 @@ from repro.api.ops import (
 )
 from repro.api.policy import ExecutionPolicy
 from repro.diffusion.base import resolve_model
+from repro.obs import runtime as obs
+from repro.obs.registry import LATENCY_MS_BUCKETS, MetricsRegistry
 from repro.sketch.index import SketchIndex
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import require
 
 __all__ = ["InfluenceService", "ServiceStats"]
 
+#: The counters a ServiceStats carries, in wire order.  Error latency is
+#: tracked separately from total latency so the success-only mean cannot be
+#: polluted by cheap fast-fail requests (the historical ``mean_latency_ms``
+#: keeps averaging over *all* queries, byte-identical to older releases).
+_COUNTER_FIELDS = (
+    "queries",
+    "errors",
+    "cache_hits",
+    "cache_misses",
+    "evictions",
+    "builds",
+    "repairs",
+    "sets_resampled",
+    "total_latency_seconds",
+    "error_latency_seconds",
+)
 
-@dataclass
+
 class ServiceStats:
-    """Aggregate counters the service maintains across queries."""
+    """Aggregate counters the service maintains across queries.
 
-    queries: int = 0
-    errors: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    evictions: int = 0
-    builds: int = 0
-    repairs: int = 0
-    sets_resampled: int = 0
-    total_latency_seconds: float = 0.0
-    per_op: dict = field(default_factory=dict)
+    Backed by a private :class:`~repro.obs.registry.MetricsRegistry`
+    (always on — the registry is just storage; the process-global tracing
+    switch only governs *span* recording), while keeping the historical
+    attribute surface: ``stats.queries``, ``stats.cache_hits += 1`` and
+    friends read and write the underlying counters directly.
+
+    ``as_dict()`` keeps every historical key byte-identical — including
+    ``mean_latency_ms``/``queries_per_second`` averaging over all requests,
+    errors included — and appends additive fields: the error/success
+    latency split and interpolated p50/p90/p99 request latency from a
+    fixed-bucket histogram (deterministic; no reservoir sampling).
+    """
+
+    def __init__(self) -> None:
+        registry = MetricsRegistry()
+        # _counters must exist before any attribute write routes through
+        # __setattr__.
+        self.__dict__["_counters"] = {
+            name: registry.counter("service." + name) for name in _COUNTER_FIELDS
+        }
+        self.__dict__["registry"] = registry
+        self.__dict__["latency"] = registry.histogram(
+            "service.request_latency_ms", LATENCY_MS_BUCKETS)
+        self.__dict__["per_op"] = {}
+        # Latency accumulators are seconds, so they surface as floats even
+        # before the first request lands.
+        self._counters["total_latency_seconds"].value = 0.0
+        self._counters["error_latency_seconds"].value = 0.0
+
+    def __getattr__(self, name: str) -> Any:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counters[name].value = value
+        else:
+            self.__dict__[name] = value
+
+    def record_latency(self, seconds: float, *, error: bool) -> None:
+        """Fold one request's wall-clock into every latency aggregate."""
+        self.total_latency_seconds += seconds
+        if error:
+            self.error_latency_seconds += seconds
+        self.latency.observe(1000.0 * seconds)
+        # Mirror into the process-global registry (no-op when metrics are
+        # off) so --metrics-out exports carry request latency alongside
+        # the span histograms.
+        obs.observe("service.request_latency_ms", 1000.0 * seconds,
+                    bounds=LATENCY_MS_BUCKETS)
 
     @property
     def mean_latency_ms(self) -> float:
@@ -102,6 +162,15 @@ class ServiceStats:
         if self.total_latency_seconds <= 0.0:
             return 0.0
         return self.queries / self.total_latency_seconds
+
+    @property
+    def success_mean_latency_ms(self) -> float:
+        """Mean latency over successful requests only (errors excluded)."""
+        successes = self.queries - self.errors
+        if successes <= 0:
+            return 0.0
+        seconds = self.total_latency_seconds - self.error_latency_seconds
+        return 1000.0 * seconds / successes
 
     def as_dict(self) -> dict:
         return {
@@ -116,6 +185,13 @@ class ServiceStats:
             "mean_latency_ms": self.mean_latency_ms,
             "queries_per_second": self.queries_per_second,
             "per_op": dict(self.per_op),
+            # Additive fields (schema_version stays 1): the error/success
+            # latency split plus deterministic interpolated percentiles.
+            "error_latency_seconds": self.error_latency_seconds,
+            "success_mean_latency_ms": self.success_mean_latency_ms,
+            "latency_p50_ms": self.latency.percentile(0.50),
+            "latency_p90_ms": self.latency.percentile(0.90),
+            "latency_p99_ms": self.latency.percentile(0.99),
         }
 
 
@@ -307,7 +383,12 @@ class InfluenceService:
     def _dispatch(self, graph, request: Request, model) -> Response:
         """Route one *typed* request to its handler; may raise."""
         if isinstance(request, StatsRequest):
-            return StatsResponse(stats=self.stats.as_dict(), cache="n/a")
+            payload = self.stats.as_dict()
+            # Additive per-phase rollup from the global tracer: empty when
+            # metrics are off, {"kpt": {"seconds": ..., "count": ...}, ...}
+            # when REPRO_METRICS/--metrics-out enabled span recording.
+            payload["phases"] = obs.phase_breakdown()
+            return StatsResponse(stats=payload, cache="n/a")
         if isinstance(request, UpdateRequest):
             report = self.apply_update(graph, request)
             return UpdateResponse(cache="n/a", **report)
@@ -353,7 +434,7 @@ class InfluenceService:
         domain rejections alike — come back as
         :class:`~repro.api.ops.ErrorResponse` with a stable ``code``.
         """
-        started = time.perf_counter()
+        started = obs.now()
         op: str | None = None
         request_id = None
         response: Response | None = None
@@ -362,19 +443,21 @@ class InfluenceService:
             op = request.get("op") if isinstance(request.get("op"), str) else None
             request_id = request.get("id")
         try:
-            typed = parse_request(request)
-            op, request_id = typed.op, typed.id
-            response = self._dispatch(graph, typed, model)
-            response.id = request_id
+            with obs.trace("serve.request"):
+                typed = parse_request(request)
+                op, request_id = typed.op, typed.id
+                response = self._dispatch(graph, typed, model)
+                response.id = request_id
         except (ApiError, ValueError, KeyError, TypeError) as exc:
             response = ErrorResponse.from_exception(exc, op=op, id=request_id)
             self.stats.errors += 1
         finally:
-            elapsed = time.perf_counter() - started
+            elapsed = obs.now() - started
             if response is not None:
                 response.latency_ms = 1000.0 * elapsed
             self.stats.queries += 1
-            self.stats.total_latency_seconds += elapsed
+            self.stats.record_latency(
+                elapsed, error=isinstance(response, ErrorResponse))
             op_name = op or "<missing>"
             self.stats.per_op[op_name] = self.stats.per_op.get(op_name, 0) + 1
         return response

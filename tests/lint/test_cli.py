@@ -116,11 +116,20 @@ class TestBaseline:
 
 class TestSelfCheck:
     def test_library_and_lint_tests_are_clean(self):
-        """The CI gate: `python -m repro.lint src tests/lint` exits 0."""
+        """The CI gate: `python -m repro.lint src tests/lint --baseline
+        lint_baseline.json` exits 0 — new findings only."""
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
         result = subprocess.run(
-            [sys.executable, "-m", "repro.lint", "src", "tests/lint"],
+            [sys.executable, "-m", "repro.lint", "src", "tests/lint",
+             "--baseline", "lint_baseline.json"],
             cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
         )
         assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr
+
+    def test_baseline_only_carries_timing_debt(self):
+        """The ratchet file exists and every recorded finding is RL601 —
+        the other rules stay at zero with no grandfathered entries."""
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        assert baseline.fingerprints, "lint_baseline.json should not be empty"
+        assert all("::RL601::" in fp for fp in sorted(baseline.fingerprints))

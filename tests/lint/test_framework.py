@@ -22,9 +22,9 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(registered_rules()) == [
-            "RL101", "RL201", "RL301", "RL401", "RL402", "RL501",
+            "RL101", "RL201", "RL301", "RL401", "RL402", "RL501", "RL601",
         ]
 
     def test_select_subset(self):

@@ -1,0 +1,82 @@
+"""RL601 timing-discipline: raw clocks fire; obs and non-library code don't."""
+
+from repro.lint.framework import lint_source
+
+
+def rl601(source, path="src/repro/_fixture.py"):
+    return [f for f in lint_source(source, path=path) if f.code == "RL601"]
+
+
+class TestBadShapes:
+    def test_time_perf_counter_call(self):
+        findings = rl601("import time\nstart = time.perf_counter()\n")
+        assert len(findings) == 1
+        assert (findings[0].line, findings[0].code) == (2, "RL601")
+        assert "raw time.perf_counter()" in findings[0].message
+        assert "repro.obs" in findings[0].message
+
+    def test_time_perf_counter_ns_call(self):
+        findings = rl601("import time\nstart = time.perf_counter_ns()\n")
+        assert len(findings) == 1
+        assert "perf_counter_ns" in findings[0].message
+
+    def test_time_monotonic_call(self):
+        findings = rl601("import time\nstart = time.monotonic()\n")
+        assert len(findings) == 1
+
+    def test_aliased_time_module(self):
+        findings = rl601("import time as t\nstart = t.perf_counter()\n")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+
+    def test_from_import_flags_binding_and_call(self):
+        source = (
+            "from time import perf_counter\n"
+            "\n"
+            "start = perf_counter()\n"
+        )
+        findings = rl601(source)
+        assert [f.line for f in findings] == [1, 3]
+        assert "binds a raw clock" in findings[0].message
+
+    def test_aliased_from_import(self):
+        findings = rl601("from time import perf_counter as clock\nt = clock()\n")
+        assert [f.line for f in findings] == [1, 2]
+
+
+class TestSanctionedShapes:
+    def test_wall_clock_and_sleep_are_fine(self):
+        source = (
+            "import time\n"
+            "stamp = time.time()\n"
+            "time.sleep(0.1)\n"
+        )
+        assert rl601(source) == []
+
+    def test_obs_now_is_fine(self):
+        source = (
+            "from repro.obs import runtime as obs\n"
+            "start = obs.now()\n"
+            "elapsed = obs.now() - start\n"
+        )
+        assert rl601(source) == []
+
+    def test_obs_package_is_exempt(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert rl601(source, path="src/repro/obs/runtime.py") == []
+
+    def test_outside_library_tree_is_exempt(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert rl601(source, path="benchmarks/bench.py") == []
+
+    def test_unrelated_perf_counter_attribute(self):
+        # Only the stdlib time module is policed, not look-alike attributes.
+        source = "import mylib.time as time2\nstart = time2.perf_counter()\n"
+        assert rl601(source) == []
+
+    def test_inline_suppression(self):
+        source = (
+            "import time\n"
+            "start = time.perf_counter()  # repro-lint: disable=RL601\n"
+        )
+        assert rl601(source) == []

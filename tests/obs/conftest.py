@@ -1,0 +1,21 @@
+"""Every obs test starts and ends with the tracer off and empty.
+
+The runtime is process-global (that is the point — one switch, one
+registry), so tests must not leak enabled-state or recorded spans into
+each other or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.configure(enabled=False, memory=False, span_capacity=100_000)
+    obs.reset()
+    yield
+    obs.configure(enabled=False, memory=False, span_capacity=100_000)
+    obs.reset()

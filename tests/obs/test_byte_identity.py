@@ -1,0 +1,79 @@
+"""The hard invariant: instrumentation never perturbs results.
+
+Metrics-on and metrics-off runs must agree to the byte — identical tim
+seed sets (serial and with a worker pool) and identical serialized sketch
+files.  The tracer reads clocks and writes counters; it must never touch
+an RNG stream.
+"""
+
+import pytest
+
+from repro.api.policy import ExecutionPolicy
+from repro.core.tim import tim
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.obs import runtime as obs
+from repro.sketch import SketchIndex
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(120, 480, rng=21))
+
+
+def run_tim(graph, *, enabled, jobs):
+    obs.configure(enabled=enabled)
+    obs.reset()
+    try:
+        result = tim(
+            graph, 3, epsilon=0.5, rng=11, refine=True,
+            policy=ExecutionPolicy(jobs=jobs),
+        )
+    finally:
+        obs.configure(enabled=False)
+        obs.reset()
+    return result
+
+
+def build_sketch_bytes(graph, tmp_path, *, enabled, tag):
+    obs.configure(enabled=enabled)
+    obs.reset()
+    try:
+        index = SketchIndex.build(graph, "IC", theta=800, rng=7)
+        path = tmp_path / f"sketch_{tag}.npz"
+        index.save(path)
+    finally:
+        obs.configure(enabled=False)
+        obs.reset()
+    return path.read_bytes()
+
+
+class TestTimSeedIdentity:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_seeds_identical_obs_on_vs_off(self, wc_graph, jobs):
+        off = run_tim(wc_graph, enabled=False, jobs=jobs)
+        on = run_tim(wc_graph, enabled=True, jobs=jobs)
+        assert on.seeds == off.seeds
+        assert on.theta == off.theta
+        assert on.kpt_star == off.kpt_star
+        assert on.kpt_plus == off.kpt_plus
+        assert on.rr_sets_per_phase == off.rr_sets_per_phase
+
+    def test_enabled_run_actually_recorded(self, wc_graph):
+        """Guard against the test trivially passing because obs was off."""
+        obs.configure(enabled=True)
+        obs.reset()
+        try:
+            tim(wc_graph, 2, epsilon=0.5, rng=3,
+                policy=ExecutionPolicy(jobs=1))
+            groups = set(obs.phase_breakdown())
+            assert {"kpt", "sampling", "selection"} <= groups
+        finally:
+            obs.configure(enabled=False)
+            obs.reset()
+
+
+class TestSketchByteIdentity:
+    def test_sketch_file_bytes_identical(self, wc_graph, tmp_path):
+        off = build_sketch_bytes(wc_graph, tmp_path, enabled=False, tag="off")
+        on = build_sketch_bytes(wc_graph, tmp_path, enabled=True, tag="on")
+        assert on == off

@@ -1,0 +1,94 @@
+"""The observability CLI surface: --metrics-out and `repro obs ...`."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.export import read_jsonl
+
+
+@pytest.fixture
+def run_metrics(tmp_path):
+    """A metrics JSONL produced by an instrumented `repro run`."""
+    path = tmp_path / "run_metrics.jsonl"
+    code = main([
+        "run", "--dataset", "nethept", "--scale", "0.05", "-k", "3",
+        "--epsilon", "0.5", "--seed", "1", "--metrics-out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_metrics_out_on_execution_commands(self):
+        for command in (["run"], ["sketch", "--out", "s.npz"], ["serve"],
+                        ["update", "--sketch", "s.npz",
+                         "--updates", "u.jsonl", "--out", "s2.npz"]):
+            args = build_parser().parse_args(command + ["--metrics-out", "m.jsonl"])
+            assert args.metrics_out == "m.jsonl"
+
+    def test_obs_subcommand(self):
+        args = build_parser().parse_args(["obs", "report", "m.jsonl"])
+        assert (args.action, args.path) == ("report", "m.jsonl")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "dance", "m.jsonl"])
+
+
+class TestMetricsOut:
+    def test_run_writes_spans_and_metrics(self, run_metrics, capsys):
+        capsys.readouterr()
+        data = read_jsonl(run_metrics)
+        assert data["meta"]["command"] == "run"
+        groups = {span["name"].split(".", 1)[0] for span in data["spans"]}
+        assert {"kpt", "sampling", "selection"} <= groups
+        assert any(name.startswith("span.") for name in data["metrics"])
+
+    def test_obs_report_and_prom_and_check(self, run_metrics, tmp_path, capsys):
+        assert main(["obs", "report", str(run_metrics)]) == 0
+        report = capsys.readouterr().out
+        assert "== phases ==" in report and "kpt" in report
+
+        assert main(["obs", "prom", str(run_metrics)]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE" in prom
+
+        prom_path = tmp_path / "metrics.prom"
+        prom_path.write_text(prom, encoding="utf-8")
+        assert main(["obs", "check", str(prom_path)]) == 0
+        assert "valid Prometheus" in capsys.readouterr().out
+
+    def test_obs_check_rejects_corrupt_text(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prom"
+        bad.write_text("# TYPE foo flotilla\nfoo{le=} }{\n", encoding="utf-8")
+        assert main(["obs", "check", str(bad)]) == 1
+        assert "bad.prom" in capsys.readouterr().err
+
+    def test_serve_batch_exports_phase_spans(self, tmp_path, capsys):
+        batch = tmp_path / "batch.jsonl"
+        requests = [
+            {"op": "select", "schema_version": 1, "k": 3},
+            {"op": "select", "schema_version": 1, "k": 5},
+            {"op": "update", "schema_version": 1, "action": "delete",
+             "u": 0, "v": 1},
+            {"op": "stats", "schema_version": 1},
+        ]
+        batch.write_text(
+            "\n".join(json.dumps(r) for r in requests) + "\n", encoding="utf-8")
+        metrics = tmp_path / "serve_metrics.jsonl"
+        code = main([
+            "serve", "--dataset", "nethept", "--scale", "0.05",
+            "--epsilon", "0.5", "--seed", "7",
+            "--batch", str(batch), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        stats_line = json.loads(out.strip().splitlines()[-1])
+        phases = stats_line["result"]["phases"]
+        assert {"kpt", "sampling", "selection", "repair"} <= set(phases)
+        data = read_jsonl(metrics)
+        groups = {span["name"].split(".", 1)[0] for span in data["spans"]}
+        assert {"kpt", "sampling", "selection", "repair", "serve"} <= groups
+        latency = data["metrics"]["service.request_latency_ms"]
+        assert latency["count"] == 4
+        assert latency["p50"] <= latency["p99"]

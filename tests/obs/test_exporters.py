@@ -1,0 +1,174 @@
+"""Exporters: JSONL round-trips, Prometheus exposition + checker, report."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.export import (
+    read_jsonl,
+    render_report,
+    snapshot_to_prometheus,
+    to_prometheus,
+    validate_prometheus_text,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def record_some_activity():
+    obs.configure(enabled=True)
+    with obs.trace("serve.request"):
+        with obs.trace("sketch.select", k=3):
+            pass
+    obs.add("rr.sets", 42)
+    obs.gauge_set("pool.size", 2)
+    obs.observe("service.request_latency_ms", 1.5, bounds=(1.0, 10.0))
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        record_some_activity()
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(path, meta={"command": "serve"})
+        data = read_jsonl(path)
+        assert data["meta"]["version"] == 1
+        assert data["meta"]["command"] == "serve"
+        assert data["meta"]["spans"] == 2
+        assert [s["name"] for s in data["spans"]] == ["sketch.select", "serve.request"]
+        assert data["spans"][0]["labels"] == {"k": 3}
+        assert data["metrics"]["rr.sets"] == {"type": "counter", "value": 42}
+        assert data["metrics"]["service.request_latency_ms"]["type"] == "histogram"
+
+    def test_write_to_text_io(self):
+        record_some_activity()
+        sink = io.StringIO()
+        write_jsonl(sink)
+        lines = [line for line in sink.getvalue().splitlines() if line]
+        assert len(lines) == 4  # meta + 2 spans + metrics
+
+    def test_read_rejects_corrupt_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_jsonl(path)
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown event type"):
+            read_jsonl(path)
+
+
+class TestPrometheus:
+    def test_live_registry_exports_valid_text(self):
+        record_some_activity()
+        text = to_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "# TYPE repro_rr_sets counter" in text
+        assert "repro_rr_sets 42" in text
+        assert "# TYPE repro_pool_size gauge" in text
+        assert 'repro_service_request_latency_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_service_request_latency_ms_count 1" in text
+
+    def test_snapshot_round_trip_matches_live(self, tmp_path):
+        """prom-from-JSONL (what `repro obs prom` does) equals prom-live."""
+        record_some_activity()
+        live = to_prometheus()
+        path = tmp_path / "m.jsonl"
+        write_jsonl(path)
+        from_snapshot = snapshot_to_prometheus(read_jsonl(path)["metrics"])
+        assert from_snapshot == live
+
+    def test_empty_registry_exports_empty_text(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+        assert validate_prometheus_text("") == []
+
+    def test_histogram_buckets_are_cumulative_and_close_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 2.0))
+        for v in (0.5, 0.6, 1.5, 99.0):
+            h.observe(v)
+        text = to_prometheus(reg)
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="2"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_unknown_metric_type_raises(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            snapshot_to_prometheus({"x": {"type": "summary", "value": 1}})
+
+
+class TestPrometheusChecker:
+    def test_malformed_sample_line(self):
+        errors = validate_prometheus_text("this is } not a sample\n")
+        assert any("malformed sample line" in e for e in errors)
+
+    def test_unknown_declared_type(self):
+        errors = validate_prometheus_text("# TYPE foo flotilla\nfoo 1\n")
+        assert any("unknown metric type" in e for e in errors)
+
+    def test_type_after_samples(self):
+        errors = validate_prometheus_text("foo 1\n# TYPE foo counter\n")
+        assert any("after its samples" in e for e in errors)
+
+    def test_histogram_without_buckets(self):
+        errors = validate_prometheus_text("# TYPE h histogram\nh_count 3\n")
+        assert any("no _bucket series" in e for e in errors)
+
+    def test_histogram_missing_inf_bucket(self):
+        text = '# TYPE h histogram\nh_bucket{le="1"} 2\nh_count 2\n'
+        errors = validate_prometheus_text(text)
+        assert any("+Inf" in e for e in errors)
+
+    def test_histogram_decreasing_cumulative_counts(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_count 5\n"
+        )
+        errors = validate_prometheus_text(text)
+        assert any("decrease" in e for e in errors)
+
+    def test_histogram_inf_disagrees_with_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_count 9\n"
+        )
+        errors = validate_prometheus_text(text)
+        assert any("!= _count" in e for e in errors)
+
+    def test_malformed_label(self):
+        errors = validate_prometheus_text('foo{le=unquoted} 1\n')
+        assert any("malformed label" in e for e in errors)
+
+    def test_inf_and_nan_values_parse(self):
+        assert validate_prometheus_text("foo +Inf\nbar NaN\n") == []
+        assert math.isinf(math.inf)  # sanity
+
+
+class TestReport:
+    def test_report_sections_from_round_trip(self, tmp_path):
+        record_some_activity()
+        path = tmp_path / "m.jsonl"
+        write_jsonl(path)
+        report = render_report(read_jsonl(path))
+        assert "== phases ==" in report
+        assert "== spans ==" in report
+        assert "== counters / gauges ==" in report
+        assert "== histograms ==" in report
+        assert "serve" in report and "sketch" in report
+        assert "rr.sets" in report
+
+    def test_report_is_deterministic(self, tmp_path):
+        record_some_activity()
+        path = tmp_path / "m.jsonl"
+        write_jsonl(path)
+        data = read_jsonl(path)
+        assert render_report(data) == render_report(data)
+
+    def test_empty_stream(self):
+        assert render_report({"spans": [], "metrics": {}}) == "no metrics recorded\n"

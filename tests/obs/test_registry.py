@@ -1,0 +1,170 @@
+"""MetricsRegistry primitives: counters, gauges, deterministic histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_MS_BUCKETS,
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pool")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+        assert g.snapshot() == {"type": "gauge", "value": 3}
+
+
+class TestHistogramBuckets:
+    def test_bounds_must_be_nonempty_and_ascending(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError, match="strictly ascending"):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+
+    def test_le_inclusive_bucketing(self):
+        """A value equal to a bound lands in that bound's bucket
+        (Prometheus ``le`` semantics)."""
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(2.5)
+        h.observe(100.0)  # overflow
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.5)
+
+    def test_observe_many_matches_observe(self):
+        values = [0.3, 1.0, 1.5, 3.9, 4.0, 77.0]
+        one = Histogram("a", bounds=(1.0, 2.0, 4.0))
+        many = Histogram("b", bounds=(1.0, 2.0, 4.0))
+        for v in values:
+            one.observe(v)
+        many.observe_many(np.asarray(values))
+        assert many.counts == one.counts
+        assert many.count == one.count
+        assert many.sum == pytest.approx(one.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe_many(np.asarray([], dtype=np.float64))
+        assert h.count == 0 and h.sum == 0.0
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        assert Histogram("h", bounds=(1.0,)).percentile(0.5) == 0.0
+
+    def test_quantile_domain(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        """One observation in [0, 10] → p50 sits mid-bucket at 5.0."""
+        h = Histogram("h", bounds=(10.0,))
+        h.observe(7.0)
+        assert h.percentile(0.5) == pytest.approx(5.0)
+        assert h.percentile(1.0) == pytest.approx(10.0)
+
+    def test_crossing_bucket_interpolation(self):
+        """[1, 3, 9, 200] over power-of-two buckets: the p50 rank (2.0)
+        crosses in the (2, 4] bucket and interpolates to exactly 4.0."""
+        h = Histogram("h", bounds=SIZE_BUCKETS)
+        h.observe_many(np.asarray([1.0, 3.0, 9.0, 200.0]))
+        assert h.percentile(0.5) == pytest.approx(4.0)
+
+    def test_overflow_rank_clamps_to_top_bound(self):
+        h = Histogram("h", bounds=(1.0, 2.0))
+        h.observe_many(np.asarray([10.0, 20.0, 30.0]))
+        assert h.percentile(0.5) == 2.0
+        assert h.percentile(0.99) == 2.0
+
+    def test_deterministic_across_runs(self):
+        """Identical inputs give byte-identical snapshots (no sampling)."""
+        def build():
+            h = Histogram("h", bounds=SECONDS_BUCKETS)
+            h.observe_many(np.linspace(0.0001, 2.0, 257))
+            return h.snapshot()
+
+        assert build() == build()
+
+    def test_mean(self):
+        h = Histogram("h", bounds=(10.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert len(reg) == 2
+        assert "a" in reg and "missing" not in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("a")
+
+    def test_snapshot_is_json_able_and_insertion_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(3)
+        reg.gauge("a").set(-1)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["z", "a", "h"]
+        assert snap["z"] == {"type": "counter", "value": 3}
+        assert snap["h"]["counts"] == [1, 0]
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.get("a") is None
+
+
+class TestBucketPresets:
+    @pytest.mark.parametrize(
+        "bounds", [LATENCY_MS_BUCKETS, SECONDS_BUCKETS, SIZE_BUCKETS]
+    )
+    def test_presets_are_strictly_ascending(self, bounds):
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))

@@ -1,0 +1,150 @@
+"""The span tracer: zero-overhead off switch, nesting, capacity, rollups."""
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.registry import Histogram
+
+
+class TestDisabledPath:
+    def test_disabled_by_default_in_tests(self):
+        assert not obs.enabled()
+
+    def test_trace_returns_shared_noop_singleton(self):
+        """Off means off: every trace() call hands back the same object —
+        no allocation, no span, no metric."""
+        first = obs.trace("kpt.estimate")
+        second = obs.trace("sampling.ic_batch", sets=10)
+        assert first is second
+        with first:
+            pass
+        assert obs.spans() == []
+        assert len(obs.registry()) == 0
+
+    def test_recording_helpers_are_noops_when_disabled(self):
+        obs.add("rr.sets", 5)
+        obs.gauge_set("pool.size", 3)
+        obs.observe("x", 0.5)
+        obs.observe_many("y", np.asarray([1.0, 2.0]))
+        assert len(obs.registry()) == 0
+
+    def test_now_is_live_even_when_disabled(self):
+        start = obs.now()
+        assert obs.now() >= start
+
+
+class TestSpans:
+    def test_span_records_duration_and_labels(self):
+        obs.configure(enabled=True)
+        with obs.trace("kpt.estimate", k=5):
+            pass
+        (span,) = obs.spans()
+        assert span.name == "kpt.estimate"
+        assert span.labels == {"k": 5}
+        assert span.seconds >= 0.0
+        assert span.depth == 0 and span.parent is None
+
+    def test_nesting_depth_and_parent(self):
+        obs.configure(enabled=True)
+        with obs.trace("serve.request"):
+            with obs.trace("sketch.select"):
+                with obs.trace("selection.greedy"):
+                    pass
+        names = [s.name for s in obs.spans()]
+        # Spans complete innermost-first.
+        assert names == ["selection.greedy", "sketch.select", "serve.request"]
+        by_name = {s.name: s for s in obs.spans()}
+        assert by_name["serve.request"].depth == 0
+        assert by_name["sketch.select"].depth == 1
+        assert by_name["sketch.select"].parent == "serve.request"
+        assert by_name["selection.greedy"].depth == 2
+        assert by_name["selection.greedy"].parent == "sketch.select"
+
+    def test_span_feeds_duration_histogram(self):
+        obs.configure(enabled=True)
+        with obs.trace("sampling.ic_batch"):
+            pass
+        metric = obs.registry().get("span.sampling.ic_batch.seconds")
+        assert isinstance(metric, Histogram)
+        assert metric.count == 1
+
+    def test_span_survives_exception(self):
+        obs.configure(enabled=True)
+        with pytest.raises(RuntimeError):
+            with obs.trace("kpt.estimate"):
+                raise RuntimeError("boom")
+        assert [s.name for s in obs.spans()] == ["kpt.estimate"]
+
+    def test_capacity_cap_counts_drops(self):
+        obs.configure(enabled=True, span_capacity=2)
+        for _ in range(5):
+            with obs.trace("sampling.ic_batch"):
+                pass
+        assert len(obs.spans()) == 2
+        assert obs.dropped_spans() == 3
+        # The histogram still sees every span — only the event list is capped.
+        metric = obs.registry().get("span.sampling.ic_batch.seconds")
+        assert metric is not None and metric.count == 5
+
+    def test_reset_clears_everything(self):
+        obs.configure(enabled=True)
+        with obs.trace("kpt.estimate"):
+            pass
+        obs.add("rr.sets")
+        obs.reset()
+        assert obs.spans() == []
+        assert obs.dropped_spans() == 0
+        assert len(obs.registry()) == 0
+
+    def test_span_record_as_dict(self):
+        obs.configure(enabled=True)
+        with obs.trace("repair.apply_update", action="delete"):
+            pass
+        record = obs.spans()[0].as_dict()
+        assert record["type"] == "span"
+        assert record["name"] == "repair.apply_update"
+        assert record["labels"] == {"action": "delete"}
+        assert "rss_kb_delta" not in record  # memory accounting off
+
+
+class TestRecordingHelpers:
+    def test_add_creates_and_increments(self):
+        obs.configure(enabled=True)
+        obs.add("rr.sets", 10)
+        obs.add("rr.sets", 5)
+        counter = obs.registry().get("rr.sets")
+        assert counter is not None and counter.value == 15
+
+    def test_gauge_and_observe(self):
+        obs.configure(enabled=True)
+        obs.gauge_set("pool.size", 4)
+        obs.observe("lat", 0.25, bounds=(1.0,))
+        obs.observe_many("widths", np.asarray([1.0, 3.0]), bounds=(2.0, 4.0))
+        assert obs.registry().get("pool.size").value == 4
+        assert obs.registry().get("lat").count == 1
+        assert obs.registry().get("widths").count == 2
+
+    def test_configure_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            obs.configure(span_capacity=-1)
+
+
+class TestPhaseBreakdown:
+    def test_groups_by_first_dotted_component(self):
+        obs.configure(enabled=True)
+        with obs.trace("kpt.estimate"):
+            pass
+        with obs.trace("kpt.refine"):
+            pass
+        with obs.trace("sampling.ic_batch"):
+            pass
+        obs.add("not.a.span")  # counters are ignored by the rollup
+        breakdown = obs.phase_breakdown()
+        assert set(breakdown) == {"kpt", "sampling"}
+        assert breakdown["kpt"]["count"] == 2
+        assert breakdown["sampling"]["count"] == 1
+        assert breakdown["kpt"]["seconds"] >= 0.0
+
+    def test_empty_when_nothing_recorded(self):
+        assert obs.phase_breakdown() == {}
