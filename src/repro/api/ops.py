@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Any, ClassVar
 
+from repro.faults.errors import error_code, is_retryable
 from repro.utils.validation import require
 
 if TYPE_CHECKING:
@@ -70,7 +71,11 @@ class ApiError(ValueError):
 
     Codes: ``bad_request`` (malformed value), ``unknown_op``,
     ``unknown_field`` (typo'd key), ``unsupported_schema_version``,
-    ``invalid_json`` (JSONL decode failures).
+    ``invalid_json`` (JSONL decode failures).  Runtime failures surface
+    through the :mod:`repro.faults.errors` taxonomy instead —
+    ``transient``, ``fatal``, ``deadline_exceeded``, ``resource_exhausted``
+    — with the payload's ``retryable`` flag telling clients whether a
+    resubmit can help.
     """
 
     def __init__(self, code: str, message: str) -> None:
@@ -104,13 +109,29 @@ def _int_tuple(value: object, what: str) -> tuple[int, ...]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, kw_only=True)
 class Request:
-    """Base request: ``id`` is opaque and echoed back on the response."""
+    """Base request: ``id`` is opaque and echoed back on the response.
+
+    ``deadline_ms`` (any op, optional) caps the request's wall clock:
+    past the budget the service answers with a structured
+    ``deadline_exceeded`` error instead of keeping the caller waiting.
+    """
 
     op: ClassVar[str] = ""
     #: Wire keys this op accepts beyond its dataclass fields.
     _extra_keys: ClassVar[frozenset[str]] = frozenset()
 
     id: object = None
+    deadline_ms: int | float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is None:
+            return
+        if (isinstance(self.deadline_ms, bool)
+                or not isinstance(self.deadline_ms, (int, float))
+                or self.deadline_ms <= 0):
+            raise ApiError(
+                "bad_request",
+                f"deadline_ms must be a number > 0; got {self.deadline_ms!r}")
 
     @classmethod
     def allowed_keys(cls) -> frozenset[str]:
@@ -125,6 +146,8 @@ class Request:
         wire: dict[str, Any] = {"op": self.op, "schema_version": SCHEMA_VERSION}
         if self.id is not None:
             wire["id"] = self.id
+        if self.deadline_ms is not None:
+            wire["deadline_ms"] = self.deadline_ms
         wire.update(self._payload())
         return wire
 
@@ -150,6 +173,7 @@ class SelectRequest(_ModelRequest):
     exclude: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         if not _is_int(self.k) or self.k < 1:
             raise ApiError("bad_request", f"select needs an integer k >= 1; got {self.k!r}")
         object.__setattr__(self, "include", _int_tuple(self.include, "include"))
@@ -174,6 +198,7 @@ class SpreadRequest(_ModelRequest):
     seeds: tuple[int, ...]
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         object.__setattr__(self, "seeds", _int_tuple(self.seeds, "seeds"))
         if not self.seeds:
             raise ApiError("bad_request", "spread needs a non-empty seeds list")
@@ -194,6 +219,7 @@ class MarginalRequest(_ModelRequest):
     candidate: int
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         object.__setattr__(self, "seeds", _int_tuple(self.seeds, "seeds"))
         if not _is_int(self.candidate):
             raise ApiError("bad_request",
@@ -219,6 +245,7 @@ class UpdateRequest(Request):
     p: float | None = None
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         # EdgeUpdate owns the domain validation (action set, probability
         # range, delete-takes-no-p); surface its message under bad_request.
         try:
@@ -435,23 +462,34 @@ class StatsResponse(Response):
 
 @dataclass(kw_only=True)
 class ErrorResponse(Response):
-    """Structured failure: a stable ``code`` plus a human message."""
+    """Structured failure: a stable ``code`` plus a human message.
+
+    ``retryable`` (additive under ``schema_version=1``) tells clients
+    whether resubmitting the same request may succeed — ``True`` for
+    transient runtime failures and resource exhaustion, ``False`` for
+    protocol errors, fatal failures, and blown deadlines.
+    """
 
     ok: ClassVar[bool] = False
 
     code: str = "bad_request"
     message: str = ""
+    retryable: bool = False
     failed_op: str | None = None
     line: int | None = None
 
     @classmethod
     def from_exception(cls, exc: Exception, *, op: str | None = None,
                        id: Any = None, line: int | None = None) -> "ErrorResponse":
-        code = exc.code if isinstance(exc, ApiError) else "bad_request"
+        # ApiError and the repro.faults taxonomy both carry .code; anything
+        # else maps through error_code (MemoryError → resource_exhausted,
+        # fallback bad_request).
+        code = error_code(exc)
         # str(KeyError) is the repr of its argument — unwrap the quotes.
         message = (str(exc.args[0]) if isinstance(exc, KeyError) and exc.args
                    else str(exc))
-        return cls(code=code, message=message, failed_op=op, id=id, line=line)
+        return cls(code=code, message=message, retryable=is_retryable(exc),
+                   failed_op=op, id=id, line=line)
 
     def to_wire(self) -> dict[str, Any]:
         wire: dict[str, Any] = {}
@@ -463,7 +501,8 @@ class ErrorResponse(Response):
         wire["schema_version"] = self.schema_version
         if self.line is not None:
             wire["line"] = self.line
-        wire["error"] = {"code": self.code, "message": self.message}
+        wire["error"] = {"code": self.code, "message": self.message,
+                         "retryable": self.retryable}
         wire["latency_ms"] = self.latency_ms
         return wire
 
@@ -486,12 +525,15 @@ def response_from_wire(wire: dict[str, Any]) -> Response:
     }
     if not wire.get("ok", False):
         error = wire.get("error")
+        retryable = False
         if isinstance(error, dict):
             code, message = error.get("code", "bad_request"), error.get("message", "")
+            retryable = bool(error.get("retryable", False))
         else:  # pre-v1 stringly-typed error payloads
             code, message = "bad_request", str(error)
-        return ErrorResponse(code=code, message=message, failed_op=wire.get("op"),
-                             line=wire.get("line"), **common)
+        return ErrorResponse(code=code, message=message, retryable=retryable,
+                             failed_op=wire.get("op"), line=wire.get("line"),
+                             **common)
     op = wire.get("op")
     cls = _RESPONSE_TYPES.get(op)
     if cls is None:

@@ -139,6 +139,7 @@ _ENV_VARS = {
     "epsilon": "REPRO_EPSILON",
     "ell": "REPRO_ELL",
     "metrics": "REPRO_METRICS",
+    "deadline_ms": "REPRO_DEADLINE_MS",
 }
 
 
@@ -191,6 +192,13 @@ class ExecutionPolicy:
         apply the resolved value via ``obs.configure(enabled=...)``.
         Instrumentation never touches RNG streams, so results are
         byte-identical either way.
+    deadline_ms:
+        Default per-request wall-clock budget for serving layers
+        (:class:`~repro.sketch.service.InfluenceService`): past the budget
+        a query returns a structured ``deadline_exceeded`` error instead
+        of hanging.  ``None`` (default) = no budget; layers env via
+        ``REPRO_DEADLINE_MS``.  Deadlines never alter results that finish
+        in time — only whether slow ones are cut short.
     """
 
     engine: str = "vectorized"
@@ -200,6 +208,7 @@ class ExecutionPolicy:
     ell: float = 1.0
     reuse_sketch: bool = True
     metrics: bool = False
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         require(self.engine in ENGINES,
@@ -218,6 +227,13 @@ class ExecutionPolicy:
         object.__setattr__(self, "ell", float(self.ell))
         check_epsilon(self.epsilon)
         check_ell(self.ell)
+        if self.deadline_ms is not None:
+            require(isinstance(self.deadline_ms, (int, float))
+                    and not isinstance(self.deadline_ms, bool),
+                    f"deadline_ms must be a number or None; got {self.deadline_ms!r}")
+            require(self.deadline_ms > 0,
+                    f"deadline_ms must be > 0; got {self.deadline_ms!r}")
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
 
     # ------------------------------------------------------------------
     # Construction / resolution
@@ -272,8 +288,8 @@ class ExecutionPolicy:
     def from_env(cls, env: Mapping[str, str] | None = None,
                  base: "ExecutionPolicy | None" = None) -> "ExecutionPolicy":
         """Resolve ``REPRO_ENGINE`` / ``REPRO_JOBS`` / ``REPRO_TRACE_EDGES``
-        / ``REPRO_EPSILON`` / ``REPRO_ELL`` / ``REPRO_METRICS`` over
-        ``base`` (or defaults)."""
+        / ``REPRO_EPSILON`` / ``REPRO_ELL`` / ``REPRO_METRICS`` /
+        ``REPRO_DEADLINE_MS`` over ``base`` (or defaults)."""
         env = os.environ if env is None else env
         overrides: dict[str, Any] = {}
         for field_name, variable in _ENV_VARS.items():
@@ -285,7 +301,7 @@ class ExecutionPolicy:
                     overrides[field_name] = int(raw)
                 elif field_name in ("trace_edges", "metrics"):
                     overrides[field_name] = _parse_bool(raw, variable)
-                elif field_name in ("epsilon", "ell"):
+                elif field_name in ("epsilon", "ell", "deadline_ms"):
                     overrides[field_name] = float(raw)
                 else:
                     overrides[field_name] = raw
@@ -306,7 +322,8 @@ class ExecutionPolicy:
         resolved = cls.from_env(env=env, base=base)
         overrides = {
             name: getattr(args, name, None)
-            for name in ("engine", "jobs", "trace_edges", "epsilon", "ell", "metrics")
+            for name in ("engine", "jobs", "trace_edges", "epsilon", "ell",
+                         "metrics", "deadline_ms")
         }
         return resolved.merge(**overrides)
 

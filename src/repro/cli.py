@@ -29,6 +29,7 @@ from repro.api import ExecutionPolicy
 from repro.datasets import build_dataset, dataset_names, dataset_spec
 from repro.diffusion import estimate_spread
 from repro.experiments import EXPERIMENTS, render
+from repro.faults import install_from_env as _install_fault_plan
 from repro.graphs import load_edge_list, summarize, uniform_random_lt, weighted_cascade
 
 __all__ = ["main", "build_parser"]
@@ -74,6 +75,14 @@ def _execution_parent() -> argparse.ArgumentParser:
         help="enable repro.obs instrumentation and write the span/metrics "
         "JSONL stream here on exit (REPRO_METRICS=1 enables recording "
         "without the export; results are byte-identical either way)",
+    )
+    group.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request wall-clock budget (serve): over-budget queries "
+        "return a structured deadline_exceeded error instead of hanging "
+        "(REPRO_DEADLINE_MS layers under)",
     )
     return parent
 
@@ -157,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--theta", type=int, default=None, help="fixed size for cold sketch builds")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--max-indexes", type=int, default=4)
+    serve.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="soft cap on resident sketch bytes: least-recently-used "
+        "indexes are evicted before a cold build would exceed it",
+    )
 
     update = sub.add_parser(
         "update",
@@ -340,10 +356,18 @@ def _command_sketch(args) -> int:
 
 def _command_serve(args) -> int:
     from repro.dynamic import DynamicDiGraph
-    from repro.sketch import InfluenceService, SketchIndex
+    from repro.sketch import (
+        InfluenceService,
+        SketchGraphMismatchError,
+        SketchIndex,
+        SketchFileError,
+        SketchVersionError,
+    )
 
     graph = _load_graph(args.dataset, args.scale, args.model)
     policy = _resolve_policy(args, base=_SERVING_DEFAULTS)
+    memory_budget = (int(args.memory_budget_mb * 1024 * 1024)
+                     if args.memory_budget_mb is not None else None)
     service = InfluenceService(
         max_indexes=args.max_indexes,
         default_k=args.k,
@@ -352,12 +376,22 @@ def _command_serve(args) -> int:
         theta=args.theta,
         policy=policy,
         rng=args.seed,
+        memory_budget_bytes=memory_budget,
     )
-    loaded_index = None
     if args.sketch is not None:
         # Loading validates the fingerprint: a stale sketch fails fast here.
-        loaded_index = SketchIndex.load(args.sketch, graph=graph, mmap=args.mmap)
-        service.add_index(loaded_index)
+        # A *corrupt* file is different — it has already been quarantined by
+        # load_sketch, so degrade loudly to a cold build instead of dying.
+        try:
+            loaded_index = SketchIndex.load(args.sketch, graph=graph, mmap=args.mmap)
+        except (SketchVersionError, SketchGraphMismatchError):
+            raise  # intact but wrong sketch: an operator mistake, fail fast
+        except SketchFileError as exc:
+            print(f"warning: {exc}; serving cold (the sketch rebuilds on "
+                  f"first query)", file=sys.stderr)
+            obs.degraded("warm_to_cold")
+        else:
+            service.add_index(loaded_index)
 
     # The dynamic wrapper lets the stream carry "update" ops; for purely
     # read-only batches it is a zero-cost pass-through to the snapshot.
@@ -478,6 +512,12 @@ def _metrics_wanted(args) -> str | None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # Chaos jobs inject faults into real CLI processes via REPRO_FAULTS;
+    # unset (the normal case) this is a no-op and checkpoints stay free.
+    try:
+        _install_fault_plan()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     # --metrics-out flips the process-global tracer for the command's
     # duration and exports on the way out.  REPRO_METRICS=1 already enabled
     # recording at import time (no export without a path); the flag layers

@@ -1,0 +1,80 @@
+"""`repro.faults` — deterministic fault injection and the hardening it tests.
+
+Three pieces, used together by the chaos suite (``tests/faults/``) and the
+CI chaos job:
+
+* :mod:`repro.faults.errors` — the retryable-error taxonomy
+  (``ReproError`` → ``TransientError`` / ``FatalError`` /
+  ``DeadlineExceeded``) with stable wire codes,
+* :mod:`repro.faults.injection` — a seeded, schedule-driven
+  :class:`FaultPlan` behind zero-overhead ``checkpoint()`` injection points
+  threaded through pool waves, sketch build/extend/save/load, and service
+  dispatch, plus per-request ``deadline_scope`` budgets,
+* :mod:`repro.faults.retry` — a deterministic :class:`RetryPolicy`
+  (exponential backoff, seeded jitter) applied to pool waves and service
+  dispatch.
+
+Install a plan in-process::
+
+    from repro.faults import FaultPlan, FaultRule, plan_scope
+
+    with plan_scope(FaultPlan([FaultRule(site="parallel.wave",
+                                         error="transient", times=2)])):
+        ...  # the first two pool waves fail; retries recover, same bytes
+
+or from the environment (the CLI calls ``install_from_env()`` on startup)::
+
+    REPRO_FAULTS='[{"site": "parallel.wave", "error": "transient"}]' \\
+        repro-im serve --jobs 2 ...
+
+Disabled — no plan installed, no deadline armed — every checkpoint is a
+single module-global bool check, mirroring the :mod:`repro.obs` tracer, so
+results and bytes are identical with the layer compiled in or out.
+"""
+
+from repro.faults.errors import (
+    DeadlineExceeded,
+    FatalError,
+    ReproError,
+    TransientError,
+    error_code,
+    is_retryable,
+)
+from repro.faults.injection import (
+    ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    checkpoint,
+    clear,
+    deadline_scope,
+    enabled,
+    install,
+    install_from_env,
+    plan_scope,
+    remaining_ms,
+)
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "ENV_VAR",
+    "DeadlineExceeded",
+    "FatalError",
+    "FaultPlan",
+    "FaultRule",
+    "ReproError",
+    "RetryPolicy",
+    "TransientError",
+    "active_plan",
+    "call_with_retry",
+    "checkpoint",
+    "clear",
+    "deadline_scope",
+    "enabled",
+    "error_code",
+    "install",
+    "install_from_env",
+    "is_retryable",
+    "plan_scope",
+    "remaining_ms",
+]

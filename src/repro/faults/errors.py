@@ -1,0 +1,88 @@
+"""The retryable-error taxonomy the hardening layers share.
+
+Every failure the serving stack can *handle* (rather than propagate as a
+crash) is classified under :class:`ReproError`:
+
+* :class:`TransientError` — safe to retry: a crashed worker pool wave, a
+  flaky broadcast, an injected chaos fault.  Retrying re-runs the same
+  deterministic seed stream, so a retried wave produces the exact bytes an
+  un-faulted run would have.
+* :class:`FatalError` — retrying cannot help (invariant violation,
+  unrecoverable state); surface it as a structured error immediately.
+* :class:`DeadlineExceeded` — the request blew its ``deadline_ms`` budget.
+  Never retried: the budget is already spent.
+
+Each class carries two stable attributes the wire layer lifts into
+:class:`~repro.api.ops.ErrorResponse` payloads: ``code`` (a stable
+machine-readable string) and ``retryable`` (whether a client may usefully
+resubmit).  :func:`is_retryable` extends the classification to the stdlib
+failures the stack already survives (``BrokenExecutor``, ``MemoryError``,
+timeouts), so retry loops need a single predicate.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+__all__ = [
+    "DeadlineExceeded",
+    "FatalError",
+    "ReproError",
+    "TransientError",
+    "error_code",
+    "is_retryable",
+]
+
+
+class ReproError(Exception):
+    """Base class for classified runtime failures (see module docstring)."""
+
+    #: Stable machine-readable code for wire payloads.
+    code: str = "internal"
+    #: Whether resubmitting the same request may succeed.
+    retryable: bool = False
+
+
+class TransientError(ReproError):
+    """A failure that a bounded, deterministic retry may recover from."""
+
+    code = "transient"
+    retryable = True
+
+
+class FatalError(ReproError):
+    """A failure retrying cannot fix; fail fast with a structured error."""
+
+    code = "fatal"
+    retryable = False
+
+
+class DeadlineExceeded(ReproError):
+    """The operation exceeded its ``deadline_ms`` budget; never retried."""
+
+    code = "deadline_exceeded"
+    retryable = False
+
+
+#: Stdlib failures the stack treats as transient even though they predate
+#: the taxonomy: a crashed pool respawns with the same seed stream, an OOM
+#: may succeed after the memory-budget eviction frees headroom, and a
+#: timeout is transient by definition.
+_RETRYABLE_BUILTINS = (BrokenExecutor, MemoryError, TimeoutError, ConnectionError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a bounded retry of the failed operation may succeed."""
+    if isinstance(exc, ReproError):
+        return exc.retryable
+    return isinstance(exc, _RETRYABLE_BUILTINS)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for ``exc`` (``getattr`` fallback chain)."""
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    if isinstance(exc, MemoryError):
+        return "resource_exhausted"
+    return "bad_request"

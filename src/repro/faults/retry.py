@@ -1,0 +1,108 @@
+"""`RetryPolicy` — bounded, deterministic retries for transient failures.
+
+The recovery half of :mod:`repro.faults`: a frozen policy describing how
+many attempts an operation gets and how long to back off between them.
+Backoff is exponential with **seeded** jitter (via
+:class:`~repro.utils.rng.RandomSource`, never an unseeded global), so the
+full delay schedule is a pure function of the policy — two runs of the same
+chaos test sleep the same milliseconds.
+
+Used by :class:`~repro.parallel.engine.ParallelSampler` (pool waves: each
+attempt tears down and respawns the pool, then re-runs the *same* shard
+seed stream, so a retried wave reproduces the exact bytes of an un-faulted
+run) and by :class:`~repro.sketch.service.InfluenceService` (idempotent
+request dispatch).  :class:`~repro.faults.errors.DeadlineExceeded` is never
+retried — the budget is already spent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.faults.errors import DeadlineExceeded, is_retryable
+from repro.utils.rng import RandomSource
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts an operation gets, and the backoff between them.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` is one try
+    plus up to two retries.  Delay before retry ``i`` (1-based) is
+    ``min(max_delay_ms, base_delay_ms * multiplier**(i-1))`` stretched by
+    up to ``jitter`` (a fraction), drawn from a generator seeded with
+    ``seed`` — see :meth:`delays_ms`.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 5.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 100.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1; got {self.max_attempts!r}")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("base_delay_ms and max_delay_ms must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1; got {self.multiplier!r}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1]; got {self.jitter!r}")
+
+    def delays_ms(self) -> tuple[float, ...]:
+        """The full backoff schedule — ``max_attempts - 1`` delays.
+
+        A pure function of the policy (the jitter stream restarts from
+        ``seed`` on every call), so retries are as reproducible as the
+        work they guard.
+        """
+        source = RandomSource(self.seed)
+        delays: list[float] = []
+        for attempt in range(1, self.max_attempts):
+            delay = min(self.max_delay_ms,
+                        self.base_delay_ms * self.multiplier ** (attempt - 1))
+            if self.jitter > 0.0:
+                delay *= 1.0 + self.jitter * source.random()
+            delays.append(delay)
+        return tuple(delays)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    retryable: Callable[[BaseException], bool] = is_retryable,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` under ``policy``; re-raise the last error when exhausted.
+
+    Only failures ``retryable`` approves are retried (default: the
+    :mod:`repro.faults.errors` taxonomy — ``TransientError``,
+    ``BrokenExecutor``, ``MemoryError``, timeouts).
+    ``DeadlineExceeded`` always propagates immediately.  ``on_retry``
+    is called with ``(attempt_number, exception)`` before each backoff
+    sleep, for counters/logging.
+    """
+    delays = policy.delays_ms()
+    for attempt in range(policy.max_attempts):
+        if attempt > 0:
+            sleep(delays[attempt - 1] / 1000.0)
+        try:
+            return fn()
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:
+            if not retryable(exc) or attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt + 1, exc)
+    raise AssertionError("unreachable: the loop returns or raises")

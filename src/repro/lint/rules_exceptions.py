@@ -13,7 +13,14 @@ Flagged:
 
 * ``except:`` with no re-raise in the handler body;
 * ``except Exception:`` / ``except BaseException:`` (alone or in a tuple)
-  whose body neither raises nor references the bound exception name.
+  whose body neither raises nor references the bound exception name;
+* a broad handler that "translates" into a *generic* exception —
+  ``raise Exception(...)`` / ``raise RuntimeError(...)`` /
+  ``raise BaseException(...)`` — instead of the typed taxonomy
+  (:mod:`repro.faults.errors`: ``TransientError`` / ``FatalError`` /
+  ``DeadlineExceeded``, or a domain error like ``SketchFileError`` /
+  ``ApiError``).  :mod:`repro.faults` itself is exempt: it *defines* the
+  taxonomy and its injection sites deliberately construct raw errors.
 
 Narrow handlers (``except OSError:`` ...) are not this rule's business.
 """
@@ -58,29 +65,63 @@ def _handler_uses_exception(handler: ast.ExceptHandler) -> bool:
     )
 
 
+#: Constructing one of these inside a broad handler is not "translation" —
+#: it launders a classified failure into an unclassifiable one.
+_GENERIC_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+#: The taxonomy package may construct whatever it defines.
+_TAXONOMY_PREFIX = "src/repro/faults/"
+
+
+def _generic_raises(handler: ast.ExceptHandler) -> Iterator[ast.Raise]:
+    """``raise Exception/RuntimeError/BaseException(...)`` in the body."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Name) and target.id in _GENERIC_RAISES:
+                yield node
+
+
 @register_rule
 class ExceptionPolicyRule(FileRule):
     code = "RL301"
     name = "exception-policy"
     description = ("No bare/broad except that swallows: broad handlers must "
-                   "re-raise, translate into a typed error "
-                   "(SketchFileError, ApiError, ...), or use the caught "
-                   "exception.")
+                   "re-raise, translate into a typed error (the "
+                   "repro.faults taxonomy, SketchFileError, ApiError, ...), "
+                   "or use the caught exception — and must not launder it "
+                   "into a generic Exception/RuntimeError.")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
+        in_taxonomy = module.rel_path.startswith(_TAXONOMY_PREFIX)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
             broad = _broad_name(node)
             if broad is None:
                 continue
-            if _handler_reraises(node) or _handler_uses_exception(node):
-                continue
             what = ("bare except:" if broad == "<bare>"
                     else f"except {broad}:")
-            yield module.finding(
-                node, self.code,
-                f"{what} swallows the exception — re-raise, translate it into "
-                f"a typed error (e.g. SketchFileError / ApiError), or narrow "
-                f"the handler to the exceptions this code can actually handle",
-            )
+            if not (_handler_reraises(node) or _handler_uses_exception(node)):
+                yield module.finding(
+                    node, self.code,
+                    f"{what} swallows the exception — re-raise, translate it "
+                    f"into a typed error (e.g. TransientError / "
+                    f"SketchFileError / ApiError), or narrow the handler to "
+                    f"the exceptions this code can actually handle",
+                )
+                continue
+            if in_taxonomy:
+                continue
+            for raise_node in _generic_raises(node):
+                yield module.finding(
+                    raise_node, self.code,
+                    f"{what} re-raises a generic exception — translate into "
+                    f"the repro.faults taxonomy (TransientError / FatalError "
+                    f"/ DeadlineExceeded) or a domain error instead of "
+                    f"laundering the failure class",
+                )

@@ -45,6 +45,7 @@ from repro.obs.runtime import (
     SpanRecord,
     add,
     configure,
+    degraded,
     dropped_spans,
     enabled,
     gauge_set,
@@ -69,6 +70,7 @@ __all__ = [
     "SpanRecord",
     "add",
     "configure",
+    "degraded",
     "dropped_spans",
     "enabled",
     "gauge_set",

@@ -44,6 +44,7 @@ __all__ = [
     "SpanRecord",
     "add",
     "configure",
+    "degraded",
     "enabled",
     "gauge_set",
     "now",
@@ -286,6 +287,17 @@ def gauge_set(name: str, value: float) -> None:
     """Set gauge ``name`` when enabled."""
     if _RUNTIME.enabled:
         _RUNTIME.registry.gauge(name).set(value)
+
+
+def degraded(kind: str) -> None:
+    """Count one graceful-degradation event under ``degraded.<kind>``.
+
+    One counter family for every fallback in the stack (``pool_inline``,
+    ``warm_to_cold``, ``memory_evicted``, ...) so a dashboard can alert on
+    *any* silent quality loss with a single query.
+    """
+    if _RUNTIME.enabled:
+        _RUNTIME.registry.counter("degraded." + kind).inc(1)
 
 
 def observe(name: str, value: float,

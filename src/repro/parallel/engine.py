@@ -24,19 +24,26 @@ keeping results **bit-reproducible for any worker count**:
 The pool itself is lazy (spawned on the first sharded call that wants one),
 reused across every wave of a run, and broadcast the graph's in-CSR arrays
 exactly once via :mod:`repro.parallel.shm` (shared memory, memmap-file
-fallback).  A crashed pool is respawned once and, failing that, the engine
-degrades to in-process sharding — same bytes, one core, loud warning.
+fallback).  A crashed wave is retried under a deterministic
+:class:`~repro.faults.retry.RetryPolicy` (teardown + respawn + re-run of
+the *same* shard seed stream, so a retried wave reproduces the exact bytes
+of an un-faulted run) and, with the budget exhausted, the engine degrades
+to in-process sharding — same bytes, one core, loud warning.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
 import weakref
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 import numpy as np
 
+from repro.faults import injection as faults
+from repro.faults.errors import TransientError
+from repro.faults.retry import RetryPolicy
 from repro.obs import runtime as obs
 from repro.parallel.shared_graph import graph_payload
 from repro.parallel.shm import pack_arrays
@@ -62,6 +69,12 @@ MIN_SHARD = 1024
 #: Upper bound on shards per batch: keeps the per-batch Python dispatch and
 #: SeedSequence spawning O(1)-ish while still load-balancing up to 64 cores.
 MAX_SHARDS = 64
+
+#: Default wave retry budget: 3 attempts (one try + two respawns) — one more
+#: respawn than the historical hard-coded single-respawn recovery, with
+#: short deterministic backoff so a transiently OOM-killed pool gets a
+#: moment to release memory before the redo.
+DEFAULT_WAVE_RETRY = RetryPolicy(max_attempts=3, base_delay_ms=5.0, max_delay_ms=50.0)
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -159,14 +172,21 @@ class ParallelSampler:
     transport:
         Force the graph broadcast transport (``"shared_memory"`` or
         ``"memmap"``); default prefers shared memory and falls back.
+    retry:
+        Wave retry budget (:data:`DEFAULT_WAVE_RETRY` when ``None``): a
+        crashed or fault-injected wave tears the pool down, backs off
+        deterministically, respawns, and re-runs the same shard seed
+        stream.  With the budget spent the engine degrades to in-process
+        shards — results are byte-identical on every path.
     """
 
     def __init__(self, sampler, jobs: int = 1, *, start_method: str | None = None,
-                 transport: str | None = None):
+                 transport: str | None = None, retry: RetryPolicy | None = None):
         self._sampler = sampler
         self.jobs = resolve_jobs(jobs)
         self._start_method = start_method
         self._transport = transport
+        self._retry = retry if retry is not None else DEFAULT_WAVE_RETRY
         self._spec = sampler_spec(sampler)
         self._state: dict = {}
         self._pool_disabled = False
@@ -261,28 +281,32 @@ class ParallelSampler:
             return self._run_shards_inner(tasks)
 
     def _run_shards_inner(self, tasks) -> list:
-        executor = self._pool_available() if self.jobs > 1 else None
-        if executor is None:
-            return self._run_shards_inline(tasks)
-        obs.add("parallel.pool_waves")
-        try:
-            return list(executor.map(run_shard, tasks))
-        except BrokenExecutor:
-            # One respawn attempt: a worker OOM-killed mid-wave should not
-            # end the run when a fresh pool can redo the same shards (same
-            # seeds, same bytes).
-            self._teardown_pool()
-            obs.add("parallel.pool_respawns")
+        delays = self._retry.delays_ms()
+        last_error: BaseException | None = None
+        for attempt in range(self._retry.max_attempts):
+            if attempt > 0:
+                # Deterministic backoff before the respawn: a transiently
+                # OOM-killed pool gets a moment to release memory before the
+                # redo (same shards, same seeds, same bytes).
+                time.sleep(delays[attempt - 1] / 1000.0)
+                obs.add("parallel.pool_respawns")
             try:
-                executor = self._pool_available()
-                if executor is not None:
-                    return list(executor.map(run_shard, tasks))
-            except BrokenExecutor:
+                faults.checkpoint("parallel.wave")
+                executor = self._pool_available() if self.jobs > 1 else None
+                if executor is None:
+                    return self._run_shards_inline(tasks)
+                obs.add("parallel.pool_waves")
+                return list(executor.map(run_shard, tasks))
+            except (BrokenExecutor, TransientError) as exc:
+                last_error = exc
                 self._teardown_pool()
-            self._disable_pool(
-                "worker pool crashed twice; continuing with in-process shards"
-            )
-            return self._run_shards_inline(tasks)
+        self._disable_pool(
+            f"sampling wave failed {self._retry.max_attempts} times "
+            f"(last: {last_error}); continuing with in-process shards"
+        )
+        # No checkpoint on the degraded path: once the retry budget is spent
+        # the wave must complete, so injected faults cannot keep it down.
+        return self._run_shards_inline(tasks)
 
     def _run_shards_inline(self, tasks) -> list:
         """In-process shard execution (jobs=1 or a degraded pool)."""
@@ -347,6 +371,7 @@ class ParallelSampler:
         self._teardown_pool()
         self._pool_disabled = True
         obs.add("parallel.pool_degraded")
+        obs.degraded("pool_inline")
         if not self._warned_inline:
             self._warned_inline = True
             warnings.warn(

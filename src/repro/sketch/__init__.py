@@ -31,6 +31,7 @@ Typical flow::
 from repro.sketch.index import SketchIndex
 from repro.sketch.persistence import (
     SKETCH_FORMAT_VERSION,
+    SketchCorruptionError,
     SketchFileError,
     SketchGraphMismatchError,
     SketchVersionError,
@@ -45,6 +46,7 @@ __all__ = [
     "InfluenceService",
     "ServiceStats",
     "SKETCH_FORMAT_VERSION",
+    "SketchCorruptionError",
     "SketchFileError",
     "SketchGraphMismatchError",
     "SketchVersionError",

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.api.policy import ExecutionPolicy
 from repro.core.kpt_estimation import estimate_kpt
+from repro.faults import injection as faults
 from repro.obs import runtime as obs
 from repro.core.parameters import adjusted_ell_tim, lambda_param, theta_from_kpt
 from repro.diffusion.base import resolve_model
@@ -164,6 +165,7 @@ class SketchIndex:
         source = resolve_rng(rng)
         jobs = jobs_for_engine(engine, jobs)
         with obs.trace("sketch.build", model=resolved.name):
+            faults.checkpoint("sketch.build")
             sampler, _ = maybe_parallel(
                 make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
             )
@@ -279,6 +281,7 @@ class SketchIndex:
     def extend_flat(self, batch: FlatRRCollection) -> None:
         """Append pre-sampled RR sets (array-level) and invalidate caches."""
         with obs.trace("sketch.extend", sets=len(batch)):
+            faults.checkpoint("sketch.extend")
             self.collection.extend_flat(batch)
             self.meta["theta"] = len(self.collection)
             self.invalidate()
@@ -371,6 +374,7 @@ class SketchIndex:
             jobs if jobs is not None else self._jobs,
         )
         with obs.trace("repair.apply_update", action=delta.op):
+            faults.checkpoint("sketch.apply_update")
             repaired, report = repair_collection(
                 self.collection, delta, sampler, rng=resolve_rng(rng)
             )
@@ -425,6 +429,7 @@ class SketchIndex:
         count toward ``k``; ``forced_exclude`` nodes are never selected.
         """
         with obs.trace("sketch.select", k=int(k)):
+            faults.checkpoint("sketch.select")
             return self._select(k, forced_include, forced_exclude, incremental)
 
     def _select(self, k: int, forced_include, forced_exclude,

@@ -32,16 +32,27 @@ Two load paths:
 
 Roundtrips are bit-exact: array dtypes and contents are preserved, so
 ``nbytes`` and every estimator agree before and after a save/load cycle.
+
+Writes are **crash-safe**: :func:`save_sketch` writes to a same-directory
+temp file, fsyncs it, and atomically renames over the target — a
+process killed mid-write leaves the previous sketch intact.  The metadata
+carries a ``payload_sha256`` checksum over the packed arrays;
+:func:`load_sketch` verifies it and **quarantines** a corrupt file (renames
+it to ``<path>.quarantined``) so a rebuild can recover the path without an
+operator deleting bytes by hand.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import struct
 import zipfile
 
 import numpy as np
 
+from repro.faults import injection as faults
 from repro.rrset.flat_collection import FlatRRCollection
 
 __all__ = [
@@ -49,6 +60,7 @@ __all__ = [
     "SketchFileError",
     "SketchVersionError",
     "SketchGraphMismatchError",
+    "SketchCorruptionError",
     "save_sketch",
     "load_sketch",
     "read_sketch_meta",
@@ -84,6 +96,11 @@ _READ_ERRORS = (
 class SketchFileError(ValueError):
     """The file is not a readable sketch (corrupt, truncated, wrong schema)."""
 
+    #: Whether :func:`load_sketch` may move the file aside on this failure.
+    #: ``False`` for errors where the file itself is intact (e.g. a
+    #: compressed archive the mmap path cannot serve but eager load can).
+    quarantinable: bool = True
+
 
 class SketchVersionError(SketchFileError):
     """The sketch was written by an incompatible format version."""
@@ -93,12 +110,54 @@ class SketchGraphMismatchError(SketchFileError):
     """The sketch's recorded graph fingerprint does not match the graph."""
 
 
+class SketchCorruptionError(SketchFileError):
+    """The sketch's payload bytes do not match the recorded checksum."""
+
+
+def _payload_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the packed array payloads (keys sorted for stability).
+
+    Covers dtype, shape, and raw bytes of every array, so a single flipped
+    payload bit — or a wrong-length truncation that still parses as a zip —
+    fails verification.  The metadata block is *not* covered (the checksum
+    lives inside it); metadata framing damage is caught by the JSON/schema
+    checks instead.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(array.dtype.str.encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry so an atomic rename survives power loss."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that cannot open directories; best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
     """Write ``collection`` plus ``meta`` as a versioned ``.npz`` sketch.
 
     Reserved keys (``format_version``, ``num_nodes``, ``graph_edges``,
     ``num_sets``) are stamped from the collection and must not be supplied
     with conflicting values in ``meta``.
+
+    The write is atomic: bytes land in ``<path>.tmp`` (same directory, so
+    the rename cannot cross filesystems), are ``fsync``\\ ed, and replace
+    ``path`` in one ``os.replace``.  A crash at any point leaves either the
+    old sketch or no sketch — never a torn file at ``path``.
     """
     full_meta = dict(meta)
     stamped = {
@@ -114,9 +173,6 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
                 f"meta key {key!r} conflicts with the collection ({full_meta[key]!r} != {value!r})"
             )
         full_meta[key] = value
-    meta_bytes = np.frombuffer(
-        json.dumps(full_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
-    )
     arrays = {
         "ptr": collection.ptr_array,
         "nodes": collection.nodes_array,
@@ -127,12 +183,35 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
     if collection.has_traces:
         arrays["trace_ptr"] = collection.trace_ptr_array
         arrays["trace_edges"] = collection.trace_edges_array
-    # np.savez (not savez_compressed): ZIP_STORED members are what makes the
-    # mmap load path possible.  Writing through an open handle keeps the
-    # caller's exact path — np.savez(path, ...) would silently append
-    # ".npz" and strand the file somewhere the caller never asked for.
-    with open(path, "wb") as handle:
-        np.savez(handle, meta_json=meta_bytes, **arrays)
+    # Stamped unconditionally (outside the conflict loop): a re-save of
+    # meta recovered from an older file must replace, not preserve, the
+    # previous checksum.
+    full_meta["payload_sha256"] = _payload_checksum(arrays)
+    meta_bytes = np.frombuffer(
+        json.dumps(full_meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    rule = faults.checkpoint("sketch.save")
+    target = os.fspath(path)
+    tmp_path = target + ".tmp"
+    try:
+        # np.savez (not savez_compressed): ZIP_STORED members are what makes
+        # the mmap load path possible.  Writing through an open handle keeps
+        # the exact temp path — np.savez(tmp_path, ...) would silently
+        # append ".npz" and strand the file somewhere we never rename from.
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, meta_json=meta_bytes, **arrays)
+            if rule is not None and rule.truncate_at is not None:
+                handle.truncate(rule.truncate_at)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(target))
 
 
 def read_sketch_meta(path) -> dict:
@@ -164,8 +243,24 @@ def read_sketch_meta(path) -> dict:
     return meta
 
 
+def _quarantine(path) -> str | None:
+    """Move a corrupt sketch aside; its new path, or ``None`` on failure."""
+    target = os.fspath(path)
+    aside = target + ".quarantined"
+    try:
+        os.replace(target, aside)
+    except OSError:
+        return None
+    return aside
+
+
 def load_sketch(
-    path, mmap: bool = False, expected_fingerprint: str | None = None
+    path,
+    mmap: bool = False,
+    expected_fingerprint: str | None = None,
+    *,
+    verify: bool = True,
+    quarantine: bool = True,
 ) -> tuple[FlatRRCollection, dict]:
     """Load a sketch file; returns ``(collection, metadata)``.
 
@@ -177,7 +272,36 @@ def load_sketch(
         When given, the sketch's recorded ``graph_fingerprint`` must match
         exactly; a stale or wrong-graph sketch raises
         :class:`SketchGraphMismatchError`.
+    verify:
+        Check the recorded ``payload_sha256`` checksum against the loaded
+        arrays (files written before checksums carry none and skip the
+        check); a mismatch raises :class:`SketchCorruptionError`.
+    quarantine:
+        On a corruption-class failure (*not* a version or graph mismatch —
+        those files are intact, just wrong), rename the file to
+        ``<path>.quarantined`` before re-raising, so the caller can rebuild
+        at ``path`` immediately.  The re-raised error carries the new
+        location in its message and ``quarantined_path`` attribute.
     """
+    try:
+        return _load_sketch_inner(path, mmap, expected_fingerprint, verify)
+    except (SketchVersionError, SketchGraphMismatchError):
+        raise  # intact file, wrong version/graph: never quarantined
+    except SketchFileError as exc:
+        if not quarantine or not exc.quarantinable:
+            raise
+        aside = _quarantine(path)
+        if aside is None:
+            raise
+        wrapped = type(exc)(f"{exc} (quarantined to {aside})")
+        wrapped.quarantined_path = aside  # type: ignore[attr-defined]
+        raise wrapped from exc
+
+
+def _load_sketch_inner(
+    path, mmap: bool, expected_fingerprint: str | None, verify: bool
+) -> tuple[FlatRRCollection, dict]:
+    faults.checkpoint("sketch.load")
     meta = read_sketch_meta(path)
     if expected_fingerprint is not None:
         recorded = meta.get("graph_fingerprint")
@@ -200,6 +324,15 @@ def load_sketch(
         if isinstance(exc, SketchFileError):
             raise
         raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
+    recorded_sha = meta.get("payload_sha256")
+    if verify and isinstance(recorded_sha, str):
+        actual_sha = _payload_checksum(arrays)
+        if actual_sha != recorded_sha:
+            raise SketchCorruptionError(
+                f"{path}: sketch payload checksum mismatch "
+                f"(recorded {recorded_sha[:12]}…, got {actual_sha[:12]}…); "
+                "the file is corrupt"
+            )
     try:
         collection = FlatRRCollection.from_arrays(
             num_nodes=meta["num_nodes"],
@@ -243,10 +376,12 @@ def _mmap_npz_members(path, names) -> dict[str, np.ndarray]:
             except KeyError:
                 raise SketchFileError(f"{path}: sketch archive missing arrays ['{name}']")
             if info.compress_type != zipfile.ZIP_STORED:
-                raise SketchFileError(
+                error = SketchFileError(
                     f"{path}: member {member} is compressed; mmap load needs "
                     "an uncompressed archive (np.savez, not savez_compressed)"
                 )
+                error.quarantinable = False  # intact file; eager load works
+                raise error
             with open(path, "rb") as handle:
                 handle.seek(info.header_offset)
                 local_header = handle.read(30)

@@ -31,9 +31,13 @@ pressure evicts it.
 Responses echo ``op`` (and ``id`` when the request carries one) and add
 ``result``, ``latency_ms``, ``cache`` (``"hit"``/``"miss"``) and
 ``schema_version``.  Failures come back as structured payloads —
-``{"ok": false, "error": {"code": ..., "message": ...}}`` — instead of
-raising, so one bad request cannot take down a batch; unknown request
-fields are rejected (``unknown_field``) rather than silently ignored.
+``{"ok": false, "error": {"code": ..., "message": ..., "retryable": ...}}``
+— instead of raising, so one bad request cannot take down a batch; unknown
+request fields are rejected (``unknown_field``) rather than silently
+ignored.  Idempotent requests get one deterministic retry of transient
+failures (``update`` never replays), and a request carrying ``deadline_ms``
+(or a service-level default) that blows its budget returns a structured
+``deadline_exceeded`` error rather than hanging the loop.
 
 The protocol itself lives in :mod:`repro.api.ops`: :meth:`execute` is the
 typed front (``SelectRequest`` in, ``SelectResponse`` out) and is what
@@ -67,6 +71,9 @@ from repro.api.ops import (
 )
 from repro.api.policy import ExecutionPolicy
 from repro.diffusion.base import resolve_model
+from repro.faults import injection as faults
+from repro.faults.errors import DeadlineExceeded, ReproError
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.obs import runtime as obs
 from repro.obs.registry import LATENCY_MS_BUCKETS, MetricsRegistry
 from repro.sketch.index import SketchIndex
@@ -87,6 +94,7 @@ _COUNTER_FIELDS = (
     "evictions",
     "builds",
     "repairs",
+    "retries",
     "sets_resampled",
     "total_latency_seconds",
     "error_latency_seconds",
@@ -181,6 +189,7 @@ class ServiceStats:
             "evictions": self.evictions,
             "builds": self.builds,
             "repairs": self.repairs,
+            "retries": self.retries,
             "sets_resampled": self.sets_resampled,
             "mean_latency_ms": self.mean_latency_ms,
             "queries_per_second": self.queries_per_second,
@@ -224,14 +233,38 @@ class InfluenceService:
         because a serving sketch trades tightness for build time).
     rng:
         Seed/source for cold builds, so a service run is reproducible.
+    deadline_ms:
+        Default per-request wall-clock budget; a request over budget comes
+        back as a structured ``deadline_exceeded`` error instead of hanging
+        the JSONL loop.  ``None`` (default) means no budget; a request's
+        own ``deadline_ms`` field overrides the service default.  Falls
+        back to ``policy.deadline_ms`` when a policy supplies one.
+    memory_budget_bytes:
+        Soft cap on the summed ``nbytes`` of cached sketches; before a cold
+        build (and after any insert) least-recently-used indexes are
+        evicted until the resident set fits, keeping at least one index.
+    retry:
+        :class:`~repro.faults.retry.RetryPolicy` for idempotent request
+        dispatch (default: one deterministic retry of transient failures;
+        ``update`` requests are never replayed — graph mutation is not
+        idempotent).
     """
+
+    #: One free redo of an idempotent query whose transient cause (crashed
+    #: pool, injected chaos fault, post-eviction MemoryError) may have
+    #: cleared; milliseconds-scale backoff so batches never stall visibly.
+    DEFAULT_DISPATCH_RETRY = RetryPolicy(max_attempts=2, base_delay_ms=1.0,
+                                         max_delay_ms=10.0)
 
     def __init__(self, max_indexes: int = 4, *, default_k: int = 10,
                  epsilon: float | None = None, ell: float | None = None,
                  theta: int | None = None,
                  engine: str | None = None, jobs: int | None = None,
                  trace_edges: bool | None = None,
-                 policy: ExecutionPolicy | None = None, rng=None):
+                 policy: ExecutionPolicy | None = None, rng=None,
+                 deadline_ms: float | None = None,
+                 memory_budget_bytes: int | None = None,
+                 retry: RetryPolicy | None = None):
         require(max_indexes >= 1, "max_indexes must be >= 1")
         resolved = ExecutionPolicy.coerce(policy)
         self.max_indexes = int(max_indexes)
@@ -244,6 +277,15 @@ class InfluenceService:
         self.engine = resolved.engine if engine is None else engine
         self.jobs = resolved.jobs if jobs is None else jobs
         self.trace_edges = bool(resolved.trace_edges if trace_edges is None else trace_edges)
+        if deadline_ms is None:
+            deadline_ms = resolved.deadline_ms
+        require(deadline_ms is None or deadline_ms > 0,
+                f"deadline_ms must be > 0; got {deadline_ms!r}")
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
+        require(memory_budget_bytes is None or memory_budget_bytes > 0,
+                f"memory_budget_bytes must be > 0; got {memory_budget_bytes!r}")
+        self.memory_budget_bytes = memory_budget_bytes
+        self._retry = retry if retry is not None else self.DEFAULT_DISPATCH_RETRY
         self._rng = resolve_rng(rng)
         self._indexes: "OrderedDict[tuple[str, str], SketchIndex]" = OrderedDict()
         self.stats = ServiceStats()
@@ -284,6 +326,12 @@ class InfluenceService:
             return cached, True
         self.stats.cache_misses += 1
         self.stats.builds += 1
+        if self.memory_budget_bytes is not None:
+            # Free headroom *before* the build allocates a graph-sized
+            # sketch, not after the allocation already spiked.
+            doomed: list[SketchIndex] = []
+            self._enforce_memory_budget(doomed)
+            self._close_all(doomed)
         index = SketchIndex.build(
             self._resolve_graph(graph),
             model,
@@ -300,16 +348,52 @@ class InfluenceService:
         self._evict()
         return index, False
 
+    @staticmethod
+    def _close_all(indexes: list[SketchIndex]) -> None:
+        """Close every index; the *first* failure re-raises after all run.
+
+        One index whose pool teardown blows up must not leak the worker
+        pools and shared-memory segments of the indexes behind it.
+        """
+        failure: BaseException | None = None
+        for index in indexes:
+            try:
+                index.close()
+            except Exception as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
+
     def _evict(self) -> None:
+        doomed: list[SketchIndex] = []
         while len(self._indexes) > self.max_indexes:
             _, evicted = self._indexes.popitem(last=False)
-            evicted.close()  # release any worker pool with the sketch
+            doomed.append(evicted)
             self.stats.evictions += 1
+        self._enforce_memory_budget(doomed)
+        # Pools and SHM segments are released only after *every* victim has
+        # left the cache, so one failing close() cannot strand the rest.
+        self._close_all(doomed)
+
+    def memory_bytes(self) -> int:
+        """Exact resident bytes of all cached sketch payloads."""
+        return sum(index.collection.nbytes() for index in self._indexes.values())
+
+    def _enforce_memory_budget(self, doomed: list[SketchIndex]) -> None:
+        """Pop LRU indexes into ``doomed`` until the resident set fits."""
+        if self.memory_budget_bytes is not None:
+            while (len(self._indexes) > 1
+                   and self.memory_bytes() > self.memory_budget_bytes):
+                _, evicted = self._indexes.popitem(last=False)
+                doomed.append(evicted)
+                self.stats.evictions += 1
+                obs.degraded("memory_evicted")
+        obs.gauge_set("service.memory_bytes", float(self.memory_bytes()))
 
     def close(self) -> None:
         """Shut down every cached index's sampling pool (queries still work)."""
-        for index in self._indexes.values():
-            index.close()
+        self._close_all(list(self._indexes.values()))
 
     # ------------------------------------------------------------------
     # Dynamic updates
@@ -424,6 +508,24 @@ class InfluenceService:
         raise ApiError("unknown_op",  # pragma: no cover - parse_request exhausts ops
                        f"unhandled request type {type(request).__name__}")
 
+    def _dispatch_retrying(self, graph, request: Request, model) -> Response:
+        """Dispatch with the service retry policy (idempotent ops only)."""
+
+        def attempt() -> Response:
+            faults.checkpoint("serve.dispatch")
+            return self._dispatch(graph, request, model)
+
+        if isinstance(request, UpdateRequest):
+            # Graph mutation is not idempotent: a replay after a partial
+            # failure could double-apply.  One attempt, structured error.
+            return attempt()
+
+        def note_retry(attempt_number: int, exc: BaseException) -> None:
+            self.stats.retries += 1
+            obs.add("serve.retries")
+
+        return call_with_retry(attempt, policy=self._retry, on_retry=note_retry)
+
     def execute(self, graph, request, model=None) -> Response:
         """Answer one typed request (or wire dict); never raises on bad input.
 
@@ -446,9 +548,17 @@ class InfluenceService:
             with obs.trace("serve.request"):
                 typed = parse_request(request)
                 op, request_id = typed.op, typed.id
-                response = self._dispatch(graph, typed, model)
+                budget = (typed.deadline_ms if typed.deadline_ms is not None
+                          else self.deadline_ms)
+                with faults.deadline_scope(budget):
+                    response = self._dispatch_retrying(graph, typed, model)
                 response.id = request_id
-        except (ApiError, ValueError, KeyError, TypeError) as exc:
+        except DeadlineExceeded as exc:
+            obs.add("serve.deadline_exceeded")
+            response = ErrorResponse.from_exception(exc, op=op, id=request_id)
+            self.stats.errors += 1
+        except (ApiError, ReproError, MemoryError,
+                ValueError, KeyError, TypeError) as exc:
             response = ErrorResponse.from_exception(exc, op=op, id=request_id)
             self.stats.errors += 1
         finally:

@@ -78,6 +78,19 @@ class TestGoldenErrors:
         assert wire["schema_version"] == SCHEMA_VERSION
         assert wire["error"]["code"] == "unknown_field"
         assert "includ" in wire["error"]["message"]
+        assert wire["error"]["retryable"] is False
+
+    def test_error_payload_marks_retryable_failures(self):
+        from repro.faults.errors import TransientError
+
+        wire = ErrorResponse.from_exception(
+            TransientError("pool crashed"), op="select"
+        ).to_wire()
+        assert wire["error"] == {"code": "transient", "message": "pool crashed",
+                                 "retryable": True}
+        parsed = response_from_wire(wire)
+        assert isinstance(parsed, ErrorResponse)
+        assert parsed.retryable is True
 
 
 class TestTypedPassthrough:
@@ -110,6 +123,7 @@ class TestResponseRoundTrips:
         ErrorResponse(code="unknown_field", message="nope", failed_op="select",
                       id=9),
         ErrorResponse(code="invalid_json", message="bad line", line=4),
+        ErrorResponse(code="transient", message="pool crashed", retryable=True),
     ]
 
     @pytest.mark.parametrize("response", RESPONSES,

@@ -1,0 +1,14 @@
+"""Chaos-suite fixtures: every test starts and ends with no plan armed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import injection
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    injection.clear()
+    yield
+    injection.clear()

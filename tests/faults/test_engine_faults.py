@@ -1,0 +1,103 @@
+"""Chaos: ParallelSampler waves under injected faults stay byte-identical.
+
+Acceptance (i): K consecutive wave crashes inside the retry budget recover
+to the exact bytes of an un-faulted run; past the budget the engine
+degrades to in-process shards — same bytes, loud warning, never a hang.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FatalError, FaultPlan, FaultRule, RetryPolicy, injection
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.parallel import ParallelSampler
+from repro.rrset import make_rr_sampler
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(1200, 7000, rng=17))
+
+
+@pytest.fixture(scope="module")
+def expected(wc_graph):
+    """Un-faulted jobs=1 reference bytes (computed before any plan exists)."""
+    with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as sampler:
+        return sampler.sample_random_batch(2500, rng=31)
+
+
+def arrays(collection):
+    return (
+        collection.ptr_array,
+        collection.nodes_array,
+        collection.roots_array,
+        collection.widths_array,
+        collection.costs_array,
+    )
+
+
+def assert_identical(a, b):
+    for left, right in zip(arrays(a), arrays(b)):
+        assert np.array_equal(left, right)
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_ms=0.5, max_delay_ms=2.0)
+
+
+class TestWaveRetry:
+    def test_k_consecutive_crashes_inside_budget_reproduce_bytes(
+        self, wc_graph, expected
+    ):
+        # First two attempts of the wave fail; the third succeeds on a
+        # freshly respawned pool re-running the same shard seed stream.
+        plan = FaultPlan(
+            [FaultRule(site="parallel.wave", error="transient", times=2)]
+        )
+        with injection.plan_scope(plan):
+            with ParallelSampler(
+                make_rr_sampler(wc_graph, "IC"), jobs=2, retry=FAST_RETRY
+            ) as sampler:
+                survived = sampler.sample_random_batch(2500, rng=31)
+        assert plan.hits("parallel.wave") == 3
+        assert not sampler._pool_disabled
+        assert_identical(survived, expected)
+
+    def test_budget_exhausted_degrades_inline_same_bytes(self, wc_graph, expected):
+        # Every in-budget attempt fails -> loud degradation to in-process
+        # shards, which still produce the reference bytes (the shard layout
+        # and seed streams never depended on the pool).
+        plan = FaultPlan(
+            [FaultRule(site="parallel.wave", error="transient", times=3)]
+        )
+        with injection.plan_scope(plan):
+            with ParallelSampler(
+                make_rr_sampler(wc_graph, "IC"), jobs=2, retry=FAST_RETRY
+            ) as sampler:
+                with pytest.warns(RuntimeWarning, match="degraded"):
+                    survived = sampler.sample_random_batch(2500, rng=31)
+        assert sampler._pool_disabled
+        assert_identical(survived, expected)
+
+    def test_fatal_fault_is_not_retried(self, wc_graph):
+        plan = FaultPlan([FaultRule(site="parallel.wave", error="fatal")])
+        with injection.plan_scope(plan):
+            with ParallelSampler(
+                make_rr_sampler(wc_graph, "IC"), jobs=2, retry=FAST_RETRY
+            ) as sampler:
+                with pytest.raises(FatalError, match="injected"):
+                    sampler.sample_random_batch(2500, rng=31)
+        assert plan.hits("parallel.wave") == 1  # no second attempt
+
+    def test_irrelevant_plan_leaves_bytes_untouched(self, wc_graph, expected):
+        # Armed-but-not-matching is the "faults off" identity: checkpoints
+        # fire, no rule matches, the wave runs exactly once.
+        plan = FaultPlan([FaultRule(site="sketch.build", error="fatal")])
+        with injection.plan_scope(plan):
+            with ParallelSampler(
+                make_rr_sampler(wc_graph, "IC"), jobs=2, retry=FAST_RETRY
+            ) as sampler:
+                result = sampler.sample_random_batch(2500, rng=31)
+        assert plan.hits("parallel.wave") == 1
+        assert_identical(result, expected)

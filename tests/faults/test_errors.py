@@ -1,0 +1,62 @@
+"""The retryable-error taxonomy: codes, retryability, builtin mapping."""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.faults import (
+    DeadlineExceeded,
+    FatalError,
+    ReproError,
+    TransientError,
+    error_code,
+    is_retryable,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (TransientError, FatalError, DeadlineExceeded):
+            assert issubclass(cls, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    @pytest.mark.parametrize(
+        "cls, code, retryable",
+        [
+            (ReproError, "internal", False),
+            (TransientError, "transient", True),
+            (FatalError, "fatal", False),
+            (DeadlineExceeded, "deadline_exceeded", False),
+        ],
+    )
+    def test_codes_and_retryability(self, cls, code, retryable):
+        exc = cls("boom")
+        assert exc.code == code
+        assert exc.retryable is retryable
+        assert error_code(exc) == code
+        assert is_retryable(exc) is retryable
+
+
+class TestBuiltinClassification:
+    @pytest.mark.parametrize(
+        "exc", [BrokenExecutor(), MemoryError(), TimeoutError(), ConnectionError()]
+    )
+    def test_retryable_builtins(self, exc):
+        assert is_retryable(exc)
+
+    @pytest.mark.parametrize("exc", [ValueError("x"), KeyError("k"), OSError("io")])
+    def test_everything_else_is_not(self, exc):
+        assert not is_retryable(exc)
+
+    def test_memory_error_code(self):
+        assert error_code(MemoryError("oom")) == "resource_exhausted"
+
+    def test_unknown_exception_code(self):
+        assert error_code(ValueError("x")) == "bad_request"
+
+    def test_api_error_code_passthrough(self):
+        from repro.api.ops import ApiError
+
+        assert error_code(ApiError("unknown_field", "typo")) == "unknown_field"

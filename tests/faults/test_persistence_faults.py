@@ -1,0 +1,161 @@
+"""Chaos: torn sketch writes, checksum corruption, quarantine-and-rebuild.
+
+Acceptance (ii): a truncated sketch write produces a structured error and a
+quarantined file — never a wrong answer — and a rebuild at the same path
+recovers without operator surgery.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultRule, injection
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.rrset import make_rr_sampler
+from repro.sketch import (
+    SketchCorruptionError,
+    SketchFileError,
+    load_sketch,
+    read_sketch_meta,
+    save_sketch,
+)
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def wc_graph():
+    return weighted_cascade(gnm_random_digraph(80, 320, rng=5))
+
+
+@pytest.fixture
+def sampled(wc_graph):
+    return make_rr_sampler(wc_graph, "IC").sample_random_batch(400, RandomSource(9))
+
+
+def flip_payload_byte(path, member="nodes.npy"):
+    """Flip one byte inside a stored member's array payload (zip intact)."""
+    data = bytearray(path.read_bytes())
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo(member)
+    head = info.header_offset
+    name_len, extra_len = struct.unpack("<HH", bytes(data[head + 26 : head + 30]))
+    npy_start = head + 30 + name_len + extra_len
+    header_len = struct.unpack("<H", bytes(data[npy_start + 8 : npy_start + 10]))[0]
+    payload = npy_start + 10 + header_len
+    data[payload + 4] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestTornWrite:
+    def test_truncated_write_quarantines_and_rebuild_recovers(
+        self, tmp_path, sampled
+    ):
+        path = tmp_path / "sketch.npz"
+        plan = FaultPlan([FaultRule(site="sketch.save", truncate_at=512)])
+        with injection.plan_scope(plan):
+            save_sketch(path, sampled, {"model": "IC"})
+        assert path.stat().st_size == 512  # the torn file landed at path
+
+        with pytest.raises(SketchFileError, match="quarantined"):
+            load_sketch(path)
+        assert not path.exists()
+        aside = tmp_path / "sketch.npz.quarantined"
+        assert aside.exists() and aside.stat().st_size == 512
+
+        # Rebuild at the now-free path; the recovered sketch is bit-exact.
+        save_sketch(path, sampled, {"model": "IC"})
+        loaded, _ = load_sketch(path)
+        assert np.array_equal(loaded.nodes_array, sampled.nodes_array)
+
+    def test_quarantined_error_carries_new_location(self, tmp_path, sampled):
+        path = tmp_path / "sketch.npz"
+        plan = FaultPlan([FaultRule(site="sketch.save", truncate_at=100)])
+        with injection.plan_scope(plan):
+            save_sketch(path, sampled, {"model": "IC"})
+        with pytest.raises(SketchFileError) as excinfo:
+            load_sketch(path)
+        assert excinfo.value.quarantined_path == str(path) + ".quarantined"
+
+    def test_quarantine_false_keeps_the_file(self, tmp_path, sampled):
+        path = tmp_path / "sketch.npz"
+        plan = FaultPlan([FaultRule(site="sketch.save", truncate_at=100)])
+        with injection.plan_scope(plan):
+            save_sketch(path, sampled, {"model": "IC"})
+        with pytest.raises(SketchFileError):
+            load_sketch(path, quarantine=False)
+        assert path.exists()  # forensics mode: nothing moved
+
+
+class TestAtomicReplace:
+    def test_failed_save_leaves_old_sketch_intact(self, tmp_path, sampled, wc_graph):
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC", "generation": 1})
+
+        newer = make_rr_sampler(wc_graph, "IC").sample_random_batch(
+            100, RandomSource(4)
+        )
+        plan = FaultPlan([FaultRule(site="sketch.save", error="oserror")])
+        with injection.plan_scope(plan):
+            with pytest.raises(OSError, match="injected"):
+                save_sketch(path, newer, {"model": "IC", "generation": 2})
+
+        # The overwrite never happened and no temp file is stranded.
+        loaded, meta = load_sketch(path)
+        assert meta["generation"] == 1
+        assert np.array_equal(loaded.nodes_array, sampled.nodes_array)
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestChecksum:
+    def test_meta_records_payload_checksum(self, tmp_path, sampled):
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC"})
+        meta = read_sketch_meta(path)
+        sha = meta.get("payload_sha256")
+        assert isinstance(sha, str) and len(sha) == 64
+
+    def test_bit_flip_fails_mmap_load_with_corruption_error(
+        self, tmp_path, sampled
+    ):
+        # The mmap path has no zip CRC pass, so the payload checksum is the
+        # only line of defence against a flipped bit.
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC"})
+        flip_payload_byte(path)
+        with pytest.raises(SketchCorruptionError, match="checksum mismatch"):
+            load_sketch(path, mmap=True, quarantine=False)
+
+    def test_bit_flip_fails_eager_load_too(self, tmp_path, sampled):
+        # Eager np.load catches it at the zip CRC layer; either way the
+        # corrupt file is quarantined, never served.
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC"})
+        flip_payload_byte(path)
+        with pytest.raises(SketchFileError):
+            load_sketch(path)
+        assert not path.exists()
+        assert (tmp_path / "sketch.npz.quarantined").exists()
+
+    def test_verify_false_skips_the_checksum(self, tmp_path, sampled):
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC"})
+        flip_payload_byte(path, member="costs.npy")
+        loaded, _ = load_sketch(path, mmap=True, verify=False, quarantine=False)
+        assert len(loaded) == len(sampled)  # loads, knowingly unchecked
+
+
+class TestLoadInjection:
+    def test_fault_at_sketch_load_site(self, tmp_path, sampled):
+        path = tmp_path / "sketch.npz"
+        save_sketch(path, sampled, {"model": "IC"})
+        plan = FaultPlan([FaultRule(site="sketch.load", error="oserror")])
+        with injection.plan_scope(plan):
+            with pytest.raises(OSError, match="injected"):
+                load_sketch(path)
+        assert path.exists()  # injected failure, not corruption: no quarantine
+        loaded, _ = load_sketch(path)
+        assert np.array_equal(loaded.nodes_array, sampled.nodes_array)

@@ -1,0 +1,153 @@
+"""RetryPolicy: deterministic backoff schedules and bounded retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    DeadlineExceeded,
+    FatalError,
+    RetryPolicy,
+    TransientError,
+    call_with_retry,
+)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(max_attempts=0), "max_attempts"),
+            (dict(base_delay_ms=-1.0), "must be >= 0"),
+            (dict(max_delay_ms=-1.0), "must be >= 0"),
+            (dict(multiplier=0.5), "multiplier"),
+            (dict(jitter=1.5), "jitter"),
+            (dict(jitter=-0.1), "jitter"),
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+
+class TestDelaySchedule:
+    def test_pure_function_of_policy(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        assert policy.delays_ms() == policy.delays_ms()
+        assert RetryPolicy(max_attempts=5, seed=7).delays_ms() == policy.delays_ms()
+
+    def test_seed_changes_jitter(self):
+        base = RetryPolicy(max_attempts=4, seed=1)
+        other = RetryPolicy(max_attempts=4, seed=2)
+        assert base.delays_ms() != other.delays_ms()
+
+    def test_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_ms=10.0, multiplier=2.0,
+            max_delay_ms=35.0, jitter=0.0,
+        )
+        assert policy.delays_ms() == (10.0, 20.0, 35.0, 35.0, 35.0)
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_ms=10.0, multiplier=1.0,
+            max_delay_ms=10.0, jitter=0.5, seed=3,
+        )
+        for delay in policy.delays_ms():
+            assert 10.0 <= delay <= 15.0
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays_ms() == ()
+
+
+class TestCallWithRetry:
+    def _policy(self, attempts=3):
+        return RetryPolicy(max_attempts=attempts, base_delay_ms=0.0, jitter=0.0)
+
+    def test_success_first_try(self):
+        calls = []
+        result = call_with_retry(lambda: calls.append(1) or "ok",
+                                 policy=self._policy())
+        assert result == "ok" and len(calls) == 1
+
+    def test_transient_retried_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientError("wave crashed")
+            return "recovered"
+
+        slept = []
+        result = call_with_retry(flaky, policy=self._policy(), sleep=slept.append)
+        assert result == "recovered"
+        assert len(attempts) == 3 and len(slept) == 2
+
+    def test_exhaustion_reraises_last_error(self):
+        def always_fails():
+            raise TransientError("still down")
+
+        with pytest.raises(TransientError, match="still down"):
+            call_with_retry(always_fails, policy=self._policy(2))
+
+    def test_non_retryable_raises_immediately(self):
+        attempts = []
+
+        def fatal():
+            attempts.append(1)
+            raise FatalError("wedged")
+
+        with pytest.raises(FatalError):
+            call_with_retry(fatal, policy=self._policy())
+        assert len(attempts) == 1
+
+    def test_deadline_exceeded_never_retried(self):
+        attempts = []
+
+        def over_budget():
+            attempts.append(1)
+            raise DeadlineExceeded("budget spent")
+
+        # Even with a retryable predicate that approves everything.
+        with pytest.raises(DeadlineExceeded):
+            call_with_retry(over_budget, policy=self._policy(),
+                            retryable=lambda exc: True)
+        assert len(attempts) == 1
+
+    def test_on_retry_sees_attempt_and_error(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise TransientError("again")
+            return "done"
+
+        call_with_retry(flaky, policy=self._policy(),
+                        on_retry=lambda n, exc: seen.append((n, str(exc))))
+        assert seen == [(1, "again"), (2, "again")]
+
+    def test_custom_retryable_predicate(self):
+        attempts = []
+
+        def odd_failure():
+            attempts.append(1)
+            raise KeyError("missing")
+
+        with pytest.raises(KeyError):
+            call_with_retry(odd_failure, policy=self._policy(2),
+                            retryable=lambda exc: isinstance(exc, KeyError))
+        assert len(attempts) == 2  # KeyError approved, budget of 2 spent
+
+    def test_sleeps_follow_the_policy_schedule(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=8.0,
+                             multiplier=2.0, max_delay_ms=100.0, jitter=0.0)
+        slept = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise TransientError("again")
+            return "ok"
+
+        call_with_retry(flaky, policy=policy, sleep=slept.append)
+        assert slept == [0.008, 0.016]

@@ -98,3 +98,60 @@ class TestSanctionedHandlers:
             "        return ErrorResponse.from_exception(exc)\n"
         )
         assert rl301(source) == []
+
+
+class TestGenericTranslation:
+    """Broad handlers must translate into the taxonomy, not Exception(...)."""
+
+    def test_raise_runtime_error_in_broad_handler_fires(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError(f'failed: {exc}')\n"
+        )
+        findings = rl301(source)
+        assert len(findings) == 1
+        assert findings[0].line == 5
+        assert "generic exception" in findings[0].message
+
+    def test_raise_bare_exception_constructor_fires(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise Exception(str(exc)) from exc\n"
+        )
+        assert len(rl301(source)) == 1
+
+    def test_taxonomy_translation_is_clean(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise TransientError(f'wave failed: {exc}') from exc\n"
+        )
+        assert rl301(source) == []
+
+    def test_faults_package_is_exempt(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception as exc:\n"
+            "        raise RuntimeError(f'injected: {exc}')\n"
+        )
+        assert rl301(source, path="src/repro/faults/injection.py") == []
+
+    def test_narrow_handler_generic_raise_out_of_scope(self):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except OSError as exc:\n"
+            "        raise RuntimeError(str(exc))\n"
+        )
+        assert rl301(source) == []

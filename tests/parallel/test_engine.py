@@ -206,6 +206,26 @@ class TestPoolLifecycle:
         sampler.close()
         assert_collections_identical(survived, expected)
 
+    def test_double_crashed_pool_recovers_identically(self, wc_graph):
+        # Two separate pool losses in one sampler lifetime: each wave
+        # respawns under the retry budget and re-runs the same shard seed
+        # stream, so every recovery reproduces the un-faulted bytes.
+        with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=1) as reference:
+            expected_a = reference.sample_random_batch(3000, rng=41)
+            expected_b = reference.sample_random_batch(2500, rng=42)
+        sampler = ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2)
+        sampler.sample_random_batch(2000, rng=40)  # spawn the pool
+        for process in sampler._state["executor"]._processes.values():
+            process.kill()
+        first = sampler.sample_random_batch(3000, rng=41)
+        for process in sampler._state["executor"]._processes.values():
+            process.kill()
+        second = sampler.sample_random_batch(2500, rng=42)
+        assert not sampler._pool_disabled  # both crashes stayed in budget
+        sampler.close()
+        assert_collections_identical(first, expected_a)
+        assert_collections_identical(second, expected_b)
+
     def test_context_manager_closes(self, wc_graph):
         with ParallelSampler(make_rr_sampler(wc_graph, "IC"), jobs=2) as sampler:
             sampler.sample_random_batch(1500, rng=1)
