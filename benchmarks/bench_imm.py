@@ -1,0 +1,210 @@
+"""IMM vs TIM+ at equal ε: fewer RR sets, same seed quality (ISSUE 9 bar).
+
+IMM's martingale stopping rule prices θ off a certified lower bound on OPT
+and **reuses every RR set** its search samples, so at equal ε it should
+need far fewer sets than TIM+'s estimate-then-refine pipeline — without
+giving up the ``(1 - 1/e - ε)`` guarantee or measurable seed quality.
+
+On the n=20k / m=200k weighted-cascade graph the sampler and dynamic
+benchmarks use, for each probed seed the script runs both engines at the
+same ε and checks three acceptance bars:
+
+* **RR-set reduction** — IMM's total sampled sets (lower-bound search +
+  node selection) must be at least ``--min-rr-reduction`` (30%) below
+  TIM+'s total (estimation + refinement + selection), per trial;
+* **spread parity** — IMM's seeds must score within ``--max-spread-drift``
+  (1%) of TIM+'s on one shared, larger independent *evaluation sketch*
+  (``--eval-factor`` × TIM+'s θ, fresh seed).  As in ``bench_dynamic``,
+  the paired evaluator cancels the per-sketch Monte-Carlo noise that any
+  raw comparison of two estimators would bake in, and the bar is enforced
+  on the **median** across trials (single-trial greedy tie-flips are a
+  property of near-tied candidates, not of the engine).  The default
+  ε=0.1 is the library default; at looser ε (0.3) both engines still hold
+  the theoretical floor but TIM+'s 7× oversampling buys it ~2% of
+  empirical spread, so the parity bar is an ε≤0.15 statement;
+* **byte-identity** — ``imm`` under ``jobs=1`` and ``jobs=2`` must return
+  identical seeds, θ and LB (the sharded sampler contract extends to the
+  new engine).
+
+Wall-clock for both engines is measured and reported (IMM's reduction is
+the paper's headline; the ``--min-speedup`` bar defaults to 1.0 — IMM must
+not be *slower* — since wall-clock on small graphs is dominated by phase
+constants, not asymptotics).
+
+Run ``python benchmarks/bench_imm.py`` (full size) or ``--smoke``
+(CI-sized); ``--json-out`` records the summary (the repo keeps one under
+``benchmarks/results/``).  Exits non-zero when a bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+from repro.api import ExecutionPolicy
+from repro.core import imm, tim_plus
+from repro.graphs import gnm_random_digraph, weighted_cascade
+from repro.sketch import SketchIndex
+
+
+def bench_trial(graph, k: int, epsilon: float, seed: int, eval_factor: int) -> dict:
+    imm_result = imm(graph, k, epsilon=epsilon, rng=seed)
+    plus_result = tim_plus(graph, k, epsilon=epsilon, rng=seed)
+
+    rr_imm = imm_result.total_rr_sets
+    rr_plus = sum(plus_result.rr_sets_per_phase.values())
+
+    # Paired evaluation on one independent, larger sketch (see module
+    # docstring): same evaluator, both seed sets, fresh seed.
+    evaluator = SketchIndex.build(graph, "IC", theta=eval_factor * plus_result.theta,
+                                  rng=seed + 1_000_003)
+    spread_imm = evaluator.spread(imm_result.seeds)
+    spread_plus = evaluator.spread(plus_result.seeds)
+    evaluator.close()
+    # Signed: positive when IMM's seeds score *below* TIM+'s.
+    drift = (spread_plus - spread_imm) / max(spread_plus, 1e-12)
+
+    return {
+        "seed": seed,
+        "epsilon": epsilon,
+        "k": k,
+        "imm_rr_sets": rr_imm,
+        "imm_theta": imm_result.theta,
+        "imm_lb_iterations": imm_result.lb_iterations,
+        "imm_opt_lower_bound": imm_result.opt_lower_bound,
+        "imm_seconds": imm_result.runtime_seconds,
+        "tim_plus_rr_sets": rr_plus,
+        "tim_plus_theta": plus_result.theta,
+        "tim_plus_seconds": plus_result.runtime_seconds,
+        "rr_reduction": 1.0 - rr_imm / max(rr_plus, 1),
+        "speedup": plus_result.runtime_seconds / max(imm_result.runtime_seconds, 1e-12),
+        "spread_imm": spread_imm,
+        "spread_tim_plus": spread_plus,
+        "spread_drift": drift,
+        "common_seeds": len(set(imm_result.seeds) & set(plus_result.seeds)),
+    }
+
+
+def check_byte_identity(graph, k: int, epsilon: float, seed: int) -> dict:
+    one = imm(graph, k, epsilon=epsilon, rng=seed, policy=ExecutionPolicy(jobs=1))
+    two = imm(graph, k, epsilon=epsilon, rng=seed, policy=ExecutionPolicy(jobs=2))
+    return {
+        "jobs_identical": (one.seeds == two.seeds and one.theta == two.theta
+                           and one.opt_lower_bound == two.opt_lower_bound),
+        "seeds_jobs1": one.seeds,
+        "seeds_jobs2": two.seeds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=20_000)
+    parser.add_argument("--edges", type=int, default=200_000)
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--trials", type=int, default=3, help="probed seeds")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-rr-reduction", type=float, default=0.3,
+                        help="fail when IMM saves less than this fraction of "
+                             "TIM+'s RR sets in any trial")
+    parser.add_argument("--max-spread-drift", type=float, default=0.01,
+                        help="fail when IMM's seeds score more than this "
+                             "fraction below TIM+'s on the shared evaluation "
+                             "sketch (median across trials)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail when IMM's median wall-clock exceeds "
+                             "TIM+'s by more than this factor's inverse")
+    parser.add_argument("--eval-factor", type=int, default=2,
+                        help="evaluation sketch size as a multiple of TIM+'s θ")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller graph, same bars)")
+    parser.add_argument("--json-out", default=None)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.nodes, args.edges = 5_000, 50_000
+        args.trials = 2
+
+    graph = weighted_cascade(gnm_random_digraph(args.nodes, args.edges, rng=args.seed))
+    print(f"graph: n={graph.n} m={graph.m} (weighted cascade), "
+          f"k={args.k}, epsilon={args.epsilon}, trials={args.trials}")
+
+    rows = [bench_trial(graph, args.k, args.epsilon, args.seed + trial,
+                        args.eval_factor)
+            for trial in range(args.trials)]
+    for row in rows:
+        print(
+            f"seed {row['seed']}: imm {row['imm_rr_sets']:>9d} RR sets "
+            f"({row['imm_seconds']:6.2f}s, LB iters {row['imm_lb_iterations']}) | "
+            f"tim+ {row['tim_plus_rr_sets']:>9d} RR sets "
+            f"({row['tim_plus_seconds']:6.2f}s) | "
+            f"reduction {100 * row['rr_reduction']:5.1f}% | "
+            f"speedup {row['speedup']:5.2f}x | "
+            f"spread drift {100 * row['spread_drift']:+.3f}% | "
+            f"{row['common_seeds']}/{row['k']} seeds shared"
+        )
+
+    identity = check_byte_identity(graph, args.k, args.epsilon, args.seed)
+    print(f"jobs=1 vs jobs=2 byte-identity: "
+          f"{'OK' if identity['jobs_identical'] else 'MISMATCH'}")
+
+    reductions = [row["rr_reduction"] for row in rows]
+    drifts = [row["spread_drift"] for row in rows]
+    speedups = [row["speedup"] for row in rows]
+    summary = {
+        "nodes": graph.n,
+        "edges": graph.m,
+        "k": args.k,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "trials": args.trials,
+        "min_rr_reduction_bar": args.min_rr_reduction,
+        "max_spread_drift_bar": args.max_spread_drift,
+        "min_speedup_bar": args.min_speedup,
+        "min_rr_reduction": min(reductions),
+        "median_rr_reduction": statistics.median(reductions),
+        "median_spread_drift": statistics.median(drifts),
+        "max_spread_drift": max(drifts),
+        "median_speedup": statistics.median(speedups),
+        "jobs_identical": identity["jobs_identical"],
+        "rows": rows,
+    }
+    print(
+        f"median RR-set reduction {100 * summary['median_rr_reduction']:.1f}% "
+        f"(min {100 * summary['min_rr_reduction']:.1f}%, "
+        f"bar {100 * args.min_rr_reduction:.0f}%) | "
+        f"median spread drift {100 * summary['median_spread_drift']:+.3f}% "
+        f"(bar {100 * args.max_spread_drift:.0f}%, "
+        f"max {100 * summary['max_spread_drift']:+.3f}%) | "
+        f"median speedup {summary['median_speedup']:.2f}x"
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.json_out}")
+
+    failed = False
+    if summary["min_rr_reduction"] < args.min_rr_reduction:
+        print(f"FAIL: RR-set reduction {100 * summary['min_rr_reduction']:.1f}% "
+              f"below the {100 * args.min_rr_reduction:.0f}% bar", file=sys.stderr)
+        failed = True
+    if summary["median_spread_drift"] > args.max_spread_drift:
+        print(f"FAIL: median spread drift "
+              f"{100 * summary['median_spread_drift']:.2f}% above the "
+              f"{100 * args.max_spread_drift:.0f}% bar", file=sys.stderr)
+        failed = True
+    if summary["median_speedup"] < args.min_speedup:
+        print(f"FAIL: median speedup {summary['median_speedup']:.2f}x below "
+              f"the {args.min_speedup:.1f}x bar", file=sys.stderr)
+        failed = True
+    if not identity["jobs_identical"]:
+        print("FAIL: imm results differ between jobs=1 and jobs=2",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

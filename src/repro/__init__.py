@@ -48,7 +48,7 @@ from repro.algorithms import (
     ris,
     simpath,
 )
-from repro.core import TIMResult, tim, tim_plus, weighted_tim_plus
+from repro.core import IMMResult, TIMResult, imm, tim, tim_plus, weighted_tim_plus
 from repro.datasets import build_dataset, dataset_names
 from repro.diffusion import (
     BoundedIndependentCascade,
@@ -100,7 +100,9 @@ __all__ = [
     "maximize_influence",
     "ris",
     "simpath",
+    "IMMResult",
     "TIMResult",
+    "imm",
     "tim",
     "tim_plus",
     "weighted_tim_plus",

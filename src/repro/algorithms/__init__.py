@@ -3,8 +3,9 @@
 Importing this package populates the algorithm registry; use
 :func:`maximize_influence` (or the CLI) to run any of them by name:
 
-``tim``, ``tim+``, ``greedy``, ``celf``, ``celf++``, ``ris``, ``irie``,
-``simpath``, ``degree``, ``degree-discount``, ``pagerank``, ``random``.
+``tim``, ``tim+``, ``imm``, ``greedy``, ``celf``, ``celf++``, ``ris``,
+``irie``, ``simpath``, ``degree``, ``degree-discount``, ``pagerank``,
+``random``.
 """
 
 from repro.algorithms.base import (
@@ -23,13 +24,16 @@ from repro.algorithms.pagerank import pagerank_scores, pagerank_seeds
 from repro.algorithms.random_seed import random_seeds
 from repro.algorithms.ris import ris, ris_threshold
 from repro.algorithms.simpath import greedy_vertex_cover, sigma_within, simpath, simpath_spread
+from repro.core.imm import imm
 from repro.core.tim import tim, tim_plus
 
 # TIM and TIM+ live in repro.core (they are the paper's contribution, not a
 # baseline) but register here so the uniform front door can dispatch to them.
+# IMM (the 2015 martingale successor) rides the same registry slot.
 register_algorithm("tim", tim)
 register_algorithm("tim+", tim_plus)
 register_algorithm("timplus", tim_plus)
+register_algorithm("imm", imm)
 
 __all__ = [
     "algorithm_names",
@@ -55,6 +59,7 @@ __all__ = [
     "sigma_within",
     "simpath",
     "simpath_spread",
+    "imm",
     "tim",
     "tim_plus",
 ]

@@ -140,6 +140,7 @@ _ENV_VARS = {
     "ell": "REPRO_ELL",
     "metrics": "REPRO_METRICS",
     "deadline_ms": "REPRO_DEADLINE_MS",
+    "algorithm": "REPRO_ALGORITHM",
 }
 
 
@@ -199,6 +200,13 @@ class ExecutionPolicy:
         of hanging.  ``None`` (default) = no budget; layers env via
         ``REPRO_DEADLINE_MS``.  Deadlines never alter results that finish
         in time — only whether slow ones are cut short.
+    algorithm:
+        The default influence-maximization algorithm for layers that pick
+        one (``"tim"`` default; layers env via ``REPRO_ALGORITHM``).
+        Sketch-owning layers (:class:`InfluenceSession`,
+        :meth:`SketchIndex.build`) use it to choose the θ derivation:
+        ``"imm"`` selects the martingale lower-bound search, anything else
+        the TIM KPT derivation.  Normalized to lowercase.
     """
 
     engine: str = "vectorized"
@@ -209,6 +217,7 @@ class ExecutionPolicy:
     reuse_sketch: bool = True
     metrics: bool = False
     deadline_ms: float | None = None
+    algorithm: str = "tim"
 
     def __post_init__(self) -> None:
         require(self.engine in ENGINES,
@@ -234,6 +243,9 @@ class ExecutionPolicy:
             require(self.deadline_ms > 0,
                     f"deadline_ms must be > 0; got {self.deadline_ms!r}")
             object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
+        require(isinstance(self.algorithm, str) and self.algorithm.strip() != "",
+                f"algorithm must be a non-empty string; got {self.algorithm!r}")
+        object.__setattr__(self, "algorithm", self.algorithm.strip().lower())
 
     # ------------------------------------------------------------------
     # Construction / resolution
@@ -323,7 +335,7 @@ class ExecutionPolicy:
         overrides = {
             name: getattr(args, name, None)
             for name in ("engine", "jobs", "trace_edges", "epsilon", "ell",
-                         "metrics", "deadline_ms")
+                         "metrics", "deadline_ms", "algorithm")
         }
         return resolved.merge(**overrides)
 

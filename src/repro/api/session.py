@@ -340,6 +340,22 @@ class InfluenceSession:
         elif isinstance(request, UpdateRequest):
             response = self.apply_update(request)
         elif isinstance(request, StatsRequest):
+            # "sketch" reports what the owned sketch *certifies* (additive
+            # payload; schema_version stays 1): the tightest ε it meets, the
+            # θ derivation used, and whether a max_theta cap ever voided the
+            # guarantee for a run routed through it.
+            sketch_stats: dict[str, Any] = {
+                "theta": self.num_rr_sets,
+                "algorithm": None,
+                "epsilon": None,
+                "theta_capped": False,
+            }
+            if self._index is not None:
+                sketch_stats.update(
+                    algorithm=self._index.meta.get("algorithm"),
+                    epsilon=self._index.meta.get("epsilon"),
+                    theta_capped=bool(self._index.meta.get("theta_capped", False)),
+                )
             response = StatsResponse(stats={
                 "model": self.model,
                 "num_rr_sets": self.num_rr_sets,
@@ -347,6 +363,7 @@ class InfluenceSession:
                 "num_edges": self._dynamic.m,
                 "graph_version": self._dynamic.version,
                 "policy": self.policy.as_dict(),
+                "sketch": sketch_stats,
             })
         else:  # pragma: no cover - parse_request exhausts the op set
             raise ApiError("unknown_op", f"unhandled request type {type(request).__name__}")

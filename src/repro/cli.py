@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     sketch.add_argument("--ell", type=float, default=None,
                         help="failure exponent (default 1.0; REPRO_ELL layers under)")
     sketch.add_argument("--theta", type=int, default=None, help="fixed sketch size (skips derivation)")
+    sketch.add_argument(
+        "--algorithm",
+        default=None,
+        choices=["tim", "imm"],
+        help="theta derivation for k-based builds: tim = KPT estimation "
+        "(Algorithm 2), imm = martingale lower-bound search — typically a "
+        "much smaller sketch at equal epsilon (REPRO_ALGORITHM layers under)",
+    )
     sketch.add_argument("--seed", type=int, default=0)
     sketch.add_argument("--out", required=True, help="output .npz sketch path")
 
@@ -347,6 +355,9 @@ def _command_sketch(args) -> int:
     print(f"sketch      : {args.out} ({os.path.getsize(args.out)} bytes on disk)")
     print(f"graph       : n={graph.n} m={graph.m} fingerprint={graph.fingerprint()[:16]}…")
     print(f"model       : {index.meta['model']}")
+    if index.meta.get("algorithm") is not None:
+        print(f"derivation  : {index.meta['algorithm']} "
+              f"(epsilon={index.meta.get('epsilon')})")
     print(f"rr sets     : {index.num_sets} (θ), {index.collection.nbytes()} array bytes")
     if index.collection.has_traces:
         print(f"edge traces : {index.collection.trace_edges_array.size} live edges recorded")

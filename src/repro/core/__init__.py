@@ -1,11 +1,16 @@
 """The paper's contribution: Algorithms 1-3 and the TIM / TIM+ drivers."""
 
+from repro.core.imm import ImmGrowth, imm, imm_ensure
 from repro.core.kpt_estimation import KptEstimationResult, estimate_kpt
 from repro.core.node_selection import NodeSelectionResult, node_selection
 from repro.core.parameters import (
     adjusted_ell_tim,
     adjusted_ell_tim_plus,
+    apply_theta_cap,
     epsilon_prime_default,
+    imm_epsilon_prime,
+    imm_lambda_prime,
+    imm_lambda_star,
     kpt_max_iterations,
     kpt_samples_per_iteration,
     lambda_param,
@@ -14,7 +19,7 @@ from repro.core.parameters import (
     theta_from_kpt,
 )
 from repro.core.refine_kpt import RefineKptResult, refine_kpt
-from repro.core.results import InfluenceMaxResult, TIMResult
+from repro.core.results import IMMResult, InfluenceMaxResult, TIMResult
 from repro.core.tim import tim, tim_plus
 from repro.core.weighted import WeightedRootSampler, weighted_lambda, weighted_tim_plus
 
@@ -25,7 +30,11 @@ __all__ = [
     "node_selection",
     "adjusted_ell_tim",
     "adjusted_ell_tim_plus",
+    "apply_theta_cap",
     "epsilon_prime_default",
+    "imm_epsilon_prime",
+    "imm_lambda_prime",
+    "imm_lambda_star",
     "kpt_max_iterations",
     "kpt_samples_per_iteration",
     "lambda_param",
@@ -34,6 +43,10 @@ __all__ = [
     "theta_from_kpt",
     "RefineKptResult",
     "refine_kpt",
+    "ImmGrowth",
+    "imm",
+    "imm_ensure",
+    "IMMResult",
     "InfluenceMaxResult",
     "TIMResult",
     "tim",

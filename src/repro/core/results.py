@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["InfluenceMaxResult", "TIMResult"]
+__all__ = ["InfluenceMaxResult", "TIMResult", "IMMResult"]
 
 
 @dataclass
@@ -53,6 +53,36 @@ class TIMResult(InfluenceMaxResult):
     rr_sets_per_phase: dict[str, int] = field(default_factory=dict)
     #: Approximate bytes held by the node-selection RR collection (Fig. 12).
     rr_collection_bytes: int = 0
+    #: Whether ``max_theta`` clamped θ below Equation 5's requirement — a
+    #: ``True`` here means the (1 − 1/e − ε) guarantee does NOT hold.
+    theta_capped: bool = False
+
+    @property
+    def total_rr_sets(self) -> int:
+        return sum(self.rr_sets_per_phase.values())
+
+
+@dataclass
+class IMMResult(InfluenceMaxResult):
+    """Result of IMM (Tang et al. 2015) with the martingale diagnostics."""
+
+    epsilon: float = 0.0
+    ell: float = 0.0
+    ell_adjusted: float = 0.0
+    #: ε′ = √2·ε — the slack the lower-bound search stops against.
+    epsilon_prime: float = 0.0
+    #: LB — the certified lower bound on OPT the final θ was derived from.
+    opt_lower_bound: float = 0.0
+    lambda_prime: float = 0.0
+    lambda_star: float = 0.0
+    theta: int = 0
+    #: Lower-bound search iterations run (≤ ⌈log₂ n⌉ − 1).
+    lb_iterations: int = 0
+    #: RR sets generated per phase: lb_search / node_selection.
+    rr_sets_per_phase: dict[str, int] = field(default_factory=dict)
+    rr_collection_bytes: int = 0
+    #: Whether ``max_theta`` clamped θ below ⌈λ*/LB⌉ (guarantee void).
+    theta_capped: bool = False
 
     @property
     def total_rr_sets(self) -> int:

@@ -21,6 +21,7 @@ from repro.core.node_selection import node_selection
 from repro.core.parameters import (
     adjusted_ell_tim,
     adjusted_ell_tim_plus,
+    apply_theta_cap,
     epsilon_prime_default,
     lambda_param,
     theta_from_kpt,
@@ -82,8 +83,10 @@ def tim(
         Max-coverage implementation: ``"exact"`` or ``"lazy"``.
     max_theta:
         Optional hard cap on θ.  **Voids the approximation guarantee**; it
-        exists so exploratory runs on tiny budgets cannot run away.  The
-        result records whether the cap bit via ``extras["theta_capped"]``.
+        exists so exploratory runs on tiny budgets cannot run away.  A
+        bitten cap emits a :class:`RuntimeWarning` and is recorded on the
+        result (``result.theta_capped`` and, for backward compatibility,
+        ``extras["theta_capped"]``).
     policy:
         The :class:`~repro.api.policy.ExecutionPolicy` governing execution
         (engine, worker pool, accuracy defaults).  Two policies differing
@@ -204,10 +207,14 @@ def _tim_run(
 
     lambda_value = lambda_param(graph.n, k, epsilon, ell_adjusted)
     theta = theta_from_kpt(lambda_value, kpt)
-    theta_capped = False
-    if max_theta is not None and theta > max_theta:
-        theta = max_theta
-        theta_capped = True
+    theta, theta_capped = apply_theta_cap(
+        theta, max_theta, "tim_plus()" if refine else "tim()"
+    )
+    if theta_capped and sketch_index is not None:
+        # The sketch no longer certifies the (k, ε) pair — record it so
+        # serving layers (session/service stats) surface the voided
+        # guarantee instead of silently reporting a certified ε.
+        sketch_index.meta["theta_capped"] = True
 
     sketch_sets_reused = len(sketch_index.collection) if sketch_index is not None else 0
     with timer.phase("node_selection"):
@@ -244,6 +251,7 @@ def _tim_run(
         theta=theta,
         rr_sets_per_phase=rr_counts,
         rr_collection_bytes=selection.collection.nbytes(),
+        theta_capped=theta_capped,
     )
 
 

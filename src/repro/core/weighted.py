@@ -29,6 +29,7 @@ import math
 import numpy as np
 
 from repro.core.parameters import (
+    apply_theta_cap,
     epsilon_prime_default,
     log_binomial,
     theta_from_kpt,
@@ -156,10 +157,7 @@ def weighted_tim_plus(
 
     lambda_value = weighted_lambda(graph.n, total_weight, k, epsilon, ell)
     theta = theta_from_kpt(lambda_value, opt_lower)
-    theta_capped = False
-    if max_theta is not None and theta > max_theta:
-        theta = max_theta
-        theta_capped = True
+    theta, theta_capped = apply_theta_cap(theta, max_theta, "weighted_tim_plus()")
 
     with timer.phase("node_selection"):
         collection = RRCollection(graph.n, graph.m)
@@ -191,4 +189,5 @@ def weighted_tim_plus(
         theta=theta,
         rr_sets_per_phase=rr_counts,
         rr_collection_bytes=collection.nbytes(),
+        theta_capped=theta_capped,
     )

@@ -129,13 +129,24 @@ class SketchIndex:
     def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
               epsilon: float | None = None, ell: float | None = None, rng=None,
               engine: str | None = None, jobs: int | None = None,
-              trace_edges: bool | None = None, policy=None) -> "SketchIndex":
+              trace_edges: bool | None = None, policy=None,
+              algorithm: str | None = None) -> "SketchIndex":
         """Cold-build a sketch: sample θ random RR sets and index them.
 
         Either pass ``theta`` directly, or pass ``k`` and the sketch size is
-        derived the TIM way — Algorithm 2's KPT* and θ = ⌈λ/KPT*⌉ for the
-        given ``epsilon``/``ell`` — making the sketch ε-equivalent to what a
-        ``tim(graph, k, epsilon)`` call would have sampled.
+        derived from ``algorithm`` for the given ``epsilon``/``ell``:
+
+        * ``"tim"`` (default) — Algorithm 2's KPT* and θ = ⌈λ/KPT*⌉, making
+          the sketch ε-equivalent to what a ``tim(graph, k, epsilon)`` call
+          would have sampled;
+        * ``"imm"`` — IMM's martingale lower-bound search
+          (:func:`repro.core.imm.imm_ensure`), which typically lands on a
+          substantially smaller θ for the same ε and always samples through
+          the batched path regardless of ``engine``.
+
+        ``algorithm=None`` resolves from ``policy.algorithm`` (``"imm"``
+        selects the IMM derivation; every other value falls back to the TIM
+        derivation, which is also what TIM+ sketches use).
 
         ``jobs`` shards the build across worker processes (``0`` = all
         cores); the resulting sketch — and therefore its saved file — is
@@ -160,16 +171,39 @@ class SketchIndex:
         ell = resolved_policy.ell if ell is None else ell
         require(engine in ("vectorized", "python"),
                 f"engine must be 'vectorized' or 'python'; got {engine!r}")
+        if algorithm is None:
+            algorithm = "imm" if resolved_policy.algorithm == "imm" else "tim"
+        require(algorithm in ("tim", "imm"),
+                f"sketch derivation algorithm must be 'tim' or 'imm'; "
+                f"got {algorithm!r}")
         resolved = resolve_model(model)
         resolved.validate_graph(graph)
         source = resolve_rng(rng)
         jobs = jobs_for_engine(engine, jobs)
-        with obs.trace("sketch.build", model=resolved.name):
+        with obs.trace("sketch.build", model=resolved.name, algorithm=algorithm):
             faults.checkpoint("sketch.build")
             sampler, _ = maybe_parallel(
                 make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
             )
             meta: dict = {"rng_seed": source.seed, "engine": engine}
+            if theta is None and algorithm == "imm":
+                # IMM derivation: no KPT estimation phase — the lower-bound
+                # search grows the (initially empty) index directly and the
+                # final sketch *is* the search's reusable sample.
+                from repro.core.imm import imm_ensure
+
+                require(k is not None,
+                        "build needs theta, or k to derive theta from epsilon")
+                check_k(k, graph.n)
+                collection = FlatRRCollection(graph.n, graph.m,
+                                              track_traces=trace_edges)
+                index = cls(collection, graph=graph, model=resolved,
+                            meta=meta, jobs=jobs)
+                index._sampler = sampler
+                imm_ensure(index, k, epsilon, adjusted_ell_tim(ell, graph.n),
+                           rng=source)
+                index.meta.update(ell=ell, k=k)
+                return index
             if theta is None:
                 require(k is not None,
                         "build needs theta, or k to derive theta from epsilon")
@@ -180,7 +214,8 @@ class SketchIndex:
                 theta = theta_from_kpt(
                     lambda_param(graph.n, k, epsilon, ell_adjusted), kpt_result.kpt_star
                 )
-                meta.update(epsilon=epsilon, ell=ell, k=k, kpt_star=kpt_result.kpt_star)
+                meta.update(epsilon=epsilon, ell=ell, k=k,
+                            kpt_star=kpt_result.kpt_star, algorithm="tim")
             theta = int(theta)
             require(theta >= 1, "theta must be >= 1")
             if engine == "vectorized":
@@ -331,9 +366,23 @@ class SketchIndex:
             lambda_param(self.num_nodes, k, epsilon, ell_adjusted), kpt_star
         )
         added = self.ensure_theta(theta, rng=source, jobs=jobs)
-        if added:
-            self.meta["epsilon"] = epsilon
+        # The collection now meets θ(ε) whether or not sets were added — a
+        # tighter-ε request already satisfied by the current θ must still
+        # update the certification metadata (recording only on growth left
+        # persisted sketches under-reporting what they certify).
+        self.record_epsilon(epsilon)
         return added
+
+    def record_epsilon(self, epsilon: float) -> None:
+        """Record ``epsilon`` as certified if it is the tightest ε so far.
+
+        ``meta["epsilon"]`` tracks the *tightest* ε whose θ the collection
+        meets; a looser request never regresses it (the sketch still
+        certifies the tighter value), and a no-op growth still updates it.
+        """
+        recorded = self.meta.get("epsilon")
+        if recorded is None or float(epsilon) < float(recorded):
+            self.meta["epsilon"] = float(epsilon)
 
     # ------------------------------------------------------------------
     # Incremental repair (dynamic graphs)

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import brute_force_opt, exact_spread_ic, exact_spread_lt
-from repro.core import tim
+from repro.core import imm, tim
 from repro.dynamic import DynamicDiGraph
 from repro.graphs import from_edges
 from repro.sketch import SketchIndex
@@ -97,6 +97,34 @@ class TestTimGuaranteeIC:
             for seed in range(TRIALS)
         )
         assert near_optimal >= TRIALS // 2
+
+
+class TestImmGuaranteeIC:
+    def test_twenty_seeded_trials_meet_bound(self, ic_case):
+        """IMM's martingale bound promises the same (1 - 1/e - ε)·OPT floor
+        as TIM — check it against ground truth on the exact-enumeration
+        scenarios, same seeds and ε as the TIM harness above."""
+        graph, opt = ic_case
+        floor = GUARANTEE * opt
+        spreads = []
+        for seed in range(TRIALS):
+            result = imm(graph, 2, epsilon=EPSILON, rng=seed)
+            spreads.append(exact_spread_ic(graph, result.seeds))
+        spreads = np.asarray(spreads)
+        failures = int((spreads < floor).sum())
+        assert failures == 0, (
+            f"{failures}/{TRIALS} IMM trials below (1 - 1/e - ε)·OPT = "
+            f"{floor:.3f}: min spread {spreads.min():.3f}"
+        )
+        assert spreads.mean() >= 0.95 * opt
+
+    def test_lower_bound_never_exceeds_opt(self, ic_case):
+        """The certified LB the θ derivation rests on must actually lower-
+        bound OPT (with the harness seeds; the theorem allows n^{-ℓ} slack)."""
+        graph, opt = ic_case
+        for seed in range(0, TRIALS, 4):
+            result = imm(graph, 2, epsilon=EPSILON, rng=seed)
+            assert result.opt_lower_bound <= opt * (1.0 + 1e-9)
 
 
 class TestTimGuaranteeLT:

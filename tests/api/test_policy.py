@@ -48,6 +48,17 @@ class TestValidation:
     def test_epsilon_one_is_the_paper_boundary(self):
         assert ExecutionPolicy(epsilon=1).epsilon == 1.0
 
+    def test_algorithm_defaults_to_tim(self):
+        assert ExecutionPolicy().algorithm == "tim"
+
+    def test_algorithm_normalizes_case(self):
+        assert ExecutionPolicy(algorithm="IMM").algorithm == "imm"
+
+    @pytest.mark.parametrize("bad", [{"algorithm": ""}, {"algorithm": 3}])
+    def test_rejects_invalid_algorithm(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            ExecutionPolicy(**bad)
+
 
 class TestMerge:
     def test_merge_skips_none(self):
@@ -97,10 +108,11 @@ class TestEnvResolution:
     def test_reads_all_variables(self):
         env = {"REPRO_ENGINE": "python", "REPRO_JOBS": "4",
                "REPRO_TRACE_EDGES": "yes", "REPRO_EPSILON": "0.2",
-               "REPRO_ELL": "2.0"}
+               "REPRO_ELL": "2.0", "REPRO_ALGORITHM": "imm"}
         policy = ExecutionPolicy.from_env(env)
         assert policy == ExecutionPolicy(engine="python", jobs=4,
-                                         trace_edges=True, epsilon=0.2, ell=2.0)
+                                         trace_edges=True, epsilon=0.2, ell=2.0,
+                                         algorithm="imm")
 
     def test_empty_and_missing_are_unset(self):
         assert ExecutionPolicy.from_env({"REPRO_ENGINE": ""}) == ExecutionPolicy()
@@ -141,6 +153,14 @@ class TestArgsResolution:
             env={"REPRO_ENGINE": "vectorized", "REPRO_JOBS": "8"},
         )
         assert (policy.engine, policy.jobs) == ("python", 2)
+
+    def test_algorithm_flag_layers_over_env(self):
+        policy = ExecutionPolicy.from_args(
+            self._args(algorithm="imm"), env={"REPRO_ALGORITHM": "tim"})
+        assert policy.algorithm == "imm"
+        env_only = ExecutionPolicy.from_args(
+            self._args(), env={"REPRO_ALGORITHM": "imm"})
+        assert env_only.algorithm == "imm"
 
     def test_absent_flags_keep_env_layer(self):
         policy = ExecutionPolicy.from_args(

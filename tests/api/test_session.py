@@ -250,6 +250,29 @@ class TestTypedOps:
             assert stats["num_rr_sets"] == session.num_rr_sets
             assert stats["policy"]["engine"] == "vectorized"
 
+    def test_stats_report_sketch_certification(self, wc_graph):
+        with InfluenceSession(wc_graph, "IC", rng=6) as session:
+            session.select(2)
+            sketch = session.execute(StatsRequest()).stats["sketch"]
+            assert sketch["theta"] == session.num_rr_sets
+            assert sketch["algorithm"] == "tim"
+            assert sketch["epsilon"] == session.policy.epsilon
+            assert sketch["theta_capped"] is False
+
+    def test_stats_report_imm_derivation(self, wc_graph):
+        policy = ExecutionPolicy(algorithm="imm", epsilon=0.5)
+        with InfluenceSession(wc_graph, "IC", policy=policy, rng=6) as session:
+            session.select(2)
+            sketch = session.execute(StatsRequest()).stats["sketch"]
+            assert sketch["algorithm"] == "imm"
+            assert sketch["epsilon"] == 0.5
+
+    def test_stats_before_any_query_have_empty_sketch(self, wc_graph):
+        with InfluenceSession(wc_graph, "IC", rng=6) as session:
+            sketch = session.execute(StatsRequest()).stats["sketch"]
+            assert sketch == {"theta": 0, "algorithm": None, "epsilon": None,
+                              "theta_capped": False}
+
     def test_execute_raises_api_errors(self, wc_graph):
         with InfluenceSession(wc_graph, "IC", rng=6) as session:
             with pytest.raises(ApiError) as info:

@@ -86,9 +86,20 @@ class TestSolutionQuality:
         assert result.seeds == [0]
 
     def test_theta_cap_flags_result(self, small_wc_graph):
-        result = tim(small_wc_graph, 2, epsilon=0.5, rng=14, max_theta=10)
+        with pytest.warns(RuntimeWarning, match="max_theta cap"):
+            result = tim(small_wc_graph, 2, epsilon=0.5, rng=14, max_theta=10)
         assert result.theta == 10
+        assert result.theta_capped is True
         assert result.extras["theta_capped"] is True
+
+    def test_uncapped_run_neither_flags_nor_warns(self, small_wc_graph):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = tim_plus(small_wc_graph, 2, epsilon=0.5, rng=14)
+        assert result.theta_capped is False
+        assert result.extras["theta_capped"] is False
 
     def test_lazy_coverage_variant(self, small_wc_graph):
         result = tim_plus(small_wc_graph, 3, epsilon=0.5, rng=15, coverage="lazy")

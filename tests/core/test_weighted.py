@@ -127,10 +127,13 @@ class TestWeightedTimPlus:
         assert result.extras["weight_floor"] == pytest.approx(5.0)
 
     def test_theta_cap(self, small_wc_graph):
-        result = weighted_tim_plus(
-            small_wc_graph, 2, np.ones(small_wc_graph.n), epsilon=0.5, rng=9, max_theta=11
-        )
+        with pytest.warns(RuntimeWarning, match="max_theta cap"):
+            result = weighted_tim_plus(
+                small_wc_graph, 2, np.ones(small_wc_graph.n), epsilon=0.5, rng=9,
+                max_theta=11
+            )
         assert result.theta == 11
+        assert result.theta_capped is True
         assert result.extras["theta_capped"] is True
 
     def test_result_contract(self, small_wc_graph):

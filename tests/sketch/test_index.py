@@ -132,6 +132,57 @@ class TestWarmExtension:
         assert added > 0
         assert index.num_sets == loose + added
 
+    def test_ensure_epsilon_records_tightest_epsilon_on_noop(self, wc_graph):
+        """Regression: a no-op tighter-ε request must still update meta.
+
+        Pre-grow the sketch past θ(0.5) by hand so the ensure_epsilon call
+        adds zero sets — the certification metadata has to record ε=0.5
+        anyway, or persisted sketches under-report what they satisfy.
+        """
+        from repro.core.parameters import (
+            adjusted_ell_tim,
+            lambda_param,
+            theta_from_kpt,
+        )
+
+        index = SketchIndex.build(wc_graph, "IC", k=5, epsilon=0.8, rng=11)
+        assert index.meta["epsilon"] == 0.8
+        kpt_star = index.meta["kpt_star"]
+        ell_adjusted = adjusted_ell_tim(1.0, wc_graph.n)
+        theta_tight = theta_from_kpt(
+            lambda_param(wc_graph.n, 5, 0.5, ell_adjusted), kpt_star)
+        index.ensure_theta(theta_tight, rng=1)
+        added = index.ensure_epsilon(5, epsilon=0.5, rng=2)
+        assert added == 0
+        assert index.meta["epsilon"] == 0.5
+
+    def test_ensure_epsilon_never_loosens_certification(self, wc_graph):
+        index = SketchIndex.build(wc_graph, "IC", k=5, epsilon=0.8, rng=11)
+        index.ensure_epsilon(5, epsilon=0.4, rng=12)
+        assert index.meta["epsilon"] == 0.4
+        # A looser request is a no-op and must not regress the record.
+        index.ensure_epsilon(5, epsilon=0.7, rng=13)
+        assert index.meta["epsilon"] == 0.4
+
+    def test_recorded_epsilon_survives_save_load(self, wc_graph, tmp_path):
+        from repro.core.parameters import (
+            adjusted_ell_tim,
+            lambda_param,
+            theta_from_kpt,
+        )
+
+        index = SketchIndex.build(wc_graph, "IC", k=5, epsilon=0.8, rng=11)
+        kpt_star = index.meta["kpt_star"]
+        theta_tight = theta_from_kpt(
+            lambda_param(wc_graph.n, 5, 0.5, adjusted_ell_tim(1.0, wc_graph.n)),
+            kpt_star)
+        index.ensure_theta(theta_tight, rng=1)
+        assert index.ensure_epsilon(5, epsilon=0.5, rng=2) == 0
+        path = tmp_path / "certified.npz"
+        index.save(path)
+        reloaded = SketchIndex.load(path, graph=wc_graph)
+        assert reloaded.meta["epsilon"] == 0.5
+
 
 class TestPersistedIndex:
     def test_load_validates_graph(self, index, wc_graph, tmp_path):
