@@ -10,11 +10,11 @@ contender).
 from __future__ import annotations
 
 import inspect
-import time
 from typing import Callable
 
 from repro.core.results import InfluenceMaxResult
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 
 __all__ = [
     "register_algorithm",
@@ -107,8 +107,8 @@ def maximize_influence(
                 f"policy; drop policy= or pick one of the RR-set algorithms"
             )
         kwargs["policy"] = policy
-    started = time.perf_counter()
+    started = obs.now()
     result = fn(graph, k, model=model, rng=rng, **kwargs)
     if result.runtime_seconds == 0.0:
-        result.runtime_seconds = time.perf_counter() - started
+        result.runtime_seconds = obs.now() - started
     return result

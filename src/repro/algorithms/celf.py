@@ -9,13 +9,13 @@ makes visible.
 
 from __future__ import annotations
 
-import time
 
 from repro.algorithms.base import register_algorithm
 from repro.algorithms.greedy import monte_carlo_spread
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.lazy_heap import LazyMaxHeap
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_k, check_positive_int, require
@@ -40,7 +40,7 @@ def celf(
     pool = list(range(graph.n)) if candidates is None else [int(c) for c in candidates]
     require(len(pool) >= k, "candidate pool smaller than k")
 
-    started = time.perf_counter()
+    started = obs.now()
     heap = LazyMaxHeap()
     evaluations = 0
     for candidate in pool:
@@ -56,7 +56,7 @@ def celf(
         candidate, gain, round_tag = heap.pop()
         if round_tag == current_round:
             seeds.append(candidate)
-            time_at_k.append(time.perf_counter() - started)
+            time_at_k.append(obs.now() - started)
             current_spread += gain
             current_round += 1
         else:
@@ -68,7 +68,7 @@ def celf(
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=current_spread,
         extras={
             "num_runs": num_runs,

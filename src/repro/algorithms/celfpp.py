@@ -11,7 +11,6 @@ CELF++ with r = 10000 as its guaranteed-quality baseline (Section 7.1).
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass, field
 
 from repro.algorithms.base import register_algorithm
@@ -19,6 +18,7 @@ from repro.algorithms.greedy import monte_carlo_spread
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_k, check_positive_int, require
 
@@ -52,7 +52,7 @@ def celf_plus_plus(
     pool = list(range(graph.n)) if candidates is None else [int(c) for c in candidates]
     require(len(pool) >= k, "candidate pool smaller than k")
 
-    started = time.perf_counter()
+    started = obs.now()
     evaluations = 0
     saved_by_mg2 = 0
 
@@ -95,7 +95,7 @@ def celf_plus_plus(
         if entry.flag == len(seeds):
             seeds.append(entry.node)
             current_spread += entry.mg1
-            time_at_k.append(time.perf_counter() - started)
+            time_at_k.append(obs.now() - started)
             last_seed = entry.node
             scan_best = None
             scan_best_gain = -1.0
@@ -131,7 +131,7 @@ def celf_plus_plus(
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=current_spread,
         extras={
             "num_runs": num_runs,

@@ -10,7 +10,6 @@ probability ``p`` using Chen et al.'s discount
 from __future__ import annotations
 
 import heapq
-import time
 
 import numpy as np
 
@@ -18,6 +17,7 @@ from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.validation import check_k, check_probability
 
 __all__ = ["max_degree", "degree_discount"]
@@ -27,7 +27,7 @@ def max_degree(graph: DiGraph, k: int, model="IC", rng=None) -> InfluenceMaxResu
     """Top-k nodes by out-degree (ties toward smaller id)."""
     check_k(k, graph.n)
     resolved = resolve_model(model)
-    started = time.perf_counter()
+    started = obs.now()
     degrees = graph.out_degrees()
     order = np.lexsort((np.arange(graph.n), -degrees))
     seeds = [int(v) for v in order[:k]]
@@ -36,7 +36,7 @@ def max_degree(graph: DiGraph, k: int, model="IC", rng=None) -> InfluenceMaxResu
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
     )
 
 
@@ -47,7 +47,7 @@ def degree_discount(
     check_k(k, graph.n)
     check_probability(p, "p")
     resolved = resolve_model(model)
-    started = time.perf_counter()
+    started = obs.now()
     degrees = graph.out_degrees().astype(np.float64)
     selected_in_neighbors = np.zeros(graph.n, dtype=np.float64)
     discounted = degrees.copy()
@@ -78,7 +78,7 @@ def degree_discount(
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         extras={"p": p},
     )
 

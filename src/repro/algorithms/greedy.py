@@ -10,12 +10,12 @@ runtime-optimised equivalents.
 from __future__ import annotations
 
 import math
-import time
 
 from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_ell, check_epsilon, check_k, check_positive_int, require
 
@@ -76,7 +76,7 @@ def greedy(
     pool = list(range(graph.n)) if candidates is None else [int(c) for c in candidates]
     require(len(pool) >= k, "candidate pool smaller than k")
 
-    started = time.perf_counter()
+    started = obs.now()
     seeds: list[int] = []
     time_at_k: list[float] = []  # cumulative seconds when each seed commits
     current_spread = 0.0
@@ -93,14 +93,14 @@ def greedy(
                 best_spread = estimate
                 best_node = candidate
         seeds.append(best_node)
-        time_at_k.append(time.perf_counter() - started)
+        time_at_k.append(obs.now() - started)
         current_spread = best_spread
     return InfluenceMaxResult(
         algorithm="Greedy",
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=current_spread,
         extras={
             "num_runs": num_runs,

@@ -22,7 +22,6 @@ fixed-point iteration with convergence cutoff) follow the IRIE paper.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -30,6 +29,7 @@ from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_k, check_positive_int, require
 
@@ -90,7 +90,7 @@ def irie(
     resolved.validate_graph(graph)
     source = resolve_rng(rng)
 
-    started = time.perf_counter()
+    started = obs.now()
     seeds: list[int] = []
     time_at_k: list[float] = []  # cumulative seconds when each seed commits
     activation_prob = np.zeros(graph.n, dtype=np.float64)
@@ -104,13 +104,13 @@ def irie(
             graph, resolved, seeds, ap_runs, source
         )
         activation_prob[seeds] = 1.0
-        time_at_k.append(time.perf_counter() - started)
+        time_at_k.append(obs.now() - started)
     return InfluenceMaxResult(
         algorithm="IRIE",
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=None,  # heuristic: no internal unbiased estimate
         extras={"alpha": alpha, "ap_runs": ap_runs, "time_at_k": time_at_k},
     )

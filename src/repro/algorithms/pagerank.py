@@ -8,7 +8,6 @@ iteration on the CSR arrays, no external dependencies.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -16,6 +15,7 @@ from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.validation import check_k, require
 
 __all__ = ["pagerank_scores", "pagerank_seeds"]
@@ -61,7 +61,7 @@ def pagerank_seeds(
     """Top-k nodes by reverse PageRank."""
     check_k(k, graph.n)
     resolved = resolve_model(model)
-    started = time.perf_counter()
+    started = obs.now()
     scores = pagerank_scores(graph, damping=damping)
     order = np.lexsort((np.arange(graph.n), -scores))
     seeds = [int(v) for v in order[:k]]
@@ -70,7 +70,7 @@ def pagerank_seeds(
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         extras={"damping": damping},
     )
 

@@ -3,12 +3,12 @@ algorithm must clear."""
 
 from __future__ import annotations
 
-import time
 
 from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import check_k
 
@@ -20,14 +20,14 @@ def random_seeds(graph: DiGraph, k: int, model="IC", rng=None) -> InfluenceMaxRe
     check_k(k, graph.n)
     resolved = resolve_model(model)
     source = resolve_rng(rng)
-    started = time.perf_counter()
+    started = obs.now()
     seeds = source.sample_indices(graph.n, k)
     return InfluenceMaxResult(
         algorithm="Random",
         model=resolved.name,
         seeds=[int(s) for s in seeds],
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
     )
 
 

@@ -17,12 +17,12 @@ bench comparison is conservative — RIS already loses at that setting.
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
 from repro.algorithms.base import register_algorithm
 from repro.api.policy import DEPRECATED, ExecutionPolicy, resolve_call_policy
+from repro.obs import runtime as obs
 from repro.parallel import jobs_for_engine, maybe_parallel
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
@@ -112,7 +112,7 @@ def ris(
     sampler, owned_pool = maybe_parallel(make_rr_sampler(graph, resolved), jobs)
     tau = ris_threshold(graph.n, graph.m, k, epsilon, ell, tau_constant)
 
-    started = time.perf_counter()
+    started = obs.now()
     sketch_sets_reused = 0
     try:
         if sketch_index is not None or engine == "vectorized":
@@ -159,7 +159,7 @@ def ris(
         model=resolved.name,
         seeds=coverage.seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=graph.n * coverage.fraction,
         extras={
             "tau": tau,

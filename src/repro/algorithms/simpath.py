@@ -22,13 +22,13 @@ Defaults follow the paper's recommended settings: η = 10⁻³, ℓ = 4
 
 from __future__ import annotations
 
-import time
 
 from repro.algorithms.base import register_algorithm
 from repro.core.results import InfluenceMaxResult
 from repro.diffusion.base import resolve_model
 from repro.diffusion.linear_threshold import LinearThreshold
 from repro.graphs.digraph import DiGraph
+from repro.obs import runtime as obs
 from repro.utils.lazy_heap import LazyMaxHeap
 from repro.utils.validation import check_k, check_positive_int, require
 
@@ -112,7 +112,7 @@ def simpath(
         raise ValueError("SIMPATH is defined for the LT model only")
     resolved.validate_graph(graph)
 
-    started = time.perf_counter()
+    started = obs.now()
     everyone = set(range(graph.n))
     enumerations = 0
 
@@ -162,7 +162,7 @@ def simpath(
             if round_tag == current_round:
                 # Fresh top entry: commit immediately.
                 seeds.append(node)
-                time_at_k.append(time.perf_counter() - started)
+                time_at_k.append(obs.now() - started)
                 seed_set.add(node)
                 current_spread += gain
                 current_round += 1
@@ -190,7 +190,7 @@ def simpath(
         model=resolved.name,
         seeds=seeds,
         k=k,
-        runtime_seconds=time.perf_counter() - started,
+        runtime_seconds=obs.now() - started,
         estimated_spread=current_spread,
         extras={
             "eta": eta,

@@ -13,11 +13,11 @@ speed-up can never silently change semantics.
 
 from __future__ import annotations
 
-import time
 from functools import lru_cache
 
 from repro.datasets.registry import build_dataset
 from repro.experiments.reporting import ExperimentResult
+from repro.obs import runtime as obs
 from repro.rrset.collection import RRCollection
 from repro.rrset.coverage import greedy_max_coverage, lazy_greedy_max_coverage
 from repro.rrset.ic_sampler import ICRRSampler
@@ -55,11 +55,11 @@ def ablation_ic_fast_path(
         for fast in (False, True):
             sampler = ICRRSampler(graph, use_fast_path=fast)
             rng = RandomSource(seed)  # same stream for both variants
-            started = time.perf_counter()
+            started = obs.now()
             total_width = 0
             for _ in range(num_sets):
                 total_width += sampler.sample(rng).width
-            timings[fast] = time.perf_counter() - started
+            timings[fast] = obs.now() - started
             widths[fast] = total_width / num_sets
         result.add_row(
             dataset,
@@ -99,12 +99,12 @@ def ablation_coverage(
         notes=["covered counts must be equal: both variants are exact greedy"],
     )
     for k in k_values:
-        started = time.perf_counter()
+        started = obs.now()
         exact = greedy_max_coverage(collection.sets, graph.n, k)
-        exact_elapsed = time.perf_counter() - started
-        started = time.perf_counter()
+        exact_elapsed = obs.now() - started
+        started = obs.now()
         lazy = lazy_greedy_max_coverage(collection.sets, graph.n, k)
-        lazy_elapsed = time.perf_counter() - started
+        lazy_elapsed = obs.now() - started
         result.add_row(k, exact_elapsed, lazy_elapsed, exact.covered, lazy.covered)
     return result
 
@@ -132,15 +132,15 @@ def ablation_engine(
         sampler.sample_random_batch(min(num_sets, 500), RandomSource(0))  # warm-up
 
         rng = RandomSource(seed)
-        started = time.perf_counter()
+        started = obs.now()
         python_width = 0
         for _ in range(num_sets):
             python_width += sampler.sample(rng).width
-        python_elapsed = time.perf_counter() - started
+        python_elapsed = obs.now() - started
 
-        started = time.perf_counter()
+        started = obs.now()
         batch = sampler.sample_random_batch(num_sets, RandomSource(seed + 1))
-        vectorized_elapsed = time.perf_counter() - started
+        vectorized_elapsed = obs.now() - started
         result.add_row(
             dataset,
             python_elapsed,

@@ -5,6 +5,10 @@ Exit-code contract (stable; CI depends on it):
 * ``0`` — no findings (after baseline suppression);
 * ``1`` — at least one finding;
 * ``2`` — usage error (unknown path, malformed baseline, unknown rule code).
+
+The result cache under ``.repro-lint-cache/`` is on by default so warm runs
+only re-analyze changed files; ``--no-cache`` forces a cold run and
+``--stats`` reports the hit rate (CI asserts ≥90% on a warm invocation).
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ import sys
 from typing import Sequence
 
 from repro.lint.findings import Baseline, Finding, LintUsageError
-from repro.lint.framework import lint_paths, registered_rules
+from repro.lint.framework import LintStats, registered_rules, run_lint
+from repro.lint.sarif import render_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -26,23 +31,35 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Project-specific static analysis: determinism, resource "
-                    "safety, exception policy, ExecutionPolicy discipline, and "
-                    "wire-schema sync.",
+                    "safety, exception policy, ExecutionPolicy discipline, "
+                    "wire-schema sync, and interprocedural dataflow (seed "
+                    "provenance, shared-state races, memmap discipline).",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="output format (default: text)")
     parser.add_argument("--baseline", metavar="FILE",
                         help="suppress findings recorded in this baseline file")
     parser.add_argument("--write-baseline", metavar="FILE",
                         help="write current findings to FILE as a baseline and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="with --baseline: drop fingerprints that no longer "
+                             "match any current finding, rewriting the file")
     parser.add_argument("--select", metavar="CODES",
                         help="comma-separated rule codes to run (default: all)")
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
     parser.add_argument("--root", metavar="DIR",
                         help="project root (default: nearest pyproject.toml)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="analyze cache misses in N worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the .repro-lint-cache result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="cache directory (default: <root>/.repro-lint-cache)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache/analysis statistics to stderr")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     return parser
@@ -54,11 +71,14 @@ def _parse_codes(raw: str | None) -> list[str] | None:
     return [part.strip() for part in raw.split(",") if part.strip()]
 
 
-def _render(findings: Sequence[Finding], fmt: str) -> str:
+def _render(findings: Sequence[Finding], fmt: str, stats: LintStats) -> str:
+    if fmt == "sarif":
+        return render_sarif(findings)
     if fmt == "json":
         payload = {
             "version": 1,
             "findings": [finding.as_dict() for finding in findings],
+            "stats": stats.as_dict(),
         }
         return json.dumps(payload, indent=2)
     lines = [finding.render() for finding in findings]
@@ -76,24 +96,44 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{code}  {rule_cls.name}: {rule_cls.description}")
         return EXIT_CLEAN
 
+    if args.prune_baseline and not args.baseline:
+        print("error: --prune-baseline requires --baseline", file=sys.stderr)
+        return EXIT_USAGE
+
     try:
-        findings = lint_paths(
+        run = run_lint(
             args.paths,
             root=args.root,
             select=_parse_codes(args.select),
             ignore=_parse_codes(args.ignore),
+            jobs=max(1, args.jobs),
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
+        findings = run.findings
         if args.write_baseline:
             Baseline.from_findings(findings).save(args.write_baseline)
             print(f"wrote {len(findings)} fingerprint(s) to {args.write_baseline}")
             return EXIT_CLEAN
         if args.baseline:
-            findings = Baseline.load(args.baseline).filter(findings)
+            baseline = Baseline.load(args.baseline)
+            if args.prune_baseline:
+                current = {finding.fingerprint() for finding in findings}
+                kept = baseline.fingerprints & current
+                stale = len(baseline.fingerprints) - len(kept)
+                if stale:
+                    baseline = Baseline(fingerprints=kept)
+                    baseline.save(args.baseline)
+                print(f"pruned {stale} stale fingerprint(s) from {args.baseline}",
+                      file=sys.stderr)
+            findings = baseline.filter(findings)
     except LintUsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    output = _render(findings, args.format)
+    if args.stats:
+        print(run.stats.render(), file=sys.stderr)
+    output = _render(findings, args.format, run.stats)
     if output:
         print(output)
     return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,419 @@
+"""The dataflow engine: a fact lattice over the project call graph.
+
+Facts are small string tags attached to values as they flow through the
+mini-IR extracted by :mod:`repro.lint.project`:
+
+* ``seed.ok`` — seed material derived through the sanctioned entry points
+  (``spawn_seed_streams`` / ``resolve_rng`` / ``RandomSource`` /
+  ``spawn_children``, or anything computed *from* such a value);
+* ``seed.adhoc`` — a ``numpy.random`` ``Generator``/``SeedSequence`` built
+  from raw entropy at the call site (``default_rng(12345)``,
+  ``SeedSequence(...)``) — the provenance RL701 rejects at sampler sinks;
+* ``memmap`` — values rooted in ``np.memmap``/``load_sketch`` whose pages
+  are file-backed; RL703 flags materializing operations on them;
+* ``inst:<class-qualname>`` — instances of project classes, which lets the
+  engine resolve ``obj.method(...)`` calls to indexed methods;
+* ``p:<i>`` — a *symbolic* reference to the enclosing function's ``i``-th
+  parameter.  Summaries are polymorphic in their inputs: the caller's facts
+  substitute in at each call site.
+
+The engine runs in two phases.  **Summary phase**: every function body is
+evaluated with symbolic parameters, to a fixed point across the call graph,
+producing for each function its return facts, its call records (resolved
+callee + per-argument symbolic facts + line), its full-slice events, and the
+global writes already extracted by the indexer.  **Propagation phase**: a
+worklist pushes concrete argument facts top-down through call-graph edges,
+accumulating per-function parameter facts and a witness edge (which caller
+introduced which tag) for diagnostics.  Rules then re-evaluate the recorded
+events under the final parameter facts; an event whose facts contain a bad
+tag is a finding *at the sink*, even when the tainted value was created in
+another function — or another file.
+
+The lattice is a powerset with union join; control flow is flattened, so
+everything is an over-approximation biased toward "the value can reach".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.lint.project import FunctionIndex, ProjectIndex, iter_calls
+
+__all__ = [
+    "TAG_MEMMAP",
+    "TAG_SEED_ADHOC",
+    "TAG_SEED_OK",
+    "CallRecord",
+    "DataflowEngine",
+    "SliceEvent",
+    "Summary",
+]
+
+TAG_SEED_OK = "seed.ok"
+TAG_SEED_ADHOC = "seed.adhoc"
+TAG_MEMMAP = "memmap"
+_INST = "inst:"
+_PARAM = "p:"
+
+Facts = frozenset[str]
+EMPTY: Facts = frozenset()
+
+#: Ad-hoc generator origins (exact qualified names after import resolution).
+ADHOC_SEED_ORIGINS = frozenset({
+    "numpy.random.SeedSequence",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+})
+
+#: Sanctioned seed-derivation entry points, matched by basename under the
+#: ``repro`` namespace so re-export paths (``repro.utils.spawn_seed_streams``
+#: vs ``repro.utils.rng.spawn_seed_streams``) resolve identically.
+SANCTIONED_SEED_BASENAMES = frozenset({
+    "spawn_seed_streams", "resolve_rng", "RandomSource", "spawn_children",
+})
+
+#: Memmap-backed value origins.
+MEMMAP_ORIGIN_QUALS = frozenset({"numpy.memmap", "numpy.lib.format.open_memmap"})
+MEMMAP_ORIGIN_BASENAMES = frozenset({"load_sketch"})
+
+#: Methods whose results keep their receiver's facts (views, derived seeds).
+_TAGS_THROUGH_METHODS = frozenset({TAG_SEED_OK, TAG_SEED_ADHOC, TAG_MEMMAP})
+
+
+def _is_sanctioned_origin(qual: str) -> bool:
+    return (qual.split(".")[-1] in SANCTIONED_SEED_BASENAMES
+            and qual.startswith("repro."))
+
+
+def _is_memmap_origin(qual: str) -> bool:
+    if qual in MEMMAP_ORIGIN_QUALS:
+        return True
+    return (qual.split(".")[-1] in MEMMAP_ORIGIN_BASENAMES
+            and qual.startswith("repro."))
+
+
+@dataclass
+class CallRecord:
+    """One call site, with symbolic facts relative to the owner's params."""
+
+    owner: str                      # qualname of the enclosing function
+    callee: str | None              # resolved qualname of an indexed target
+    qual: str | None                # raw qualified name (external ok)
+    method_attr: str | None         # ``attr`` for obj.attr(...) calls
+    obj_facts: Facts                # receiver facts for method calls
+    args: list[Facts]
+    kws: dict[str, Facts]
+    line: int
+
+    def all_arg_facts(self) -> Facts:
+        combined: set[str] = set()
+        for facts in self.args:
+            combined |= facts
+        for facts in self.kws.values():
+            combined |= facts
+        return frozenset(combined)
+
+
+@dataclass
+class SliceEvent:
+    """A full-slice ``x[:]`` over a value, with the value's symbolic facts."""
+
+    owner: str
+    facts: Facts
+    line: int
+
+
+@dataclass
+class Summary:
+    """What one round of evaluation learned about a function."""
+
+    function: FunctionIndex
+    ret: Facts = EMPTY
+    calls: list[CallRecord] = field(default_factory=list)
+    slices: list[SliceEvent] = field(default_factory=list)
+
+
+class DataflowEngine:
+    """Summaries + top-down propagation over a :class:`ProjectIndex`."""
+
+    MAX_SUMMARY_ROUNDS = 8
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.functions = index.functions
+        self.function_paths = index.function_paths()
+        self.class_methods = index.class_methods()
+        self.summaries: dict[str, Summary] = {}
+        #: final, concrete per-parameter facts accumulated by propagation
+        self.param_facts: dict[str, dict[int, set[str]]] = {}
+        #: (function, param index, tag) → the caller that introduced it
+        self.witness: dict[tuple[str, int, str], str] = {}
+        self._run()
+
+    # -- public API --------------------------------------------------------
+
+    def concrete(self, owner: str, facts: Facts) -> Facts:
+        """Substitute ``owner``'s final parameter facts into symbolic facts."""
+        resolved: set[str] = set()
+        per_param = self.param_facts.get(owner, {})
+        for tag in facts:
+            if tag.startswith(_PARAM):
+                resolved |= per_param.get(int(tag[len(_PARAM):]), set())
+            else:
+                resolved.add(tag)
+        return frozenset(resolved)
+
+    def tag_witness(self, owner: str, facts: Facts, tag: str) -> str | None:
+        """The caller that fed ``tag`` into one of ``owner``'s params, if any."""
+        for symbolic in facts:
+            if not symbolic.startswith(_PARAM):
+                continue
+            position = int(symbolic[len(_PARAM):])
+            if tag in self.param_facts.get(owner, {}).get(position, set()):
+                return self.witness.get((owner, position, tag))
+        return None
+
+    def call_edges(self) -> dict[str, set[str]]:
+        """Caller qualname → resolved indexed callee qualnames."""
+        edges: dict[str, set[str]] = {}
+        for qualname, summary in self.summaries.items():
+            targets = {record.callee for record in summary.calls
+                       if record.callee is not None}
+            edges[qualname] = {t for t in targets if t is not None}
+        return edges
+
+    def reachable_from(self, roots: Iterable[str]) -> dict[str, str]:
+        """BFS over call edges: reachable function → its entry root."""
+        edges = self.call_edges()
+        origin: dict[str, str] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root not in origin:
+                origin[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.pop()
+            for callee in sorted(edges.get(current, ())):
+                if callee not in origin:
+                    origin[callee] = origin[current]
+                    queue.append(callee)
+        return origin
+
+    # -- summary phase -----------------------------------------------------
+
+    def _run(self) -> None:
+        for qualname, function in self.functions.items():
+            self.summaries[qualname] = Summary(function=function)
+        for _ in range(self.MAX_SUMMARY_ROUNDS):
+            changed = False
+            for qualname, function in self.functions.items():
+                summary = self._evaluate(function)
+                if summary.ret != self.summaries[qualname].ret:
+                    changed = True
+                self.summaries[qualname] = summary
+            if not changed:
+                break
+        self._propagate()
+
+    def _initial_env(self, function: FunctionIndex) -> dict[str, set[str]]:
+        env: dict[str, set[str]] = {}
+        for position, name in enumerate(function.params):
+            tags = {f"{_PARAM}{position}"}
+            if position == 0 and function.is_method and name in ("self", "cls"):
+                tags.add(f"{_INST}{function.cls}")
+            env[name] = tags
+        return env
+
+    def _evaluate(self, function: FunctionIndex) -> Summary:
+        summary = Summary(function=function)
+        env = self._initial_env(function)
+        # Two passes give loop-carried assignments a chance to stabilise.
+        for final in (False, True):
+            if final:
+                summary.calls = []
+                summary.slices = []
+            ret: set[str] = set()
+            for op in function.ops:
+                kind = op["o"]
+                if kind == "assign":
+                    facts = self._eval(op["e"], env, function, summary)
+                    existing = env.setdefault(op["t"], set())
+                    existing |= facts
+                elif kind == "expr":
+                    self._eval(op["e"], env, function, summary)
+                elif kind == "ret":
+                    ret |= self._eval(op["e"], env, function, summary)
+            summary.ret = frozenset(ret)
+        return summary
+
+    def _eval(self, expr: dict[str, Any], env: dict[str, set[str]],
+              function: FunctionIndex, summary: Summary) -> set[str]:
+        kind = expr.get("k")
+        if kind == "name":
+            return set(env.get(str(expr["id"]), set()))
+        if kind == "const" or kind == "qualref":
+            return set()
+        if kind == "attr":
+            return self._eval(expr["obj"], env, function, summary)
+        if kind == "sub":
+            facts = self._eval(expr["obj"], env, function, summary)
+            if expr.get("full"):
+                summary.slices.append(SliceEvent(
+                    owner=function.qualname, facts=frozenset(facts),
+                    line=int(expr["line"])))
+            return facts
+        if kind == "multi":
+            combined: set[str] = set()
+            for item in expr["items"]:
+                combined |= self._eval(item, env, function, summary)
+            return combined
+        if kind == "call":
+            return self._eval_call(expr, env, function, summary)
+        return set()
+
+    def _eval_call(self, expr: dict[str, Any], env: dict[str, set[str]],
+                   function: FunctionIndex, summary: Summary) -> set[str]:
+        fn = expr["fn"]
+        arg_facts = [frozenset(self._eval(arg, env, function, summary))
+                     for arg in expr["args"]]
+        kw_facts = {name: frozenset(self._eval(value, env, function, summary))
+                    for name, value in expr["kw"].items()}
+
+        qual: str | None = None
+        method_attr: str | None = None
+        obj_facts: Facts = EMPTY
+        callee: str | None = None
+
+        if fn.get("k") == "qual":
+            qual = str(fn["q"])
+            if qual in self.functions:
+                callee = qual
+            elif qual in self.class_methods:
+                init = f"{qual}.__init__"
+                if init in self.functions:
+                    # Constructor call: facts flow into ``__init__``.
+                    callee = init
+                    method_attr = "__init__"
+                    obj_facts = frozenset({f"{_INST}{qual}"})
+        elif fn.get("k") == "method":
+            method_attr = str(fn["attr"])
+            obj_facts = frozenset(self._eval(fn["obj"], env, function, summary))
+            for tag in obj_facts:
+                if tag.startswith(_INST):
+                    cls_qual = tag[len(_INST):]
+                    if method_attr in self.class_methods.get(cls_qual, ()):
+                        callee = f"{cls_qual}.{method_attr}"
+                        break
+
+        summary.calls.append(CallRecord(
+            owner=function.qualname, callee=callee, qual=qual,
+            method_attr=method_attr, obj_facts=obj_facts,
+            args=arg_facts, kws=kw_facts, line=int(expr["line"])))
+
+        return self._call_result(qual, callee, method_attr, obj_facts,
+                                 arg_facts, kw_facts)
+
+    def _call_result(self, qual: str | None, callee: str | None,
+                     method_attr: str | None, obj_facts: Facts,
+                     arg_facts: list[Facts], kw_facts: dict[str, Facts]) -> set[str]:
+        combined: set[str] = set()
+        for facts in arg_facts:
+            combined |= facts
+        for facts in kw_facts.values():
+            combined |= facts
+
+        if qual is not None:
+            if _is_sanctioned_origin(qual):
+                result = {TAG_SEED_OK}
+                if qual in self.class_methods:
+                    result.add(f"{_INST}{qual}")
+                return result
+            if qual in ADHOC_SEED_ORIGINS:
+                if TAG_SEED_OK in combined:
+                    return {TAG_SEED_OK}
+                return {TAG_SEED_ADHOC}
+            if _is_memmap_origin(qual):
+                return {TAG_MEMMAP}
+            if qual in self.class_methods:
+                return {f"{_INST}{qual}"}  # constructor of an indexed class
+
+        if callee is not None:
+            # Substitute call-site facts into the callee's symbolic return.
+            target = self.summaries[callee].function
+            mapping = self._bind_args(target, method_attr is not None,
+                                      obj_facts, arg_facts, kw_facts)
+            resolved: set[str] = set()
+            for tag in self.summaries[callee].ret:
+                if tag.startswith(_PARAM):
+                    resolved |= mapping.get(int(tag[len(_PARAM):]), set())
+                else:
+                    resolved.add(tag)
+            return resolved
+
+        if method_attr is not None:
+            # Unresolved method call: views/derived values keep the
+            # receiver's interesting tags (e.g. ``source.spawn()``,
+            # ``mmap_arr.reshape(...)``).
+            return set(obj_facts & _TAGS_THROUGH_METHODS)
+        return set()
+
+    @staticmethod
+    def _bind_args(target: FunctionIndex, is_method_call: bool, obj_facts: Facts,
+                   arg_facts: list[Facts], kw_facts: dict[str, Facts]
+                   ) -> dict[int, set[str]]:
+        """Map the callee's parameter positions to call-site facts."""
+        mapping: dict[int, set[str]] = {}
+        offset = 0
+        if is_method_call and target.is_method:
+            mapping[0] = set(obj_facts)
+            offset = 1
+        for position, facts in enumerate(arg_facts):
+            mapping[position + offset] = set(facts)
+        for name, facts in kw_facts.items():
+            if name in target.params:
+                mapping[target.params.index(name)] = set(facts)
+        return mapping
+
+    # -- propagation phase -------------------------------------------------
+
+    _INTERESTING = (TAG_SEED_OK, TAG_SEED_ADHOC, TAG_MEMMAP)
+
+    def _propagate(self) -> None:
+        for qualname in self.functions:
+            self.param_facts[qualname] = {}
+        pending = list(self.functions)
+        rounds = 0
+        while pending and rounds < 100_000:
+            rounds += 1
+            owner = pending.pop()
+            for record in self.summaries[owner].calls:
+                if record.callee is None:
+                    continue
+                target = self.summaries[record.callee].function
+                mapping = self._bind_args(
+                    target, record.method_attr is not None,
+                    self.concrete(owner, record.obj_facts),
+                    [self.concrete(owner, facts) for facts in record.args],
+                    {name: self.concrete(owner, facts)
+                     for name, facts in record.kws.items()})
+                slot = self.param_facts[record.callee]
+                changed = False
+                for position, facts in mapping.items():
+                    interesting = {tag for tag in facts
+                                   if tag in self._INTERESTING
+                                   or tag.startswith(_INST)}
+                    if not interesting:
+                        continue
+                    existing = slot.setdefault(position, set())
+                    new_tags = interesting - existing
+                    if new_tags:
+                        existing |= new_tags
+                        changed = True
+                        for tag in new_tags:
+                            self.witness.setdefault(
+                                (record.callee, position, tag), owner)
+                if changed and record.callee not in pending:
+                    pending.append(record.callee)

@@ -6,36 +6,63 @@ Two rule kinds:
   scoped so repo-convention rules only fire on library code under
   ``src/repro`` while fixture snippets can opt in via a virtual path.
 * :class:`ProjectRule` — runs once per invocation against the repository
-  root; used for cross-file consistency checks (the wire-schema rule reads
-  ``src/repro/api/ops.py``, the golden JSONL fixtures, and the API-surface
-  snapshot together).
+  root; used for cross-file consistency checks.  A project rule that sets
+  ``index_paths`` receives the cross-module :class:`ProjectIndex` (symbol
+  table + call graph + mini-IR) built over files matching those prefixes —
+  the substrate of the RL7xx interprocedural dataflow rules.
 
 Rules register themselves with :func:`register_rule` at import time
 (:mod:`repro.lint` imports every rule module), carry a stable ``code``
 (``RL1xx`` RNG, ``RL2xx`` resources, ``RL3xx`` exceptions, ``RL4xx`` policy,
-``RL5xx`` schema), and yield :class:`~repro.lint.findings.Finding` objects.
-A trailing ``# repro-lint: disable=RLxxx`` comment suppresses a finding on
-that physical line — the sanctioned escape hatch for the rare legitimate
+``RL5xx`` schema, ``RL6xx`` timing, ``RL7xx`` dataflow), and yield
+:class:`~repro.lint.findings.Finding` objects.  A trailing
+``# repro-lint: disable=RLxxx`` comment suppresses a finding on that
+physical line — the sanctioned escape hatch for the rare legitimate
 violation, visible in the diff it annotates.
+
+The runner is built for the inner loop:
+
+* **short-circuit parsing** — a file is read and parsed only when at least
+  one *selected* rule consumes it (a ``--select RL501`` run parses nothing);
+* **result cache** — per-file findings and the serialized module index are
+  cached under ``.repro-lint-cache/`` keyed by content hash and ruleset
+  version, so warm runs re-analyze only changed files;
+* **``--jobs`` fan-out** — cache misses are parsed and analyzed in a
+  process pool; output order and content are identical for every job count.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import ClassVar, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Iterator, Sequence
 
 from repro.lint.findings import Finding, LintUsageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.dataflow import DataflowEngine
+    from repro.lint.project import ModuleIndex, ProjectIndex
 
 #: Reserved code for files the analyzer cannot parse at all.
 PARSE_ERROR_CODE = "RL000"
 
+#: Bump whenever rule semantics change: every cached result keyed under an
+#: older version is invalidated wholesale.
+RULESET_VERSION = "2026.08-rl7"
+
+#: Default cache directory name, created under the project root.
+CACHE_DIR_NAME = ".repro-lint-cache"
+
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
 
 #: Directories never descended into during file collection.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+                        CACHE_DIR_NAME})
 
 
 def find_project_root(start: Path) -> Path:
@@ -89,8 +116,7 @@ class ParsedModule:
             yield current
             current = self.parent(current)
 
-    def suppressed(self, line: int, code: str) -> bool:
-        """True when ``line`` carries ``# repro-lint: disable=`` for ``code``."""
+    def _suppression_map(self) -> dict[int, frozenset[str]]:
         if self._suppressions is None:
             table: dict[int, frozenset[str]] = {}
             for number, text in enumerate(self.source.splitlines(), start=1):
@@ -101,7 +127,16 @@ class ParsedModule:
                     )
                     table[number] = codes
             self._suppressions = table
-        return code in self._suppressions.get(line, frozenset())
+        return self._suppressions
+
+    def suppression_table(self) -> dict[int, list[str]]:
+        """Line → sorted disabled codes (JSON-friendly copy)."""
+        return {line: sorted(codes)
+                for line, codes in self._suppression_map().items()}
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when ``line`` carries ``# repro-lint: disable=`` for ``code``."""
+        return code in self._suppression_map().get(line, frozenset())
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         line = getattr(node, "lineno", 1)
@@ -112,10 +147,12 @@ class ParsedModule:
 
 @dataclass
 class ProjectContext:
-    """What a :class:`ProjectRule` sees: the repo root and the linted set."""
+    """What a :class:`ProjectRule` sees: root, indexes, and the dataflow engine."""
 
     root: Path
-    modules: Sequence[ParsedModule]
+    modules: Sequence[ParsedModule] = ()
+    indexes: dict[str, "ModuleIndex"] = field(default_factory=dict)
+    _engine: "DataflowEngine | None" = field(default=None, repr=False)
 
     def read_text(self, rel_path: str) -> str | None:
         """Contents of a repo-root-relative file, or ``None`` if absent."""
@@ -123,6 +160,27 @@ class ProjectContext:
         if not target.is_file():
             return None
         return target.read_text(encoding="utf-8")
+
+    def project_index(self) -> "ProjectIndex":
+        from repro.lint.project import ProjectIndex
+
+        index = ProjectIndex()
+        for module_index in self.indexes.values():
+            index.add(module_index)
+        return index
+
+    def dataflow(self) -> "DataflowEngine":
+        """The (cached) dataflow engine over every indexed module."""
+        if self._engine is None:
+            from repro.lint.dataflow import DataflowEngine
+
+            self._engine = DataflowEngine(self.project_index())
+        return self._engine
+
+    def suppressed(self, rel_path: str, line: int, code: str) -> bool:
+        """Inline-suppression lookup through the module index, if present."""
+        module_index = self.indexes.get(rel_path)
+        return module_index is not None and module_index.suppressed(line, code)
 
 
 class Rule:
@@ -139,8 +197,12 @@ class Rule:
 class FileRule(Rule):
     """A rule evaluated independently on each parsed module."""
 
+    def interested_in(self, rel_path: str) -> bool:
+        """Path-level applicability — decides whether a file is parsed at all."""
+        return self.scope == "all" or rel_path.startswith("src/repro/")
+
     def applies(self, module: ParsedModule) -> bool:
-        return self.scope == "all" or module.in_repro_src
+        return self.interested_in(module.rel_path)
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         raise NotImplementedError
@@ -148,6 +210,11 @@ class FileRule(Rule):
 
 class ProjectRule(Rule):
     """A rule evaluated once per invocation against the repository root."""
+
+    #: Path prefixes whose files must be parsed and *indexed* (symbol table,
+    #: call graph, mini-IR) for this rule.  Empty = the rule reads whatever
+    #: files it needs itself and forces no parsing.
+    index_paths: ClassVar[tuple[str, ...]] = ()
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -234,14 +301,154 @@ def lint_source(source: str, path: str = "src/repro/_snippet.py",
     )
 
 
-def lint_paths(paths: Sequence[str | Path], *, root: str | Path | None = None,
-               select: Iterable[str] | None = None,
-               ignore: Iterable[str] | None = None) -> list[Finding]:
-    """Run every applicable rule over ``paths``; returns sorted findings.
+# ---------------------------------------------------------------------------
+# The runner: per-file analysis (cacheable, poolable) + project pass.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintStats:
+    """Where each collected file's results came from in one invocation."""
+
+    files_total: int = 0
+    files_analyzed: int = 0      # parsed + analyzed in this invocation
+    files_from_cache: int = 0    # results loaded from the warm cache
+    files_skipped: int = 0       # no selected rule applies — never read
+
+    @property
+    def cache_hit_rate(self) -> float:
+        considered = self.files_analyzed + self.files_from_cache
+        if considered == 0:
+            return 1.0
+        return self.files_from_cache / considered
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "files_total": self.files_total,
+            "files_analyzed": self.files_analyzed,
+            "files_from_cache": self.files_from_cache,
+            "files_skipped": self.files_skipped,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+    def render(self) -> str:
+        return (f"lint stats: {self.files_total} file(s) — "
+                f"{self.files_from_cache} from cache "
+                f"({self.cache_hit_rate:.1%} hit rate), "
+                f"{self.files_analyzed} analyzed, "
+                f"{self.files_skipped} skipped (no selected rule applies)")
+
+
+@dataclass
+class LintRun:
+    """Findings plus provenance statistics for one invocation."""
+
+    findings: list[Finding]
+    stats: LintStats
+
+
+def _analyze_file(task: tuple[str, str, tuple[str, ...], bool]) -> dict[str, Any]:
+    """Parse + run file rules + (optionally) index one file.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it; the rule
+    registry repopulates in workers when :mod:`repro.lint` imports.
+    """
+    import repro.lint  # noqa: F401  (registers every rule in pool workers)
+    from repro.lint.project import index_module
+
+    rel_path, source, codes, need_index = task
+    result: dict[str, Any] = {"rel_path": rel_path, "findings": [],
+                              "codes": list(codes), "index": None}
+    try:
+        module = ParsedModule.from_source(source, rel_path)
+    except SyntaxError as exc:
+        result["findings"] = [Finding(
+            path=rel_path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            code=PARSE_ERROR_CODE, message=f"cannot parse: {exc.msg}").as_dict()]
+        return result
+
+    rules = [rule for rule in select_rules(select=codes or None)
+             if isinstance(rule, FileRule)]
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies(module):
+            for finding in rule.check(module):
+                if not module.suppressed(finding.line, finding.code):
+                    findings.append(finding)
+    result["findings"] = [finding.as_dict() for finding in sorted(findings)]
+    if need_index:
+        result["index"] = index_module(module).as_dict()
+    return result
+
+
+class _ResultCache:
+    """Per-file JSON cache under ``<root>/.repro-lint-cache/``.
+
+    Keyed by (source sha256, ruleset version); an entry stores the file-rule
+    findings per analyzed code and the serialized module index, so a warm
+    run neither re-parses nor re-analyzes unchanged files — including runs
+    narrowed with ``--select`` to a subset of the cached codes.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+
+    def _entry_path(self, rel_path: str) -> Path:
+        digest = hashlib.sha256(rel_path.encode("utf-8")).hexdigest()[:24]
+        return self.directory / f"{digest}.json"
+
+    def load(self, rel_path: str, source_sha: str, codes: tuple[str, ...],
+             need_index: bool) -> dict[str, Any] | None:
+        try:
+            payload = json.loads(self._entry_path(rel_path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if (payload.get("sha") != source_sha
+                or payload.get("ruleset") != RULESET_VERSION
+                or payload.get("rel_path") != rel_path):
+            return None
+        analyzed = set(payload.get("codes", []))
+        if not set(codes) <= analyzed:
+            return None
+        if need_index and payload.get("index") is None:
+            # A parse failure is cached with no index; that *is* the result.
+            if not any(f.get("code") == PARSE_ERROR_CODE
+                       for f in payload.get("findings", [])):
+                return None
+        return payload
+
+    def store(self, rel_path: str, source_sha: str,
+              result: dict[str, Any]) -> None:
+        payload = {
+            "ruleset": RULESET_VERSION,
+            "rel_path": rel_path,
+            "sha": source_sha,
+            "codes": result["codes"],
+            "findings": result["findings"],
+            "index": result["index"],
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._entry_path(rel_path).write_text(
+                json.dumps(payload), encoding="utf-8")
+        except OSError:  # pragma: no cover - cache writes are best-effort
+            pass
+
+
+def run_lint(paths: Sequence[str | Path], *, root: str | Path | None = None,
+             select: Iterable[str] | None = None,
+             ignore: Iterable[str] | None = None,
+             jobs: int = 1, cache: bool = False,  # repro-lint: disable=RL401
+             cache_dir: str | Path | None = None) -> LintRun:
+    """Run every applicable rule over ``paths``; returns findings + stats.
 
     ``root`` anchors path relativization and project rules; by default it is
     discovered by walking up from the first path to the nearest
-    ``pyproject.toml``.
+    ``pyproject.toml``.  ``cache=True`` enables the on-disk result cache
+    (``cache_dir`` defaults to ``<root>/.repro-lint-cache``); ``jobs > 1``
+    fans cache misses out over a process pool.
     """
     if not paths:
         raise LintUsageError("no paths given")
@@ -249,29 +456,78 @@ def lint_paths(paths: Sequence[str | Path], *, root: str | Path | None = None,
     resolved_root = (Path(root).resolve() if root is not None
                      else find_project_root(first.resolve()))
     rules = select_rules(select, ignore)
+    file_rules = [rule for rule in rules if isinstance(rule, FileRule)]
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    index_prefixes: tuple[str, ...] = tuple(
+        prefix for rule in project_rules for prefix in rule.index_paths)
     files = collect_files(paths, resolved_root)
-    modules: list[ParsedModule] = []
+
+    result_cache = (_ResultCache(Path(cache_dir) if cache_dir is not None
+                                 else resolved_root / CACHE_DIR_NAME)
+                    if cache else None)
+
+    stats = LintStats(files_total=len(files))
     findings: list[Finding] = []
+    indexes: dict[str, "ModuleIndex"] = {}
+    pending: list[tuple[str, str, tuple[str, ...], bool]] = []
+    pending_shas: dict[str, str] = {}
+
+    from repro.lint.project import ModuleIndex
+
     for file_path in files:
         rel = _relativize(file_path, resolved_root)
+        codes = tuple(sorted(rule.code for rule in file_rules
+                             if rule.interested_in(rel)))
+        need_index = any(rel.startswith(prefix) for prefix in index_prefixes)
+        if not codes and not need_index:
+            stats.files_skipped += 1
+            continue
         try:
             source = file_path.read_text(encoding="utf-8")
-            module = ParsedModule.from_source(source, rel)
         except (OSError, UnicodeDecodeError) as exc:
             raise LintUsageError(f"cannot read {rel}: {exc}") from exc
-        except SyntaxError as exc:
-            findings.append(Finding(path=rel, line=exc.lineno or 1,
-                                    col=(exc.offset or 0) + 1, code=PARSE_ERROR_CODE,
-                                    message=f"cannot parse: {exc.msg}"))
-            continue
-        modules.append(module)
-        for rule in rules:
-            if isinstance(rule, FileRule) and rule.applies(module):
-                for finding in rule.check(module):
-                    if not module.suppressed(finding.line, finding.code):
-                        findings.append(finding)
-    project = ProjectContext(root=resolved_root, modules=modules)
-    for rule in rules:
-        if isinstance(rule, ProjectRule):
-            findings.extend(rule.check_project(project))
-    return sorted(findings)
+        source_sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        if result_cache is not None:
+            cached = result_cache.load(rel, source_sha, codes, need_index)
+            if cached is not None:
+                stats.files_from_cache += 1
+                wanted = set(codes) | {PARSE_ERROR_CODE}
+                findings.extend(Finding(**f) for f in cached["findings"]
+                                if f.get("code") in wanted)
+                if cached.get("index") is not None:
+                    indexes[rel] = ModuleIndex.from_dict(cached["index"])
+                continue
+        pending.append((rel, source, codes, need_index))
+        pending_shas[rel] = source_sha
+
+    if pending:
+        stats.files_analyzed = len(pending)
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(_analyze_file, pending))
+        else:
+            results = [_analyze_file(task) for task in pending]
+        for result in results:
+            rel = result["rel_path"]
+            findings.extend(Finding(**f) for f in result["findings"])
+            if result["index"] is not None:
+                indexes[rel] = ModuleIndex.from_dict(result["index"])
+            if result_cache is not None:
+                result_cache.store(rel, pending_shas[rel], result)
+
+    project = ProjectContext(root=resolved_root, indexes=indexes)
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            if not project.suppressed(finding.path, finding.line, finding.code):
+                findings.append(finding)
+    return LintRun(findings=sorted(findings), stats=stats)
+
+
+def lint_paths(paths: Sequence[str | Path], *, root: str | Path | None = None,
+               select: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None,
+               jobs: int = 1, cache: bool = False,  # repro-lint: disable=RL401
+               cache_dir: str | Path | None = None) -> list[Finding]:
+    """:func:`run_lint`, returning just the sorted findings."""
+    return run_lint(paths, root=root, select=select, ignore=ignore,
+                    jobs=jobs, cache=cache, cache_dir=cache_dir).findings

@@ -1,0 +1,561 @@
+"""The project pass: cross-module symbol table, call graph, and mini-IR.
+
+Per-file AST rules (RL1xx–RL6xx) see one module at a time; the invariants the
+RL7xx family polices — seed provenance, shared-state races, memmap discipline
+— are *interprocedural*: the fact is created in one function (often one file)
+and violated in another.  This module extracts, from each parsed file, a
+:class:`ModuleIndex`: imports resolved to qualified dotted names, every
+function/method definition indexed under its qualified name, module-level
+state catalogued, and each function body lowered to a small JSON-serializable
+IR of assignments, calls (with argument binding), returns, and global writes.
+
+A :class:`ProjectIndex` is the union of module indexes for one lint run.  It
+is the substrate both for the dataflow engine (:mod:`repro.lint.dataflow`)
+and for the result cache: because a :class:`ModuleIndex` round-trips through
+plain JSON, warm runs rebuild the project index from cached per-file entries
+without re-parsing unchanged sources.
+
+The IR is deliberately lossy — control flow is flattened (every branch's
+facts merge), containers union their elements, and unknown constructs lower
+to :data:`OTHER` — because the RL7xx rules need an over-approximation of
+where values *can* flow, not an exact semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.lint.framework import ParsedModule
+
+__all__ = [
+    "FunctionIndex",
+    "ModuleIndex",
+    "ProjectIndex",
+    "index_module",
+    "module_name_for",
+]
+
+#: Mutating container/object methods that count as a *write* when invoked on
+#: a module-level name (``_CACHE.append(x)`` mutates process-global state
+#: exactly like ``_CACHE[k] = x`` does).
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "appendleft", "extendleft",
+})
+
+#: Module-level value shapes that are immutable — assignments of these are
+#: constants, not shared mutable state.
+_IMMUTABLE_CALLS = frozenset({"frozenset", "tuple", "re.compile"})
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a ``src``-layout path, or ``""`` outside it.
+
+    ``src/repro/sketch/index.py`` → ``repro.sketch.index``;
+    ``src/repro/sketch/__init__.py`` → ``repro.sketch``.
+    """
+    if not rel_path.startswith("src/") or not rel_path.endswith(".py"):
+        return ""
+    parts = rel_path[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering.  EXPR nodes are plain dicts (JSON-serializable):
+#   {"k": "name", "id": str}
+#   {"k": "const"}
+#   {"k": "attr", "obj": EXPR, "attr": str}
+#   {"k": "sub", "obj": EXPR, "full": bool, "line": int}
+#   {"k": "multi", "items": [EXPR, ...]}
+#   {"k": "call", "fn": FNREF, "args": [EXPR, ...], "kw": {str: EXPR},
+#    "line": int}
+# FNREF:
+#   {"k": "qual", "q": str}          -- resolved dotted target
+#   {"k": "method", "obj": EXPR, "attr": str}
+#   {"k": "unknown"}
+# ---------------------------------------------------------------------------
+
+OTHER: dict[str, Any] = {"k": "const"}
+
+
+@dataclass
+class FunctionIndex:
+    """One function or method: its signature and lowered body."""
+
+    qualname: str
+    name: str
+    line: int
+    params: list[str]
+    ops: list[dict[str, Any]]
+    is_method: bool = False
+    cls: str = ""
+    is_async: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname, "name": self.name, "line": self.line,
+            "params": self.params, "ops": self.ops,
+            "is_method": self.is_method, "cls": self.cls,
+            "is_async": self.is_async,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FunctionIndex":
+        return cls(
+            qualname=str(payload["qualname"]), name=str(payload["name"]),
+            line=int(payload["line"]), params=list(payload["params"]),
+            ops=list(payload["ops"]), is_method=bool(payload["is_method"]),
+            cls=str(payload["cls"]), is_async=bool(payload.get("is_async", False)),
+        )
+
+
+@dataclass
+class ModuleIndex:
+    """Everything the project pass knows about one source file."""
+
+    rel_path: str
+    module: str
+    imports: dict[str, str]
+    #: module-level assigned names considered shared mutable state → def line
+    mutable_globals: dict[str, int]
+    functions: dict[str, FunctionIndex]
+    #: class qualname → method names defined on it
+    classes: dict[str, list[str]]
+    #: line → rule codes disabled by an inline ``# repro-lint: disable=``
+    #: comment; carried in the index so project-rule findings stay
+    #: suppressible on cache-warm runs that never re-read the source.
+    suppressions: dict[int, list[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        return code in self.suppressions.get(line, [])
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rel_path": self.rel_path, "module": self.module,
+            "imports": self.imports, "mutable_globals": self.mutable_globals,
+            "functions": {q: f.as_dict() for q, f in self.functions.items()},
+            "classes": self.classes,
+            "suppressions": {str(k): v for k, v in self.suppressions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModuleIndex":
+        return cls(
+            rel_path=str(payload["rel_path"]), module=str(payload["module"]),
+            imports=dict(payload["imports"]),
+            mutable_globals={k: int(v) for k, v in payload["mutable_globals"].items()},
+            functions={q: FunctionIndex.from_dict(f)
+                       for q, f in payload["functions"].items()},
+            classes={k: list(v) for k, v in payload["classes"].items()},
+            suppressions={int(k): list(v)
+                          for k, v in payload.get("suppressions", {}).items()},
+        )
+
+
+@dataclass
+class ProjectIndex:
+    """The union of module indexes for one lint invocation."""
+
+    modules: dict[str, ModuleIndex] = field(default_factory=dict)
+
+    def add(self, index: ModuleIndex) -> None:
+        self.modules[index.rel_path] = index
+
+    @property
+    def functions(self) -> dict[str, FunctionIndex]:
+        table: dict[str, FunctionIndex] = {}
+        for module in self.modules.values():
+            table.update(module.functions)
+        return table
+
+    def function_paths(self) -> dict[str, str]:
+        """Function qualname → rel_path of its defining file."""
+        table: dict[str, str] = {}
+        for module in self.modules.values():
+            for qualname in module.functions:
+                table[qualname] = module.rel_path
+        return table
+
+    def class_methods(self) -> dict[str, list[str]]:
+        table: dict[str, list[str]] = {}
+        for module in self.modules.values():
+            table.update(module.classes)
+        return table
+
+
+class _Lowerer:
+    """Lowers one module's AST into a :class:`ModuleIndex`."""
+
+    def __init__(self, module: ParsedModule) -> None:
+        self.parsed = module
+        self.module = module_name_for(module.rel_path)
+        self.imports: dict[str, str] = {}
+        self.toplevel: dict[str, str] = {}   # local def name → qualname
+        self.mutable_globals: dict[str, int] = {}
+        self.functions: dict[str, FunctionIndex] = {}
+        self.classes: dict[str, list[str]] = {}
+
+    # -- imports ----------------------------------------------------------
+
+    def _record_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module or ""
+        if not self.module:
+            return None
+        # ``from .x import y`` in package p.q: level 1 anchors at the parent
+        # package for plain modules, at the package itself for __init__.
+        parts = self.module.split(".")
+        if not self.parsed.rel_path.endswith("__init__.py"):
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop:
+            parts = parts[:len(parts) - drop] if drop < len(parts) else []
+        base = ".".join(parts)
+        if node.module:
+            base = f"{base}.{node.module}" if base else node.module
+        return base
+
+    # -- name resolution ---------------------------------------------------
+
+    def _dotted(self, node: ast.expr) -> list[str] | None:
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+
+    def _resolve_chain(self, chain: list[str], local_names: set[str]) -> str | None:
+        head = chain[0]
+        if head in local_names:
+            return None
+        if head in self.imports:
+            return ".".join([self.imports[head], *chain[1:]])
+        if head in self.toplevel:
+            return ".".join([self.toplevel[head], *chain[1:]])
+        return None
+
+    # -- expression lowering ----------------------------------------------
+
+    def _lower_expr(self, node: ast.expr, local_names: set[str]) -> dict[str, Any]:
+        if isinstance(node, ast.Name):
+            qual = self._resolve_chain([node.id], local_names)
+            if qual is not None:
+                return {"k": "qualref", "q": qual}
+            return {"k": "name", "id": node.id}
+        if isinstance(node, ast.Constant):
+            return OTHER
+        if isinstance(node, ast.Attribute):
+            chain = self._dotted(node)
+            if chain is not None:
+                qual = self._resolve_chain(chain, local_names)
+                if qual is not None:
+                    return {"k": "qualref", "q": qual}
+            return {"k": "attr", "obj": self._lower_expr(node.value, local_names),
+                    "attr": node.attr}
+        if isinstance(node, ast.Subscript):
+            full = (isinstance(node.slice, ast.Slice) and node.slice.lower is None
+                    and node.slice.upper is None and node.slice.step is None)
+            return {"k": "sub", "obj": self._lower_expr(node.value, local_names),
+                    "full": full, "line": node.lineno}
+        if isinstance(node, ast.Call):
+            return self._lower_call(node, local_names)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._multi([self._lower_expr(e, local_names) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            items = [self._lower_expr(v, local_names) for v in node.values if v is not None]
+            return self._multi(items)
+        if isinstance(node, ast.BoolOp):
+            return self._multi([self._lower_expr(v, local_names) for v in node.values])
+        if isinstance(node, ast.BinOp):
+            return self._multi([self._lower_expr(node.left, local_names),
+                                self._lower_expr(node.right, local_names)])
+        if isinstance(node, ast.UnaryOp):
+            return self._lower_expr(node.operand, local_names)
+        if isinstance(node, ast.IfExp):
+            return self._multi([self._lower_expr(node.body, local_names),
+                                self._lower_expr(node.orelse, local_names)])
+        if isinstance(node, ast.Starred):
+            return self._lower_expr(node.value, local_names)
+        if isinstance(node, ast.Await):
+            return self._lower_expr(node.value, local_names)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            parts = [self._lower_expr(node.elt, local_names)]
+            parts += [self._lower_expr(gen.iter, local_names) for gen in node.generators]
+            return self._multi(parts)
+        if isinstance(node, ast.DictComp):
+            parts = [self._lower_expr(node.value, local_names)]
+            parts += [self._lower_expr(gen.iter, local_names) for gen in node.generators]
+            return self._multi(parts)
+        if isinstance(node, ast.NamedExpr):
+            return self._lower_expr(node.value, local_names)
+        return OTHER
+
+    def _multi(self, items: list[dict[str, Any]]) -> dict[str, Any]:
+        meaningful = [item for item in items if item.get("k") != "const"]
+        if not meaningful:
+            return OTHER
+        if len(meaningful) == 1:
+            return meaningful[0]
+        return {"k": "multi", "items": meaningful}
+
+    def _lower_call(self, node: ast.Call, local_names: set[str]) -> dict[str, Any]:
+        fn: dict[str, Any]
+        chain = self._dotted(node.func)
+        qual = self._resolve_chain(chain, local_names) if chain else None
+        if qual is not None:
+            fn = {"k": "qual", "q": qual}
+        elif isinstance(node.func, ast.Attribute):
+            fn = {"k": "method",
+                  "obj": self._lower_expr(node.func.value, local_names),
+                  "attr": node.func.attr}
+        elif isinstance(node.func, ast.Name):
+            fn = {"k": "qual", "q": node.func.id}  # builtin or local callable
+        else:
+            fn = {"k": "unknown"}
+        args = [self._lower_expr(arg, local_names) for arg in node.args]
+        kw = {kwarg.arg or "**": self._lower_expr(kwarg.value, local_names)
+              for kwarg in node.keywords}
+        return {"k": "call", "fn": fn, "args": args, "kw": kw, "line": node.lineno}
+
+    # -- statement lowering ------------------------------------------------
+
+    def _lower_body(self, body: list[ast.stmt], local_names: set[str],
+                    declared_global: set[str], ops: list[dict[str, Any]]) -> None:
+        for stmt in body:
+            self._lower_stmt(stmt, local_names, declared_global, ops)
+
+    def _assign_target(self, target: ast.expr, value: dict[str, Any], line: int,
+                       local_names: set[str], declared_global: set[str],
+                       ops: list[dict[str, Any]]) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in declared_global and target.id in self.mutable_globals:
+                ops.append({"o": "gwrite", "name": target.id, "how": "assign",
+                            "line": line})
+            local_names.add(target.id)
+            ops.append({"o": "assign", "t": target.id, "e": value, "line": line})
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, value, line, local_names,
+                                    declared_global, ops)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if (isinstance(base, ast.Name) and base.id not in local_names
+                    and base.id in self.mutable_globals):
+                how = "attr" if isinstance(target, ast.Attribute) else "subscript"
+                ops.append({"o": "gwrite", "name": base.id, "how": how, "line": line})
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, value, line, local_names,
+                                declared_global, ops)
+
+    def _lower_stmt(self, stmt: ast.stmt, local_names: set[str],
+                    declared_global: set[str], ops: list[dict[str, Any]]) -> None:
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+        elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = stmt.value
+            lowered = (self._lower_expr(value, local_names)
+                       if value is not None else OTHER)
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            else:
+                targets = [stmt.target]
+            if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                lowered = self._multi([lowered,
+                                       {"k": "name", "id": stmt.target.id}])
+            for target in targets:
+                self._assign_target(target, lowered, stmt.lineno, local_names,
+                                    declared_global, ops)
+        elif isinstance(stmt, ast.Expr):
+            lowered = self._lower_expr(stmt.value, local_names)
+            if lowered.get("k") != "const":
+                ops.append({"o": "expr", "e": lowered, "line": stmt.lineno})
+            if isinstance(stmt.value, ast.Call):
+                self._maybe_mutator_gwrite(stmt.value, local_names, ops)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                ops.append({"o": "ret",
+                            "e": self._lower_expr(stmt.value, local_names),
+                            "line": stmt.lineno})
+        elif isinstance(stmt, ast.For) or isinstance(stmt, ast.AsyncFor):
+            iter_expr = self._lower_expr(stmt.iter, local_names)
+            self._assign_target(stmt.target, iter_expr, stmt.lineno, local_names,
+                                declared_global, ops)
+            self._lower_body(stmt.body, local_names, declared_global, ops)
+            self._lower_body(stmt.orelse, local_names, declared_global, ops)
+        elif isinstance(stmt, ast.While):
+            self._lower_body(stmt.body, local_names, declared_global, ops)
+            self._lower_body(stmt.orelse, local_names, declared_global, ops)
+        elif isinstance(stmt, ast.If):
+            self._lower_body(stmt.body, local_names, declared_global, ops)
+            self._lower_body(stmt.orelse, local_names, declared_global, ops)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ctx = self._lower_expr(item.context_expr, local_names)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, ctx, stmt.lineno,
+                                        local_names, declared_global, ops)
+                elif ctx.get("k") != "const":
+                    ops.append({"o": "expr", "e": ctx, "line": stmt.lineno})
+            self._lower_body(stmt.body, local_names, declared_global, ops)
+        elif isinstance(stmt, ast.Try):
+            self._lower_body(stmt.body, local_names, declared_global, ops)
+            for handler in stmt.handlers:
+                self._lower_body(handler.body, local_names, declared_global, ops)
+            self._lower_body(stmt.orelse, local_names, declared_global, ops)
+            self._lower_body(stmt.finalbody, local_names, declared_global, ops)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self._lower_body(case.body, local_names, declared_global, ops)
+        # Nested defs/classes, raise, assert, pass, del: outside the IR.
+
+    def _maybe_mutator_gwrite(self, call: ast.Call, local_names: set[str],
+                              ops: list[dict[str, Any]]) -> None:
+        """``GLOBAL.append(x)`` and friends count as global writes."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in MUTATOR_METHODS:
+            return
+        base = func.value
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if (isinstance(base, ast.Name) and base.id not in local_names
+                and base.id in self.mutable_globals):
+            ops.append({"o": "gwrite", "name": base.id,
+                        "how": f"call:{func.attr}", "line": call.lineno})
+
+    # -- definitions -------------------------------------------------------
+
+    def _is_mutable_value(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = self._dotted(node.func)
+            if chain is None:
+                return True
+            dotted = ".".join(chain)
+            if dotted in _IMMUTABLE_CALLS or chain[-1] in ("frozenset", "tuple",
+                                                           "compile"):
+                return False
+            return True
+        return False
+
+    def _record_toplevel(self, tree: ast.Module) -> None:
+        prefix = self.module or self.parsed.rel_path
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.toplevel[stmt.name] = f"{prefix}.{stmt.name}"
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and self._is_mutable_value(stmt.value):
+                        self.mutable_globals[target.id] = stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if self._is_mutable_value(stmt.value):
+                    self.mutable_globals[stmt.target.id] = stmt.lineno
+
+    def _index_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        qualname: str, cls: str = "") -> FunctionIndex:
+        arg_nodes = [*node.args.posonlyargs, *node.args.args]
+        params = [arg.arg for arg in arg_nodes]
+        if node.args.vararg is not None:
+            params.append(node.args.vararg.arg)
+        params.extend(arg.arg for arg in node.args.kwonlyargs)
+        if node.args.kwarg is not None:
+            params.append(node.args.kwarg.arg)
+        local_names = set(params)
+        declared_global: set[str] = set()
+        ops: list[dict[str, Any]] = []
+        self._lower_body(node.body, local_names, declared_global, ops)
+        return FunctionIndex(qualname=qualname, name=node.name, line=node.lineno,
+                             params=params, ops=ops, is_method=bool(cls), cls=cls,
+                             is_async=isinstance(node, ast.AsyncFunctionDef))
+
+    def run(self) -> ModuleIndex:
+        tree = self.parsed.tree
+        self._record_imports(tree)
+        self._record_toplevel(tree)
+        prefix = self.module or self.parsed.rel_path
+
+        module_ops: list[dict[str, Any]] = []
+        module_locals: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{stmt.name}"
+                self.functions[qualname] = self._index_function(stmt, qualname)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = f"{prefix}.{stmt.name}"
+                methods: list[str] = []
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qual = f"{cls_qual}.{member.name}"
+                        self.functions[method_qual] = self._index_function(
+                            member, method_qual, cls=cls_qual)
+                        methods.append(member.name)
+                self.classes[cls_qual] = methods
+            else:
+                self._lower_stmt(stmt, module_locals, set(), module_ops)
+        if module_ops:
+            self.functions[f"{prefix}.<module>"] = FunctionIndex(
+                qualname=f"{prefix}.<module>", name="<module>", line=1,
+                params=[], ops=module_ops)
+
+        return ModuleIndex(
+            rel_path=self.parsed.rel_path, module=self.module,
+            imports=self.imports, mutable_globals=self.mutable_globals,
+            functions=self.functions, classes=self.classes,
+            suppressions=self.parsed.suppression_table(),
+        )
+
+
+def index_module(module: ParsedModule) -> ModuleIndex:
+    """Lower one parsed module into its :class:`ModuleIndex`."""
+    return _Lowerer(module).run()
+
+
+def iter_calls(expr: dict[str, Any]) -> Iterator[dict[str, Any]]:
+    """Every call node inside a lowered expression (depth-first)."""
+    kind = expr.get("k")
+    if kind == "call":
+        yield expr
+        for arg in expr["args"]:
+            yield from iter_calls(arg)
+        for value in expr["kw"].values():
+            yield from iter_calls(value)
+        fn = expr["fn"]
+        if fn.get("k") == "method":
+            yield from iter_calls(fn["obj"])
+    elif kind in ("attr", "sub"):
+        yield from iter_calls(expr["obj"])
+    elif kind == "multi":
+        for item in expr["items"]:
+            yield from iter_calls(item)

@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 emission so CI can publish findings as code annotations.
+
+The emitter produces the minimal valid document: ``version``, one run with
+``tool.driver`` (name, version, rule metadata) and one ``result`` per
+finding carrying ``ruleId``, ``level``, ``message.text``, and a physical
+location with a 1-based ``startLine``/``startColumn``.  GitHub's SARIF
+upload consumes exactly these fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_document(findings: Sequence[Finding]) -> dict[str, Any]:
+    """The SARIF document for ``findings`` as a plain dict."""
+    from repro.lint.framework import RULESET_VERSION, registered_rules
+
+    registry = registered_rules()
+    used_codes = sorted({finding.code for finding in findings} | set(registry))
+    rules: list[dict[str, Any]] = []
+    for code in used_codes:
+        rule_cls = registry.get(code)
+        description = (rule_cls.description if rule_cls is not None
+                       else "file failed to parse")
+        rules.append({
+            "id": code,
+            "name": rule_cls.name if rule_cls is not None else "parse-error",
+            "shortDescription": {"text": description},
+        })
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": RULESET_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The SARIF document for ``findings``, serialized."""
+    return json.dumps(sarif_document(findings), indent=2)

@@ -27,6 +27,8 @@ derived structures; :meth:`save` then persists the grown sketch.
 from __future__ import annotations
 
 import heapq
+import os
+from typing import Any, Iterable, cast
 
 import numpy as np
 
@@ -56,7 +58,7 @@ class _GreedyState:
 
     __slots__ = ("counts", "covered", "heap", "chosen", "seeds", "gains", "covered_total")
 
-    def __init__(self, counts: np.ndarray, num_sets: int):
+    def __init__(self, counts: np.ndarray[Any, Any], num_sets: int) -> None:
         self.counts = counts
         self.covered = np.zeros(num_sets, dtype=bool)
         self.heap = [(-int(counts[node]), node) for node in range(counts.size)]
@@ -96,8 +98,9 @@ class SketchIndex:
     """
 
     def __init__(self, collection: FlatRRCollection | None = None, *,
-                 graph=None, model="IC", meta: dict | None = None,
-                 jobs: int | None = None):
+                 graph: Any = None, model: Any = "IC",
+                 meta: dict[str, Any] | None = None,
+                 jobs: int | None = None) -> None:
         require(collection is not None or graph is not None,
                 "SketchIndex needs a collection, a graph, or both")
         self._model = resolve_model(model)
@@ -116,20 +119,22 @@ class SketchIndex:
         if graph is not None:
             self.meta.setdefault("graph_fingerprint", graph.fingerprint())
         self.meta["theta"] = len(collection)
-        self._sampler = None
+        self._sampler: Any = None
         self._jobs = jobs
-        self._inv_ptr: np.ndarray | None = None
-        self._inv_sets: np.ndarray | None = None
+        self._inv_ptr: np.ndarray[Any, Any] | None = None
+        self._inv_sets: np.ndarray[Any, Any] | None = None
         self._state: _GreedyState | None = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, graph, model="IC", *, theta: int | None = None, k: int | None = None,
-              epsilon: float | None = None, ell: float | None = None, rng=None,
-              engine: str | None = None, jobs: int | None = None,
-              trace_edges: bool | None = None, policy=None,
+    def build(cls, graph: Any, model: Any = "IC", *,
+              theta: int | None = None, k: int | None = None,
+              epsilon: float | None = None, ell: float | None = None,
+              rng: Any = None, engine: str | None = None,
+              jobs: int | None = None, trace_edges: bool | None = None,
+              policy: Any = None,
               algorithm: str | None = None) -> "SketchIndex":
         """Cold-build a sketch: sample θ random RR sets and index them.
 
@@ -185,14 +190,15 @@ class SketchIndex:
             sampler, _ = maybe_parallel(
                 make_rr_sampler(graph, resolved, trace_edges=trace_edges), jobs
             )
-            meta: dict = {"rng_seed": source.seed, "engine": engine}
+            meta: dict[str, Any] = {"rng_seed": source.seed, "engine": engine}
             if theta is None and algorithm == "imm":
                 # IMM derivation: no KPT estimation phase — the lower-bound
                 # search grows the (initially empty) index directly and the
                 # final sketch *is* the search's reusable sample.
                 from repro.core.imm import imm_ensure
 
-                require(k is not None,
+                if k is None:
+                    raise ValueError(
                         "build needs theta, or k to derive theta from epsilon")
                 check_k(k, graph.n)
                 collection = FlatRRCollection(graph.n, graph.m,
@@ -205,7 +211,8 @@ class SketchIndex:
                 index.meta.update(ell=ell, k=k)
                 return index
             if theta is None:
-                require(k is not None,
+                if k is None:
+                    raise ValueError(
                         "build needs theta, or k to derive theta from epsilon")
                 check_k(k, graph.n)
                 ell_adjusted = adjusted_ell_tim(ell, graph.n)
@@ -230,7 +237,8 @@ class SketchIndex:
         return index
 
     @classmethod
-    def load(cls, path, graph=None, model=None, mmap: bool = False,
+    def load(cls, path: str | os.PathLike[str], graph: Any = None,
+             model: Any = None, mmap: bool = False,
              jobs: int | None = None) -> "SketchIndex":
         """Load a persisted sketch, validating it against ``graph`` if given.
 
@@ -246,7 +254,7 @@ class SketchIndex:
         return cls(collection, graph=graph, model=model or meta.get("model", "IC"),
                    meta=meta, jobs=jobs)
 
-    def save(self, path) -> None:
+    def save(self, path: str | os.PathLike[str]) -> None:
         """Persist the (possibly grown) sketch and its current metadata."""
         payload = {
             key: value
@@ -267,8 +275,8 @@ class SketchIndex:
     def num_nodes(self) -> int:
         return self.collection.num_nodes
 
-    def _ensure_postings(self) -> tuple[np.ndarray, np.ndarray]:
-        if self._inv_ptr is None:
+    def _ensure_postings(self) -> tuple[np.ndarray[Any, Any], np.ndarray[Any, Any]]:
+        if self._inv_ptr is None or self._inv_sets is None:
             self._inv_ptr, self._inv_sets = _inverted_index(
                 self.collection.ptr_array, self.collection.nodes_array, self.num_nodes
             )
@@ -283,7 +291,7 @@ class SketchIndex:
     # ------------------------------------------------------------------
     # Growth (warm-start theta extension)
     # ------------------------------------------------------------------
-    def _require_sampler(self, jobs: int | None = None):
+    def _require_sampler(self, jobs: int | None = None) -> Any:
         require(self.graph is not None,
                 "this index has no graph attached; re-load the sketch with "
                 "graph=... to enable sampling")
@@ -321,7 +329,8 @@ class SketchIndex:
             self.meta["theta"] = len(self.collection)
             self.invalidate()
 
-    def ensure_theta(self, theta: int, rng=None, jobs: int | None = None) -> int:
+    def ensure_theta(self, theta: int, rng: Any = None,
+                     jobs: int | None = None) -> int:
         """Grow the sketch to at least ``theta`` RR sets; returns the number added.
 
         The existing prefix is never resampled — random RR sets are i.i.d.,
@@ -339,8 +348,8 @@ class SketchIndex:
         self.extend_flat(batch)
         return missing
 
-    def ensure_epsilon(self, k: int, epsilon: float, ell: float = 1.0, rng=None,
-                       jobs: int | None = None) -> int:
+    def ensure_epsilon(self, k: int, epsilon: float, ell: float = 1.0,
+                       rng: Any = None, jobs: int | None = None) -> int:
         """Grow the sketch until it is ε-equivalent for budget ``k``.
 
         Recomputes θ = ⌈λ(ε)/KPT*⌉ from the cached KPT* for *this* ``k``
@@ -387,7 +396,8 @@ class SketchIndex:
     # ------------------------------------------------------------------
     # Incremental repair (dynamic graphs)
     # ------------------------------------------------------------------
-    def apply_update(self, delta, rng=None, jobs: int | None = None):
+    def apply_update(self, delta: Any, rng: Any = None,
+                     jobs: int | None = None) -> Any:
         """Repair the sketch across one edge update instead of rebuilding.
 
         ``delta`` is the :class:`~repro.graphs.delta.GraphDelta` produced by
@@ -454,17 +464,19 @@ class SketchIndex:
     def _kpt_key(k: int, refine: bool) -> str:
         return f"k={int(k)}|refine={bool(refine)}"
 
-    def cached_kpt(self, k: int, refine: bool) -> dict | None:
+    def cached_kpt(self, k: int, refine: bool) -> dict[str, Any] | None:
         """A previously computed ``{"kpt_star": .., "kpt_plus": ..}`` record."""
-        return self.meta.get("kpt_cache", {}).get(self._kpt_key(k, refine))
+        record = self.meta.get("kpt_cache", {}).get(self._kpt_key(k, refine))
+        return cast("dict[str, Any] | None", record)
 
-    def store_kpt(self, k: int, refine: bool, record: dict) -> None:
+    def store_kpt(self, k: int, refine: bool, record: dict[str, Any]) -> None:
         self.meta.setdefault("kpt_cache", {})[self._kpt_key(k, refine)] = dict(record)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def select(self, k: int, forced_include=(), forced_exclude=(),
+    def select(self, k: int, forced_include: Iterable[int] = (),
+               forced_exclude: Iterable[int] = (),
                incremental: bool = True) -> CoverageResult:
         """Greedy max-coverage seed selection over the sketch, for any ``k``.
 
@@ -481,7 +493,8 @@ class SketchIndex:
             faults.checkpoint("sketch.select")
             return self._select(k, forced_include, forced_exclude, incremental)
 
-    def _select(self, k: int, forced_include, forced_exclude,
+    def _select(self, k: int, forced_include: Iterable[int],
+                forced_exclude: Iterable[int],
                 incremental: bool) -> CoverageResult:
         check_k(k, self.num_nodes)
         include = [int(v) for v in forced_include]
@@ -512,7 +525,7 @@ class SketchIndex:
             )
         return self._run_greedy(k, state)
 
-    def _fresh_counts(self) -> np.ndarray:
+    def _fresh_counts(self) -> np.ndarray[Any, Any]:
         self._ensure_postings()
         return self.collection.node_frequency_array().astype(np.int64, copy=True)
 
@@ -605,7 +618,7 @@ class SketchIndex:
                 gains.append(0)
         return CoverageResult(seeds, total, self.num_sets, tuple(gains))
 
-    def coverage_count(self, seeds) -> int:
+    def coverage_count(self, seeds: Iterable[int]) -> int:
         """Number of RR sets covered by ``seeds`` (postings-list union)."""
         inv_ptr, inv_sets = self._ensure_postings()
         mask = np.zeros(self.num_sets, dtype=bool)
@@ -615,17 +628,17 @@ class SketchIndex:
             mask[inv_sets[inv_ptr[v] : inv_ptr[v + 1]]] = True
         return int(np.count_nonzero(mask))
 
-    def coverage_fraction(self, seeds) -> float:
+    def coverage_fraction(self, seeds: Iterable[int]) -> float:
         """``F_R(S)`` over the sketch."""
         if self.num_sets == 0:
             return 0.0
         return self.coverage_count(seeds) / self.num_sets
 
-    def spread(self, seeds) -> float:
+    def spread(self, seeds: Iterable[int]) -> float:
         """``n · F_R(S)`` — the Corollary 1 spread estimate, no resampling."""
         return self.num_nodes * self.coverage_fraction(seeds)
 
-    def marginal_gain(self, seeds, candidate: int) -> float:
+    def marginal_gain(self, seeds: Iterable[int], candidate: int) -> float:
         """Estimated spread increase from adding ``candidate`` to ``seeds``."""
         inv_ptr, inv_sets = self._ensure_postings()
         candidate = int(candidate)

@@ -49,6 +49,7 @@ import json
 import os
 import struct
 import zipfile
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -114,7 +115,7 @@ class SketchCorruptionError(SketchFileError):
     """The sketch's payload bytes do not match the recorded checksum."""
 
 
-def _payload_checksum(arrays: dict[str, np.ndarray]) -> str:
+def _payload_checksum(arrays: "dict[str, np.ndarray[Any, Any]]") -> str:
     """SHA-256 over the packed array payloads (keys sorted for stability).
 
     Covers dtype, shape, and raw bytes of every array, so a single flipped
@@ -147,7 +148,8 @@ def _fsync_dir(directory: str) -> None:
         os.close(fd)
 
 
-def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
+def save_sketch(path: "str | os.PathLike[str]", collection: FlatRRCollection,
+                meta: "dict[str, Any]") -> None:
     """Write ``collection`` plus ``meta`` as a versioned ``.npz`` sketch.
 
     Reserved keys (``format_version``, ``num_nodes``, ``graph_edges``,
@@ -159,8 +161,8 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
     ``path`` in one ``os.replace``.  A crash at any point leaves either the
     old sketch or no sketch — never a torn file at ``path``.
     """
-    full_meta = dict(meta)
-    stamped = {
+    full_meta: dict[str, Any] = dict(meta)
+    stamped: dict[str, Any] = {
         "format_version": SKETCH_FORMAT_VERSION,
         "num_nodes": collection.num_nodes,
         "graph_edges": collection.graph_edges,
@@ -173,7 +175,7 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
                 f"meta key {key!r} conflicts with the collection ({full_meta[key]!r} != {value!r})"
             )
         full_meta[key] = value
-    arrays = {
+    arrays: dict[str, np.ndarray[Any, Any]] = {
         "ptr": collection.ptr_array,
         "nodes": collection.nodes_array,
         "roots": collection.roots_array,
@@ -214,7 +216,7 @@ def save_sketch(path, collection: FlatRRCollection, meta: dict) -> None:
     _fsync_dir(os.path.dirname(target))
 
 
-def read_sketch_meta(path) -> dict:
+def read_sketch_meta(path: "str | os.PathLike[str]") -> "dict[str, Any]":
     """Parse and validate only the metadata block of a sketch file."""
     try:
         with np.load(path, allow_pickle=False) as data:
@@ -226,7 +228,7 @@ def read_sketch_meta(path) -> dict:
             raise
         raise SketchFileError(f"{path}: unreadable sketch archive ({exc})") from exc
     try:
-        meta = json.loads(raw.decode("utf-8"))
+        meta: Any = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SketchFileError(f"{path}: corrupt sketch metadata ({exc})") from exc
     if not isinstance(meta, dict):
@@ -240,10 +242,10 @@ def read_sketch_meta(path) -> dict:
     for key in ("num_nodes", "graph_edges", "num_sets"):
         if not isinstance(meta.get(key), int):
             raise SketchFileError(f"{path}: sketch metadata missing integer {key!r}")
-    return meta
+    return dict(meta)
 
 
-def _quarantine(path) -> str | None:
+def _quarantine(path: "str | os.PathLike[str]") -> str | None:
     """Move a corrupt sketch aside; its new path, or ``None`` on failure."""
     target = os.fspath(path)
     aside = target + ".quarantined"
@@ -255,13 +257,13 @@ def _quarantine(path) -> str | None:
 
 
 def load_sketch(
-    path,
+    path: "str | os.PathLike[str]",
     mmap: bool = False,
     expected_fingerprint: str | None = None,
     *,
     verify: bool = True,
     quarantine: bool = True,
-) -> tuple[FlatRRCollection, dict]:
+) -> "tuple[FlatRRCollection, dict[str, Any]]":
     """Load a sketch file; returns ``(collection, metadata)``.
 
     Parameters
@@ -299,8 +301,9 @@ def load_sketch(
 
 
 def _load_sketch_inner(
-    path, mmap: bool, expected_fingerprint: str | None, verify: bool
-) -> tuple[FlatRRCollection, dict]:
+    path: "str | os.PathLike[str]", mmap: bool,
+    expected_fingerprint: str | None, verify: bool,
+) -> "tuple[FlatRRCollection, dict[str, Any]]":
     faults.checkpoint("sketch.load")
     meta = read_sketch_meta(path)
     if expected_fingerprint is not None:
@@ -358,7 +361,8 @@ def _load_sketch_inner(
 # ----------------------------------------------------------------------
 # Zero-copy .npz member mapping
 # ----------------------------------------------------------------------
-def _mmap_npz_members(path, names) -> dict[str, np.ndarray]:
+def _mmap_npz_members(path: "str | os.PathLike[str]",
+                      names: Iterable[str]) -> "dict[str, np.ndarray[Any, Any]]":
     """Memory-map the named ``.npy`` members of an uncompressed ``.npz``.
 
     For each member: read its zip *local* file header (the central
@@ -367,7 +371,7 @@ def _mmap_npz_members(path, names) -> dict[str, np.ndarray]:
     header at that offset to learn dtype/shape/order, and finally map the
     raw array bytes with ``np.memmap(..., mode="r")``.
     """
-    out: dict[str, np.ndarray] = {}
+    out: dict[str, np.ndarray[Any, Any]] = {}
     with zipfile.ZipFile(path) as archive:
         for name in names:
             member = name + ".npy"

@@ -163,13 +163,13 @@ class ServiceStats:
     def mean_latency_ms(self) -> float:
         if self.queries == 0:
             return 0.0
-        return 1000.0 * self.total_latency_seconds / self.queries
+        return float(1000.0 * self.total_latency_seconds / self.queries)
 
     @property
     def queries_per_second(self) -> float:
         if self.total_latency_seconds <= 0.0:
             return 0.0
-        return self.queries / self.total_latency_seconds
+        return float(self.queries / self.total_latency_seconds)
 
     @property
     def success_mean_latency_ms(self) -> float:
@@ -178,9 +178,9 @@ class ServiceStats:
         if successes <= 0:
             return 0.0
         seconds = self.total_latency_seconds - self.error_latency_seconds
-        return 1000.0 * seconds / successes
+        return float(1000.0 * seconds / successes)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "queries": self.queries,
             "errors": self.errors,
@@ -261,10 +261,10 @@ class InfluenceService:
                  theta: int | None = None,
                  engine: str | None = None, jobs: int | None = None,
                  trace_edges: bool | None = None,
-                 policy: ExecutionPolicy | None = None, rng=None,
+                 policy: ExecutionPolicy | None = None, rng: Any = None,
                  deadline_ms: float | None = None,
                  memory_budget_bytes: int | None = None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None) -> None:
         require(max_indexes >= 1, "max_indexes must be >= 1")
         resolved = ExecutionPolicy.coerce(policy)
         self.max_indexes = int(max_indexes)
@@ -294,16 +294,16 @@ class InfluenceService:
     # Index cache
     # ------------------------------------------------------------------
     @staticmethod
-    def _resolve_graph(graph):
+    def _resolve_graph(graph: Any) -> Any:
         """Accept either a plain snapshot or a dynamic overlay."""
         current = getattr(graph, "graph", None)
         return current if current is not None else graph
 
     @classmethod
-    def _key(cls, graph, model) -> tuple[str, str]:
+    def _key(cls, graph: Any, model: Any) -> tuple[str, str]:
         return (cls._resolve_graph(graph).fingerprint(), resolve_model(model).name)
 
-    def add_index(self, index: SketchIndex, graph=None) -> tuple[str, str]:
+    def add_index(self, index: SketchIndex, graph: Any = None) -> tuple[str, str]:
         """Register a pre-built/loaded index (e.g. from a sketch file)."""
         graph = graph if graph is not None else index.graph
         fingerprint = index.meta.get("graph_fingerprint")
@@ -316,7 +316,7 @@ class InfluenceService:
         self._evict()
         return key
 
-    def get_index(self, graph, model="IC") -> tuple[SketchIndex, bool]:
+    def get_index(self, graph: Any, model: Any = "IC") -> tuple[SketchIndex, bool]:
         """Return ``(index, was_cached)`` for the graph/model, building on miss."""
         key = self._key(graph, model)
         cached = self._indexes.get(key)
@@ -398,7 +398,7 @@ class InfluenceService:
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------
-    def apply_update(self, dynamic, update) -> dict:
+    def apply_update(self, dynamic: Any, update: Any) -> dict[str, Any]:
         """Apply one edge update and repair every cached index it staled.
 
         ``dynamic`` must be a :class:`~repro.dynamic.graph.DynamicDiGraph`;
@@ -431,7 +431,7 @@ class InfluenceService:
             # Fail the whole op before any index is touched if the new
             # snapshot is invalid for a cached model.
             resolve_model(model_name).validate_graph(delta.new_graph)
-        repaired: list[dict] = []
+        repaired: list[dict[str, Any]] = []
         for key in keys:
             index = self._indexes[key]
             report = index.apply_update(delta, rng=self._rng.spawn())
@@ -464,7 +464,7 @@ class InfluenceService:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _dispatch(self, graph, request: Request, model) -> Response:
+    def _dispatch(self, graph: Any, request: Request, model: Any) -> Response:
         """Route one *typed* request to its handler; may raise."""
         if isinstance(request, StatsRequest):
             payload = self.stats.as_dict()
@@ -508,7 +508,8 @@ class InfluenceService:
         raise ApiError("unknown_op",  # pragma: no cover - parse_request exhausts ops
                        f"unhandled request type {type(request).__name__}")
 
-    def _dispatch_retrying(self, graph, request: Request, model) -> Response:
+    def _dispatch_retrying(self, graph: Any, request: Request,
+                           model: Any) -> Response:
         """Dispatch with the service retry policy (idempotent ops only)."""
 
         def attempt() -> Response:
@@ -526,7 +527,7 @@ class InfluenceService:
 
         return call_with_retry(attempt, policy=self._retry, on_retry=note_retry)
 
-    def execute(self, graph, request, model=None) -> Response:
+    def execute(self, graph: Any, request: Any, model: Any = None) -> Response:
         """Answer one typed request (or wire dict); never raises on bad input.
 
         The single protocol front: :class:`~repro.api.ops.Request` in,
@@ -538,7 +539,7 @@ class InfluenceService:
         """
         started = obs.now()
         op: str | None = None
-        request_id = None
+        request_id: object = None
         response: Response | None = None
         if isinstance(request, dict):
             # Best-effort envelope echo even when parsing fails.
@@ -572,7 +573,8 @@ class InfluenceService:
             self.stats.per_op[op_name] = self.stats.per_op.get(op_name, 0) + 1
         return response
 
-    def query(self, graph, request: dict, model=None) -> dict:
+    def query(self, graph: Any, request: dict[str, Any],
+              model: Any = None) -> dict[str, Any]:
         """Deprecated dict front: parse → :meth:`execute` → wire dict.
 
         Kept for backward compatibility; the payload is byte-identical to
@@ -587,9 +589,10 @@ class InfluenceService:
         )
         return self.execute(graph, request, model=model).to_wire()
 
-    def run_batch(self, graph, lines: Iterable[str], model=None) -> list[dict]:
+    def run_batch(self, graph: Any, lines: Iterable[str],
+                  model: Any = None) -> list[dict[str, Any]]:
         """Answer a JSONL request stream; blank lines and ``#`` comments skip."""
-        responses: list[dict] = []
+        responses: list[dict[str, Any]] = []
         for line_number, line in enumerate(lines, start=1):
             text = line.strip()
             if not text or text.startswith("#"):

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from repro.obs import runtime as obs
 
 __all__ = ["Timer", "PhaseTimer", "timed"]
 
@@ -23,12 +23,12 @@ class Timer:
     def start(self) -> None:
         if self._started_at is not None:
             raise RuntimeError("timer already running")
-        self._started_at = time.perf_counter()
+        self._started_at = obs.now()
 
     def stop(self) -> float:
         if self._started_at is None:
             raise RuntimeError("timer not running")
-        self.elapsed += time.perf_counter() - self._started_at
+        self.elapsed += obs.now() - self._started_at
         self._started_at = None
         return self.elapsed
 
@@ -49,12 +49,12 @@ class PhaseTimer:
 
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
+        start = obs.now()
         try:
             yield
         finally:
             self.phases[name] = self.phases.get(name, 0.0) + (
-                time.perf_counter() - start
+                obs.now() - start
             )
 
     @property

@@ -1,0 +1,24 @@
+"""Shared fixtures for the lint test package."""
+
+import textwrap
+
+import pytest
+
+
+@pytest.fixture
+def project(tmp_path):
+    """Factory for src-layout mini projects: ``project({"repro/m.py": src})``.
+
+    Returns the project root; file keys are paths under ``src/`` and their
+    sources are dedented before writing.
+    """
+
+    def build(files):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'mini'\n")
+        for rel, source in files.items():
+            target = tmp_path / "src" / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build

@@ -1,0 +1,134 @@
+"""The result cache: warm runs re-analyze only changed files."""
+
+import json
+
+import pytest
+
+from repro.lint import framework
+from repro.lint.framework import run_lint
+
+BAD_RNG = "import numpy as np\nVALUES = np.random.rand(3)\n"
+
+
+@pytest.fixture
+def cached_project(project):
+    root = project({
+        "repro/bad.py": BAD_RNG,
+        "repro/good.py": "ANSWER = 42\n",
+        "repro/store.py": """\
+            import numpy as np
+
+            def open_pack(path):
+                return np.memmap(path, dtype="f4")
+        """,
+    })
+    return root
+
+
+def lint(root, **kwargs):
+    return run_lint([root / "src"], root=root, cache=True, **kwargs)
+
+
+class TestWarmRuns:
+    def test_cold_then_fully_warm(self, cached_project):
+        cold = lint(cached_project)
+        assert cold.stats.files_analyzed == 3
+        assert cold.stats.files_from_cache == 0
+        warm = lint(cached_project)
+        assert warm.stats.files_analyzed == 0
+        assert warm.stats.files_from_cache == 3
+        assert warm.stats.cache_hit_rate == 1.0
+        assert warm.findings == cold.findings
+
+    def test_only_the_changed_file_reanalyzes(self, cached_project):
+        lint(cached_project)
+        target = cached_project / "src" / "repro" / "good.py"
+        target.write_text("ANSWER = 43\n")
+        run = lint(cached_project)
+        assert run.stats.files_analyzed == 1
+        assert run.stats.files_from_cache == 2
+
+    def test_hit_rate_at_least_ninety_percent_on_warm_run(self, cached_project):
+        # The CI cache-effectiveness gate in spirit: warm ≥ 90% hits.
+        lint(cached_project)
+        assert lint(cached_project).stats.cache_hit_rate >= 0.9
+
+    def test_interprocedural_findings_survive_warm_runs(self, project):
+        # RL703's cross-module finding must reappear from cached indexes
+        # without re-parsing either file.
+        root = project({
+            "repro/store.py": """\
+                import numpy as np
+
+                def open_pack(path):
+                    return np.memmap(path, dtype="f4")
+            """,
+            "repro/reader.py": """\
+                from repro.store import open_pack
+
+                def read(path):
+                    return open_pack(path).tolist()
+            """,
+        })
+        cold = run_lint([root / "src"], root=root, cache=True, select=["RL703"])
+        warm = run_lint([root / "src"], root=root, cache=True, select=["RL703"])
+        assert warm.stats.files_from_cache == 2
+        assert [f.code for f in warm.findings] == ["RL703"]
+        assert warm.findings == cold.findings
+
+    def test_select_narrowed_warm_run_still_hits(self, cached_project):
+        lint(cached_project)
+        narrowed = lint(cached_project, select=["RL101"])
+        assert narrowed.stats.files_analyzed == 0
+        assert [f.code for f in narrowed.findings] == ["RL101"]
+
+
+class TestInvalidation:
+    def test_ruleset_version_bump_invalidates(self, cached_project, monkeypatch):
+        lint(cached_project)
+        monkeypatch.setattr(framework, "RULESET_VERSION", "testbump")
+        run = lint(cached_project)
+        assert run.stats.files_from_cache == 0
+        assert run.stats.files_analyzed == 3
+
+    def test_corrupt_cache_entry_is_a_miss(self, cached_project):
+        lint(cached_project)
+        for entry in (cached_project / ".repro-lint-cache").glob("*.json"):
+            entry.write_text("{ not json")
+        run = lint(cached_project)
+        assert run.stats.files_analyzed == 3
+
+    def test_parse_failure_is_cached(self, project):
+        root = project({"repro/broken.py": "def broken(:\n"})
+        cold = run_lint([root / "src"], root=root, cache=True)
+        warm = run_lint([root / "src"], root=root, cache=True)
+        assert [f.code for f in cold.findings] == ["RL000"]
+        assert warm.findings == cold.findings
+        assert warm.stats.files_from_cache == 1
+
+    def test_no_cache_mode_writes_nothing(self, cached_project):
+        run_lint([cached_project / "src"], root=cached_project, cache=False)
+        assert not (cached_project / ".repro-lint-cache").exists()
+
+
+class TestJobs:
+    def test_parallel_run_matches_serial(self, cached_project):
+        serial = run_lint([cached_project / "src"], root=cached_project)
+        parallel = run_lint([cached_project / "src"], root=cached_project, jobs=2)
+        assert parallel.findings == serial.findings
+
+    def test_parallel_cold_run_populates_the_cache(self, cached_project):
+        lint(cached_project, jobs=2)
+        warm = lint(cached_project)
+        assert warm.stats.files_from_cache == 3
+
+
+class TestEntryShape:
+    def test_entries_record_sha_and_ruleset(self, cached_project):
+        lint(cached_project)
+        entries = list((cached_project / ".repro-lint-cache").glob("*.json"))
+        assert len(entries) == 3
+        payload = json.loads(entries[0].read_text())
+        assert set(payload) >= {"ruleset", "rel_path", "sha", "codes",
+                                "findings", "index"}
+        assert payload["ruleset"] == framework.RULESET_VERSION

@@ -114,22 +114,76 @@ class TestBaseline:
         assert moved in Baseline.load(path)
 
 
+class TestPruneBaseline:
+    def test_prune_drops_stale_fingerprints(self, mini_project, capsys):
+        baseline = mini_project / "lint-baseline.json"
+        run_cli(mini_project / "src", "--write-baseline", baseline)
+        capsys.readouterr()
+        # The recorded violation is fixed: its fingerprint is now stale.
+        (mini_project / "src" / "repro" / "bad.py").write_text("ANSWER = 1\n")
+        assert run_cli(mini_project / "src", "--baseline", baseline,
+                       "--prune-baseline") == EXIT_CLEAN
+        assert "pruned 1 stale fingerprint(s)" in capsys.readouterr().err
+        assert Baseline.load(baseline).fingerprints == frozenset()
+
+    def test_prune_keeps_fingerprints_still_found(self, mini_project, capsys):
+        baseline = mini_project / "lint-baseline.json"
+        run_cli(mini_project / "src", "--write-baseline", baseline)
+        capsys.readouterr()
+        assert run_cli(mini_project / "src", "--baseline", baseline,
+                       "--prune-baseline") == EXIT_CLEAN
+        assert "pruned 0 stale fingerprint(s)" in capsys.readouterr().err
+        assert len(Baseline.load(baseline)) == 1
+
+    def test_prune_without_baseline_is_usage_error(self, mini_project, capsys):
+        assert run_cli(mini_project / "src", "--prune-baseline") == EXIT_USAGE
+        assert "--prune-baseline requires --baseline" in capsys.readouterr().err
+
+
+class TestStatsAndJobs:
+    def test_stats_go_to_stderr(self, mini_project, capsys):
+        run_cli(mini_project / "src", "--stats", "--no-cache")
+        err = capsys.readouterr().err
+        assert "lint stats:" in err and "from cache" in err
+
+    def test_json_format_includes_stats(self, mini_project, capsys):
+        run_cli(mini_project / "src", "--format", "json", "--no-cache")
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["files_analyzed"] >= 1
+        assert payload["stats"]["files_from_cache"] == 0
+
+    def test_warm_cli_run_reports_full_cache_hits(self, mini_project, capsys):
+        run_cli(mini_project / "src")
+        capsys.readouterr()
+        run_cli(mini_project / "src", "--format", "json")
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["files_from_cache"] == 2
+        assert payload["stats"]["files_analyzed"] == 0
+
+    def test_jobs_flag_matches_serial_output(self, mini_project, capsys):
+        run_cli(mini_project / "src", "--no-cache", "--format", "json")
+        serial = json.loads(capsys.readouterr().out)
+        run_cli(mini_project / "src", "--no-cache", "--format", "json",
+                "--jobs", "2")
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["findings"] == serial["findings"]
+
+
 class TestSelfCheck:
-    def test_library_and_lint_tests_are_clean(self):
-        """The CI gate: `python -m repro.lint src tests/lint --baseline
-        lint_baseline.json` exits 0 — new findings only."""
+    def test_library_and_test_tree_are_clean(self):
+        """The CI gate: `python -m repro.lint src tests --baseline
+        lint_baseline.json` exits 0 against an *empty* baseline."""
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
         result = subprocess.run(
-            [sys.executable, "-m", "repro.lint", "src", "tests/lint",
-             "--baseline", "lint_baseline.json"],
+            [sys.executable, "-m", "repro.lint", "src", "tests",
+             "--baseline", "lint_baseline.json", "--no-cache"],
             cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
         )
         assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr
 
-    def test_baseline_only_carries_timing_debt(self):
-        """The ratchet file exists and every recorded finding is RL601 —
-        the other rules stay at zero with no grandfathered entries."""
+    def test_baseline_is_empty(self):
+        """The ratchet carries no debt: the RL601 legacy sites were migrated
+        onto repro.obs and nothing new was grandfathered in."""
         baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
-        assert baseline.fingerprints, "lint_baseline.json should not be empty"
-        assert all("::RL601::" in fp for fp in sorted(baseline.fingerprints))
+        assert baseline.fingerprints == frozenset()

@@ -1,0 +1,186 @@
+"""The dataflow engine: fact creation, summaries, propagation, witnesses."""
+
+import textwrap
+
+from repro.lint.dataflow import (
+    TAG_MEMMAP,
+    TAG_SEED_ADHOC,
+    TAG_SEED_OK,
+    DataflowEngine,
+)
+from repro.lint.framework import ParsedModule
+from repro.lint.project import ProjectIndex, index_module
+
+
+def engine_for(files):
+    project = ProjectIndex()
+    for rel, source in files.items():
+        module = ParsedModule.from_source(textwrap.dedent(source), rel)
+        project.add(index_module(module))
+    return DataflowEngine(project)
+
+
+def concrete_args(engine, owner, *, callee_name):
+    """Concrete facts reaching the named call inside ``owner``."""
+    for record in engine.summaries[owner].calls:
+        name = record.method_attr or (record.qual or "").split(".")[-1]
+        if name == callee_name:
+            return engine.concrete(owner, record.all_arg_facts() | record.obj_facts)
+    raise AssertionError(f"no call to {callee_name} in {owner}")
+
+
+class TestFactOrigins:
+    def test_default_rng_is_adhoc(self):
+        engine = engine_for({"src/repro/m.py": """\
+            import numpy as np
+
+            def make():
+                return np.random.default_rng(7)
+        """})
+        assert TAG_SEED_ADHOC in engine.summaries["repro.m.make"].ret
+
+    def test_sanctioned_derivation_is_ok(self):
+        engine = engine_for({"src/repro/m.py": """\
+            from repro.utils.rng import spawn_seed_streams
+
+            def make():
+                return spawn_seed_streams(42, 4)
+        """})
+        assert engine.summaries["repro.m.make"].ret == {TAG_SEED_OK}
+
+    def test_adhoc_origin_fed_sanctioned_material_stays_ok(self):
+        # default_rng(seed) where seed came from spawn_seed_streams is the
+        # sanctioned pattern: derived, not ad-hoc.
+        engine = engine_for({"src/repro/m.py": """\
+            import numpy as np
+            from repro.utils.rng import spawn_seed_streams
+
+            def make():
+                return np.random.default_rng(spawn_seed_streams(42, 1)[0])
+        """})
+        assert engine.summaries["repro.m.make"].ret == {TAG_SEED_OK}
+
+    def test_memmap_origins(self):
+        engine = engine_for({"src/repro/m.py": """\
+            import numpy as np
+            from repro.sketch.persistence import load_sketch
+
+            def a(path):
+                return np.memmap(path, dtype="f4")
+
+            def b(path):
+                return load_sketch(path)
+        """})
+        assert TAG_MEMMAP in engine.summaries["repro.m.a"].ret
+        assert TAG_MEMMAP in engine.summaries["repro.m.b"].ret
+
+
+class TestInterproceduralFlow:
+    def test_facts_flow_through_return_chains_across_files(self):
+        engine = engine_for({
+            "src/repro/store.py": """\
+                import numpy as np
+
+                def open_pack(path):
+                    return np.memmap(path, dtype="f4")
+            """,
+            "src/repro/reader.py": """\
+                from repro.store import open_pack
+
+                def read(path):
+                    arr = open_pack(path)
+                    return consume(arr)
+
+                def consume(arr):
+                    return arr
+            """,
+        })
+        assert TAG_MEMMAP in engine.summaries["repro.reader.read"].ret
+        facts = concrete_args(engine, "repro.reader.read", callee_name="consume")
+        assert TAG_MEMMAP in facts
+
+    def test_param_facts_propagate_topdown_with_witness(self):
+        engine = engine_for({
+            "src/repro/sink.py": """\
+                def draw(sampler, gen):
+                    return sampler.sample(gen)
+            """,
+            "src/repro/caller.py": """\
+                import numpy as np
+                from repro.sink import draw
+
+                def run(sampler):
+                    return draw(sampler, np.random.default_rng(7))
+            """,
+        })
+        facts = concrete_args(engine, "repro.sink.draw", callee_name="sample")
+        assert TAG_SEED_ADHOC in facts
+        [record] = [r for r in engine.summaries["repro.sink.draw"].calls
+                    if r.method_attr == "sample"]
+        witness = engine.tag_witness("repro.sink.draw", record.all_arg_facts(),
+                                     TAG_SEED_ADHOC)
+        assert witness == "repro.caller.run"
+
+    def test_method_calls_resolve_via_instance_tags(self):
+        engine = engine_for({"src/repro/m.py": """\
+            import numpy as np
+
+            class Pack:
+                def __init__(self, path):
+                    self.path = path
+
+                def load(self):
+                    return np.memmap(self.path, dtype="f4")
+
+            def use(path):
+                pack = Pack(path)
+                return pack.load()
+        """})
+        assert TAG_MEMMAP in engine.summaries["repro.m.use"].ret
+
+    def test_constructor_arguments_reach_init_params(self):
+        engine = engine_for({"src/repro/m.py": """\
+            import numpy as np
+
+            class Holder:
+                def __init__(self, gen):
+                    self.gen = gen
+
+            def build():
+                return Holder(np.random.default_rng(3))
+        """})
+        facts = engine.param_facts["repro.m.Holder.__init__"]
+        assert TAG_SEED_ADHOC in facts.get(1, set())
+
+
+class TestCallGraph:
+    def test_reachability_records_entry_root(self):
+        engine = engine_for({
+            "src/repro/worker.py": """\
+                from repro.helpers import step
+
+                def run_shard(shard):
+                    return step(shard)
+            """,
+            "src/repro/helpers.py": """\
+                def step(shard):
+                    return deeper(shard)
+
+                def deeper(shard):
+                    return shard
+            """,
+        })
+        reached = engine.reachable_from(["repro.worker.run_shard"])
+        assert reached["repro.helpers.deeper"] == "repro.worker.run_shard"
+        assert "repro.helpers.step" in reached
+
+    def test_unreached_functions_stay_out(self):
+        engine = engine_for({"src/repro/m.py": """\
+            def entry():
+                return 1
+
+            def island():
+                return 2
+        """})
+        reached = engine.reachable_from(["repro.m.entry"])
+        assert "repro.m.island" not in reached

@@ -22,9 +22,10 @@ def codes(findings):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert sorted(registered_rules()) == [
             "RL101", "RL201", "RL301", "RL401", "RL402", "RL501", "RL601",
+            "RL701", "RL702", "RL703",
         ]
 
     def test_select_subset(self):
@@ -131,6 +132,106 @@ class TestPaths:
     def test_empty_paths_is_usage_error(self):
         with pytest.raises(LintUsageError, match="no paths"):
             lint_paths([])
+
+
+class TestFingerprintStability:
+    """The baseline ratchet must survive edits that don't touch the finding."""
+
+    @staticmethod
+    def fingerprints(root, select):
+        return {f.fingerprint()
+                for f in lint_paths([root / "src"], root=root, select=[select])}
+
+    def test_moving_a_flagged_function_keeps_its_fingerprint(self, project):
+        before_src = """\
+            import numpy as np
+
+            def read(path):
+                arr = np.memmap(path, dtype="f4")
+                return arr.tolist()
+        """
+        after_src = """\
+            import numpy as np
+
+            def helper():
+                return 0
+
+
+            def another():
+                return 1
+
+
+            def read(path):
+                arr = np.memmap(path, dtype="f4")
+                return arr.tolist()
+        """
+        root = project({"repro/reader.py": before_src})
+        before = self.fingerprints(root, "RL703")
+        root = project({"repro/reader.py": after_src})
+        after = self.fingerprints(root, "RL703")
+        assert before == after and before
+
+    def test_renaming_an_unrelated_sibling_keeps_the_fingerprint(self, project):
+        def source(sibling):
+            return f"""\
+                import numpy as np
+
+                def {sibling}():
+                    return 0
+
+                def read(path):
+                    arr = np.memmap(path, dtype="f4")
+                    return arr.tolist()
+            """
+
+        root = project({"repro/reader.py": source("old_name")})
+        before = self.fingerprints(root, "RL703")
+        root = project({"repro/reader.py": source("completely_new_name")})
+        after = self.fingerprints(root, "RL703")
+        assert before == after and before
+
+    def test_file_rule_fingerprints_survive_line_shifts_too(self, project):
+        root = project({"repro/bad.py": BAD_RNG})
+        before = self.fingerprints(root, "RL101")
+        root = project({"repro/bad.py": "# a new leading comment\n" + BAD_RNG})
+        after = self.fingerprints(root, "RL101")
+        assert before == after and before
+
+    def test_dataflow_messages_carry_no_line_numbers(self, project):
+        root = project({"repro/reader.py": """\
+            import numpy as np
+
+            def read(path):
+                arr = np.memmap(path, dtype="f4")
+                return arr.tolist()
+        """})
+        [finding] = lint_paths([root / "src"], root=root, select=["RL703"])
+        assert str(finding.line) not in finding.message
+
+
+class TestShortCircuitParsing:
+    """Files no selected rule applies to are never read or parsed."""
+
+    def test_out_of_scope_files_are_skipped(self, project):
+        from repro.lint.framework import run_lint
+
+        root = project({"repro/mod.py": "x = 1\n"})
+        scripts = root / "scripts"
+        scripts.mkdir()
+        (scripts / "tool.py").write_text("def broken(:\n")  # would be RL000
+        run = run_lint([root / "src", scripts], root=root)
+        assert run.findings == []
+        assert run.stats.files_skipped == 1
+        assert run.stats.files_analyzed == 1
+
+    def test_select_narrowing_skips_files_the_rule_ignores(self, project):
+        from repro.lint.framework import run_lint
+
+        root = project({"repro/mod.py": "x = 1\n"})
+        # RL501 is a project rule with no index needs: nothing gets parsed.
+        run = run_lint([root / "src"], root=root, select=["RL501"])
+        assert run.stats.files_skipped == 1
+        assert run.stats.files_analyzed == 0
 
 
 class TestParsedModule:

@@ -1,0 +1,193 @@
+"""The project pass: module naming, import resolution, mini-IR, round-trips."""
+
+import textwrap
+
+from repro.lint.framework import ParsedModule
+from repro.lint.project import (
+    ModuleIndex,
+    ProjectIndex,
+    index_module,
+    iter_calls,
+    module_name_for,
+)
+
+
+def indexed(source, rel_path="src/repro/m.py"):
+    return index_module(ParsedModule.from_source(textwrap.dedent(source), rel_path))
+
+
+class TestModuleNames:
+    def test_src_layout_paths(self):
+        assert module_name_for("src/repro/sketch/index.py") == "repro.sketch.index"
+        assert module_name_for("src/repro/sketch/__init__.py") == "repro.sketch"
+        assert module_name_for("src/repro/m.py") == "repro.m"
+
+    def test_outside_src_is_anonymous(self):
+        assert module_name_for("tests/lint/test_x.py") == ""
+        assert module_name_for("benchmarks/bench.py") == ""
+
+
+class TestImports:
+    def test_plain_and_aliased_imports(self):
+        idx = indexed("import numpy as np\nimport json\n")
+        assert idx.imports["np"] == "numpy"
+        assert idx.imports["json"] == "json"
+
+    def test_from_imports_resolve_to_dotted_names(self):
+        idx = indexed("from numpy.random import default_rng as mk\n")
+        assert idx.imports["mk"] == "numpy.random.default_rng"
+
+    def test_relative_import_anchors_at_package(self):
+        idx = indexed("from .store import open_pack\n",
+                      rel_path="src/repro/sketchy/reader.py")
+        assert idx.imports["open_pack"] == "repro.sketchy.store.open_pack"
+
+    def test_relative_import_from_init_anchors_at_self(self):
+        idx = indexed("from .store import open_pack\n",
+                      rel_path="src/repro/sketchy/__init__.py")
+        assert idx.imports["open_pack"] == "repro.sketchy.store.open_pack"
+
+    def test_function_level_imports_are_seen(self):
+        idx = indexed("def f():\n    import numpy as np\n    return np.zeros(1)\n")
+        assert idx.imports["np"] == "numpy"
+
+
+class TestSymbols:
+    def test_functions_and_methods_get_qualnames(self):
+        idx = indexed("""\
+            def top():
+                return 1
+
+            class Box:
+                def get(self):
+                    return 2
+        """)
+        assert "repro.m.top" in idx.functions
+        assert "repro.m.Box.get" in idx.functions
+        assert idx.functions["repro.m.Box.get"].is_method
+        assert idx.functions["repro.m.Box.get"].cls == "repro.m.Box"
+        assert idx.classes["repro.m.Box"] == ["get"]
+
+    def test_async_functions_are_marked(self):
+        idx = indexed("async def handler():\n    return 1\n")
+        assert idx.functions["repro.m.handler"].is_async
+
+    def test_mutable_globals_catalogued(self):
+        idx = indexed("""\
+            CACHE = {}
+            ITEMS = []
+            FROZEN = frozenset({1})
+            PAIR = (1, 2)
+            LIMIT = 10
+        """)
+        assert set(idx.mutable_globals) == {"CACHE", "ITEMS"}
+
+
+class TestLoweredIR:
+    def test_global_subscript_write_is_gwrite(self):
+        idx = indexed("""\
+            CACHE = {}
+
+            def remember(key, value):
+                CACHE[key] = value
+        """)
+        ops = idx.functions["repro.m.remember"].ops
+        gwrites = [op for op in ops if op["o"] == "gwrite"]
+        assert [op["name"] for op in gwrites] == ["CACHE"]
+        assert gwrites[0]["line"] == 4
+
+    def test_mutator_method_on_global_is_gwrite(self):
+        idx = indexed("""\
+            ITEMS = []
+
+            def push(value):
+                ITEMS.append(value)
+        """)
+        gwrites = [op for op in idx.functions["repro.m.push"].ops
+                   if op["o"] == "gwrite"]
+        assert gwrites and gwrites[0]["how"] == "call:append"
+
+    def test_local_shadow_is_not_a_global_write(self):
+        idx = indexed("""\
+            ITEMS = []
+
+            def pure():
+                ITEMS = []
+                ITEMS.append(1)
+                return ITEMS
+        """)
+        assert not [op for op in idx.functions["repro.m.pure"].ops
+                    if op["o"] == "gwrite"]
+
+    def test_calls_carry_resolved_quals_and_lines(self):
+        idx = indexed("""\
+            import numpy as np
+
+            def f():
+                return np.random.default_rng(7)
+        """)
+        [ret] = [op for op in idx.functions["repro.m.f"].ops if op["o"] == "ret"]
+        [call] = list(iter_calls(ret["e"]))
+        assert call["fn"] == {"k": "qual", "q": "numpy.random.default_rng"}
+        assert call["line"] == 4
+
+    def test_full_slice_is_distinguished(self):
+        idx = indexed("""\
+            def f(arr):
+                a = arr[:]
+                b = arr[0:10]
+                return a, b
+        """)
+        subs = []
+
+        def walk(expr):
+            if expr.get("k") == "sub":
+                subs.append(expr["full"])
+                walk(expr["obj"])
+            elif expr.get("k") == "multi":
+                for item in expr["items"]:
+                    walk(item)
+
+        for op in idx.functions["repro.m.f"].ops:
+            if op["o"] in ("assign", "ret", "expr"):
+                walk(op["e"])
+        assert sorted(subs) == [False, True]
+
+    def test_suppressions_travel_in_the_index(self):
+        idx = indexed("""\
+            CACHE = {}
+
+            def remember(key, value):
+                CACHE[key] = value  # repro-lint: disable=RL702
+        """)
+        assert idx.suppressed(4, "RL702")
+        assert not idx.suppressed(4, "RL701")
+        assert not idx.suppressed(3, "RL702")
+
+
+class TestRoundTrip:
+    def test_module_index_json_round_trip(self):
+        idx = indexed("""\
+            import numpy as np
+            CACHE = {}
+
+            class Box:
+                def get(self, key):  # repro-lint: disable=RL701
+                    return CACHE[key]
+
+            def fill():
+                CACHE["k"] = np.zeros(3)
+        """)
+        clone = ModuleIndex.from_dict(idx.as_dict())
+        assert clone.as_dict() == idx.as_dict()
+        assert clone.suppressed(5, "RL701")
+        assert set(clone.functions) == set(idx.functions)
+
+    def test_project_index_union(self):
+        a = indexed("def f():\n    return 1\n", rel_path="src/repro/a.py")
+        b = indexed("def g():\n    return 2\n", rel_path="src/repro/b.py")
+        project = ProjectIndex()
+        project.add(a)
+        project.add(b)
+        assert set(project.functions) == {"repro.a.f", "repro.b.g"}
+        assert project.function_paths()["repro.a.f"] == "src/repro/a.py"

@@ -1,0 +1,56 @@
+"""SARIF 2.1.0 emission: required fields, locations, CLI integration."""
+
+import json
+
+from repro.lint.cli import EXIT_FINDINGS, main
+from repro.lint.findings import Finding
+from repro.lint.sarif import SARIF_VERSION, render_sarif, sarif_document
+
+FINDING = Finding(path="src/repro/x.py", line=12, col=3,
+                  code="RL703", message="materializes a memmap")
+
+
+class TestDocumentShape:
+    def test_required_top_level_fields(self):
+        doc = sarif_document([FINDING])
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "$schema" in doc
+        assert len(doc["runs"]) == 1
+
+    def test_tool_driver_has_name_and_rules(self):
+        driver = sarif_document([FINDING])["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"RL101", "RL701", "RL702", "RL703"} <= rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_result_carries_rule_message_and_location(self):
+        [result] = sarif_document([FINDING])["runs"][0]["results"]
+        assert result["ruleId"] == "RL703"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "materializes a memmap"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert location["region"] == {"startLine": 12, "startColumn": 3}
+
+    def test_empty_findings_is_still_a_valid_run(self):
+        doc = sarif_document([])
+        assert doc["runs"][0]["results"] == []
+
+    def test_render_is_json(self):
+        assert json.loads(render_sarif([FINDING]))["version"] == "2.1.0"
+
+
+class TestCliIntegration:
+    def test_format_sarif_end_to_end(self, project, capsys):
+        root = project({"repro/bad.py":
+                        "import numpy as np\nVALUES = np.random.rand(3)\n"})
+        assert main([str(root / "src"), "--format", "sarif",
+                     "--no-cache"]) == EXIT_FINDINGS
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        [result] = doc["runs"][0]["results"]
+        assert result["ruleId"] == "RL101"
+        assert (result["locations"][0]["physicalLocation"]["artifactLocation"]
+                ["uri"]) == "src/repro/bad.py"
